@@ -1,0 +1,81 @@
+"""R-E4: the companion data-parallel kernels (FFT, bitonic sort, histogram).
+
+All three come from the same TMC technical-report series as the paper and
+run here on the identical machine, embedding and cost machinery — a check
+that the substrate generalises beyond the four primitives.
+"""
+
+import numpy as np
+
+from harness import run_dataparallel
+from repro import workloads as W
+from repro.algorithms import fft as F
+from repro.algorithms import histogram as H
+from repro.algorithms.sort import bitonic_sort
+from repro.core import DistributedVector
+from repro.machine import CostModel, Hypercube
+
+
+def test_bench_fft(benchmark):
+    x = W.dense_vector(4096, seed=1)
+
+    def run():
+        machine = Hypercube(8, CostModel.cm2())
+        return F.fft(machine, x)
+
+    res = benchmark(run)
+    assert np.allclose(res.values, np.fft.fft(x), atol=1e-8)
+
+
+def test_bench_bitonic_sort(benchmark):
+    x = W.dense_vector(4096, seed=2)
+
+    def run():
+        machine = Hypercube(8, CostModel.cm2())
+        return bitonic_sort(DistributedVector.from_numpy(machine, x))
+
+    res = benchmark(run)
+    assert np.allclose(res.values.to_numpy(), np.sort(x))
+
+
+def test_bench_histogram(benchmark):
+    x = W.dense_vector(8192, seed=3)
+
+    def run():
+        machine = Hypercube(8, CostModel.cm2())
+        v = DistributedVector.from_numpy(machine, x)
+        return H.histogram(v, bins=256, value_range=(-4, 4))
+
+    res = benchmark(run)
+    assert res.counts.sum() == 8192
+
+
+def test_bench_table_r_e4(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: write_result(run_dataparallel), rounds=1, iterations=1
+    )
+    # the sparse histogram's advantage shrinks as occupancy grows
+    ratios = [v for k, v in sorted(
+        result.metrics.items(), key=lambda kv: int(kv[0].split("_")[-1])
+    ) if k.startswith("hist_ratio")]
+    assert ratios[0] >= ratios[-1]
+
+
+def test_bench_tridiagonal(benchmark):
+    """Substructured PCR tridiagonal solve (the ADI papers' substrate)."""
+    from repro.algorithms import tridiagonal as T
+    rng = np.random.default_rng(7)
+    n = 4096
+    a = rng.standard_normal(n)
+    c = rng.standard_normal(n)
+    b = np.abs(a) + np.abs(c) + rng.uniform(1, 2, n)
+    a[0] = 0.0
+    c[-1] = 0.0
+    d = rng.standard_normal(n)
+
+    def run():
+        machine = Hypercube(8, CostModel.cm2())
+        return T.solve(machine, a, b, c, d)
+
+    res = benchmark(run)
+    assert np.allclose(res.x, T.thomas(a, b, c, d), atol=1e-8)

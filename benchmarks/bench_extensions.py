@@ -1,0 +1,92 @@
+"""R-E1: timings of the extension operations (beyond the paper's four).
+
+Scans (matrix prefix, vector segmented scan) and the outer-product
+matrix-matrix multiply — operations the paper's APL-like primitive family
+implies and this library adds, with the same embedding/cost machinery.
+"""
+
+import numpy as np
+
+from harness import run_extensions
+from repro import workloads as W
+from repro.core import DistributedMatrix, DistributedVector
+from repro.machine import CostModel, Hypercube
+
+
+def test_bench_matrix_scan(benchmark):
+    machine = Hypercube(8, CostModel.cm2())
+    A = DistributedMatrix.from_numpy(machine, W.dense_matrix(128, 128, seed=1))
+    out = benchmark(lambda: A.scan(1, "sum", inclusive=True))
+    assert np.allclose(out.to_numpy(), np.cumsum(A.to_numpy(), axis=1))
+
+
+def test_bench_segmented_scan(benchmark):
+    machine = Hypercube(8, CostModel.cm2())
+    v_h = W.dense_vector(4096, seed=2)
+    f_h = np.random.default_rng(0).random(4096) < 0.1
+    v = DistributedVector.from_numpy(machine, v_h)
+    f = DistributedVector(v.embedding.scatter(f_h), v.embedding)
+    out = benchmark(lambda: v.segmented_scan(f))
+    assert len(out) == 4096
+
+
+def test_bench_matmul(benchmark):
+    machine = Hypercube(8, CostModel.cm2())
+    A = DistributedMatrix.from_numpy(machine, W.dense_matrix(64, 16, seed=3))
+    B = DistributedMatrix.from_numpy(machine, W.dense_matrix(16, 64, seed=4))
+    C = benchmark(lambda: A @ B)
+    assert np.allclose(C.to_numpy(), A.to_numpy() @ B.to_numpy())
+
+
+def test_bench_solve_multi(benchmark):
+    from repro.algorithms import gaussian
+    A_h, _, _ = W.random_system(32, seed=5)
+    B_h = np.random.default_rng(1).standard_normal((32, 4))
+
+    def run():
+        machine = Hypercube(6, CostModel.cm2())
+        return gaussian.solve_multi(
+            DistributedMatrix.from_numpy(machine, A_h), B_h
+        )
+
+    res = benchmark(run)
+    assert np.allclose(res.x, np.linalg.solve(A_h, B_h), atol=1e-7)
+
+
+def test_bench_table_r_e1(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: write_result(run_extensions), rounds=1, iterations=1
+    )
+    # scan costs within a small factor of reduce (same round structure)
+    for key, value in result.metrics.items():
+        if key.startswith("scan_over_reduce"):
+            assert 0.9 < value < 2.0, (key, value)
+
+
+def test_bench_pipelining_crossover_r_e3(benchmark, write_result):
+    """R-E3: the plain/pipelined broadcast crossover matches the model."""
+    from harness import run_pipelining
+    result = benchmark.pedantic(
+        lambda: write_result(run_pipelining), rounds=1, iterations=1
+    )
+    L_star = result.metrics["crossover_model"]
+    for key, ratio in result.metrics.items():
+        if not key.startswith("ratio_L"):
+            continue
+        L = int(key.split("ratio_L")[1])
+        if L < L_star / 2:
+            assert ratio < 1.0, (L, ratio)
+        if L > L_star * 2:
+            assert ratio > 1.0, (L, ratio)
+
+
+def test_bench_qr_solve(benchmark):
+    from repro.algorithms import qr
+    A_h, b, x_true = W.random_system(32, seed=6)
+
+    def run():
+        machine = Hypercube(6, CostModel.cm2())
+        return qr.qr_solve(DistributedMatrix.from_numpy(machine, A_h), b)
+
+    x = benchmark(run)
+    assert np.allclose(x, x_true, atol=1e-6)

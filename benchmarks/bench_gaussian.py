@@ -1,0 +1,62 @@
+"""R-T3: Gaussian elimination timings (application 2).
+
+Regenerates the elimination table: serial vs primitive vs naive simulated
+times with the processor-time-over-serial column the optimality claim is
+judged on.
+"""
+
+import numpy as np
+
+from harness import run_gaussian
+from repro import workloads as W
+from repro.algorithms import gaussian
+from repro.algorithms.naive import NaiveMatrix
+from repro.core import DistributedMatrix
+from repro.machine import CostModel, Hypercube
+
+
+def test_bench_gaussian_primitives(benchmark):
+    A_h, b, x_true = W.diagonally_dominant_system(48, seed=1)
+
+    def run():
+        machine = Hypercube(6, CostModel.cm2())
+        return gaussian.solve(DistributedMatrix.from_numpy(machine, A_h), b)
+
+    res = benchmark(run)
+    assert np.allclose(res.x, x_true, atol=1e-7)
+
+
+def test_bench_gaussian_naive(benchmark):
+    A_h, b, x_true = W.diagonally_dominant_system(48, seed=1)
+
+    def run():
+        machine = Hypercube(6, CostModel.cm2())
+        return gaussian.solve(NaiveMatrix.from_numpy(machine, A_h), b)
+
+    res = benchmark(run)
+    assert np.allclose(res.x, x_true, atol=1e-7)
+
+
+def test_bench_gaussian_pivoting_overhead(benchmark):
+    """Partial pivoting vs none on a diagonally dominant system."""
+    A_h, b, x_true = W.diagonally_dominant_system(48, seed=2)
+
+    def run():
+        machine = Hypercube(6, CostModel.cm2())
+        A = DistributedMatrix.from_numpy(machine, A_h)
+        return gaussian.solve(A, b, pivoting="none")
+
+    res = benchmark(run)
+    assert np.allclose(res.x, x_true, atol=1e-7)
+
+
+def test_bench_table_r_t3(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: write_result(run_gaussian), rounds=1, iterations=1
+    )
+    speedups = [v for k, v in result.metrics.items() if k.startswith("speedup")]
+    assert all(s > 1.5 for s in speedups)
+    # PT/serial must fall as the system grows (converging constant factor)
+    ratios = [v for k, v in sorted(result.metrics.items())
+              if k.startswith("pt_ratio")]
+    assert ratios == sorted(ratios, reverse=True) or min(ratios) < ratios[0]

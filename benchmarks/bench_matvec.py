@@ -1,0 +1,54 @@
+"""R-T2: vector-matrix multiply timings (application 1).
+
+Regenerates the matvec table: serial vs primitive vs naive simulated times
+across matrix sizes, with the naive/primitive speedup column.
+"""
+
+import numpy as np
+
+from harness import run_matvec
+from repro import workloads as W
+from repro.algorithms.naive import NaiveMatrix, NaiveVector
+from repro.core import DistributedMatrix, DistributedVector
+from repro.embeddings import RowAlignedEmbedding
+from repro.machine import CostModel, Hypercube
+
+
+def _prim(side=128, n=8):
+    machine = Hypercube(n, CostModel.cm2())
+    A = DistributedMatrix.from_numpy(machine, W.dense_matrix(side, side, seed=1))
+    emb = RowAlignedEmbedding(A.embedding, None)
+    x = DistributedVector(emb.scatter(W.dense_vector(side, seed=2)), emb)
+    return A, x
+
+
+def test_bench_matvec_primitives(benchmark):
+    A, x = _prim()
+    y = benchmark(lambda: A.matvec(x))
+    assert np.allclose(y.to_numpy(), A.to_numpy() @ x.to_numpy())
+
+
+def test_bench_matvec_naive(benchmark):
+    machine = Hypercube(8, CostModel.cm2())
+    A = NaiveMatrix.from_numpy(machine, W.dense_matrix(128, 128, seed=1))
+    emb = RowAlignedEmbedding(A.embedding, None)
+    x = NaiveVector(emb.scatter(W.dense_vector(128, seed=2)), emb)
+    y = benchmark(lambda: A.matvec(x))
+    assert np.allclose(y.to_numpy(), A.to_numpy() @ x.to_numpy())
+
+
+def test_bench_vecmat(benchmark):
+    machine = Hypercube(8, CostModel.cm2())
+    A = DistributedMatrix.from_numpy(machine, W.dense_matrix(96, 160, seed=3))
+    x = DistributedVector.from_numpy(machine, W.dense_vector(96, seed=4))
+    y = benchmark(lambda: A.vecmat(x))
+    assert np.allclose(y.to_numpy(), x.to_numpy() @ A.to_numpy())
+
+
+def test_bench_table_r_t2(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: write_result(run_matvec), rounds=1, iterations=1
+    )
+    # primitives beat naive at every size
+    for key, speedup in result.metrics.items():
+        assert speedup > 1.0, key

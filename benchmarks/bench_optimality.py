@@ -1,0 +1,63 @@
+"""R-F1: the asymptotic-optimality figure.
+
+Regenerates the processor-time-product sweep: PT/serial vs m/p at fixed
+machine size, with the ``m = p lg p`` threshold marked — the abstract's
+central analytical claim.
+"""
+
+import math
+
+from harness import run_optimality
+
+
+def test_bench_figure_r_f1(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: write_result(run_optimality), rounds=1, iterations=1
+    )
+    threshold = result.metrics["threshold"]
+    beyond = {
+        int(k.split("_at_")[1]): v
+        for k, v in result.metrics.items()
+        if k.startswith("ratio_at_")
+    }
+    above = sorted(m for m in beyond if m > threshold)
+    below = sorted(m for m in beyond if m <= threshold)
+    assert above and below, "sweep must straddle the threshold"
+    # beyond the threshold: bounded and decreasing toward a small constant
+    ratios_above = [beyond[m] for m in above]
+    assert ratios_above == sorted(ratios_above, reverse=True)
+    assert ratios_above[-1] < 5.0
+    # below the threshold: the latency term dominates; ratio blows up
+    assert beyond[below[0]] > 20 * ratios_above[-1]
+
+
+def test_bench_optimality_scaling_in_p(benchmark):
+    """The threshold moves with p: the same m that is optimal on a small
+    machine is latency-bound on a big one."""
+    from repro.analysis import pt_ratio
+    from repro.core import DistributedMatrix, DistributedVector
+    from repro.embeddings import RowAlignedEmbedding
+    from repro.machine import CostModel, CostSnapshot, Hypercube
+    import numpy as np
+
+    def run():
+        cost = CostModel.cm2()
+        ratios = {}
+        side = 64  # m = 4096
+        for n in (4, 10):
+            machine = Hypercube(n, cost)
+            A = DistributedMatrix.from_numpy(machine, np.ones((side, side)))
+            emb = RowAlignedEmbedding(A.embedding, None)
+            x = DistributedVector(emb.scatter(np.ones(side)), emb)
+            start = machine.snapshot()
+            A.matvec(x)
+            t = machine.elapsed_since(start).time
+            ratios[n] = pt_ratio(
+                CostSnapshot(time=t), machine.p, 2 * side * side, cost
+            )
+        return ratios
+
+    ratios = benchmark(run)
+    # m/p = 256 at p=16 (beyond threshold), m/p = 4 at p=1024 (below)
+    assert ratios[4] < 4.0
+    assert ratios[10] > 10 * ratios[4]

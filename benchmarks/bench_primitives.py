@@ -1,0 +1,68 @@
+"""R-T1: timings of the four primitives (paper: "We give Connection
+Machine timings for the primitives").
+
+Regenerates the primitive-timing table: simulated ticks per primitive as
+the matrix grows at fixed machine size, with the analytic-model column the
+paper would call its timing formula.  The pytest-benchmark numbers measure
+the *simulator's* wall-clock per primitive (how fast this reproduction
+runs), which is reported separately from the simulated machine times.
+"""
+
+import numpy as np
+
+from harness import run_primitives
+from repro import workloads as W
+from repro.core import DistributedMatrix
+from repro.machine import CostModel, Hypercube
+
+
+def _setup(side=128, n=8):
+    machine = Hypercube(n, CostModel.cm2())
+    A = DistributedMatrix.from_numpy(
+        machine, W.dense_matrix(side, side, seed=1)
+    )
+    return machine, A
+
+
+def test_bench_extract(benchmark):
+    machine, A = _setup()
+    result = benchmark(lambda: A.extract(0, 64))
+    assert np.allclose(result.to_numpy(), A.to_numpy()[64])
+
+
+def test_bench_insert(benchmark):
+    machine, A = _setup()
+    vec = A.extract(0, 64)
+    out = benchmark(lambda: A.insert(0, 0, vec))
+    assert out.shape == A.shape
+
+
+def test_bench_distribute(benchmark):
+    machine, A = _setup()
+    vec = A.extract(0, 64)
+    out = benchmark(lambda: vec.distribute(A, axis=0))
+    assert out.shape == A.shape
+
+
+def test_bench_reduce(benchmark):
+    machine, A = _setup()
+    out = benchmark(lambda: A.reduce(1, "sum"))
+    assert np.allclose(out.to_numpy(), A.to_numpy().sum(1))
+
+
+def test_bench_argreduce(benchmark):
+    machine, A = _setup()
+    vals, idxs = benchmark(lambda: A.argreduce(1, "max"))
+    assert np.array_equal(idxs.to_numpy(), A.to_numpy().argmax(1))
+
+
+def test_bench_table_r_t1(benchmark, write_result):
+    """Regenerate the full R-T1 table and check its headline shapes."""
+    result = benchmark.pedantic(
+        lambda: write_result(run_primitives), rounds=1, iterations=1
+    )
+    # The analytic model must agree with the simulator on reduce exactly.
+    for key, value in result.metrics.items():
+        if key.startswith("reduce_"):
+            side = key.split("_")[1]
+            assert value == result.metrics[f"model_reduce_{side}"]

@@ -1,0 +1,65 @@
+"""R-F3: embedding-change costs ("the primitives may indicate a change
+from one embedding to another").
+
+Regenerates the remap cost table: relabelling transpose (nearly free),
+same-grid transpose (a real dimension permutation), vector-order to
+row-order conversion, and residence (band) changes, against a reduce of
+the same matrix for scale.
+"""
+
+import numpy as np
+
+from harness import run_remap
+from repro import workloads as W
+from repro.core import DistributedMatrix, DistributedVector
+from repro.embeddings import (
+    ColAlignedEmbedding,
+    RowAlignedEmbedding,
+    VectorOrderEmbedding,
+)
+from repro.machine import CostModel, Hypercube
+
+
+def test_bench_transpose_relabel(benchmark):
+    machine = Hypercube(8, CostModel.cm2())
+    A = DistributedMatrix.from_numpy(machine, W.dense_matrix(64, 64, seed=1))
+    T = benchmark(lambda: A.transpose())
+    assert np.allclose(T.to_numpy(), A.to_numpy().T)
+
+
+def test_bench_transpose_same_grid(benchmark):
+    machine = Hypercube(8, CostModel.cm2())
+    A = DistributedMatrix.from_numpy(machine, W.dense_matrix(64, 64, seed=1))
+    T = benchmark(lambda: A.transpose(same_grid=True))
+    assert np.allclose(T.to_numpy(), A.to_numpy().T)
+
+
+def test_bench_vector_order_to_aligned(benchmark):
+    machine = Hypercube(8, CostModel.cm2())
+    A = DistributedMatrix.from_numpy(machine, W.dense_matrix(64, 64, seed=1))
+    v = DistributedVector.from_numpy(machine, W.dense_vector(64, seed=2))
+    target = RowAlignedEmbedding(A.embedding, None)
+    out = benchmark(lambda: v.as_embedding(target))
+    assert np.allclose(out.to_numpy(), v.to_numpy())
+
+
+def test_bench_residence_change(benchmark):
+    machine = Hypercube(8, CostModel.cm2())
+    A = DistributedMatrix.from_numpy(machine, W.dense_matrix(64, 64, seed=1))
+    src = ColAlignedEmbedding(A.embedding, 0)
+    dst = ColAlignedEmbedding(A.embedding, 1)
+    v = DistributedVector(src.scatter(W.dense_vector(64, seed=3)), src)
+    out = benchmark(lambda: v.as_embedding(dst))
+    assert np.allclose(out.to_numpy(), v.to_numpy())
+
+
+def test_bench_table_r_f3(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: write_result(run_remap), rounds=1, iterations=1
+    )
+    for key, value in result.metrics.items():
+        if key.startswith("transpose_relabel"):
+            side = key.rsplit("_", 1)[1]
+            # relabelling costs orders of magnitude less than the real
+            # dimension permutation — the embedding flexibility pays off
+            assert value < result.metrics[f"transpose_same_grid_{side}"] / 10

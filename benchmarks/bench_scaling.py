@@ -1,0 +1,65 @@
+"""R-F4: scaling with machine size.
+
+Regenerates the scaling figure: matvec time vs p for a fixed problem
+(strong scaling: improves, then latency-bound) and for a fixed
+per-processor load (the CM's virtual-processor scaling: grows only with
+the lg p communication term).
+"""
+
+from harness import run_scaling
+
+
+def test_bench_figure_r_f4(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: write_result(run_scaling), rounds=1, iterations=1
+    )
+    fixed = {
+        int(k.split("_p")[1]): v
+        for k, v in result.metrics.items()
+        if k.startswith("fixed_p")
+    }
+    scaled = {
+        int(k.split("_p")[1]): v
+        for k, v in result.metrics.items()
+        if k.startswith("scaled_p")
+    }
+    ps = sorted(fixed)
+    # strong scaling initially improves substantially
+    assert fixed[ps[1]] < fixed[ps[0]]
+    # but the lg(p)·tau latency floor stops it: the largest machine is not
+    # the fastest by much (or at all)
+    assert fixed[ps[-1]] > 0.5 * fixed[ps[-2]]
+    # scaled problem: time grows slowly (the lg p term), far below linear
+    growth = scaled[ps[-1]] / scaled[ps[0]]
+    assert growth < ps[-1] / ps[0] / 8
+
+
+def test_bench_efficiency_at_fixed_load(benchmark):
+    """At fixed m/p, per-element work is constant; only lg p rounds grow —
+    the 'performance scales in proportion to the number of processors'
+    regime the CM reports lived in."""
+    import math
+    import numpy as np
+    from repro import workloads as W
+    from repro.core import DistributedMatrix, DistributedVector
+    from repro.embeddings import RowAlignedEmbedding
+    from repro.machine import CostModel, Hypercube
+
+    def run():
+        times = {}
+        for n in (4, 8):
+            machine = Hypercube(n, CostModel.cm2())
+            side = int(math.sqrt(256 * machine.p))
+            A = DistributedMatrix.from_numpy(
+                machine, np.ones((side, side))
+            )
+            emb = RowAlignedEmbedding(A.embedding, None)
+            x = DistributedVector(emb.scatter(np.ones(side)), emb)
+            start = machine.snapshot()
+            A.matvec(x)
+            times[n] = machine.elapsed_since(start).time
+        return times
+
+    times = benchmark(run)
+    # 16x the processors, 16x the elements: time grows by < 2x
+    assert times[8] < 2 * times[4]

@@ -1,0 +1,67 @@
+"""R-T4: simplex timings (application 3).
+
+Regenerates the simplex table: per-iteration and total simulated times,
+primitive vs naive, at matching iteration counts (identical pivot
+sequences guarantee an apples-to-apples comparison).
+"""
+
+import numpy as np
+
+from harness import run_simplex
+from repro import workloads as W
+from repro.algorithms import simplex
+from repro.algorithms.naive import NaiveMatrix
+from repro.machine import CostModel, Hypercube
+
+
+def test_bench_simplex_primitives(benchmark):
+    lp = W.feasible_lp(16, 12, seed=5)
+
+    def run():
+        machine = Hypercube(6, CostModel.cm2())
+        return simplex.solve(machine, lp.A, lp.b, lp.c)
+
+    res = benchmark(run)
+    assert res.status == "optimal"
+
+
+def test_bench_simplex_naive(benchmark):
+    lp = W.feasible_lp(16, 12, seed=5)
+
+    def run():
+        machine = Hypercube(6, CostModel.cm2())
+        return simplex.solve(machine, lp.A, lp.b, lp.c, matrix_cls=NaiveMatrix)
+
+    res = benchmark(run)
+    assert res.status == "optimal"
+
+
+def test_bench_simplex_two_phase(benchmark):
+    lp = W.two_phase_lp(12, 8, seed=6)
+
+    def run():
+        machine = Hypercube(6, CostModel.cm2())
+        return simplex.solve(machine, lp.A, lp.b, lp.c)
+
+    res = benchmark(run)
+    assert res.status == "optimal"
+    assert res.phase1_iterations > 0
+
+
+def test_bench_simplex_bland(benchmark):
+    lp = W.feasible_lp(16, 12, seed=7)
+
+    def run():
+        machine = Hypercube(6, CostModel.cm2())
+        return simplex.solve(machine, lp.A, lp.b, lp.c, rule="bland")
+
+    res = benchmark(run)
+    assert res.status == "optimal"
+
+
+def test_bench_table_r_t4(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: write_result(run_simplex), rounds=1, iterations=1
+    )
+    for key, speedup in result.metrics.items():
+        assert speedup > 1.0, key

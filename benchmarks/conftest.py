@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*.py`` regenerates one reconstructed table/figure (DESIGN.md
+R-T1 … R-A1).  pytest-benchmark times the harness (wall-clock of the
+simulation); the *simulated* machine times — the paper-facing numbers —
+are written to ``benchmarks/results/*.txt`` and asserted on inside each
+bench.  Set ``REPRO_BENCH_SCALE=paper`` for the full-size sweeps used in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def write_result():
+    """Run an experiment once, persist its table, return it."""
+    cache = {}
+
+    def runner(fn):
+        key = fn.__name__
+        if key not in cache:
+            result = fn()
+            result.write()
+            cache[key] = result
+        return cache[key]
+
+    return runner

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""2-D heat diffusion by the Alternating Direction Implicit method.
+
+The capstone composition: the Peaceman-Rachford ADI scheme — the workload
+the TMC tridiagonal/ADI papers were written for — built on the batched
+tridiagonal solver.  Each half-step solves one implicit tridiagonal system
+per grid line; since there are as many independent systems as lines, the
+machine runs them embarrassingly parallel (the published optimum
+partitioning), with zero communication in the solves.
+
+    (I - mu Lx) u*      = (I + mu Ly) u^n      (x-implicit half step)
+    (I - mu Ly) u^{n+1} = (I + mu Lx) u*       (y-implicit half step)
+
+Run:  python examples/heat_adi.py
+"""
+
+import numpy as np
+
+from repro import Session
+from repro.algorithms import tridiagonal as T
+
+
+def laplacian_1d(n: int) -> np.ndarray:
+    L = -2.0 * np.eye(n) + np.diag(np.ones(n - 1), 1) + np.diag(np.ones(n - 1), -1)
+    return L
+
+
+def adi_bands(n: int, mu: float):
+    """Coefficient bands of (I - mu Lx) for every grid line at once."""
+    a = np.full(n, -mu)
+    b = np.full(n, 1.0 + 2.0 * mu)
+    c = np.full(n, -mu)
+    a[0] = 0.0
+    c[-1] = 0.0
+    return a, b, c
+
+
+def main(n: int = 32, steps: int = 20, mu: float = 0.25) -> None:
+    # one processor per grid line: the embarrassingly parallel optimum
+    s = Session(n_dims=5, cost_model="cm2")
+    machine = s.machine
+    print(f"machine: p = {machine.p}; grid {n}x{n}, {steps} ADI steps\n")
+
+    # a hot square in a cold plate (Dirichlet zero boundaries)
+    u = np.zeros((n, n))
+    u[n // 4: n // 2, n // 4: n // 2] = 1.0
+    initial_heat = u.sum()
+
+    Lx = laplacian_1d(n)
+    a, b, c = adi_bands(n, mu)
+    bands = lambda: (np.tile(a, (n, 1)), np.tile(b, (n, 1)),
+                     np.tile(c, (n, 1)))
+
+    # dense reference operators for the correctness check
+    I = np.eye(n)
+    Ax_imp = I - mu * Lx
+    Ax_exp = I + mu * Lx
+    u_ref = u.copy()
+
+    for step in range(steps):
+        # x-implicit half step: rhs = (I + mu Ly) u, solve along rows
+        rhs = u + mu * (Lx @ u)          # Ly acts along axis 0
+        machine.charge_flops(3 * n * n / machine.p)
+        aa, bb, cc = bands()
+        u = T.solve_many(machine, aa, bb, cc, rhs.T).x.T  # rows of u.T = x-lines
+
+        # y-implicit half step: rhs = (I + mu Lx) u, solve along columns
+        rhs = u + mu * (u @ Lx.T)        # Lx acts along axis 1
+        machine.charge_flops(3 * n * n / machine.p)
+        aa, bb, cc = bands()
+        u = T.solve_many(machine, aa, bb, cc, rhs).x
+
+        # dense reference (host-side numpy, for validation only)
+        r = u_ref + mu * (Lx @ u_ref)
+        u_star = np.linalg.solve(Ax_imp, r)
+        r2 = u_star + mu * (u_star @ Lx.T)
+        u_ref = np.linalg.solve(Ax_imp, r2.T).T
+
+        if step % 5 == 0 or step == steps - 1:
+            print(f"step {step:3d}: peak {u.max():.4f}, "
+                  f"total heat {u.sum():.4f}, "
+                  f"max |ADI - dense ref| {np.abs(u - u_ref).max():.2e}")
+
+    assert np.abs(u - u_ref).max() < 1e-10, "ADI must match the dense factored solve"
+    assert u.max() < 1.0, "diffusion must flatten the peak"
+    assert u.min() > -1e-12, "maximum principle: no undershoot below zero"
+    assert u.sum() < initial_heat, "Dirichlet boundaries drain heat"
+
+    print(f"\nsimulated machine time: {s.time:,.0f} ticks "
+          f"({s.time / steps:,.0f} per ADI step)")
+    print("(the line solves run embarrassingly parallel: "
+          f"{machine.counters.comm_rounds} total comm rounds)")
+
+
+if __name__ == "__main__":
+    main()

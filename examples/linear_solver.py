@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Application 2: solve a dense linear system with the distributed
+Gaussian-elimination routine, and compare against the naive baseline.
+
+This is the circuit-simulation / structural-analysis workload class the
+paper's era motivated: a dense, moderately sized system solved on a
+machine with many more processors than a workstation has words of cache.
+
+Run:  python examples/linear_solver.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Session
+from repro import workloads as W
+from repro.algorithms import gaussian, serial
+from repro.algorithms.naive import NaiveMatrix
+from repro.analysis import format_table, pt_ratio
+
+
+def main(n: int = 64) -> None:
+    s = Session(n_dims=10, cost_model="cm2")  # 1024 simulated processors
+    print(f"machine: p = {s.machine.p}, cost model = {s.machine.cost_model}\n")
+
+    A_host, b, x_true = W.random_system(n, seed=7)
+
+    # primitive-based solve
+    A = s.matrix(A_host)
+    result = gaussian.solve(A, b)
+    err = np.abs(result.x - x_true).max()
+    print(f"primitive solve:  max|x - x_true| = {err:.2e}, "
+          f"simulated time = {result.cost.time:,.0f} ticks")
+
+    # the identical algorithm on naive (serialised) communication
+    naive_A = NaiveMatrix.from_numpy(s.machine, A_host)
+    naive_result = gaussian.solve(naive_A, b)
+    print(f"naive solve:      same answer = "
+          f"{np.allclose(naive_result.x, result.x)}, "
+          f"simulated time = {naive_result.cost.time:,.0f} ticks")
+    print(f"primitive speedup over naive: "
+          f"{naive_result.cost.time / result.cost.time:.1f}x\n")
+
+    # the optimality audit the paper's analysis promises
+    ops = serial.gaussian_solve(A_host, b).ops
+    ratio = pt_ratio(result.cost, s.machine.p, ops, s.machine.cost_model)
+    p = s.machine.p
+    threshold = p * np.log2(p)
+    print(format_table(
+        ["m", "p lg p", "serial ops", "PT / serial"],
+        [[n * n, threshold, ops, ratio]],
+        caption="processor-time product vs best serial algorithm:",
+    ))
+    print(
+        "(Gaussian elimination runs n sequential pivot steps, so its PT\n"
+        " ratio converges to the constant only once n^2 >> p lg p * tau;\n"
+        " benchmarks/bench_optimality.py sweeps the full curve.)"
+    )
+
+    print("\nwhere the simulated time went:")
+    for name, t in s.machine.counters.phase_breakdown():
+        if name in ("pivot-search", "row-swap", "update", "back-substitution"):
+            print(f"  {name:<18s} {t:>14,.0f} ticks")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 128)

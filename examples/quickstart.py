@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: the four primitives on a simulated 256-processor hypercube.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Session
+
+def main() -> None:
+    # A simulated Connection-Machine-style hypercube: 2^8 = 256 processors,
+    # CM-2-flavoured cost model (start-up-dominated communication).
+    s = Session(n_dims=8, cost_model="cm2")
+
+    rng = np.random.default_rng(42)
+    A_host = rng.standard_normal((96, 64))
+
+    # Embed the matrix: an aspect-matched Gray-coded processor grid with a
+    # load-balanced block partition (at most ceil(R/Pr) x ceil(C/Pc) local).
+    A = s.matrix(A_host)
+    print(f"embedded {A.shape} matrix: {A.embedding!r}")
+
+    # --- primitive 4: reduce --------------------------------------------
+    row_sums = A.reduce(axis=1, op="sum")      # length-96 vector
+    col_maxes = A.reduce(axis=0, op="max")     # length-64 vector
+    assert np.allclose(row_sums.to_numpy(), A_host.sum(axis=1))
+    assert np.allclose(col_maxes.to_numpy(), A_host.max(axis=0))
+
+    # --- primitive 1: extract -------------------------------------------
+    row7 = A.extract(axis=0, index=7)
+    assert np.allclose(row7.to_numpy(), A_host[7])
+
+    # --- primitive 3: distribute ----------------------------------------
+    tiled = row7.distribute(A, axis=0)         # every row = row 7
+    assert np.allclose(tiled.to_numpy(), np.tile(A_host[7], (96, 1)))
+
+    # --- primitive 2: insert --------------------------------------------
+    B = A.insert(axis=0, index=0, vector=row7)
+    assert np.allclose(B.to_numpy()[0], A_host[7])
+
+    # --- composition: a matrix-vector product is three primitives --------
+    x = s.row_vector(rng.standard_normal(64), like=A)
+    y = A.matvec(x)                            # distribute, multiply, reduce
+    assert np.allclose(y.to_numpy(), A_host @ x.to_numpy())
+
+    # Every operation above was charged simulated machine time:
+    print()
+    print(s.report())
+
+
+if __name__ == "__main__":
+    main()

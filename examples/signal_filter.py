@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Spectral low-pass filtering with the distributed FFT.
+
+Cleans a noisy two-tone signal on the simulated machine: forward FFT
+(lg L local + lg p exchange butterfly stages), zero the high-frequency
+bins, inverse FFT — the kind of signal-processing kernel the Connection
+Machine FFT reports targeted.
+
+Run:  python examples/signal_filter.py
+"""
+
+import numpy as np
+
+from repro import Session
+from repro.algorithms import fft as F
+
+
+def main(N: int = 1024, keep_below: int = 40) -> None:
+    rng = np.random.default_rng(31)
+    t = np.arange(N) / N
+    clean = np.sin(2 * np.pi * 5 * t) + 0.5 * np.sin(2 * np.pi * 17 * t)
+    noisy = clean + 0.8 * rng.standard_normal(N)
+
+    s = Session(n_dims=8, cost_model="cm2")
+    machine = s.machine
+    print(f"machine: p = {machine.p}; signal length {N}\n")
+
+    spectrum = F.fft(machine, noisy)
+    # low-pass: keep only the lowest `keep_below` (and mirrored) bins —
+    # a host-side mask applied to the spectrum before the inverse pass
+    mask = np.zeros(N)
+    mask[:keep_below] = 1.0
+    mask[-keep_below + 1:] = 1.0
+    machine.charge_flops(N / machine.p)  # the pointwise mask multiply
+    filtered = F.ifft(machine, spectrum.values * mask)
+    recovered = np.real(filtered.values)
+
+    noise_before = np.sqrt(np.mean((noisy - clean) ** 2))
+    noise_after = np.sqrt(np.mean((recovered - clean) ** 2))
+    print(f"RMS error vs clean signal: before {noise_before:.3f}, "
+          f"after {noise_after:.3f} "
+          f"({noise_before / noise_after:.1f}x reduction)")
+
+    print(f"forward FFT : {spectrum.cost.time:>10,.0f} ticks")
+    print(f"inverse FFT : {filtered.cost.time:>10,.0f} ticks")
+    print(f"total       : {s.time:>10,.0f} ticks")
+
+    # the dominant tones survive the round trip
+    peak_bins = np.argsort(np.abs(np.fft.fft(recovered))[: N // 2])[-2:]
+    assert set(peak_bins) == {5, 17}, peak_bins
+    assert noise_after < noise_before / 2
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of "Four Vector-Matrix Primitives" (SPAA 1989).
+
+Four APL-like primitives (extract, insert, distribute, reduce) for dense
+matrices and vectors on a simulated Connection-Machine-style hypercube
+multiprocessor, with load-balanced Gray-code embeddings, the three
+applications from the paper (vector-matrix multiply, Gaussian elimination,
+simplex), naive baselines, and analytic cost models.
+
+Quickstart::
+
+    import numpy as np
+    from repro import Session
+
+    s = Session(n_dims=8)                    # 256 simulated processors
+    A = s.matrix(np.random.rand(64, 48))
+    v = s.col_vector(np.random.rand(64), like=A)
+    row_sums = A.reduce(axis=1, op="sum")    # the reduce primitive
+    y = A.vecmat(v)                          # the paper's vector-matrix multiply
+    print(s.report())
+"""
+
+from .core import DistributedMatrix, DistributedVector, Session
+from .machine import CostModel, Hypercube, PVar, Router
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "DistributedMatrix",
+    "DistributedVector",
+    "Hypercube",
+    "CostModel",
+    "PVar",
+    "Router",
+    "__version__",
+]

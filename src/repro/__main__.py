@@ -1,0 +1,113 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``info``  — machine/cost-model summary for a given cube size;
+* ``demo``  — run the four primitives on a small matrix and print the
+  simulated cost report (the quickstart, headless);
+* ``solve`` — solve a random dense system at a chosen size and report the
+  paper-style cost breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import Session, __version__
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    session = Session(args.n, args.cost_model)
+    machine = session.machine
+    c = machine.cost_model
+    print(f"repro {__version__} — simulated hypercube multiprocessor")
+    print(f"processors : {machine.p} (n = {machine.n} cube dimensions)")
+    print(f"cost model : tau={c.tau} t_c={c.t_c} t_a={c.t_a} t_m={c.t_m}")
+    print(f"m > p lg p threshold: {machine.p * max(machine.n, 1)} elements")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    session = Session(args.n, args.cost_model)
+    A_host = rng.standard_normal((args.rows, args.cols))
+    A = session.matrix(A_host)
+    print(f"embedded: {A.embedding!r}\n")
+
+    with session.machine.phase("demo"):
+        row = A.extract(axis=0, index=0)
+        A2 = A.insert(axis=0, index=args.rows - 1, vector=row)
+        tiled = row.distribute(A, axis=0)
+        sums = A2.reduce(axis=1, op="sum")
+        del tiled
+    assert np.isclose(sums.to_numpy()[0], A_host[0].sum())
+    print(session.report())
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .algorithms import gaussian, serial
+    from .analysis import pt_ratio
+    from . import workloads as W
+
+    session = Session(args.n, args.cost_model)
+    A_host, b, x_true = W.random_system(args.size, seed=args.seed)
+    A = session.matrix(A_host)
+    result = gaussian.solve(A, b, pivoting=args.pivoting)
+    err = float(np.abs(result.x - x_true).max())
+    ops = serial.gaussian_solve(A_host, b).ops
+    ratio = pt_ratio(result.cost, session.machine.p, ops,
+                     session.machine.cost_model)
+    print(f"solved {args.size}x{args.size} on p={session.machine.p} "
+          f"({args.pivoting} pivoting)")
+    print(f"max error        : {err:.2e}")
+    print(f"simulated time   : {result.cost.time:,.0f} ticks")
+    print(f"PT / serial      : {ratio:,.1f}")
+    for name, t in session.machine.counters.phase_breakdown():
+        if name != "gaussian":
+            print(f"  {name:<20s} {t:>14,.0f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Four Vector-Matrix Primitives (SPAA 1989) reproduction",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_machine_args(p):
+        p.add_argument("-n", type=int, default=8,
+                       help="cube dimensions (p = 2^n; default 8)")
+        p.add_argument("--cost-model", default="cm2",
+                       choices=["cm2", "unit", "latency_bound",
+                                "bandwidth_bound"])
+        p.add_argument("--seed", type=int, default=0)
+
+    p_info = sub.add_parser("info", help="machine summary")
+    add_machine_args(p_info)
+    p_info.set_defaults(fn=_cmd_info)
+
+    p_demo = sub.add_parser("demo", help="run the four primitives")
+    add_machine_args(p_demo)
+    p_demo.add_argument("--rows", type=int, default=96)
+    p_demo.add_argument("--cols", type=int, default=64)
+    p_demo.set_defaults(fn=_cmd_demo)
+
+    p_solve = sub.add_parser("solve", help="solve a random dense system")
+    add_machine_args(p_solve)
+    p_solve.add_argument("--size", type=int, default=64)
+    p_solve.add_argument("--pivoting", default="partial",
+                         choices=["partial", "implicit", "none"])
+    p_solve.set_defaults(fn=_cmd_solve)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

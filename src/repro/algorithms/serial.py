@@ -1,0 +1,148 @@
+"""Best-serial reference algorithms and their operation counts.
+
+These are the comparators for the paper's optimality claim: "the
+processor-time product is no more than a constant factor higher than the
+running time of the best serial algorithm."  Each function returns both the
+result (the correctness oracle for the parallel implementations) and the
+number of arithmetic operations a serial machine would execute, so the
+optimality audit can form processor-time-product ratios in the same time
+units the simulator charges (``ops × t_a``).
+
+Implementations are deliberately textbook (no LAPACK blocking): the paper's
+serial baseline is the straightforward algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SerialResult:
+    """A serial run: the value plus the arithmetic operation count."""
+
+    value: np.ndarray
+    ops: int
+
+
+def matvec(A: np.ndarray, x: np.ndarray) -> SerialResult:
+    """``A @ x`` with the 2·R·C-flop inner-product count."""
+    A = np.asarray(A)
+    x = np.asarray(x)
+    R, C = A.shape
+    if x.shape != (C,):
+        raise ValueError(f"shape mismatch: {A.shape} @ {x.shape}")
+    return SerialResult(A @ x, ops=2 * R * C)
+
+
+def vecmat(x: np.ndarray, A: np.ndarray) -> SerialResult:
+    """``x @ A`` (the paper's vector-matrix multiply)."""
+    A = np.asarray(A)
+    x = np.asarray(x)
+    R, C = A.shape
+    if x.shape != (R,):
+        raise ValueError(f"shape mismatch: {x.shape} @ {A.shape}")
+    return SerialResult(x @ A, ops=2 * R * C)
+
+
+def reduce_ops(R: int, C: int) -> int:
+    """Serial op count of reducing an R×C matrix along either axis."""
+    return max(R * C - min(R, C), 0)
+
+
+def gaussian_solve(
+    A: np.ndarray, b: np.ndarray, tol: float = 1e-12
+) -> SerialResult:
+    """Solve ``A x = b`` by Gaussian elimination with partial pivoting.
+
+    Counts the classic ``(2/3)n^3 + O(n^2)`` arithmetic operations
+    explicitly (one count per multiply/add/divide performed).
+    """
+    A = np.array(A, dtype=np.float64)
+    b = np.array(b, dtype=np.float64)
+    n = A.shape[0]
+    if A.shape != (n, n) or b.shape != (n,):
+        raise ValueError(f"need square A and matching b, got {A.shape}, {b.shape}")
+    ops = 0
+    T = np.hstack([A, b[:, None]])
+    for k in range(n):
+        piv = k + int(np.argmax(np.abs(T[k:, k])))
+        if abs(T[piv, k]) <= tol:
+            raise np.linalg.LinAlgError(f"matrix is singular at step {k}")
+        if piv != k:
+            T[[k, piv]] = T[[piv, k]]
+        ops += n - k  # pivot-search comparisons count as ops
+        mults = T[k + 1 :, k] / T[k, k]
+        ops += n - k - 1
+        T[k + 1 :, k:] -= mults[:, None] * T[k, k:][None, :]
+        ops += 2 * (n - k - 1) * (n - k + 1)
+    x = np.zeros(n)
+    for k in range(n - 1, -1, -1):
+        x[k] = (T[k, n] - T[k, k + 1 : n] @ x[k + 1 :]) / T[k, k]
+        ops += 2 * (n - k - 1) + 2
+    return SerialResult(x, ops=ops)
+
+
+def simplex_solve(
+    A: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    tol: float = 1e-9,
+    max_iters: Optional[int] = None,
+) -> Tuple[str, float, np.ndarray, int, int]:
+    """Serial dense tableau simplex for ``max c·x  s.t. A x <= b, x >= 0``.
+
+    Requires ``b >= 0`` (slack basis feasible).  Returns
+    ``(status, objective, x, iterations, ops)`` with status in
+    ``{'optimal', 'unbounded', 'iteration_limit'}``.  Dantzig entering rule,
+    smallest-ratio leaving rule with smallest-index tie-break — the same
+    rules as the distributed implementation, so iterates match exactly.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    m, n = A.shape
+    if b.shape != (m,) or c.shape != (n,):
+        raise ValueError("shape mismatch")
+    if np.any(b < 0):
+        raise ValueError("serial reference requires b >= 0")
+    if max_iters is None:
+        max_iters = 50 * (m + n)
+
+    # tableau: m constraint rows + objective row; n vars + m slacks + rhs
+    T = np.zeros((m + 1, n + m + 1))
+    T[:m, :n] = A
+    T[:m, n : n + m] = np.eye(m)
+    T[:m, -1] = b
+    T[m, :n] = -c
+    basis = list(range(n, n + m))
+    ops = 0
+    width = n + m + 1
+
+    for it in range(max_iters):
+        ops += n + m  # scan the objective row
+        j = int(np.argmin(T[m, : n + m]))
+        if T[m, j] >= -tol:
+            x = np.zeros(n + m)
+            x[basis] = T[:m, -1]
+            obj = float(T[m, -1])
+            return "optimal", obj, x[:n], it, ops
+        col = T[:m, j]
+        ops += m
+        pos = col > tol
+        if not np.any(pos):
+            return "unbounded", np.inf, np.zeros(n), it, ops
+        ratios = np.where(pos, T[:m, -1] / np.where(pos, col, 1.0), np.inf)
+        ops += m
+        r = int(np.argmin(ratios))
+        # pivot
+        T[r] = T[r] / T[r, j]
+        ops += width
+        rows = np.arange(m + 1) != r
+        T[rows] -= np.outer(T[rows, j], T[r])
+        ops += 2 * m * width
+        basis[r] = j
+    return "iteration_limit", float(T[m, -1]), np.zeros(n), max_iters, ops

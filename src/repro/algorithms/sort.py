@@ -1,0 +1,263 @@
+"""Bitonic sort on the Boolean cube.
+
+Johnsson's "Combining Parallel and Sequential Sorting on a Boolean n-cube"
+(in the same TMC/Caltech line as the paper) is the blueprint: sort the
+``L = N/p`` local block sequentially, then run the block-level bitonic
+network over the processors with each compare-exchange replaced by a
+*merge-split* — neighbours exchange whole blocks, merge, and keep the low
+or high half.  ``lg p (lg p + 1)/2`` exchange rounds of one block each,
+plus ``O(L lg L + L lg^2 p)`` local work: the ``O((N/p) lg N)``-per-stage
+combination the paper's era used for data-parallel sorting.
+
+Padding: capacities beyond the vector length ride through the network as
+``+inf`` sentinels and are stripped by a final balanced remap, so any
+length works on any machine size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from ..machine.counters import CostSnapshot
+from ..machine.hypercube import Hypercube
+from ..machine.pvar import PVar
+from ..machine.router import Router
+from ..core.arrays import DistributedVector
+from ..embeddings.vector import VectorOrderEmbedding
+
+
+@dataclass
+class SortResult:
+    """The sorted vector plus simulated cost."""
+
+    values: DistributedVector
+    cost: CostSnapshot
+
+
+def _merge_split(
+    machine: Hypercube,
+    data: np.ndarray,
+    d: int,
+    keep_low: np.ndarray,
+) -> np.ndarray:
+    """One compare-exchange step on sorted blocks.
+
+    Each processor exchanges its block with its dimension-``d`` neighbour,
+    merges the two sorted blocks, and keeps the half selected by
+    ``keep_low`` (a per-processor boolean).  Blocks stay sorted.
+    """
+    L = data.shape[1]
+    recv = machine.exchange(PVar(machine, data), d).data
+    merged = np.concatenate([data, recv], axis=1)
+    merged.sort(axis=1)  # merge of two sorted runs; charged as a merge
+    machine.charge_flops(2 * L)  # one comparison per merged element
+    out = np.where(keep_low[:, None], merged[:, :L], merged[:, L:])
+    machine.charge_local(L)
+    return out
+
+
+def bitonic_sort(
+    vector: DistributedVector,
+    descending: bool = False,
+) -> SortResult:
+    """Sort a distributed vector into vector order.
+
+    Requires (and returns) a block-layout vector-order embedding; the
+    result uses the *same* embedding with element ``g`` of the sorted
+    sequence at global slot ``g``.
+    """
+    emb = vector.embedding
+    if not isinstance(emb, VectorOrderEmbedding):
+        raise ValueError("bitonic_sort requires a vector-order embedding")
+    from ..embeddings.layout import BlockLayout
+    if not isinstance(emb.layout, BlockLayout):
+        raise ValueError("bitonic_sort requires a block layout")
+    machine = emb.machine
+    n = machine.n
+    L = emb.local_shape[0]
+    # The merge-split network needs its rank bit j to flip exactly across
+    # cube dimension j, so it runs on raw processor addresses regardless of
+    # the embedding's (possibly Gray) rank coding; the final balanced remap
+    # routes results into the embedding's own order.
+    rank = machine.pids()
+
+    start = machine.snapshot()
+    with machine.phase("bitonic-sort"):
+        # pad invalid slots with +inf sentinels so they sort to the end
+        data = np.where(
+            emb.valid_mask(), vector.pvar.data.astype(np.float64), np.inf
+        )
+        machine.charge_local(L)
+
+        # local sequential sort: L lg L comparisons
+        data.sort(axis=1)
+        machine.charge_flops(L * max(int(np.ceil(np.log2(max(L, 2)))), 1))
+
+        # block-level bitonic network over the processor ranks
+        for i in range(n):
+            for j in range(i, -1, -1):
+                ascending = ((rank >> (i + 1)) & 1) == 0
+                low_side = ((rank >> j) & 1) == 0
+                keep_low = low_side == ascending
+                data = _merge_split(machine, data, j, keep_low)
+
+        # strip the sentinels back to the balanced block layout: the real
+        # elements occupy the ascending prefix of the capacity-order
+        # sequence; route each to its layout slot (reversed first for a
+        # descending sort — one extra reversal permutation).
+        flat = data.reshape(machine.p * L)
+        real = ~np.isinf(flat)
+        values_sorted = flat[real]
+        assert len(values_sorted) == emb.L
+        src_capacity_pid = np.nonzero(real)[0] // L
+        if descending:
+            values_sorted = values_sorted[::-1].copy()
+            src_capacity_pid = src_capacity_pid[::-1].copy()
+        dst_pid = np.asarray(emb.owner_slot(np.arange(emb.L))[0])
+        moving = src_capacity_pid != dst_pid
+        if np.any(moving):
+            pair = (
+                src_capacity_pid[moving] * machine.p + dst_pid[moving]
+            )
+            pairs, counts = np.unique(pair, return_counts=True)
+            Router(machine).simulate(
+                pairs // machine.p, pairs % machine.p,
+                counts.astype(np.float64),
+            )
+        machine.charge_local(L)
+        out = emb.scatter(values_sorted)
+
+    result = DistributedVector(out, emb)
+    return SortResult(values=result, cost=machine.elapsed_since(start))
+
+
+def is_sorted(vector: DistributedVector, descending: bool = False) -> bool:
+    """Distributed sortedness check (diagnostic; host-side compare)."""
+    host = vector.to_numpy()
+    if descending:
+        return bool(np.all(host[:-1] >= host[1:]))
+    return bool(np.all(host[:-1] <= host[1:]))
+
+
+def sample_sort(
+    vector: DistributedVector,
+    oversample: int = 8,
+) -> SortResult:
+    """Sample (bucket) sort: the third algorithm of Johnsson's sorting
+    paper — "a parallel bucket sort that sorts the elements into L buckets".
+
+    1. every processor sorts locally and contributes ``oversample``
+       evenly-spaced samples, gathered (tree) and sorted to pick ``p - 1``
+       splitters, which are broadcast back;
+    2. each processor partitions its sorted block against the splitters
+       (a binary-search pass) and ships bucket ``q`` to processor ``q``
+       through the router — one irregular h-relation instead of the
+       bitonic network's ``lg p (lg p + 1)/2`` full-block rounds;
+    3. each processor merges its received runs locally.
+
+    For large blocks (``N/p`` well above ``p``'s logarithm) the single
+    h-relation beats the bitonic network's repeated full-block exchanges;
+    on very large machines the *replicated* splitter sort — every
+    processor sorts the ``p·oversample`` pooled sample, charged honestly
+    as serial work — flips the advantage back to bitonic.  This matches
+    the original paper's framing: the bucket sort is the ``M >> N``
+    (many elements per processor) algorithm.  Skew costs are honest too:
+    an unlucky splitter draw produces an uneven h-relation and the router
+    charges the congestion.
+    """
+    emb = vector.embedding
+    if not isinstance(emb, VectorOrderEmbedding):
+        raise ValueError("sample_sort requires a vector-order embedding")
+    from ..embeddings.layout import BlockLayout
+    if not isinstance(emb.layout, BlockLayout):
+        raise ValueError("sample_sort requires a block layout")
+    if oversample < 1:
+        raise ValueError("oversample must be >= 1")
+    machine = emb.machine
+    p = machine.p
+    L = emb.local_shape[0]
+
+    start = machine.snapshot()
+    with machine.phase("sample-sort"):
+        data = np.where(
+            emb.valid_mask(), vector.pvar.data.astype(np.float64), np.inf
+        )
+        machine.charge_local(L)
+        data.sort(axis=1)
+        machine.charge_flops(L * max(int(np.ceil(np.log2(max(L, 2)))), 1))
+
+        if p > 1:
+            # --- splitters: sample, gather, sort, broadcast ---------------
+            k = min(oversample, L)
+            # interior quantiles of the sorted block: including block
+            # minima/maxima would weight the pooled sample toward the
+            # distribution tails and wreck the splitters
+            pick = ((np.arange(k) + 1) * L) // (k + 1)
+            samples = data[:, np.minimum(pick, L - 1)]   # (p, k) local picks
+            machine.charge_local(k)
+            from .. import comm
+            gathered = comm.allgather(machine, PVar(machine, samples))
+            # every processor sorts the sample set itself (replicated work)
+            flat = np.sort(gathered.data.reshape(p, p * k), axis=1)
+            machine.charge_flops(
+                p * k * max(int(np.ceil(np.log2(max(p * k, 2)))), 1)
+            )
+            finite_counts = np.isfinite(flat).sum(axis=1)
+            # p-1 evenly spaced splitters from the finite samples
+            splitters = np.empty((p, p - 1))
+            for q in range(p):  # identical on every processor (SIMD)
+                fc = max(int(finite_counts[q]), 1)
+                idx = (np.arange(1, p) * fc) // p
+                splitters[q] = flat[q, np.minimum(idx, fc - 1)]
+            machine.charge_local(p - 1)
+
+            # --- partition and route the buckets ---------------------------
+            spl = splitters[0]
+            # each processor partitions its own block (same splitters)
+            buckets = np.searchsorted(spl, data.reshape(-1), side="right")
+            buckets = buckets.reshape(p, L)
+            buckets = np.where(np.isinf(data), p - 1, buckets)  # park padding
+            machine.charge_flops(
+                L * max(int(np.ceil(np.log2(max(p, 2)))), 1)
+            )
+            srcs, dsts, sizes = [], [], []
+            for src in range(p):
+                dst_ids, counts = np.unique(buckets[src], return_counts=True)
+                for dq, cnt in zip(dst_ids, counts):
+                    if dq != src:
+                        srcs.append(src)
+                        dsts.append(int(dq))
+                        sizes.append(float(cnt))
+            if srcs:
+                Router(machine).simulate(
+                    np.array(srcs), np.array(dsts),
+                    np.array(sizes, dtype=np.float64),
+                )
+            machine.charge_local(L)  # pack/unpack the buckets
+
+            # functional: regroup values by destination bucket
+            flat_vals = data.reshape(-1)
+            flat_bkt = buckets.reshape(-1)
+            received = [flat_vals[flat_bkt == q] for q in range(p)]
+            # --- local merge of the received runs --------------------------
+            max_recv = max(len(r) for r in received)
+            merged = np.full((p, max_recv), np.inf)
+            for q in range(p):
+                merged[q, : len(received[q])] = np.sort(received[q])
+            machine.charge_flops(
+                max_recv * max(int(np.ceil(np.log2(max(max_recv, 2)))), 1)
+            )
+            flat_sorted = merged.reshape(-1)
+            flat_sorted = flat_sorted[~np.isinf(flat_sorted)]
+        else:
+            flat_sorted = data.reshape(-1)
+            flat_sorted = flat_sorted[~np.isinf(flat_sorted)]
+
+        assert len(flat_sorted) == emb.L
+        out = emb.scatter(flat_sorted)
+        machine.charge_local(L)
+    return SortResult(
+        values=DistributedVector(out, emb),
+        cost=machine.elapsed_since(start),
+    )

@@ -1,0 +1,28 @@
+"""Analytic cost models, the optimality audit, and report formatting."""
+
+from .models import PrimitiveCosts
+from .optimality import (
+    AuditPoint,
+    find_crossover,
+    OptimalityAudit,
+    parallel_time_lower_bound,
+    pt_ratio,
+    serial_time,
+    time_ratio,
+)
+from .reporting import Series, format_series, format_speedup, format_table
+
+__all__ = [
+    "PrimitiveCosts",
+    "AuditPoint",
+    "find_crossover",
+    "OptimalityAudit",
+    "parallel_time_lower_bound",
+    "pt_ratio",
+    "serial_time",
+    "time_ratio",
+    "Series",
+    "format_series",
+    "format_speedup",
+    "format_table",
+]

@@ -1,0 +1,161 @@
+"""The processor-time-product optimality audit.
+
+The abstract's headline claim: "if there are ``m > p lg p`` matrix
+elements, where ``p`` is the number of processors, then the
+implementations of some of the primitives are asymptotically optimal in
+that the processor-time product is no more than a constant factor higher
+than the running time of the best serial algorithm.  Furthermore, the
+parallel time required is optimal to within a constant factor."
+
+This module turns that claim into checkable numbers:
+
+* :func:`pt_ratio` — (p × parallel time) / serial time for one run;
+* :func:`parallel_time_lower_bound` — the trivial lower bounds
+  ``max(serial/p, lg p · tau)`` the "parallel time optimal" half is
+  measured against;
+* :class:`OptimalityAudit` — a sweep record with the pass/fail predicate
+  used by tests and by ``benchmarks/bench_optimality.py`` (R-F1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import math
+
+from ..machine.cost_model import CostModel
+from ..machine.counters import CostSnapshot
+
+
+def serial_time(ops: float, cost: CostModel) -> float:
+    """Serial running time of ``ops`` arithmetic operations."""
+    return cost.arithmetic(ops)
+
+
+def pt_ratio(parallel: CostSnapshot, p: int, serial_ops: float, cost: CostModel) -> float:
+    """Processor-time product over best-serial time (≥ ~1 by definition)."""
+    st = serial_time(serial_ops, cost)
+    if st <= 0:
+        raise ValueError("serial op count must be positive")
+    return (p * parallel.time) / st
+
+
+def parallel_time_lower_bound(
+    serial_ops: float, p: int, cost: CostModel, rounds: int = 1
+) -> float:
+    """``max(serial/p, rounds·tau)``: work bound and latency bound."""
+    return max(serial_time(serial_ops, cost) / p, rounds * cost.tau)
+
+
+def time_ratio(
+    parallel: CostSnapshot,
+    serial_ops: float,
+    p: int,
+    cost: CostModel,
+    rounds: int = 1,
+) -> float:
+    """Parallel time over its lower bound (the 'time optimal' half)."""
+    return parallel.time / parallel_time_lower_bound(serial_ops, p, cost, rounds)
+
+
+@dataclass
+class AuditPoint:
+    """One (m, p) sample in an optimality sweep."""
+
+    m: int
+    p: int
+    parallel_time: float
+    serial_ops: float
+    pt_over_serial: float
+
+    @property
+    def elements_per_processor(self) -> float:
+        return self.m / self.p
+
+    @property
+    def above_threshold(self) -> bool:
+        """Whether this point satisfies the paper's ``m > p lg p``."""
+        return self.m > self.p * max(math.log2(self.p), 1.0)
+
+
+@dataclass
+class OptimalityAudit:
+    """A sweep of audit points with the constant-factor check."""
+
+    points: List[AuditPoint]
+
+    @classmethod
+    def from_runs(
+        cls,
+        ms: Sequence[int],
+        p: int,
+        times: Sequence[float],
+        serial_ops: Sequence[float],
+        cost: CostModel,
+    ) -> "OptimalityAudit":
+        if not (len(ms) == len(times) == len(serial_ops)):
+            raise ValueError("ms, times and serial_ops must align")
+        pts = []
+        for m, t, ops in zip(ms, times, serial_ops):
+            snap = CostSnapshot(time=t)
+            pts.append(
+                AuditPoint(
+                    m=m,
+                    p=p,
+                    parallel_time=t,
+                    serial_ops=ops,
+                    pt_over_serial=pt_ratio(snap, p, ops, cost),
+                )
+            )
+        return cls(pts)
+
+    def constant_factor_beyond_threshold(self) -> float:
+        """The worst PT/serial ratio among points with ``m > p lg p``.
+
+        The paper's claim holds when this stays bounded (and roughly flat)
+        as ``m/p`` grows; tests assert it against the small-``m`` points,
+        where the ratio must blow up like ``p lg p / m``.
+        """
+        above = [pt.pt_over_serial for pt in self.points if pt.above_threshold]
+        if not above:
+            raise ValueError("no sweep points beyond the m > p lg p threshold")
+        return max(above)
+
+    def ratio_series(self) -> List[tuple]:
+        """(m/p, PT/serial) pairs for plotting/printing (R-F1)."""
+        return [
+            (pt.elements_per_processor, pt.pt_over_serial) for pt in self.points
+        ]
+
+
+def find_crossover(
+    ratio_of: "callable",
+    lo: int,
+    hi: int,
+    threshold: float,
+) -> int:
+    """Smallest ``m`` in ``[lo, hi]`` with ``ratio_of(m) <= threshold``.
+
+    ``ratio_of`` must be non-increasing in ``m`` (true of every PT/serial
+    curve here: the latency term amortises as ``m`` grows).  Bisection with
+    ``O(lg(hi - lo))`` evaluations; raises if the threshold is never met.
+    Used to locate where a primitive's processor-time product enters its
+    constant-factor regime — the empirical analogue of ``m > p lg p``.
+    """
+    if lo > hi:
+        raise ValueError("empty search range")
+    if ratio_of(hi) > threshold:
+        raise ValueError(
+            f"ratio never reaches {threshold} on [{lo}, {hi}] "
+            f"(ratio({hi}) = {ratio_of(hi):.3g})"
+        )
+    if ratio_of(lo) <= threshold:
+        return lo
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if ratio_of(mid) <= threshold:
+            hi = mid
+        else:
+            lo = mid
+    return hi

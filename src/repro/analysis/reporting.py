@@ -1,0 +1,110 @@
+"""Paper-style table and series formatting for the benchmark harness.
+
+Each benchmark regenerates one of the reconstructed tables/figures
+(DESIGN.md: R-T1 … R-F4) and prints it through these helpers so the output
+reads like the paper's evaluation section: a caption, aligned columns, and
+a short legend of the cost-model units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+def _fmt(value: Any, width: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            text = "-"
+        elif abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+            text = f"{value:.3e}"
+        else:
+            text = f"{value:,.2f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    caption: Optional[str] = None,
+) -> str:
+    """A fixed-width table with a rule under the header."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must match the header arity")
+    str_rows = [
+        [
+            _fmt(cell, 0).strip() if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if caption:
+        lines.append(caption)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """One named (x, y) series of a reconstructed figure."""
+
+    name: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+
+def format_series(
+    series: Sequence[Series],
+    x_label: str,
+    caption: Optional[str] = None,
+) -> str:
+    """Print several series as a merged table keyed by x.
+
+    All series must share their x grid (the benchmark sweeps guarantee it).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    xs = series[0].xs
+    for s in series[1:]:
+        if s.xs != xs:
+            raise ValueError(f"series {s.name!r} has a different x grid")
+    headers = [x_label] + [s.name for s in series]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [s.ys[i] for s in series])
+    return format_table(headers, rows, caption=caption)
+
+
+def format_speedup(
+    xs: Sequence[float],
+    baseline: Sequence[float],
+    improved: Sequence[float],
+    x_label: str,
+    caption: Optional[str] = None,
+) -> str:
+    """baseline vs improved times plus their ratio (the paper's speedups)."""
+    if not (len(xs) == len(baseline) == len(improved)):
+        raise ValueError("series lengths must match")
+    rows = [
+        [x, b, i, b / i if i else float("nan")]
+        for x, b, i in zip(xs, baseline, improved)
+    ]
+    return format_table(
+        [x_label, "naive time", "primitive time", "speedup"],
+        rows,
+        caption=caption,
+    )

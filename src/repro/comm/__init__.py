@@ -1,0 +1,51 @@
+"""Boolean-cube collective communication.
+
+Subcube-aware dimension-exchange collectives (broadcast, reduce, arg-reduce,
+scan, gather/allgather, scatter) plus the combining-operator registry.
+"""
+
+from .collectives import (
+    allgather,
+    alltoall,
+    broadcast,
+    broadcast_crossover,
+    broadcast_pipelined,
+    gather,
+    reduce,
+    reduce_all,
+    reduce_all_pipelined,
+    reduce_all_loc,
+    scan,
+    scatter,
+    subcube_base,
+    subcube_rank,
+)
+from .ops import ALL, ANY, MAX, MIN, PROD, SUM, CombineOp, get_op
+from .segmented import local_segmented_cumsum, segmented_scan_pairs
+
+__all__ = [
+    "allgather",
+    "alltoall",
+    "broadcast",
+    "broadcast_pipelined",
+    "broadcast_crossover",
+    "gather",
+    "reduce",
+    "reduce_all",
+    "reduce_all_pipelined",
+    "reduce_all_loc",
+    "scan",
+    "scatter",
+    "subcube_base",
+    "subcube_rank",
+    "CombineOp",
+    "get_op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "ANY",
+    "ALL",
+    "segmented_scan_pairs",
+    "local_segmented_cumsum",
+]

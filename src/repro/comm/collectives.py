@@ -1,0 +1,459 @@
+"""Dimension-exchange collectives on (sub)cubes.
+
+Every collective here operates over an arbitrary *subset* of cube
+dimensions, so the same code runs over the whole machine or over the row /
+column subcubes of a two-dimensional processor grid — which is exactly how
+the paper's primitives use them (a row-reduce is an all-reduce over the
+column dimensions of the grid, etc.).
+
+All collectives execute real per-dimension exchange rounds on the simulated
+machine, so their charged cost is a consequence of what they actually do:
+
+============================  =====================================================
+collective                    cost over a 2**k subcube, local block of L elements
+============================  =====================================================
+``broadcast``                 k rounds × (tau + L·t_c)
+``reduce_all`` / ``reduce``   k rounds × (tau + L·t_c) + k·L arithmetic
+``reduce_all_loc``            as reduce_all with paired (value, index) payload
+``scan``                      k rounds × (tau + L·t_c) + 2k·L arithmetic
+``allgather``/``gather``      k rounds, round j moves L·2**j  (total (2**k −1)·L)
+``scatter``                   k rounds, round j moves L·2**k/2**(j+1)
+============================  =====================================================
+
+These are the standard Boolean-cube algorithms of Johnsson & Ho that the
+paper's implementation section builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.hypercube import Hypercube
+from ..machine.pvar import PVar
+from .ops import CombineOp, get_op
+
+
+def _dims_tuple(machine: Hypercube, dims: Optional[Sequence[int]]) -> Tuple[int, ...]:
+    if dims is None:
+        return machine.dims
+    return machine.check_dims(dims)
+
+
+def subcube_rank(machine: Hypercube, dims: Sequence[int]) -> np.ndarray:
+    """Each processor's rank within its subcube spanned by ``dims``.
+
+    ``dims[0]`` is the least-significant rank bit.  Host-side array (free):
+    every processor can compute its own rank from its wired-in address.
+    """
+    dims = _dims_tuple(machine, dims)
+    pids = machine.pids()
+    rank = np.zeros(machine.p, dtype=np.int64)
+    for k, d in enumerate(dims):
+        rank |= ((pids >> d) & 1) << k
+    return rank
+
+
+def subcube_base(machine: Hypercube, dims: Sequence[int]) -> np.ndarray:
+    """The pid of the rank-0 member of each processor's subcube."""
+    dims = _dims_tuple(machine, dims)
+    mask = 0
+    for d in dims:
+        mask |= 1 << d
+    return machine.pids() & ~mask
+
+
+def broadcast(
+    machine: Hypercube,
+    pvar: PVar,
+    dims: Optional[Sequence[int]] = None,
+    root_rank: int = 0,
+) -> PVar:
+    """Binomial-tree broadcast within every subcube spanned by ``dims``.
+
+    The subcube member with rank ``root_rank`` is the source; afterwards all
+    members of each subcube hold the source's block.
+    """
+    dims = _dims_tuple(machine, dims)
+    if not dims:
+        return pvar
+    if not (0 <= root_rank < (1 << len(dims))):
+        raise ValueError(f"root_rank {root_rank} out of range for {len(dims)} dims")
+    rank = subcube_rank(machine, dims)
+    has = rank == root_rank
+    data = pvar
+    for d in dims:
+        recv = machine.exchange(data, d)
+        recv_has = has[machine.pids() ^ (1 << d)]
+        take = recv_has & ~has
+        if np.any(take):
+            out = data.data.copy()
+            out[take] = recv.data[take]
+            data = PVar(machine, out)
+        has = has | recv_has
+    assert bool(np.all(has))
+    return data
+
+
+def reduce_all(
+    machine: Hypercube,
+    pvar: PVar,
+    op: "CombineOp | str",
+    dims: Optional[Sequence[int]] = None,
+) -> PVar:
+    """All-reduce: every subcube member ends with the op-combination.
+
+    The classic lg(p) dimension-exchange: combine with the neighbour's block
+    along each dimension in turn.
+    """
+    op = get_op(op)
+    dims = _dims_tuple(machine, dims)
+    data = pvar
+    for d in dims:
+        recv = machine.exchange(data, d)
+        combined = op(data.data, recv.data)
+        machine.charge_flops(data.local_size)
+        data = PVar(machine, combined)
+    return data
+
+
+def reduce(
+    machine: Hypercube,
+    pvar: PVar,
+    op: "CombineOp | str",
+    dims: Optional[Sequence[int]] = None,
+    root_rank: int = 0,
+) -> PVar:
+    """Reduce-to-root.
+
+    On a Boolean cube the all-reduce has the same round and volume structure
+    as the optimal reduce-to-root (k rounds of the full block), so we run the
+    all-reduce; only the rank-``root_rank`` value is guaranteed meaningful to
+    callers that treat this as a rooted reduce.
+    """
+    del root_rank  # every member ends up with the result
+    return reduce_all(machine, pvar, op, dims)
+
+
+def reduce_all_loc(
+    machine: Hypercube,
+    value: PVar,
+    index: PVar,
+    dims: Optional[Sequence[int]] = None,
+    mode: str = "max",
+) -> Tuple[PVar, PVar]:
+    """All-reduce of (value, index) pairs: arg-max / arg-min across a subcube.
+
+    Ties break toward the smaller index, which makes the result independent
+    of the combining order (needed both for determinism and for Bland-rule
+    pivoting in the simplex application).
+    """
+    if mode not in ("max", "min"):
+        raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+    dims = _dims_tuple(machine, dims)
+    if value.local_shape != index.local_shape:
+        raise ValueError("value and index must have identical local shapes")
+    val = value
+    idx = index
+    for d in dims:
+        rv = machine.exchange(val, d)
+        ri = machine.exchange(idx, d)
+        if mode == "max":
+            better = rv.data > val.data
+        else:
+            better = rv.data < val.data
+        tie = (rv.data == val.data) & (ri.data < idx.data)
+        take = better | tie
+        new_val = np.where(take, rv.data, val.data)
+        new_idx = np.where(take, ri.data, idx.data)
+        machine.charge_flops(3 * val.local_size)  # compare, tie-break, select
+        val = PVar(machine, new_val)
+        idx = PVar(machine, new_idx)
+    return val, idx
+
+
+def scan(
+    machine: Hypercube,
+    pvar: PVar,
+    op: "CombineOp | str",
+    dims: Optional[Sequence[int]] = None,
+    inclusive: bool = False,
+    rank: Optional[np.ndarray] = None,
+) -> PVar:
+    """Parallel prefix over subcube ranks (``dims[0]`` least significant).
+
+    The standard Boolean-cube scan: carry an (exclusive-prefix, segment
+    total) pair up the dimensions.  Exclusive by default; rank 0 receives
+    the identity.
+
+    ``rank`` optionally relabels the scan order: a ``(p,)`` array giving
+    each processor's position within its subcube.  It must be *bitwise
+    compatible* with ``dims`` — flipping cube dimension ``dims[k]`` must
+    flip bit ``k`` of the rank (and possibly lower bits only), which holds
+    for both plain binary ranks (the default) and binary-reflected Gray
+    ranks.  This is how scans run in *grid order* over Gray-coded grids:
+    because the combining operators are commutative, block totals are
+    order-free and only the "am I the higher half" test needs the rank.
+    """
+    op = get_op(op)
+    dims = _dims_tuple(machine, dims)
+    ident = op.identity(pvar.dtype)
+    prefix = np.full_like(pvar.data, ident)
+    total = pvar.data.copy()
+    machine.charge_local(2 * pvar.local_size)
+    if rank is None:
+        rank = subcube_rank(machine, dims)
+    else:
+        rank = np.asarray(rank)
+        if rank.shape != (machine.p,):
+            raise ValueError(f"rank must have shape ({machine.p},)")
+    for k, d in enumerate(dims):
+        total_pv = PVar(machine, total)
+        recv_total = machine.exchange(total_pv, d).data
+        high = ((rank >> k) & 1) == 1
+        shape = (machine.p,) + (1,) * (pvar.data.ndim - 1)
+        high_b = high.reshape(shape)
+        # Processors in the rank-upper half have every lower-half member
+        # before them in rank order: fold the other half's total in.
+        prefix = np.where(high_b, op(recv_total, prefix), prefix)
+        total = op(total, recv_total)
+        machine.charge_flops(2 * pvar.local_size)
+    if inclusive:
+        prefix = op(prefix, pvar.data)
+        machine.charge_flops(pvar.local_size)
+    return PVar(machine, prefix)
+
+
+def allgather(
+    machine: Hypercube,
+    pvar: PVar,
+    dims: Optional[Sequence[int]] = None,
+) -> PVar:
+    """Concatenate all subcube members' blocks on every member.
+
+    Recursive doubling: after round j every processor holds ``2**(j+1)``
+    blocks; the result's leading local axis indexes blocks by subcube rank.
+    Scalar blocks are promoted to length-1 vectors.
+    """
+    dims = _dims_tuple(machine, dims)
+    data = pvar.data
+    if data.ndim == 1:
+        data = data[:, None]
+    pids = machine.pids()
+    blocks = data[:, None, ...]  # (p, nblocks=1, *local)
+    for d in dims:
+        cur = PVar(machine, blocks)
+        recv = machine.exchange(cur, d).data
+        low = ((pids >> d) & 1) == 0
+        first = np.where(
+            low.reshape((-1,) + (1,) * (blocks.ndim - 1)), blocks, recv
+        )
+        second = np.where(
+            low.reshape((-1,) + (1,) * (blocks.ndim - 1)), recv, blocks
+        )
+        blocks = np.concatenate([first, second], axis=1)
+        machine.charge_local(first[0].size + second[0].size)
+    return PVar(machine, blocks)
+
+
+def gather(
+    machine: Hypercube,
+    pvar: PVar,
+    dims: Optional[Sequence[int]] = None,
+) -> PVar:
+    """Gather all subcube blocks (rank order) — result valid on rank 0.
+
+    Implemented via :func:`allgather`; on a Boolean cube the rooted gather
+    along a binomial tree has the same (2**k − 1)·L transfer volume and k
+    start-ups as recursive doubling, so the charge is faithful.
+    """
+    return allgather(machine, pvar, dims)
+
+
+def scatter(
+    machine: Hypercube,
+    pvar: PVar,
+    dims: Optional[Sequence[int]] = None,
+    root_rank: int = 0,
+) -> PVar:
+    """Distribute rank-``root_rank``'s blocks across its subcube.
+
+    Input local shape is ``(2**k, *block)``: one block per subcube rank.
+    Output local shape is ``block``: each member keeps the block matching
+    its own rank.  Charged per the recursive-halving schedule (round j sends
+    half of what remains), executed functionally.
+    """
+    dims = _dims_tuple(machine, dims)
+    k = len(dims)
+    nblocks = 1 << k
+    if not pvar.local_shape or pvar.local_shape[0] != nblocks:
+        raise ValueError(
+            f"scatter input must have leading local axis {nblocks}, "
+            f"got local shape {pvar.local_shape}"
+        )
+    block_size = pvar.local_size // nblocks
+    # Charge the recursive-halving schedule: k rounds, round j moves
+    # nblocks/2**(j+1) blocks.
+    remaining = nblocks
+    for _ in range(k):
+        remaining //= 2
+        machine.charge_comm_round(remaining * block_size)
+    rank = subcube_rank(machine, dims)
+    base = subcube_base(machine, dims)
+    root_pid = base.copy()
+    for j, d in enumerate(dims):
+        if (root_rank >> j) & 1:
+            root_pid |= 1 << d
+    out = pvar.data[root_pid, rank]
+    machine.charge_local(block_size)
+    return PVar(machine, out)
+
+
+def alltoall(
+    machine: Hypercube,
+    pvar: PVar,
+    dims: Optional[Sequence[int]] = None,
+) -> PVar:
+    """All-to-all personalized communication (total exchange).
+
+    Input local shape ``(2**k, *block)``: block ``j`` is destined for the
+    subcube member of rank ``j``.  Output has the same shape with block
+    ``i`` holding what rank-``i`` sent to this processor — the matrix
+    transpose of the block array across each subcube.
+
+    The classic recursive-exchange algorithm: along each dimension every
+    processor sends the half of its blocks whose destination lies across
+    that dimension — ``k`` rounds of ``2**(k-1)`` blocks each, the optimal
+    single-port schedule (Johnsson & Ho's all-to-all personalized
+    communication).
+    """
+    dims = _dims_tuple(machine, dims)
+    k = len(dims)
+    nblocks = 1 << k
+    if not pvar.local_shape or pvar.local_shape[0] != nblocks:
+        raise ValueError(
+            f"alltoall input must have leading local axis {nblocks}, "
+            f"got local shape {pvar.local_shape}"
+        )
+    if k == 0:
+        return pvar
+    rank = subcube_rank(machine, dims)
+    block_size = pvar.local_size // nblocks
+
+    # Re-index blocks by the XOR offset x = rank(src) ^ rank(dst), which is
+    # invariant along a message's whole route: slot x of processor q then
+    # always holds the in-flight message whose source-to-destination offset
+    # is x and whose current holder is q.
+    x_of = rank[:, None] ^ np.arange(nblocks)[None, :]
+    data = np.take_along_axis(
+        pvar.data, x_of.reshape((machine.p, nblocks) + (1,) * (pvar.data.ndim - 2)),
+        axis=1,
+    )
+    machine.charge_local(pvar.local_size)
+
+    for bit, d in enumerate(dims):
+        # all messages whose offset has this bit set cross this dimension
+        recv = machine.exchange_free(PVar(machine, data), d).data
+        machine.charge_comm_round((nblocks // 2) * block_size)
+        crossing = ((np.arange(nblocks) >> bit) & 1) == 1
+        shape = (1, nblocks) + (1,) * (data.ndim - 2)
+        data = np.where(crossing.reshape(shape), recv, data)
+        machine.charge_local((nblocks // 2) * block_size)
+
+    # Slot x now holds the message from the rank-(rank(q)^x) member; undo
+    # the re-indexing so block i holds rank-i's message.
+    out = np.take_along_axis(
+        data, x_of.reshape((machine.p, nblocks) + (1,) * (data.ndim - 2)),
+        axis=1,
+    )
+    machine.charge_local(pvar.local_size)
+    return PVar(machine, out)
+
+
+def broadcast_pipelined(
+    machine: Hypercube,
+    pvar: PVar,
+    dims: Optional[Sequence[int]] = None,
+    root_rank: int = 0,
+) -> PVar:
+    """Large-message broadcast: split the block into ``k`` pieces and
+    pipeline them down the spanning tree.
+
+    The plain binomial broadcast moves the *whole* block in each of its
+    ``k`` rounds (``k·(tau + L·t_c)``); the pipelined schedule (Johnsson &
+    Ho's multiple-spanning-tree family) streams ``k`` pieces of ``L/k``
+    elements through ``2k - 1`` rounds:
+
+        T = (2k - 1) · (tau + ceil(L/k) · t_c)
+
+    — asymptotically ``2L·t_c`` instead of ``k·L·t_c``, at twice the
+    start-ups.  Use it when ``L·t_c >> tau``; :func:`broadcast_crossover`
+    gives the break-even volume.  Functionally identical to
+    :func:`broadcast`.
+    """
+    dims = _dims_tuple(machine, dims)
+    k = len(dims)
+    if k <= 1:
+        return broadcast(machine, pvar, dims, root_rank)
+    piece = -(-pvar.local_size // k)
+    machine.charge_comm_round(piece, rounds=2 * k - 1)
+    # functional result: everyone gets the root's block
+    rank = subcube_rank(machine, dims)
+    base = subcube_base(machine, dims)
+    root_pid = base.copy()
+    for j, d in enumerate(dims):
+        if (root_rank >> j) & 1:
+            root_pid |= 1 << d
+    return PVar(machine, pvar.data[root_pid])
+
+
+def reduce_all_pipelined(
+    machine: Hypercube,
+    pvar: PVar,
+    op: "CombineOp | str",
+    dims: Optional[Sequence[int]] = None,
+) -> PVar:
+    """Large-message all-reduce: reduce-scatter + all-gather.
+
+    The classic bandwidth-optimal schedule: recursive halving combines
+    pieces (k rounds, volumes L/2, L/4, …), then recursive doubling
+    redistributes the combined pieces (k rounds, volumes …, L/4, L/2) —
+    total volume ``~2L`` against the plain dimension-exchange's ``k·L``,
+    at twice the start-ups.  Functionally identical to :func:`reduce_all`.
+    """
+    op = get_op(op)
+    dims = _dims_tuple(machine, dims)
+    k = len(dims)
+    if k <= 1:
+        return reduce_all(machine, pvar, op, dims)
+    # charge the halving/doubling volume schedule
+    vol = pvar.local_size
+    for _ in range(k):
+        vol = -(-vol // 2)
+        machine.charge_comm_round(vol)   # reduce-scatter round
+        machine.charge_flops(vol)        # combine the received piece
+    vol = -(-pvar.local_size // (1 << k))
+    for _ in range(k):
+        machine.charge_comm_round(vol)   # all-gather round
+        vol = min(vol * 2, pvar.local_size)
+    # functional result via the (uncharged) exchange loop
+    data = pvar.data
+    for d in dims:
+        recv = machine.exchange_free(PVar(machine, data), d).data
+        data = op(data, recv)
+    return PVar(machine, data)
+
+
+def broadcast_crossover(cost, k: int) -> float:
+    """Block volume above which the pipelined broadcast wins.
+
+    Solves ``k(tau + L t_c) = (2k-1)(tau + L t_c / k)`` for ``L``; returns
+    ``inf`` when the pipelined form can never win (k <= 1 or t_c == 0).
+    """
+    if k <= 1 or cost.t_c <= 0:
+        return float("inf")
+    denom = cost.t_c * (k - (2 * k - 1) / k)
+    if denom <= 0:
+        return float("inf")
+    return (k - 1) * cost.tau / denom

@@ -1,0 +1,87 @@
+"""Combining operators for reductions and scans.
+
+A :class:`CombineOp` bundles a binary associative NumPy ufunc with the
+identity element the collectives need for padding and for exclusive scans.
+The identity may depend on the dtype (``MAX`` uses ``-inf`` for floats and
+the integer minimum for ints), so it is exposed as a function of dtype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CombineOp:
+    """A binary associative (and here always commutative) combiner."""
+
+    name: str
+    ufunc: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    _identity: Callable[[np.dtype], Any]
+
+    def identity(self, dtype: Any) -> Any:
+        """The identity element of the operator for the given dtype."""
+        return self._identity(np.dtype(dtype))
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.ufunc(a, b)
+
+    def __repr__(self) -> str:
+        return f"CombineOp({self.name})"
+
+
+def _zero(dtype: np.dtype) -> Any:
+    return dtype.type(0)
+
+
+def _one(dtype: np.dtype) -> Any:
+    return dtype.type(1)
+
+
+def _min_identity(dtype: np.dtype) -> Any:
+    # identity of MAX: the smallest representable value
+    if dtype.kind == "f":
+        return dtype.type(-np.inf)
+    if dtype.kind in "iu":
+        return np.iinfo(dtype).min
+    if dtype.kind == "b":
+        return False
+    raise TypeError(f"MAX has no identity for dtype {dtype}")
+
+
+def _max_identity(dtype: np.dtype) -> Any:
+    # identity of MIN: the largest representable value
+    if dtype.kind == "f":
+        return dtype.type(np.inf)
+    if dtype.kind in "iu":
+        return np.iinfo(dtype).max
+    if dtype.kind == "b":
+        return True
+    raise TypeError(f"MIN has no identity for dtype {dtype}")
+
+
+SUM = CombineOp("sum", np.add, _zero)
+PROD = CombineOp("prod", np.multiply, _one)
+MAX = CombineOp("max", np.maximum, _min_identity)
+MIN = CombineOp("min", np.minimum, _max_identity)
+ANY = CombineOp("any", np.logical_or, lambda dt: False)
+ALL = CombineOp("all", np.logical_and, lambda dt: True)
+
+_REGISTRY: Dict[str, CombineOp] = {
+    op.name: op for op in (SUM, PROD, MAX, MIN, ANY, ALL)
+}
+
+
+def get_op(op: "CombineOp | str") -> CombineOp:
+    """Resolve an operator given either a CombineOp or its name."""
+    if isinstance(op, CombineOp):
+        return op
+    try:
+        return _REGISTRY[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown combine op {op!r}; known: {sorted(_REGISTRY)}"
+        ) from None

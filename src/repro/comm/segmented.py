@@ -1,0 +1,116 @@
+"""Segmented plus-scan across a subcube.
+
+The segmented scan is the signature primitive of the Scan-Vector Model
+(Blelloch) that the paper's APL-like operations grew out of: a parallel
+prefix sum that restarts at segment boundaries.  The cross-processor part
+works on the standard (value, flag) pair monoid
+
+    (v1, f1) ⊕ (v2, f2) = (v2 if f2 else v1 + v2,  f1 or f2)
+
+which is associative, so the usual Boolean-cube scan structure applies:
+carry an (exclusive-prefix, segment-total) pair up the dimensions, at twice
+the exchange volume of a plain scan (the flag rides along with the value).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.hypercube import Hypercube
+from ..machine.pvar import PVar
+from .collectives import _dims_tuple, subcube_rank
+
+
+def segmented_scan_pairs(
+    machine: Hypercube,
+    value: PVar,
+    flag: PVar,
+    dims: Optional[Sequence[int]] = None,
+    rank: Optional[np.ndarray] = None,
+) -> Tuple[PVar, PVar]:
+    """Exclusive pair-scan of per-processor (value, flag) summaries.
+
+    Each processor contributes one (value, flag) pair per local slot;
+    returns, per slot, the pair-combine of all *lower-ranked* subcube
+    members' pairs: the carry a segmented scan must add to elements before
+    its first local segment start.  The returned flag says whether any
+    lower-ranked member contained a segment start.
+    """
+    dims = _dims_tuple(machine, dims)
+    if value.local_shape != flag.local_shape:
+        raise ValueError("value and flag must share the local shape")
+    if rank is None:
+        rank = subcube_rank(machine, dims)
+    else:
+        rank = np.asarray(rank)
+        if rank.shape != (machine.p,):
+            raise ValueError(f"rank must have shape ({machine.p},)")
+    shape = (machine.p,) + (1,) * (value.data.ndim - 1)
+
+    prefix_v = np.zeros_like(value.data)
+    prefix_f = np.zeros_like(flag.data, dtype=bool)
+    total_v = value.data.copy()
+    total_f = flag.data.astype(bool).copy()
+    machine.charge_local(2 * value.local_size)
+
+    for k, d in enumerate(dims):
+        rv = machine.exchange(PVar(machine, total_v), d).data
+        rf = machine.exchange_free(PVar(machine, total_f), d).data
+        machine.charge_comm_round(flag.local_size)  # the flag payload
+        high = ((((rank >> k) & 1) == 1)).reshape(shape)
+        # high nodes fold the lower half's total into their prefix:
+        # prefix' = other_total ⊕ prefix
+        new_prefix_v = np.where(prefix_f, prefix_v, rv + prefix_v)
+        prefix_v = np.where(high, new_prefix_v, prefix_v)
+        prefix_f = np.where(high, rf | prefix_f, prefix_f)
+        # total' = (rank-lower half) ⊕ (rank-higher half)
+        lo_v = np.where(high, rv, total_v)
+        lo_f = np.where(high, rf, total_f)
+        hi_v = np.where(high, total_v, rv)
+        hi_f = np.where(high, total_f, rf)
+        total_v = np.where(hi_f, hi_v, lo_v + hi_v)
+        total_f = lo_f | hi_f
+        machine.charge_flops(4 * value.local_size)
+    return PVar(machine, prefix_v), PVar(machine, prefix_f)
+
+
+def local_segmented_cumsum(
+    values: np.ndarray, flags: np.ndarray, axis: int = -1
+) -> np.ndarray:
+    """Vectorised *exclusive* segmented cumulative sum along ``axis``.
+
+    ``flags[i] = True`` marks element ``i`` as the start of a new segment;
+    the output at a start (and at position 0) is 0, elsewhere the sum of
+    its segment's earlier elements.  Pure NumPy helper (callers charge the
+    machine); used for the intra-processor half of the segmented scan.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    flags = np.asarray(flags, dtype=bool)
+    if values.shape != flags.shape:
+        raise ValueError("values and flags must have identical shapes")
+    values = np.moveaxis(values, axis, -1)
+    flags = np.moveaxis(flags, axis, -1)
+
+    csum = np.cumsum(values, axis=-1)
+    n = values.shape[-1]
+    positions = np.arange(n)
+    # index of the most recent segment start at or before each position
+    start_idx = np.where(flags, positions, -1)
+    start_idx = np.maximum.accumulate(start_idx, axis=-1)
+    # cumulative sum just before the segment start (0 for the first run)
+    shifted = np.concatenate(
+        [np.zeros_like(csum[..., :1]), csum[..., :-1]], axis=-1
+    )
+    base = np.where(
+        start_idx >= 0,
+        np.take_along_axis(shifted, np.maximum(start_idx, 0), axis=-1),
+        0.0,
+    )
+    exclusive = shifted - base
+    # positions that *are* starts restart at zero
+    exclusive = np.where(flags, 0.0, exclusive)
+    # before the first start (start_idx < 0) the run begins at position 0
+    exclusive = np.where(start_idx < 0, shifted, exclusive)
+    return np.moveaxis(exclusive, -1, axis)

@@ -1,0 +1,13 @@
+"""The paper's contribution: the four primitives and the array API."""
+
+from . import primitives
+from .arrays import DistributedMatrix, DistributedVector, iota
+from .session import Session
+
+__all__ = [
+    "primitives",
+    "DistributedMatrix",
+    "DistributedVector",
+    "iota",
+    "Session",
+]

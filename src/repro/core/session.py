@@ -1,0 +1,130 @@
+"""Session facade: one object that owns the machine and builds arrays.
+
+A :class:`Session` is the quickstart entry point::
+
+    from repro import Session
+
+    s = Session(n_dims=10)                 # 1024 simulated processors
+    A = s.matrix(np.random.rand(256, 256))
+    x = s.vector(np.random.rand(256))
+    y = A.matvec(x.as_embedding(s.row_aligned(A)))
+    print(s.report())
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..machine.cost_model import CostModel
+from ..machine.counters import CostSnapshot
+from ..machine.hypercube import Hypercube
+from ..embeddings.matrix import MatrixEmbedding
+from ..embeddings.vector import (
+    ColAlignedEmbedding,
+    RowAlignedEmbedding,
+    VectorOrderEmbedding,
+)
+from .arrays import DistributedMatrix, DistributedVector
+
+
+class Session:
+    """A simulated machine plus convenience factories."""
+
+    def __init__(
+        self,
+        n_dims: int,
+        cost_model: Optional[Union[CostModel, str]] = None,
+    ) -> None:
+        if isinstance(cost_model, str):
+            try:
+                cost_model = getattr(CostModel, cost_model)()
+            except AttributeError:
+                raise ValueError(
+                    f"unknown cost model preset {cost_model!r}; "
+                    "try 'cm2', 'unit', 'latency_bound' or 'bandwidth_bound'"
+                ) from None
+        self.machine = Hypercube(n_dims, cost_model)
+
+    # -- array factories ----------------------------------------------------
+
+    def matrix(
+        self,
+        data: np.ndarray,
+        layout: str = "block",
+        embedding: Optional[MatrixEmbedding] = None,
+    ) -> DistributedMatrix:
+        """Embed a host matrix (aspect-matched grid, balanced layout)."""
+        return DistributedMatrix.from_numpy(
+            self.machine, data, embedding=embedding, layout=layout
+        )
+
+    def vector(self, data: np.ndarray, layout: str = "block") -> DistributedVector:
+        """Embed a host vector in vector order (spread over all processors)."""
+        return DistributedVector.from_numpy(self.machine, data, layout=layout)
+
+    def row_vector(
+        self, data: np.ndarray, like: DistributedMatrix
+    ) -> DistributedVector:
+        """Embed a host vector row-aligned (replicated) with ``like``."""
+        emb = RowAlignedEmbedding(like.embedding, None)
+        return DistributedVector(emb.scatter(np.asarray(data)), emb)
+
+    def col_vector(
+        self, data: np.ndarray, like: DistributedMatrix
+    ) -> DistributedVector:
+        """Embed a host vector column-aligned (replicated) with ``like``."""
+        emb = ColAlignedEmbedding(like.embedding, None)
+        return DistributedVector(emb.scatter(np.asarray(data)), emb)
+
+    # -- embedding helpers -----------------------------------------------------
+
+    def vector_order(self, length: int, layout: str = "block") -> VectorOrderEmbedding:
+        return VectorOrderEmbedding(self.machine, length, layout)
+
+    def row_aligned(
+        self, like: DistributedMatrix, resident: Optional[int] = None
+    ) -> RowAlignedEmbedding:
+        return RowAlignedEmbedding(like.embedding, resident)
+
+    def col_aligned(
+        self, like: DistributedMatrix, resident: Optional[int] = None
+    ) -> ColAlignedEmbedding:
+        return ColAlignedEmbedding(like.embedding, resident)
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        """Total simulated time so far (ticks)."""
+        return self.machine.counters.time
+
+    def snapshot(self) -> CostSnapshot:
+        return self.machine.snapshot()
+
+    def reset_counters(self) -> None:
+        self.machine.counters.reset()
+
+    def report(self) -> str:
+        """Human-readable accounting summary."""
+        c = self.machine.counters
+        lines = [
+            f"simulated machine : p={self.machine.p} (n={self.machine.n}), "
+            f"cost model {self.machine.cost_model}",
+            f"simulated time    : {c.time:.1f} ticks",
+            f"flops             : {c.flops:.0f}",
+            f"elements moved    : {c.elements_transferred:.0f}",
+            f"comm rounds       : {c.comm_rounds}",
+            f"local moves       : {c.local_moves:.0f}",
+        ]
+        breakdown = c.phase_breakdown()
+        if breakdown:
+            lines.append("phase breakdown:")
+            for name, t in breakdown:
+                share = 100.0 * t / c.time if c.time else 0.0
+                lines.append(f"  {name:<24s} {t:>14.1f}  ({share:5.1f}%)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Session(p={self.machine.p}, time={self.time:.1f})"

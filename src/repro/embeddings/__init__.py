@@ -1,0 +1,52 @@
+"""Load-balanced embeddings of vectors and matrices in the Boolean cube.
+
+Gray-code address machinery, balanced 1-D layouts, the paper's matrix and
+vector embeddings, and the embedding-change (remap/transpose) operations.
+"""
+
+from .gray import (
+    deposit_bits,
+    extract_bits,
+    gray,
+    gray_neighbors_differ_by_one_bit,
+    gray_rank,
+    hamming_distance,
+)
+from .layout import (
+    BlockCyclicLayout,
+    BlockLayout,
+    CyclicLayout,
+    Layout,
+    make_layout,
+)
+from .matrix import MatrixEmbedding, split_dims
+from .remap import redistribute_matrix, remap_vector, transpose
+from .vector import (
+    ColAlignedEmbedding,
+    RowAlignedEmbedding,
+    VectorEmbedding,
+    VectorOrderEmbedding,
+)
+
+__all__ = [
+    "gray",
+    "gray_rank",
+    "gray_neighbors_differ_by_one_bit",
+    "hamming_distance",
+    "deposit_bits",
+    "extract_bits",
+    "Layout",
+    "BlockLayout",
+    "BlockCyclicLayout",
+    "CyclicLayout",
+    "make_layout",
+    "MatrixEmbedding",
+    "split_dims",
+    "VectorEmbedding",
+    "VectorOrderEmbedding",
+    "RowAlignedEmbedding",
+    "ColAlignedEmbedding",
+    "remap_vector",
+    "redistribute_matrix",
+    "transpose",
+]

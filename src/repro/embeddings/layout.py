@@ -1,0 +1,312 @@
+"""Load-balanced one-dimensional partitions.
+
+A :class:`Layout` splits ``n`` global indices over ``parts`` partitions so
+that no partition holds more than ``ceil(n/parts)`` items — the paper's
+load-balance requirement.  Two classical schemes are provided:
+
+* :class:`BlockLayout` — the *consecutive* partition: part ``q`` holds a
+  contiguous run of indices (the first ``n mod parts`` parts hold one extra).
+* :class:`CyclicLayout` — the *cyclic* partition: index ``g`` lives in part
+  ``g mod parts`` at slot ``g // parts``.
+
+Every partition stores its items in a fixed-capacity local array of
+``capacity = ceil(n/parts)`` slots (SIMD machines need uniform local
+shapes); slots beyond a part's count are padding and are masked out by
+:meth:`valid_mask`.
+
+All index maps are vectorised over NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple, Union
+
+import numpy as np
+
+IntArray = Union[int, np.ndarray]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class Layout(abc.ABC):
+    """A balanced partition of ``n`` indices over ``parts`` partitions."""
+
+    def __init__(self, n: int, parts: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if parts < 1:
+            raise ValueError(f"parts must be >= 1, got {parts}")
+        self.n = n
+        self.parts = parts
+        self.capacity = _ceil_div(n, parts) if n else 0
+
+    # -- abstract maps -----------------------------------------------------
+
+    @abc.abstractmethod
+    def owner(self, g: IntArray) -> IntArray:
+        """Partition index holding global index ``g``."""
+
+    @abc.abstractmethod
+    def slot(self, g: IntArray) -> IntArray:
+        """Local slot of global index ``g`` within its partition."""
+
+    @abc.abstractmethod
+    def global_index(self, part: IntArray, slot: IntArray) -> IntArray:
+        """Global index stored at ``(part, slot)``; only valid slots."""
+
+    @abc.abstractmethod
+    def count(self, part: IntArray) -> IntArray:
+        """Number of valid items in ``part``."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def owner_slot(self, g: IntArray) -> Tuple[IntArray, IntArray]:
+        return self.owner(g), self.slot(g)
+
+    def valid_mask(self, part: int) -> np.ndarray:
+        """Boolean mask of shape ``(capacity,)``: which slots hold real items."""
+        return np.arange(self.capacity) < int(self.count(part))
+
+    def all_valid_masks(self) -> np.ndarray:
+        """Masks for every part, shape ``(parts, capacity)``."""
+        counts = self.count(np.arange(self.parts))
+        return np.arange(self.capacity)[None, :] < np.asarray(counts)[:, None]
+
+    def all_global_indices(self) -> np.ndarray:
+        """Global index per (part, slot), shape ``(parts, capacity)``.
+
+        Padding slots receive the index of the part's last valid item
+        (an arbitrary in-range value; consumers must apply the valid mask).
+        Empty machines (n == 0) return an empty array.
+        """
+        if self.n == 0:
+            return np.zeros((self.parts, 0), dtype=np.int64)
+        parts = np.arange(self.parts)[:, None]
+        slots = np.arange(self.capacity)[None, :]
+        counts = np.asarray(self.count(np.arange(self.parts)))[:, None]
+        clamped = np.minimum(slots, np.maximum(counts - 1, 0))
+        # Parts with zero items keep slot 0 of part 0's value; masked anyway.
+        safe_parts = np.where(counts > 0, parts, self._any_nonempty_part())
+        return np.asarray(self.global_index(safe_parts, clamped), dtype=np.int64)
+
+    def _any_nonempty_part(self) -> int:
+        counts = np.asarray(self.count(np.arange(self.parts)))
+        nonempty = np.nonzero(counts > 0)[0]
+        return int(nonempty[0]) if nonempty.size else 0
+
+    def is_balanced(self) -> bool:
+        """True iff max part size <= ceil(n/parts) (always holds here)."""
+        counts = np.asarray(self.count(np.arange(self.parts)))
+        return bool(counts.max(initial=0) <= self.capacity)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n}, parts={self.parts})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.n == other.n  # type: ignore[attr-defined]
+            and self.parts == other.parts  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.n, self.parts))
+
+
+class BlockLayout(Layout):
+    """Consecutive partition; first ``n mod parts`` parts get one extra item."""
+
+    def __init__(self, n: int, parts: int) -> None:
+        super().__init__(n, parts)
+        base, extra = divmod(n, parts)
+        self._base = base
+        self._extra = extra
+        # Offset of part q: q*base + min(q, extra)
+        self._offsets = (
+            np.arange(parts + 1, dtype=np.int64) * base
+            + np.minimum(np.arange(parts + 1), extra)
+        )
+
+    def owner(self, g: IntArray) -> IntArray:
+        g = np.asarray(g)
+        self._check_global(g)
+        out = np.searchsorted(self._offsets, g, side="right") - 1
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def slot(self, g: IntArray) -> IntArray:
+        g = np.asarray(g)
+        self._check_global(g)
+        owner = np.searchsorted(self._offsets, g, side="right") - 1
+        out = g - self._offsets[owner]
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def global_index(self, part: IntArray, slot: IntArray) -> IntArray:
+        part = np.asarray(part)
+        slot = np.asarray(slot)
+        out = self._offsets[part] + slot
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def count(self, part: IntArray) -> IntArray:
+        part = np.asarray(part)
+        out = self._offsets[part + 1] - self._offsets[part]
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def offset(self, part: IntArray) -> IntArray:
+        """First global index of ``part``."""
+        part = np.asarray(part)
+        out = self._offsets[part]
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def _check_global(self, g: np.ndarray) -> None:
+        if g.size and (g.min() < 0 or g.max() >= self.n):
+            raise IndexError(
+                f"global index out of range [0, {self.n}) in {self!r}"
+            )
+
+
+class CyclicLayout(Layout):
+    """Cyclic partition: index ``g`` → part ``g % parts``, slot ``g // parts``."""
+
+    def owner(self, g: IntArray) -> IntArray:
+        g = np.asarray(g)
+        self._check_global(g)
+        out = g % self.parts
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def slot(self, g: IntArray) -> IntArray:
+        g = np.asarray(g)
+        self._check_global(g)
+        out = g // self.parts
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def global_index(self, part: IntArray, slot: IntArray) -> IntArray:
+        part = np.asarray(part)
+        slot = np.asarray(slot)
+        out = slot * self.parts + part
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def count(self, part: IntArray) -> IntArray:
+        part = np.asarray(part)
+        out = (self.n - part + self.parts - 1) // self.parts
+        out = np.maximum(out, 0)
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def _check_global(self, g: np.ndarray) -> None:
+        if g.size and (g.min() < 0 or g.max() >= self.n):
+            raise IndexError(
+                f"global index out of range [0, {self.n}) in {self!r}"
+            )
+
+
+class BlockCyclicLayout(Layout):
+    """Block-cyclic partition: blocks of ``block`` indices dealt round-robin.
+
+    The ScaLAPACK-style generalisation: ``block=1`` degenerates to
+    :class:`CyclicLayout`; ``block >= ceil(n/parts)`` to
+    :class:`BlockLayout`.  Index ``g`` belongs to block ``g // block``,
+    which lands on part ``(g // block) % parts`` at block-slot
+    ``(g // block) // parts``.
+    """
+
+    def __init__(self, n: int, parts: int, block: int = 2) -> None:
+        if block < 1:
+            raise ValueError(f"block size must be >= 1, got {block}")
+        super().__init__(n, parts)
+        self.block = block
+        # capacity must cover the worst part: full blocks dealt to it
+        nblocks = _ceil_div(n, block) if n else 0
+        blocks_per_part = _ceil_div(nblocks, parts) if nblocks else 0
+        self.capacity = blocks_per_part * block if n else 0
+        if n:
+            # tighten: the last block of the worst part may be short
+            counts = self.count(np.arange(parts))
+            self.capacity = int(np.max(counts)) if np.max(counts) else 0
+
+    def owner(self, g: IntArray) -> IntArray:
+        g = np.asarray(g)
+        self._check_global(g)
+        out = (g // self.block) % self.parts
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def slot(self, g: IntArray) -> IntArray:
+        g = np.asarray(g)
+        self._check_global(g)
+        block_slot = (g // self.block) // self.parts
+        out = block_slot * self.block + (g % self.block)
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def global_index(self, part: IntArray, slot: IntArray) -> IntArray:
+        part = np.asarray(part)
+        slot = np.asarray(slot)
+        block_slot = slot // self.block
+        within = slot % self.block
+        out = (block_slot * self.parts + part) * self.block + within
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def count(self, part: IntArray) -> IntArray:
+        part = np.asarray(part)
+        nblocks = _ceil_div(self.n, self.block)
+        full_rounds = nblocks // self.parts
+        rem = nblocks % self.parts
+        blocks_here = full_rounds + (part < rem)
+        counts = blocks_here * self.block
+        # the globally-last block may be short; it lives on part
+        # (nblocks-1) % parts
+        if self.n and self.n % self.block:
+            short_by = self.block - (self.n % self.block)
+            last_owner = (nblocks - 1) % self.parts
+            counts = counts - np.where(part == last_owner, short_by, 0)
+        out = np.maximum(counts, 0)
+        return int(out) if out.ndim == 0 else out.astype(np.int64)
+
+    def _check_global(self, g: np.ndarray) -> None:
+        if g.size and (g.min() < 0 or g.max() >= self.n):
+            raise IndexError(
+                f"global index out of range [0, {self.n}) in {self!r}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCyclicLayout(n={self.n}, parts={self.parts}, "
+            f"block={self.block})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.n == other.n  # type: ignore[attr-defined]
+            and self.parts == other.parts  # type: ignore[attr-defined]
+            and self.block == other.block  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash(("BlockCyclicLayout", self.n, self.parts, self.block))
+
+
+def make_layout(kind: str, n: int, parts: int) -> Layout:
+    """Factory: ``'block'``, ``'cyclic'``, or ``'block_cyclic[:B]'``.
+
+    The block-cyclic block size defaults to 2 and is selected with a
+    suffix, e.g. ``'block_cyclic:4'``.
+    """
+    if kind == "block":
+        return BlockLayout(n, parts)
+    if kind == "cyclic":
+        return CyclicLayout(n, parts)
+    if kind == "block_cyclic" or kind.startswith("block_cyclic:"):
+        block = 2
+        if ":" in kind:
+            try:
+                block = int(kind.split(":", 1)[1])
+            except ValueError:
+                raise ValueError(
+                    f"bad block size in layout kind {kind!r}"
+                ) from None
+        return BlockCyclicLayout(n, parts, block)
+    raise ValueError(
+        f"unknown layout kind {kind!r}; expected 'block', 'cyclic' or "
+        "'block_cyclic[:B]'"
+    )

@@ -1,0 +1,165 @@
+"""Changing embeddings: vector remaps, matrix redistribution, transpose.
+
+"The primitives may indicate a change from one embedding to another"
+(abstract).  This module implements those changes:
+
+* :func:`remap_vector` — move a vector between any two
+  :class:`~.vector.VectorEmbedding`\\ s (vector order ↔ row order ↔ column
+  order, residence changes, replication);
+* :func:`redistribute_matrix` — move a matrix between two
+  :class:`~.matrix.MatrixEmbedding`\\ s (grid reshape, layout change);
+* :func:`transpose` — transpose a matrix, which on the cube is a *stable
+  dimension permutation* (the row and column dimension sets swap roles).
+
+Cost fidelity: the data motion between primary copies is charged by
+running the e-cube :class:`~repro.machine.router.Router` over the exact
+multiset of (source, destination, element-count) messages the change
+induces, so congestion effects are captured; a replicated destination then
+pays real broadcast rounds over the orthogonal subcube.  The functional
+data movement itself is performed through a host-side image, which is
+exact and keeps the simulator fast.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..machine.hypercube import Hypercube
+from ..machine.pvar import PVar
+from ..machine.router import Router
+from .. import comm
+from .matrix import MatrixEmbedding
+from .vector import VectorEmbedding, _AlignedEmbedding
+
+
+def _charge_messages(
+    machine: Hypercube, src_pid: np.ndarray, dst_pid: np.ndarray
+) -> None:
+    """Charge the router for one element flowing src→dst per array entry."""
+    moving = src_pid != dst_pid
+    if not np.any(moving):
+        return
+    pair = src_pid[moving].astype(np.int64) * machine.p + dst_pid[moving]
+    pairs, counts = np.unique(pair, return_counts=True)
+    Router(machine).simulate(
+        pairs // machine.p, pairs % machine.p, counts.astype(np.float64)
+    )
+
+
+def remap_vector(
+    pvar: PVar,
+    src: VectorEmbedding,
+    dst: VectorEmbedding,
+) -> PVar:
+    """Move a vector from embedding ``src`` to embedding ``dst``.
+
+    Charges the primary-to-primary routing plus, when ``dst`` is
+    replicated, a broadcast over its orthogonal subcube.  Also charges one
+    local pack/unpack pass on each side.
+    """
+    if src.machine is not dst.machine:
+        raise ValueError("embeddings live on different machines")
+    if src.L != dst.L:
+        raise ValueError(f"length mismatch: {src.L} != {dst.L}")
+    machine = src.machine
+    if src.compatible(dst):
+        return pvar
+
+    host = src.gather(pvar)
+
+    g = np.arange(src.L)
+    src_pid, _ = src.owner_slot(g)
+    dst_pid, _ = dst.owner_slot(g)
+    machine.charge_local(src.local_size)  # pack
+    _charge_messages(machine, np.asarray(src_pid), np.asarray(dst_pid))
+    machine.charge_local(dst.local_size)  # unpack
+
+    out = dst.scatter(host)
+    if dst.replicated:
+        assert isinstance(dst, _AlignedEmbedding)
+        # Primary copies live at across-coordinate 0 (grid Gray rank 0);
+        # replicate them over the orthogonal subcube with a real broadcast.
+        out = comm.broadcast(machine, out, dims=dst.across_dims, root_rank=0)
+    return out
+
+
+def redistribute_matrix(
+    pvar: PVar,
+    src: MatrixEmbedding,
+    dst: MatrixEmbedding,
+) -> PVar:
+    """Move a matrix between two embeddings of the same global shape."""
+    if src.machine is not dst.machine:
+        raise ValueError("embeddings live on different machines")
+    if (src.R, src.C) != (dst.R, dst.C):
+        raise ValueError(
+            f"shape mismatch: {src.R}x{src.C} != {dst.R}x{dst.C}"
+        )
+    machine = src.machine
+    if src == dst:
+        return pvar
+
+    host = src.gather(pvar)
+
+    ii, jj = np.meshgrid(np.arange(src.R), np.arange(src.C), indexing="ij")
+    ii = ii.ravel()
+    jj = jj.ravel()
+    src_pid = np.asarray(src.owner(ii, jj))
+    dst_pid = np.asarray(dst.owner(ii, jj))
+    machine.charge_local(src.local_size)
+    _charge_messages(machine, src_pid, dst_pid)
+    machine.charge_local(dst.local_size)
+    return dst.scatter(host)
+
+
+def transpose(
+    pvar: PVar,
+    src: MatrixEmbedding,
+    same_grid: bool = False,
+) -> Tuple[PVar, MatrixEmbedding]:
+    """Transpose an embedded matrix.
+
+    Two destination embeddings are supported:
+
+    * ``same_grid=False`` (default): the destination is
+      :meth:`~.matrix.MatrixEmbedding.transposed` — the row and column
+      cube-dimension sets *swap roles*.  Element ``(j, i)`` of the result
+      then lives exactly where ``(i, j)`` already sits, so the transpose is
+      almost free: a local block transpose, no communication.  This is the
+      embedding-change flexibility the primitives are designed around.
+
+    * ``same_grid=True``: the destination keeps the source's dimension
+      assignment (``row_dims`` still carry the row axis), which is what a
+      caller needs to combine ``A`` and ``A^T`` elementwise.  This is the
+      classic *stable dimension permutation*: data crosses the cube and
+      the router charges the real congestion.
+    """
+    machine = src.machine
+    if same_grid:
+        dst = MatrixEmbedding(
+            machine,
+            src.C,
+            src.R,
+            row_dims=src.row_dims,
+            col_dims=src.col_dims,
+            row_layout_kind=src._row_layout_kind,
+            col_layout_kind=src._col_layout_kind,
+            coding=src.coding,
+        )
+    else:
+        dst = src.transposed()
+
+    host = src.gather(pvar)
+    hostT = np.ascontiguousarray(host.T)
+
+    ii, jj = np.meshgrid(np.arange(src.R), np.arange(src.C), indexing="ij")
+    ii = ii.ravel()
+    jj = jj.ravel()
+    src_pid = np.asarray(src.owner(ii, jj))
+    dst_pid = np.asarray(dst.owner(jj, ii))
+    machine.charge_local(src.local_size)
+    _charge_messages(machine, src_pid, dst_pid)
+    machine.charge_local(dst.local_size)
+    return dst.scatter(hostT), dst

@@ -1,0 +1,28 @@
+"""The simulated hypercube multiprocessor (Connection Machine stand-in).
+
+Public surface:
+
+* :class:`CostModel` — charging rates (``cm2``, ``unit`` and stress presets);
+* :class:`Counters` / :class:`CostSnapshot` — cycle accounting;
+* :class:`Hypercube` — the machine: ``2**n`` SIMD processors, one-dimension
+  exchanges, cost charging, phases;
+* :class:`PVar` — a per-processor variable (the SIMD register file);
+* :class:`Router` / :class:`RouteStats` — e-cube routing of arbitrary
+  message sets with congestion accounting.
+"""
+
+from .cost_model import CostModel
+from .counters import Counters, CostSnapshot
+from .hypercube import Hypercube
+from .pvar import PVar
+from .router import Router, RouteStats
+
+__all__ = [
+    "CostModel",
+    "Counters",
+    "CostSnapshot",
+    "Hypercube",
+    "PVar",
+    "Router",
+    "RouteStats",
+]

@@ -1,0 +1,122 @@
+"""Cycle accounting for the simulated machine.
+
+Every operation on the simulated hypercube charges time and raw operation
+counts to a :class:`Counters` instance.  A stack of named *phases* lets
+callers attribute costs to logical stages ("reduce", "pivot-search", ...)
+so the benchmark harness can report per-primitive breakdowns the way the
+paper's tables do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+import contextlib
+
+
+@dataclass
+class CostSnapshot:
+    """An immutable copy of the counter totals at one instant."""
+
+    time: float = 0.0
+    flops: float = 0.0
+    elements_transferred: float = 0.0
+    comm_rounds: int = 0
+    local_moves: float = 0.0
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(
+            time=self.time - other.time,
+            flops=self.flops - other.flops,
+            elements_transferred=self.elements_transferred - other.elements_transferred,
+            comm_rounds=self.comm_rounds - other.comm_rounds,
+            local_moves=self.local_moves - other.local_moves,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "time": self.time,
+            "flops": self.flops,
+            "elements_transferred": self.elements_transferred,
+            "comm_rounds": float(self.comm_rounds),
+            "local_moves": self.local_moves,
+        }
+
+
+@dataclass
+class Counters:
+    """Mutable running totals plus a per-phase time breakdown."""
+
+    time: float = 0.0
+    flops: float = 0.0
+    elements_transferred: float = 0.0
+    comm_rounds: int = 0
+    local_moves: float = 0.0
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    _phase_stack: List[str] = field(default_factory=list)
+
+    # -- charging -----------------------------------------------------------
+
+    def charge_time(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"cannot charge negative time {amount}")
+        self.time += amount
+        for phase in self._phase_stack:
+            self.phase_times[phase] = self.phase_times.get(phase, 0.0) + amount
+
+    def charge_flops(self, count: float, time: float) -> None:
+        self.flops += count
+        self.charge_time(time)
+
+    def charge_transfer(self, elements: float, rounds: int, time: float) -> None:
+        self.elements_transferred += elements
+        self.comm_rounds += rounds
+        self.charge_time(time)
+
+    def charge_local(self, elements: float, time: float) -> None:
+        self.local_moves += elements
+        self.charge_time(time)
+
+    # -- phases -------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute all time charged inside the block to ``name``.
+
+        Phases nest; time inside an inner phase is also attributed to every
+        enclosing phase.  A nested re-entry of the same name is not double
+        counted.
+        """
+        entered = name not in self._phase_stack
+        if entered:
+            self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            if entered:
+                popped = self._phase_stack.pop()
+                assert popped == name
+
+    def phase_breakdown(self) -> List[Tuple[str, float]]:
+        """Phase times sorted by descending cost."""
+        return sorted(self.phase_times.items(), key=lambda kv: -kv[1])
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(
+            time=self.time,
+            flops=self.flops,
+            elements_transferred=self.elements_transferred,
+            comm_rounds=self.comm_rounds,
+            local_moves=self.local_moves,
+        )
+
+    def reset(self) -> None:
+        self.time = 0.0
+        self.flops = 0.0
+        self.elements_transferred = 0.0
+        self.comm_rounds = 0
+        self.local_moves = 0.0
+        self.phase_times.clear()
+        self._phase_stack.clear()

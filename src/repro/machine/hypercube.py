@@ -1,0 +1,239 @@
+"""The simulated Boolean-cube (hypercube) SIMD multiprocessor.
+
+This is the stand-in for the Connection Machine of the paper: ``p = 2**n``
+processors, each with local memory, connected so that processors whose
+binary addresses differ in exactly one bit are neighbours.  The machine is
+synchronous and SIMD: one instruction stream drives all processors, and the
+simulated time of an instruction is its *per-processor* cost.
+
+Functionally the whole machine is a set of NumPy arrays with the processor
+index on axis 0; the single communication primitive — a full exchange along
+one cube dimension — is an XOR permutation of that axis.  All collective
+operations (``repro.comm``) are built from this primitive, so their charged
+costs emerge from the actual sequence of rounds they execute rather than
+from closed-form formulas (the closed forms live in ``repro.analysis`` and
+are validated *against* the simulator in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+import contextlib
+
+import numpy as np
+
+from .cost_model import CostModel
+from .counters import Counters, CostSnapshot
+from .pvar import PVar
+
+
+class Hypercube:
+    """A ``2**n``-processor Boolean cube with cost accounting.
+
+    Parameters
+    ----------
+    n:
+        Number of cube dimensions; the machine has ``p = 2**n`` processors.
+    cost_model:
+        Charging rates; defaults to :meth:`CostModel.cm2`.
+    """
+
+    def __init__(self, n: int, cost_model: Optional[CostModel] = None) -> None:
+        if n < 0:
+            raise ValueError(f"cube dimension must be >= 0, got {n}")
+        if n > 24:
+            raise ValueError(f"cube dimension {n} too large to simulate")
+        self.n = n
+        self.p = 1 << n
+        self.cost_model = cost_model if cost_model is not None else CostModel.cm2()
+        self.counters = Counters()
+        self._pids = np.arange(self.p, dtype=np.int64)
+        # Neighbour permutations per dimension, precomputed once.
+        self._neighbor = [self._pids ^ (1 << d) for d in range(n)]
+        # SIMD activity-context stack (the CM's context flags): masks are
+        # per-processor booleans; nested contexts AND together.
+        self._context_stack: list = []
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def dims(self) -> Tuple[int, ...]:
+        """All cube dimension indices, lowest first."""
+        return tuple(range(self.n))
+
+    def pids(self) -> np.ndarray:
+        """The processor addresses ``0 .. p-1`` (host-side view)."""
+        return self._pids
+
+    def self_address(self) -> PVar:
+        """A PVar holding each processor's own address (free: wired in)."""
+        return PVar(self, self._pids.copy())
+
+    # -- PVar constructors -----------------------------------------------------
+
+    def pvar(self, data: np.ndarray) -> PVar:
+        """Wrap host data of shape ``(p, ...)`` as a processor variable.
+
+        Loading data from the host is outside the timed computation (the
+        paper's timings likewise exclude front-end I/O), so this is free.
+        """
+        data = np.asarray(data)
+        if data.shape[0] != self.p:
+            raise ValueError(
+                f"axis 0 must be the processor axis of extent {self.p}, "
+                f"got shape {data.shape}"
+            )
+        return PVar(self, np.array(data))
+
+    def full(self, local_shape: Sequence[int], value: Any, dtype: Any = None) -> PVar:
+        shape = (self.p, *local_shape)
+        return PVar(self, np.full(shape, value, dtype=dtype))
+
+    def zeros(self, local_shape: Sequence[int] = (), dtype: Any = np.float64) -> PVar:
+        return PVar(self, np.zeros((self.p, *local_shape), dtype=dtype))
+
+    def ones(self, local_shape: Sequence[int] = (), dtype: Any = np.float64) -> PVar:
+        return PVar(self, np.ones((self.p, *local_shape), dtype=dtype))
+
+    # -- cost charging ---------------------------------------------------------
+
+    def charge_flops(self, local_elements: float) -> None:
+        """One SIMD arithmetic pass over ``local_elements`` items per processor."""
+        self.counters.charge_flops(
+            local_elements * self.p, self.cost_model.arithmetic(local_elements)
+        )
+
+    def charge_local(self, local_elements: float) -> None:
+        """One SIMD local move/pack pass."""
+        self.counters.charge_local(
+            local_elements * self.p, self.cost_model.memory(local_elements)
+        )
+
+    def charge_comm_round(self, elements_per_processor: float, rounds: int = 1) -> None:
+        """``rounds`` synchronous exchange rounds of the given volume each."""
+        time = rounds * self.cost_model.comm_round(elements_per_processor)
+        self.counters.charge_transfer(
+            elements_per_processor * self.p * rounds, rounds, time
+        )
+
+    @contextlib.contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        with self.counters.phase(name):
+            yield
+
+    # -- SIMD activity context (the CM's context flags) -----------------------
+
+    @contextlib.contextmanager
+    def where(self, mask: "PVar") -> Iterator[None]:
+        """Restrict :meth:`PVar.assign` stores to processors where ``mask``.
+
+        Models the Connection Machine's context flags: inside the block,
+        every SIMD instruction still *executes* on all processors (charged
+        identically — that is what SIMD means), but masked stores commit
+        only on active ones.  Contexts nest by conjunction; entering a
+        nested context charges one elementwise pass for the AND.
+        """
+        self._check_owned(mask)
+        if mask.dtype != np.bool_:
+            raise TypeError(f"context mask must be boolean, got {mask.dtype}")
+        flat = mask.data
+        if flat.ndim == 1:
+            flat = flat[:, None]
+        if self._context_stack:
+            # broadcast-AND with the enclosing context
+            combined = np.logical_and(self._context_stack[-1], flat)
+            self.charge_flops(max(mask.local_size, 1))
+        else:
+            combined = flat
+        self._context_stack.append(combined)
+        try:
+            yield
+        finally:
+            self._context_stack.pop()
+
+    @property
+    def active_mask(self) -> Optional[np.ndarray]:
+        """The current activity mask (``None`` when all processors active)."""
+        return self._context_stack[-1] if self._context_stack else None
+
+    def snapshot(self) -> CostSnapshot:
+        return self.counters.snapshot()
+
+    def elapsed_since(self, start: CostSnapshot) -> CostSnapshot:
+        return self.counters.snapshot() - start
+
+    # -- communication primitive -----------------------------------------------
+
+    def exchange(self, pvar: PVar, dim: int) -> PVar:
+        """Full exchange along cube dimension ``dim``.
+
+        Every processor sends its entire local block to its neighbour across
+        ``dim`` and receives the neighbour's block; one communication round.
+        """
+        self._check_dim(dim)
+        self._check_owned(pvar)
+        self.charge_comm_round(pvar.local_size)
+        return PVar(self, pvar.data[self._neighbor[dim]])
+
+    def exchange_free(self, pvar: PVar, dim: int) -> PVar:
+        """Neighbour view along ``dim`` without charging.
+
+        Only for use inside collectives that charge a *partial* volume
+        explicitly (e.g. recursive halving sends half the block per round);
+        callers must pair this with an explicit :meth:`charge_comm_round`.
+        """
+        self._check_dim(dim)
+        self._check_owned(pvar)
+        return PVar(self, pvar.data[self._neighbor[dim]])
+
+    # -- host access -------------------------------------------------------------
+
+    def to_host(self, pvar: PVar) -> np.ndarray:
+        """Read all processor memories into a host array (diagnostic; free).
+
+        The paper's timings exclude front-end output, and all *algorithmic*
+        uses of global values in this library go through charged collectives
+        (e.g. ``comm.reduce_all`` followed by :meth:`read_scalar`).
+        """
+        self._check_owned(pvar)
+        return pvar.data.copy()
+
+    def read_scalar(self, pvar: PVar, pid: int = 0) -> Any:
+        """Read one processor's (scalar) value to the host.
+
+        Charged as a single start-up: the front-end fetches one value over
+        the global bus, as when the CM host reads a reduction result.
+        """
+        self._check_owned(pvar)
+        if not (0 <= pid < self.p):
+            raise ValueError(f"pid {pid} out of range for p={self.p}")
+        self.counters.charge_transfer(1, 1, self.cost_model.comm_round(1))
+        value = pvar.data[pid]
+        if np.ndim(value) == 0:
+            return value[()] if isinstance(value, np.ndarray) else value
+        return value.copy()
+
+    # -- validation ---------------------------------------------------------------
+
+    def _check_dim(self, dim: int) -> None:
+        if not (0 <= dim < self.n):
+            raise ValueError(f"cube dimension {dim} out of range for n={self.n}")
+
+    def _check_owned(self, pvar: PVar) -> None:
+        if pvar.machine is not self:
+            raise ValueError("PVar belongs to a different machine")
+
+    def check_dims(self, dims: Sequence[int]) -> Tuple[int, ...]:
+        """Validate a subcube dimension list (distinct, in range)."""
+        dims = tuple(dims)
+        seen = set()
+        for d in dims:
+            self._check_dim(d)
+            if d in seen:
+                raise ValueError(f"duplicate cube dimension {d}")
+            seen.add(d)
+        return dims
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Hypercube(n={self.n}, p={self.p}, cost_model={self.cost_model})"

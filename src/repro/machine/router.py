@@ -1,0 +1,156 @@
+"""General message routing on the simulated cube.
+
+The structured collectives in ``repro.comm`` only ever exchange along one
+cube dimension at a time.  Everything else — embedding changes, transposes,
+and the point-to-point sends the naive baselines rely on — goes through the
+*router*, which models the Connection Machine's packet router with e-cube
+(dimension-order) routing:
+
+* a message from ``s`` to ``t`` corrects the differing address bits of
+  ``s ^ t`` one dimension at a time, lowest dimension first;
+* routing proceeds in synchronous per-dimension rounds; in each round every
+  link can carry traffic in both directions, and a round's duration is one
+  start-up plus the *most loaded* link's volume (congestion serialises);
+* messages that do not need a given dimension sit still for free.
+
+This captures exactly the effects the paper's comparisons depend on: a
+congestion-free permutation (e.g. a Gray-code-aligned transpose) costs
+``O(n)`` start-ups plus the block volume, while many-to-one traffic (the
+naive reductions) serialises on the links near the destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .hypercube import Hypercube
+from .pvar import PVar
+
+
+@dataclass(frozen=True)
+class RouteStats:
+    """What one routing operation did, for tests and model validation."""
+
+    rounds: int
+    element_hops: float
+    max_congestion: float
+    time: float
+
+
+class Router:
+    """E-cube router bound to one machine."""
+
+    def __init__(self, machine: Hypercube) -> None:
+        self.machine = machine
+
+    # -- message-set cost engine ------------------------------------------------
+
+    def simulate(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        sizes: np.ndarray,
+        charge: bool = True,
+    ) -> RouteStats:
+        """Route a set of messages and charge their cost.
+
+        Parameters
+        ----------
+        src, dst:
+            Integer arrays of source and destination processor ids, one entry
+            per message.
+        sizes:
+            Element count of each message.
+        charge:
+            When false, compute the stats without charging the machine
+            (used by the analytic models for what-if questions).
+        """
+        machine = self.machine
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.float64)
+        if not (src.shape == dst.shape == sizes.shape):
+            raise ValueError("src, dst and sizes must have identical shapes")
+        if src.size and (src.min() < 0 or src.max() >= machine.p):
+            raise ValueError("message source out of processor range")
+        if dst.size and (dst.min() < 0 or dst.max() >= machine.p):
+            raise ValueError("message destination out of processor range")
+
+        cur = src.copy()
+        total_time = 0.0
+        total_hops = 0.0
+        rounds = 0
+        worst = 0.0
+        cm = machine.cost_model
+        for d in range(machine.n):
+            bit = np.int64(1) << d
+            moving = ((cur ^ dst) & bit) != 0
+            if not np.any(moving):
+                continue
+            loads = np.bincount(
+                cur[moving], weights=sizes[moving], minlength=machine.p
+            )
+            congestion = float(loads.max())
+            total_time += cm.tau + cm.t_c * congestion
+            total_hops += float(sizes[moving].sum())
+            worst = max(worst, congestion)
+            rounds += 1
+            cur[moving] ^= bit
+        stats = RouteStats(
+            rounds=rounds,
+            element_hops=total_hops,
+            max_congestion=worst,
+            time=total_time,
+        )
+        if charge:
+            machine.counters.charge_transfer(total_hops, rounds, total_time)
+        return stats
+
+    # -- whole-machine data movement ------------------------------------------
+
+    def permute(self, pvar: PVar, dest: PVar) -> PVar:
+        """Send every processor's block to the processor named in ``dest``.
+
+        ``dest`` must hold a permutation of the processor ids (one incoming
+        block per processor); use :meth:`simulate` directly for general
+        h-relations where the data motion is managed by the caller.
+        """
+        machine = self.machine
+        machine._check_owned(pvar)
+        machine._check_owned(dest)
+        d = np.asarray(dest.data, dtype=np.int64)
+        if d.shape != (machine.p,):
+            raise ValueError(
+                f"dest must be a scalar PVar of pids, got local shape {dest.local_shape}"
+            )
+        order = np.sort(d)
+        if not np.array_equal(order, machine.pids()):
+            raise ValueError("dest is not a permutation of processor ids")
+        sizes = np.full(machine.p, float(pvar.local_size))
+        self.simulate(machine.pids(), d, sizes)
+        out = np.empty_like(pvar.data)
+        out[d] = pvar.data
+        return PVar(machine, out)
+
+    def point_to_point(
+        self, pvar: PVar, src: int, dst: int, elements: Optional[float] = None
+    ) -> Tuple[PVar, RouteStats]:
+        """One message from ``src`` to ``dst``; the rest of the machine idles.
+
+        Returns the received block installed at ``dst`` (other processors
+        keep their old data) plus the routing stats.  This is the building
+        block of the naive baselines' serial gathers and broadcasts.
+        """
+        machine = self.machine
+        machine._check_owned(pvar)
+        size = float(pvar.local_size if elements is None else elements)
+        stats = self.simulate(
+            np.array([src]), np.array([dst]), np.array([size])
+        )
+        out = pvar.data.copy()
+        out[dst] = pvar.data[src]
+        machine.charge_local(0.0)  # the copy at dst is part of the transfer
+        return PVar(machine, out), stats

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite.
+
+Machines come in three cost flavours:
+
+* ``unit_machine`` — unit cost model, so simulated time equals a raw
+  operation count (the right lens for complexity assertions);
+* ``cm2_machine`` — CM-2-flavoured ratios (the benchmark configuration);
+* parametrised ``any_machine`` — a small sweep of cube sizes for tests
+  that must hold at every machine size, including the degenerate p=1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def unit_machine():
+    return Hypercube(4, CostModel.unit())
+
+
+@pytest.fixture
+def cm2_machine():
+    return Hypercube(6, CostModel.cm2())
+
+
+@pytest.fixture(params=[0, 1, 3, 4, 6], ids=lambda n: f"n{n}")
+def any_machine(request):
+    return Hypercube(request.param, CostModel.unit())
+
+
+def assert_time_increased(machine, before):
+    """Every charged operation must advance simulated time."""
+    assert machine.counters.time > before, "operation charged no time"

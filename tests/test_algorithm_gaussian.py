@@ -1,0 +1,164 @@
+"""Tests for application 2: Gaussian elimination (S12)."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro import workloads as W
+from repro.algorithms import gaussian, serial
+from repro.algorithms.gaussian import SingularMatrixError
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestSolve:
+    @pytest.mark.parametrize("n", [1, 2, 5, 12, 24])
+    def test_solves_random_systems(self, s, n):
+        A_h, b, x_true = W.random_system(n, seed=n)
+        res = gaussian.solve(s.matrix(A_h), b)
+        assert np.allclose(res.x, x_true, atol=1e-7)
+
+    def test_diagonally_dominant(self, s):
+        A_h, b, x_true = W.diagonally_dominant_system(16, seed=2)
+        res = gaussian.solve(s.matrix(A_h), b)
+        assert np.allclose(res.x, x_true, atol=1e-9)
+
+    def test_identity_system(self, s):
+        n = 8
+        b = np.arange(1.0, 9.0)
+        res = gaussian.solve(s.matrix(np.eye(n)), b)
+        assert np.allclose(res.x, b)
+
+    def test_permutation_matrix_forces_pivoting(self, s):
+        """A permutation matrix has zero diagonal almost everywhere —
+        solvable only through pivoting."""
+        n = 8
+        perm = np.random.default_rng(3).permutation(n)
+        P = np.eye(n)[perm]
+        b = np.arange(1.0, 9.0)
+        res = gaussian.solve(s.matrix(P), b)
+        assert np.allclose(P @ res.x, b)
+
+    def test_pivot_order_matches_serial(self, s):
+        """Partial pivoting must pick the same pivots as the serial
+        reference (same arg-max tie-break), so the factorisations match."""
+        A_h, b, _ = W.random_system(10, seed=11)
+        res = gaussian.solve(s.matrix(A_h), b)
+        ser = serial.gaussian_solve(A_h, b)
+        assert np.allclose(res.x, ser.value, atol=1e-9)
+
+    def test_singular_matrix_raises(self, s):
+        A_h = np.ones((4, 4))
+        with pytest.raises(SingularMatrixError):
+            gaussian.solve(s.matrix(A_h), np.ones(4))
+
+    def test_zero_matrix_raises(self, s):
+        with pytest.raises(SingularMatrixError):
+            gaussian.solve(s.matrix(np.zeros((3, 3))), np.ones(3))
+
+    def test_no_pivoting_on_dominant_system(self, s):
+        A_h, b, x_true = W.diagonally_dominant_system(8, seed=5)
+        res = gaussian.solve(s.matrix(A_h), b, pivoting="none")
+        assert np.allclose(res.x, x_true, atol=1e-8)
+        assert res.pivots == list(range(8))
+
+    def test_no_pivoting_fails_on_zero_diagonal(self, s):
+        A_h = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(SingularMatrixError, match="zero diagonal"):
+            gaussian.solve(s.matrix(A_h), np.ones(2), pivoting="none")
+
+    def test_bad_pivoting_name(self, s):
+        with pytest.raises(ValueError, match="pivoting"):
+            gaussian.solve(s.matrix(np.eye(2)), np.ones(2), pivoting="total")
+
+    def test_non_square_rejected(self, s, rng):
+        with pytest.raises(ValueError, match="square"):
+            gaussian.solve(s.matrix(rng.standard_normal((3, 4))), np.ones(3))
+
+    def test_b_shape_checked(self, s):
+        with pytest.raises(ValueError, match="b must have shape"):
+            gaussian.solve(s.matrix(np.eye(3)), np.ones(4))
+
+
+class TestEliminate:
+    def test_upper_triangular_result(self, s):
+        A_h, b, _ = W.random_system(10, seed=7)
+        res = gaussian.solve(s.matrix(A_h), b, keep_tableau=True)
+        T = res.tableau.to_numpy()
+        lower = np.tril(T[:, :10], k=-1)
+        assert np.allclose(lower, 0.0, atol=1e-10)
+
+    def test_pivots_recorded(self, s):
+        A_h, b, _ = W.random_system(6, seed=8)
+        res = gaussian.solve(s.matrix(A_h), b)
+        assert len(res.pivots) == 6
+        assert all(k <= piv < 6 for k, piv in enumerate(res.pivots))
+
+    def test_tableau_width_check(self, s, rng):
+        M = s.matrix(rng.standard_normal((5, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            gaussian.eliminate(M)
+
+
+class TestBackSubstitute:
+    def test_rejects_missing_rhs(self, s, rng):
+        M = s.matrix(rng.standard_normal((4, 4)))  # no RHS column at all
+        with pytest.raises(ValueError, match="rhs_col"):
+            gaussian.back_substitute(M)
+
+    def test_rejects_out_of_range_rhs_col(self, s, rng):
+        M = s.matrix(rng.standard_normal((4, 6)))
+        with pytest.raises(ValueError, match="rhs_col"):
+            gaussian.back_substitute(M, rhs_col=3)  # inside A, not a RHS
+        with pytest.raises(ValueError, match="rhs_col"):
+            gaussian.back_substitute(M, rhs_col=6)
+
+    def test_solves_triangular_tableau(self, s, rng):
+        n = 6
+        U = np.triu(rng.standard_normal((n, n))) + 3 * np.eye(n)
+        x_true = rng.standard_normal(n)
+        T_h = np.hstack([U, (U @ x_true)[:, None]])
+        x = gaussian.back_substitute(s.matrix(T_h))
+        assert np.allclose(x, x_true, atol=1e-9)
+
+    def test_zero_diagonal_raises(self, s):
+        T_h = np.zeros((3, 4))
+        T_h[0, 0] = T_h[1, 1] = 1.0  # T[2,2] stays zero
+        with pytest.raises(SingularMatrixError):
+            gaussian.back_substitute(s.matrix(T_h))
+
+
+class TestCostStructure:
+    def test_cost_recorded_with_phases(self, s):
+        A_h, b, _ = W.random_system(12, seed=9)
+        res = gaussian.solve(s.matrix(A_h), b)
+        assert res.cost.time > 0
+        phases = s.machine.counters.phase_times
+        for name in ("gaussian", "pivot-search", "update", "back-substitution"):
+            assert name in phases, name
+        assert phases["gaussian"] >= phases["update"]
+
+    def test_update_dominates_for_large_blocks(self):
+        """With many elements per processor the rank-1 updates (O(m/p) work)
+        must dominate the lg-p pivot searches."""
+        s = Session(2, "unit")
+        A_h, b, _ = W.random_system(24, seed=10)
+        gaussian.solve(s.matrix(A_h), b)
+        phases = s.machine.counters.phase_times
+        assert phases["update"] > phases["pivot-search"]
+
+    def test_serial_reference_op_count_scales_cubically(self):
+        ops = []
+        for n in (8, 16, 32):
+            A_h, b, _ = W.diagonally_dominant_system(n, seed=1)
+            ops.append(serial.gaussian_solve(A_h, b).ops)
+        # doubling n multiplies ops by ~8 (within loose bounds)
+        assert 5 < ops[1] / ops[0] < 11
+        assert 5 < ops[2] / ops[1] < 11
+
+    def test_serial_singular_detection(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            serial.gaussian_solve(np.ones((3, 3)), np.ones(3))

@@ -1,0 +1,93 @@
+"""Tests for application 1: vector-matrix multiply (S12)."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.algorithms import matvec, serial
+from repro.core import DistributedVector
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("R,C", [(8, 8), (13, 5), (1, 16), (20, 3)])
+    def test_matvec_matches_numpy(self, s, rng, R, C):
+        A_h = rng.standard_normal((R, C))
+        x_h = rng.standard_normal(C)
+        A = s.matrix(A_h)
+        x = s.row_vector(x_h, like=A)
+        res = matvec.matvec(A, x)
+        assert np.allclose(res.y.to_numpy(), A_h @ x_h)
+
+    @pytest.mark.parametrize("R,C", [(8, 8), (5, 13)])
+    def test_vecmat_matches_numpy(self, s, rng, R, C):
+        A_h = rng.standard_normal((R, C))
+        x_h = rng.standard_normal(R)
+        A = s.matrix(A_h)
+        x = s.col_vector(x_h, like=A)
+        res = matvec.vecmat(x, A)
+        assert np.allclose(res.y.to_numpy(), x_h @ A_h)
+
+    def test_vector_order_input_works(self, s, rng):
+        A_h = rng.standard_normal((10, 7))
+        x_h = rng.standard_normal(7)
+        res = matvec.matvec(s.matrix(A_h), s.vector(x_h))
+        assert np.allclose(res.y.to_numpy(), A_h @ x_h)
+
+    def test_result_embedding_chains(self, s, rng):
+        """y = A @ x is column-aligned; x2 = y @ A needs no remap."""
+        A_h = rng.standard_normal((10, 10))
+        A = s.matrix(A_h)
+        x = s.row_vector(rng.standard_normal(10), like=A)
+        y = A.matvec(x)
+        z = A.vecmat(y)  # consumes the col-aligned y directly
+        assert np.allclose(z.to_numpy(), (A_h @ x.to_numpy()) @ A_h)
+
+
+class TestCost:
+    def test_cost_snapshot_isolated(self, s, rng):
+        A = s.matrix(rng.standard_normal((8, 8)))
+        x = s.row_vector(rng.standard_normal(8), like=A)
+        res = matvec.matvec(A, x)
+        assert res.cost.time > 0
+        assert res.cost.flops > 0
+
+    def test_aligned_matvec_communicates_only_in_reduce(self, s, rng):
+        A = s.matrix(rng.standard_normal((16, 16)))
+        x = s.row_vector(rng.standard_normal(16), like=A)
+        r0 = s.machine.counters.comm_rounds
+        matvec.matvec(A, x)
+        rounds = s.machine.counters.comm_rounds - r0
+        assert rounds == len(A.embedding.col_dims)
+
+    def test_phase_recorded(self, s, rng):
+        A = s.matrix(rng.standard_normal((8, 8)))
+        x = s.row_vector(rng.standard_normal(8), like=A)
+        matvec.matvec(A, x)
+        assert "matvec" in s.machine.counters.phase_times
+
+
+class TestSerialReference:
+    def test_serial_matvec(self, rng):
+        A = rng.standard_normal((6, 4))
+        x = rng.standard_normal(4)
+        res = serial.matvec(A, x)
+        assert np.allclose(res.value, A @ x)
+        assert res.ops == 2 * 6 * 4
+
+    def test_serial_vecmat(self, rng):
+        A = rng.standard_normal((6, 4))
+        x = rng.standard_normal(6)
+        res = serial.vecmat(x, A)
+        assert np.allclose(res.value, x @ A)
+        assert res.ops == 48
+
+    def test_serial_shape_checks(self):
+        with pytest.raises(ValueError):
+            serial.matvec(np.zeros((3, 3)), np.zeros(4))
+        with pytest.raises(ValueError):
+            serial.vecmat(np.zeros(4), np.zeros((3, 3)))

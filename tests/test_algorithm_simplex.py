@@ -1,0 +1,161 @@
+"""Tests for application 3: the two-phase simplex method (S12)."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro import workloads as W
+from repro.algorithms import serial, simplex
+
+scipy = pytest.importorskip("scipy")
+from scipy.optimize import linprog  # noqa: E402
+
+
+def scipy_optimum(lp):
+    res = linprog(-lp.c, A_ub=lp.A, b_ub=lp.b, bounds=(0, None), method="highs")
+    return res
+
+
+@pytest.fixture
+def m():
+    return Session(4, "unit").machine
+
+
+class TestPhase2Only:
+    @pytest.mark.parametrize("mi,ni,seed", [(4, 3, 0), (8, 6, 1), (6, 10, 2), (12, 4, 3)])
+    def test_matches_scipy(self, m, mi, ni, seed):
+        lp = W.feasible_lp(mi, ni, seed=seed)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        ref = scipy_optimum(lp)
+        assert res.status == "optimal"
+        assert np.isclose(res.objective, -ref.fun, atol=1e-7)
+
+    def test_matches_serial_reference_exactly(self, m):
+        """Same pivot rules => identical iterates and iteration count."""
+        lp = W.feasible_lp(7, 5, seed=4)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        st, obj, x, its, _ = serial.simplex_solve(lp.A, lp.b, lp.c)
+        assert res.status == st == "optimal"
+        assert res.iterations == its
+        assert np.allclose(res.x, x, atol=1e-9)
+
+    def test_solution_is_feasible(self, m):
+        lp = W.feasible_lp(9, 7, seed=5)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert np.all(res.x >= -1e-9)
+        assert np.all(lp.A @ res.x <= lp.b + 1e-7)
+        assert np.isclose(lp.c @ res.x, res.objective, atol=1e-7)
+
+    def test_zero_objective_optimal_immediately(self, m):
+        lp = W.feasible_lp(4, 3, seed=6)
+        res = simplex.solve(m, lp.A, lp.b, np.zeros(3))
+        assert res.status == "optimal"
+        assert res.iterations == 0
+        assert res.objective == 0.0
+
+    def test_bland_rule_reaches_same_optimum(self, m):
+        lp = W.feasible_lp(6, 5, seed=7)
+        d = simplex.solve(m, lp.A, lp.b, lp.c, rule="dantzig")
+        b = simplex.solve(m, lp.A, lp.b, lp.c, rule="bland")
+        assert np.isclose(d.objective, b.objective, atol=1e-8)
+
+    def test_degenerate_lp_terminates(self, m):
+        """Multiple identical constraints create degenerate vertices."""
+        A = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 1.0]])
+        b = np.array([1.0, 1.0, 1.5])
+        c = np.array([1.0, 1.0])
+        res = simplex.solve(m, A, b, c, rule="bland")
+        assert res.status == "optimal"
+        assert np.isclose(res.objective, 1.0, atol=1e-8)
+
+
+class TestPhase1:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_negative_rhs_matches_scipy(self, m, seed):
+        lp = W.two_phase_lp(6, 4, seed=seed)
+        assert np.any(lp.b < 0), "workload must exercise phase I"
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        ref = scipy_optimum(lp)
+        assert res.status == "optimal"
+        assert np.isclose(res.objective, -ref.fun, atol=1e-6)
+        assert res.phase1_iterations > 0
+
+    def test_phase1_solution_feasible(self, m):
+        lp = W.two_phase_lp(8, 5, seed=4)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert np.all(lp.A @ res.x <= lp.b + 1e-7)
+        assert np.all(res.x >= -1e-9)
+
+    def test_infeasible_detected(self, m):
+        lp = W.infeasible_lp()
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert res.status == "infeasible"
+        assert np.isnan(res.objective)
+
+    def test_equality_like_rows(self, m):
+        """x1 >= 1 (as -x1 <= -1) together with x1 <= 1 pins x1 = 1."""
+        A = np.array([[-1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        b = np.array([-1.0, 1.0, 2.0])
+        c = np.array([1.0, 1.0])
+        res = simplex.solve(m, A, b, c)
+        assert res.status == "optimal"
+        assert np.isclose(res.x[0], 1.0, atol=1e-8)
+        assert np.isclose(res.objective, 3.0, atol=1e-8)
+
+
+class TestStatuses:
+    def test_unbounded(self, m):
+        lp = W.unbounded_lp()
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert res.status == "unbounded"
+        assert res.objective == np.inf
+
+    def test_iteration_limit(self, m):
+        lp = W.feasible_lp(6, 5, seed=8)
+        res = simplex.solve(m, lp.A, lp.b, lp.c, max_iters=1)
+        assert res.status in ("iteration_limit", "optimal")
+
+    def test_bad_rule(self, m):
+        lp = W.feasible_lp(3, 2)
+        with pytest.raises(ValueError, match="rule"):
+            simplex.solve(m, lp.A, lp.b, lp.c, rule="steepest")
+
+    def test_shape_mismatch(self, m):
+        with pytest.raises(ValueError, match="shape"):
+            simplex.solve(m, np.zeros((2, 2)), np.zeros(3), np.zeros(2))
+
+
+class TestCostStructure:
+    def test_cost_and_pivots_recorded(self, m):
+        lp = W.feasible_lp(6, 5, seed=9)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert res.cost.time > 0
+        assert len(res.pivots) == res.iterations
+        phases = m.counters.phase_times
+        for name in ("simplex", "entering", "ratio-test", "pivot"):
+            assert name in phases
+
+    def test_basis_tracks_solution(self, m):
+        lp = W.feasible_lp(5, 4, seed=10)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert len(res.basis) == 5
+        # basic original variables must carry the x values
+        for r, col in enumerate(res.basis):
+            if col < 4:
+                assert res.x[col] >= -1e-9
+
+
+class TestSerialReference:
+    def test_serial_requires_nonneg_b(self):
+        with pytest.raises(ValueError, match="b >= 0"):
+            serial.simplex_solve(np.eye(2), np.array([-1.0, 1.0]), np.ones(2))
+
+    def test_serial_unbounded(self):
+        lp = W.unbounded_lp()
+        st, obj, *_ = serial.simplex_solve(lp.A, lp.b, lp.c)
+        assert st == "unbounded" and obj == np.inf
+
+    def test_serial_ops_positive(self):
+        lp = W.feasible_lp(5, 4, seed=11)
+        *_, ops = serial.simplex_solve(lp.A, lp.b, lp.c)
+        assert ops > 0

@@ -1,0 +1,104 @@
+"""Tests for the all-to-all personalized collective (total exchange)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import comm
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+def brute_alltoall(machine, payload, dims):
+    """Oracle: out[q][j] = payload[member with rank j][rank(q)]."""
+    rank = comm.subcube_rank(machine, dims)
+    mask = sum(1 << d for d in dims)
+    out = np.empty_like(payload)
+    for q in range(machine.p):
+        for j in range(payload.shape[1]):
+            sender = next(
+                c for c in range(machine.p)
+                if (c & ~mask) == (q & ~mask) and rank[c] == j
+            )
+            out[q, j] = payload[sender, rank[q]]
+    return out
+
+
+class TestSemantics:
+    def test_full_cube_is_block_transpose(self, m):
+        blocks = np.arange(256.0).reshape(16, 16)
+        out = comm.alltoall(m, m.pvar(blocks))
+        assert np.array_equal(out.data, blocks.T)
+
+    @pytest.mark.parametrize("dims", [(0,), (0, 1), (1, 3), (0, 2, 3)])
+    def test_subcube_matches_oracle(self, m, rng, dims):
+        nblocks = 1 << len(dims)
+        payload = rng.standard_normal((16, nblocks))
+        out = comm.alltoall(m, m.pvar(payload), dims=dims)
+        assert np.allclose(out.data, brute_alltoall(m, payload, dims))
+
+    def test_block_payload(self, m, rng):
+        payload = rng.standard_normal((16, 4, 5))
+        out = comm.alltoall(m, m.pvar(payload), dims=(0, 1))
+        oracle = brute_alltoall(m, payload, (0, 1))
+        assert np.allclose(out.data, oracle)
+
+    def test_involution(self, m, rng):
+        payload = rng.standard_normal((16, 8))
+        once = comm.alltoall(m, m.pvar(payload), dims=(0, 1, 2))
+        twice = comm.alltoall(m, once, dims=(0, 1, 2))
+        assert np.allclose(twice.data, payload)
+
+    def test_empty_dims_identity(self, m, rng):
+        payload = rng.standard_normal((16, 1))
+        out = comm.alltoall(m, m.pvar(payload), dims=())
+        assert np.allclose(out.data, payload)
+
+    def test_shape_validation(self, m):
+        with pytest.raises(ValueError, match="leading local axis"):
+            comm.alltoall(m, m.zeros((3,)), dims=(0, 1))
+
+
+class TestCost:
+    def test_optimal_round_structure(self):
+        """k rounds, each moving half the blocks: the single-port optimum."""
+        m = Hypercube(4, CostModel(tau=100, t_c=2, t_a=0, t_m=0))
+        blocks = np.zeros((16, 16, 3))  # 16 blocks of 3 elements
+        r0 = m.counters.comm_rounds
+        t0 = m.counters.time
+        comm.alltoall(m, m.pvar(blocks))
+        assert m.counters.comm_rounds - r0 == 4
+        assert m.counters.time - t0 == 4 * (100 + 2 * 8 * 3)
+
+    def test_volume_beats_naive_by_k(self):
+        """Total exchange moves k·2^(k-1) blocks/processor vs the (2^k - 1)
+        full-buffer rounds a naive schedule would pay."""
+        m = Hypercube(6, CostModel(tau=0, t_c=1, t_a=0, t_m=0))
+        blocks = np.zeros((64, 64))
+        t0 = m.counters.time
+        comm.alltoall(m, m.pvar(blocks))
+        total_exchange = m.counters.time - t0
+        naive = (64 - 1) * 64  # 63 serial rounds of the full 64-block buffer
+        assert total_exchange == 6 * 32
+        assert naive / total_exchange > 20
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_property_involution_any_size(k, seed):
+    machine = Hypercube(max(k, 1) + 1, CostModel.unit())
+    dims = tuple(range(k))
+    payload = np.random.default_rng(seed).standard_normal(
+        (machine.p, 1 << k)
+    )
+    pv = machine.pvar(payload)
+    once = comm.alltoall(machine, pv, dims=dims)
+    twice = comm.alltoall(machine, once, dims=dims)
+    assert np.allclose(twice.data, payload)

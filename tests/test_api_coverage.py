@@ -1,0 +1,155 @@
+"""Gap-filling tests for lesser-exercised public API paths."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.core import DistributedMatrix, DistributedVector
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestMatrixLogicalOps:
+    def test_eq_ne(self, s, rng):
+        A_h = rng.integers(0, 3, (8, 6)).astype(float)
+        A = s.matrix(A_h)
+        assert np.array_equal(A.eq(1.0).to_numpy(), A_h == 1.0)
+        assert np.array_equal(A.ne(1.0).to_numpy(), A_h != 1.0)
+
+    def test_le_ge(self, s, rng):
+        A_h = rng.standard_normal((8, 6))
+        A = s.matrix(A_h)
+        assert np.array_equal((A <= 0).to_numpy(), A_h <= 0)
+        assert np.array_equal((A >= 0).to_numpy(), A_h >= 0)
+
+    def test_and_or_invert(self, s, rng):
+        A_h = rng.standard_normal((8, 6))
+        A = s.matrix(A_h)
+        a = A > 0
+        b = A < 0.5
+        assert np.array_equal((a & b).to_numpy(), (A_h > 0) & (A_h < 0.5))
+        assert np.array_equal((a | b).to_numpy(), (A_h > 0) | (A_h < 0.5))
+        assert np.array_equal((~a).to_numpy(), ~(A_h > 0))
+
+    def test_where_requires_same_embedding(self, s, rng):
+        A = s.matrix(rng.standard_normal((8, 6)))
+        B = s.matrix(rng.standard_normal((8, 6)), layout="cyclic")
+        with pytest.raises(ValueError, match="embedding"):
+            (A > 0).where(B, 0.0)
+
+    def test_truediv_matrix(self, s, rng):
+        A_h = np.abs(rng.standard_normal((8, 6))) + 1
+        B_h = np.abs(rng.standard_normal((8, 6))) + 1
+        emb = s.matrix(A_h).embedding
+        A = DistributedMatrix.from_numpy(s.machine, A_h, embedding=emb)
+        B = DistributedMatrix.from_numpy(s.machine, B_h, embedding=emb)
+        assert np.allclose((A / B).to_numpy(), A_h / B_h)
+
+
+class TestVectorMisc:
+    def test_ne(self, s):
+        v = s.vector(np.array([1.0, 2, 1, 3]))
+        assert np.array_equal(v.ne(1.0).to_numpy(), [False, True, False, True])
+
+    def test_xor(self, s):
+        a = s.vector(np.array([1.0, 0, 1, 0])) > 0.5
+        b = s.vector(np.array([1.0, 1, 0, 0])) > 0.5
+        assert np.array_equal((a ^ b).to_numpy(), [False, True, True, False])
+
+    def test_abs_method(self, s):
+        v = s.vector(np.array([-1.0, 2.0, -3.0]))
+        assert np.array_equal(v.abs().to_numpy(), [1, 2, 3])
+
+    def test_rtruediv(self, s):
+        v = s.vector(np.array([1.0, 2.0, 4.0]))
+        assert np.allclose((8.0 / v).to_numpy(), [8, 4, 2])
+
+
+class TestLargeMachineSmoke:
+    def test_p_64k_reduce(self):
+        """A full-scale CM-2 (65,536 processors) is simulable."""
+        m = Hypercube(16, CostModel.cm2())
+        A = DistributedMatrix.from_numpy(m, np.ones((512, 512)))
+        sums = A.reduce(1, "sum")
+        assert np.allclose(sums.to_numpy(), 512.0)
+        assert m.counters.comm_rounds == len(A.embedding.col_dims)
+
+    def test_p_64k_matvec(self):
+        m = Hypercube(16, CostModel.cm2())
+        A = DistributedMatrix.from_numpy(m, np.eye(256))
+        x = DistributedVector.from_numpy(m, np.arange(256.0))
+        y = A.matvec(x)
+        assert np.allclose(y.to_numpy(), np.arange(256.0))
+
+
+class TestSessionReportEdge:
+    def test_report_with_zero_time(self):
+        s = Session(2, "unit")
+        rep = s.report()
+        assert "0.0 ticks" in rep
+
+    def test_repr(self, s):
+        assert "Session" in repr(s)
+        assert "p=16" in repr(s)
+
+
+class TestPVarDtypePaths:
+    def test_integer_pvar_arithmetic(self, s):
+        m = s.machine
+        a = m.pvar(np.arange(16))
+        assert (a + 1).dtype.kind == "i"
+        assert np.array_equal((a * 2).data, np.arange(16) * 2)
+
+    def test_complex_pvar(self, s):
+        m = s.machine
+        z = m.pvar(np.arange(16) * (1 + 1j))
+        assert np.allclose((z * 1j).data, np.arange(16) * (1j - 1))
+
+    def test_astype(self, s):
+        m = s.machine
+        a = m.pvar(np.arange(16))
+        assert a.astype(np.float32).dtype == np.float32
+
+
+class TestNormsDiagTrace:
+    def test_diagonal_square(self, s, rng):
+        A_h = rng.standard_normal((9, 9))
+        assert np.allclose(s.matrix(A_h).diagonal().to_numpy(), np.diag(A_h))
+
+    def test_diagonal_rectangular(self, s, rng):
+        B_h = rng.standard_normal((6, 10))
+        d = s.matrix(B_h).diagonal().to_numpy()
+        assert np.allclose(d[:6], np.diag(B_h))
+        assert np.allclose(d[6:], 0.0)
+
+    def test_trace(self, s, rng):
+        A_h = rng.standard_normal((7, 7))
+        assert np.isclose(s.matrix(A_h).trace(), np.trace(A_h))
+
+    def test_matrix_norms(self, s, rng):
+        A_h = rng.standard_normal((8, 5))
+        A = s.matrix(A_h)
+        assert np.isclose(A.norm("fro"), np.linalg.norm(A_h, "fro"))
+        assert np.isclose(A.norm(1), np.linalg.norm(A_h, 1))
+        assert np.isclose(A.norm("inf"), np.linalg.norm(A_h, np.inf))
+        with pytest.raises(ValueError, match="norm"):
+            A.norm(3)
+
+    def test_vector_norms(self, s, rng):
+        v_h = rng.standard_normal(13)
+        v = s.vector(v_h)
+        assert np.isclose(v.norm(), np.linalg.norm(v_h))
+        assert np.isclose(v.norm(1), np.linalg.norm(v_h, 1))
+        assert np.isclose(v.norm("inf"), np.linalg.norm(v_h, np.inf))
+        with pytest.raises(ValueError, match="norm"):
+            v.norm(0)
+
+    def test_norms_charge_time(self, s, rng):
+        A = s.matrix(rng.standard_normal((8, 8)))
+        t0 = s.time
+        A.norm("fro")
+        assert s.time > t0

@@ -1,0 +1,206 @@
+"""Unit tests for DistributedMatrix (S11)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DistributedMatrix, DistributedVector
+from repro.embeddings import MatrixEmbedding, RowAlignedEmbedding
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+@pytest.fixture
+def A_host(rng):
+    return rng.standard_normal((11, 9))
+
+
+@pytest.fixture
+def A(m, A_host):
+    return DistributedMatrix.from_numpy(m, A_host)
+
+
+class TestConstruction:
+    def test_round_trip(self, A, A_host):
+        assert np.allclose(A.to_numpy(), A_host)
+
+    def test_shape(self, A):
+        assert A.shape == (11, 9)
+
+    def test_cyclic_layout(self, m, A_host):
+        A = DistributedMatrix.from_numpy(m, A_host, layout="cyclic")
+        assert np.allclose(A.to_numpy(), A_host)
+
+    def test_1d_rejected(self, m):
+        with pytest.raises(ValueError, match="2-D"):
+            DistributedMatrix.from_numpy(m, np.zeros(5))
+
+    def test_explicit_embedding(self, m, A_host):
+        emb = MatrixEmbedding(m, 11, 9, row_dims=(0, 1, 2), col_dims=(3,))
+        A = DistributedMatrix.from_numpy(m, A_host, embedding=emb)
+        assert np.allclose(A.to_numpy(), A_host)
+
+    def test_mismatched_pvar_rejected(self, m):
+        emb = MatrixEmbedding.default(m, 4, 4)
+        with pytest.raises(ValueError, match="local shape"):
+            DistributedMatrix(m.zeros((9, 9)), emb)
+
+
+class TestElementwise:
+    def test_matrix_matrix(self, m, rng):
+        a_h = rng.standard_normal((7, 5))
+        b_h = rng.standard_normal((7, 5))
+        emb = MatrixEmbedding.default(m, 7, 5)
+        a = DistributedMatrix.from_numpy(m, a_h, embedding=emb)
+        b = DistributedMatrix.from_numpy(m, b_h, embedding=emb)
+        assert np.allclose((a + b).to_numpy(), a_h + b_h)
+        assert np.allclose((a * b).to_numpy(), a_h * b_h)
+        assert np.allclose((a - b).to_numpy(), a_h - b_h)
+
+    def test_scalar(self, A, A_host):
+        assert np.allclose((A * 3).to_numpy(), A_host * 3)
+        assert np.allclose((1 + A).to_numpy(), A_host + 1)
+        assert np.allclose((-A).to_numpy(), -A_host)
+        assert np.allclose(abs(A).to_numpy(), np.abs(A_host))
+
+    def test_comparison_and_where(self, A, A_host):
+        mask = A > 0
+        out = mask.where(A, 0.0)
+        assert np.allclose(out.to_numpy(), np.where(A_host > 0, A_host, 0))
+
+    def test_division_never_pollutes_valid_slots(self, m, A_host):
+        """0/0 in padding must not corrupt later reductions of valid data."""
+        A = DistributedMatrix.from_numpy(m, np.abs(A_host) + 1.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            B = A / A
+        sums = B.reduce(axis=1, op="sum").to_numpy()
+        assert np.allclose(sums, 9.0)
+
+    def test_different_embeddings_rejected(self, m, A_host):
+        a = DistributedMatrix.from_numpy(m, A_host, layout="block")
+        b = DistributedMatrix.from_numpy(m, A_host, layout="cyclic")
+        with pytest.raises(ValueError, match="differently embedded"):
+            a + b
+
+    def test_as_embedding_redistributes(self, m, A_host):
+        a = DistributedMatrix.from_numpy(m, A_host, layout="block")
+        emb2 = MatrixEmbedding.default(m, 11, 9, layout="cyclic")
+        b = a.as_embedding(emb2)
+        assert np.allclose(b.to_numpy(), A_host)
+        a + 0.0  # original still usable
+
+
+class TestPrimitiveMethods:
+    def test_extract(self, A, A_host):
+        assert np.allclose(A.extract(0, 4).to_numpy(), A_host[4])
+        assert np.allclose(A.extract(1, 2).to_numpy(), A_host[:, 2])
+
+    def test_insert(self, m, A, A_host, rng):
+        w = rng.standard_normal(9)
+        wv = DistributedVector(
+            RowAlignedEmbedding(A.embedding, None).scatter(w),
+            RowAlignedEmbedding(A.embedding, None),
+        )
+        out = A.insert(0, 3, wv)
+        expect = A_host.copy()
+        expect[3] = w
+        assert np.allclose(out.to_numpy(), expect)
+
+    def test_reduce(self, A, A_host):
+        assert np.allclose(A.reduce(1, "sum").to_numpy(), A_host.sum(1))
+        assert np.allclose(A.reduce(0, "max").to_numpy(), A_host.max(0))
+
+    def test_argreduce(self, A, A_host):
+        vals, idxs = A.argreduce(1, "max")
+        assert np.array_equal(idxs.to_numpy(), A_host.argmax(1))
+        vals, idxs = A.argreduce(0, "min")
+        assert np.array_equal(idxs.to_numpy(), A_host.argmin(0))
+
+    def test_argreduce_with_valid(self, A, A_host):
+        valid = A > 0
+        _, idxs = A.argreduce(1, "min", valid=valid)
+        got = idxs.to_numpy()
+        for i in range(11):
+            cands = np.nonzero(A_host[i] > 0)[0]
+            expect = cands[A_host[i][cands].argmin()] if len(cands) else -1
+            assert got[i] == expect
+
+    def test_argreduce_valid_embedding_check(self, m, A, A_host):
+        other = DistributedMatrix.from_numpy(m, A_host > 0, layout="cyclic")
+        with pytest.raises(ValueError, match="embedding"):
+            A.argreduce(1, "max", valid=other)
+
+    def test_distribute_static(self, m, A, rng):
+        w = rng.standard_normal(9)
+        wv = DistributedVector(
+            RowAlignedEmbedding(A.embedding, None).scatter(w),
+            RowAlignedEmbedding(A.embedding, None),
+        )
+        out = DistributedMatrix.distribute(wv, A, axis=0)
+        assert np.allclose(out.to_numpy(), np.tile(w, (11, 1)))
+
+
+class TestDerivedOps:
+    def test_transpose(self, A, A_host):
+        assert np.allclose(A.T.to_numpy(), A_host.T)
+        assert A.T.shape == (9, 11)
+
+    def test_matvec(self, m, A, A_host, rng):
+        x_h = rng.standard_normal(9)
+        x = DistributedVector(
+            RowAlignedEmbedding(A.embedding, None).scatter(x_h),
+            RowAlignedEmbedding(A.embedding, None),
+        )
+        assert np.allclose(A.matvec(x).to_numpy(), A_host @ x_h)
+
+    def test_matvec_from_vector_order(self, m, A, A_host, rng):
+        x_h = rng.standard_normal(9)
+        x = DistributedVector.from_numpy(m, x_h)
+        assert np.allclose(A.matvec(x).to_numpy(), A_host @ x_h)
+
+    def test_vecmat(self, m, A, A_host, rng):
+        x_h = rng.standard_normal(11)
+        x = DistributedVector.from_numpy(m, x_h)
+        assert np.allclose(A.vecmat(x).to_numpy(), x_h @ A_host)
+
+    def test_matvec_dimension_check(self, m, A):
+        x = DistributedVector.from_numpy(m, np.zeros(11))
+        with pytest.raises(ValueError, match="matvec"):
+            A.matvec(x)
+        y = DistributedVector.from_numpy(m, np.zeros(9))
+        with pytest.raises(ValueError, match="vecmat"):
+            A.vecmat(y)
+
+    def test_sub_outer(self, A, A_host):
+        u = A.extract(1, 0)
+        w = A.extract(0, 0)
+        out = A.sub_outer(u, w, alpha=2.0)
+        assert np.allclose(
+            out.to_numpy(), A_host - 2.0 * np.outer(A_host[:, 0], A_host[0])
+        )
+
+    def test_get_global(self, A, A_host):
+        assert A.get_global(3, 7) == A_host[3, 7]
+        with pytest.raises(IndexError):
+            A.get_global(11, 0)
+
+    def test_matvec_identity(self, m):
+        I_h = np.eye(8)
+        I = DistributedMatrix.from_numpy(m, I_h)
+        x_h = np.arange(8.0)
+        x = DistributedVector.from_numpy(m, x_h)
+        assert np.allclose(I.matvec(x).to_numpy(), x_h)
+
+    def test_composition_normal_equations(self, m, rng):
+        """y = A^T (A x) via transpose + two matvecs."""
+        A_h = rng.standard_normal((12, 6))
+        x_h = rng.standard_normal(6)
+        A = DistributedMatrix.from_numpy(m, A_h)
+        x = DistributedVector.from_numpy(m, x_h)
+        Ax = A.matvec(x)
+        At = A.T
+        y = At.matvec(Ax.as_embedding(RowAlignedEmbedding(At.embedding, None)))
+        assert np.allclose(y.to_numpy(), A_h.T @ (A_h @ x_h))

@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestInfo:
+    def test_prints_machine_summary(self, capsys):
+        assert main(["info", "-n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "processors : 16" in out
+        assert "cost model" in out
+
+    def test_cost_model_choice(self, capsys):
+        assert main(["info", "-n", "2", "--cost-model", "unit"]) == 0
+        assert "tau=1.0" in capsys.readouterr().out
+
+    def test_bad_cost_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["info", "--cost-model", "quantum"])
+
+
+class TestDemo:
+    def test_runs_and_reports(self, capsys):
+        assert main(["demo", "-n", "4", "--rows", "12", "--cols", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "embedded" in out
+        assert "simulated time" in out
+        assert "demo" in out
+
+
+class TestSolve:
+    def test_solves_and_reports(self, capsys):
+        assert main(["solve", "-n", "4", "--size", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "max error" in out
+        assert "PT / serial" in out
+
+    def test_implicit_pivoting_flag(self, capsys):
+        assert main([
+            "solve", "-n", "4", "--size", "12", "--pivoting", "implicit"
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "implicit pivoting" in out
+        assert "row-swap" not in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,105 @@
+"""Tests for the Gray-vs-binary coding ablation (R-A1 support).
+
+Gray coding is what makes grid-adjacent bands cube-adjacent.  With plain
+binary coding the primitives still compute the right answers (subcube
+collectives do not care about coordinate order), but *sequential* band
+traffic — residence changes, the naive baseline's band-at-a-time sends —
+pays longer routes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import primitives as P
+from repro.embeddings import (
+    MatrixEmbedding,
+    RowAlignedEmbedding,
+    VectorOrderEmbedding,
+    hamming_distance,
+    remap_vector,
+)
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+class TestBinaryCodingCorrectness:
+    """Everything still works under binary coding."""
+
+    def test_matrix_round_trip(self, m, rng):
+        emb = MatrixEmbedding.default(m, 9, 13, coding="binary")
+        A = rng.standard_normal((9, 13))
+        assert np.allclose(emb.gather(emb.scatter(A)), A)
+
+    def test_primitives_agree_with_gray(self, m, rng):
+        A = rng.standard_normal((9, 13))
+        for coding in ("gray", "binary"):
+            emb = MatrixEmbedding.default(m, 9, 13, coding=coding)
+            M = emb.scatter(A)
+            v, ve = P.reduce(M, emb, 1, "sum")
+            assert np.allclose(ve.gather(v), A.sum(1)), coding
+            w, we = P.extract(M, emb, 0, 4)
+            assert np.allclose(we.gather(w), A[4]), coding
+            val, idx, ie = P.reduce_loc(M, emb, 0, "max")
+            assert np.array_equal(ie.gather(idx), A.argmax(0)), coding
+
+    def test_vector_order_round_trip(self, m, rng):
+        emb = VectorOrderEmbedding(m, 23, coding="binary")
+        v = rng.standard_normal(23)
+        assert np.allclose(emb.gather(emb.scatter(v)), v)
+
+    def test_invalid_coding_rejected(self, m):
+        with pytest.raises(ValueError, match="coding"):
+            MatrixEmbedding.default(m, 4, 4, coding="hilbert")
+        with pytest.raises(ValueError, match="coding"):
+            VectorOrderEmbedding(m, 4, coding="hilbert")
+
+    def test_codings_are_incompatible_embeddings(self, m):
+        a = VectorOrderEmbedding(m, 8, coding="gray")
+        b = VectorOrderEmbedding(m, 8, coding="binary")
+        assert not a.compatible(b)
+        ma = MatrixEmbedding.default(m, 4, 4, coding="gray")
+        mb = MatrixEmbedding.default(m, 4, 4, coding="binary")
+        assert ma != mb
+
+
+class TestGrayAdvantage:
+    def test_gray_adjacent_bands_are_neighbors_binary_not(self, m):
+        g = MatrixEmbedding(m, 16, 16, (0, 1), (2, 3), coding="gray")
+        b = MatrixEmbedding(m, 16, 16, (0, 1), (2, 3), coding="binary")
+        # grid rows 1 -> 2: gray neighbours, binary two-bit flip
+        assert hamming_distance(g.pid_for_grid(1, 0), g.pid_for_grid(2, 0)) == 1
+        assert hamming_distance(b.pid_for_grid(1, 0), b.pid_for_grid(2, 0)) == 2
+
+    def test_vector_order_sequential_adjacency(self, m):
+        g = VectorOrderEmbedding(m, 16, coding="gray")
+        b = VectorOrderEmbedding(m, 16, coding="binary")
+        def max_gap(emb):
+            owners = [int(np.asarray(emb.owner_slot(i)[0])) for i in range(16)]
+            return max(
+                hamming_distance(a, c) for a, c in zip(owners, owners[1:])
+            )
+        assert max_gap(g) == 1
+        assert max_gap(b) == 4  # 7 -> 8 flips every bit
+
+    def test_band_walk_cheaper_under_gray(self):
+        """Sweeping a resident vector across consecutive bands (the access
+        pattern of a column sweep) transfers fewer element-hops with Gray
+        coding."""
+        costs = {}
+        for coding in ("gray", "binary"):
+            m = Hypercube(4, CostModel(tau=0, t_c=1, t_a=0, t_m=0))
+            emb = MatrixEmbedding(m, 16, 16, (0, 1), (2, 3), coding=coding)
+            v = np.ones(16)
+            cur = RowAlignedEmbedding(emb, 0)
+            pv = cur.scatter(v)
+            e0 = m.counters.elements_transferred
+            for band in range(1, emb.Pr):
+                nxt = RowAlignedEmbedding(emb, band)
+                pv = remap_vector(pv, cur, nxt)
+                cur = nxt
+            costs[coding] = m.counters.elements_transferred - e0
+        assert costs["gray"] < costs["binary"]

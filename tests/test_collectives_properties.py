@@ -1,0 +1,147 @@
+"""Hypothesis property tests for the subcube collectives.
+
+Each collective is checked against a brute-force oracle over random cube
+sizes, dimension subsets, payload shapes and operators — the invariants the
+primitives' correctness rests on.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import comm
+from repro.machine import CostModel, Hypercube
+
+
+@st.composite
+def cube_and_dims(draw, max_n=5):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    machine = Hypercube(n, CostModel.unit())
+    k = draw(st.integers(min_value=0, max_value=n))
+    dims = tuple(draw(st.permutations(range(n)))[:k])
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return machine, dims, seed
+
+
+def members(machine, pid, dims):
+    mask = sum(1 << d for d in dims)
+    return [q for q in range(machine.p) if (q & ~mask) == (pid & ~mask)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(cube_and_dims(), st.sampled_from(["sum", "max", "min", "prod"]))
+def test_reduce_all_oracle(case, opname):
+    machine, dims, seed = case
+    vals = np.random.default_rng(seed).standard_normal(machine.p)
+    out = comm.reduce_all(machine, machine.pvar(vals), opname, dims=dims)
+    op = comm.get_op(opname)
+    for pid in range(machine.p):
+        expect = vals[members(machine, pid, dims)]
+        acc = expect[0]
+        for v in expect[1:]:
+            acc = op.ufunc(acc, v)
+        assert np.isclose(out.data[pid], acc)
+
+
+@settings(max_examples=60, deadline=None)
+@given(cube_and_dims(), st.integers(min_value=0, max_value=31))
+def test_broadcast_oracle(case, root_pick):
+    machine, dims, seed = case
+    root = root_pick % (1 << len(dims))
+    vals = np.random.default_rng(seed).standard_normal(machine.p)
+    out = comm.broadcast(machine, machine.pvar(vals), dims=dims,
+                         root_rank=root)
+    rank = comm.subcube_rank(machine, dims)
+    for pid in range(machine.p):
+        src = next(q for q in members(machine, pid, dims) if rank[q] == root)
+        assert out.data[pid] == vals[src]
+
+
+@settings(max_examples=60, deadline=None)
+@given(cube_and_dims())
+def test_scan_oracle(case):
+    machine, dims, seed = case
+    vals = np.random.default_rng(seed).standard_normal(machine.p)
+    out = comm.scan(machine, machine.pvar(vals), "sum", dims=dims)
+    rank = comm.subcube_rank(machine, dims)
+    for pid in range(machine.p):
+        lower = [q for q in members(machine, pid, dims) if rank[q] < rank[pid]]
+        assert np.isclose(out.data[pid], vals[lower].sum() if lower else 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cube_and_dims())
+def test_scan_reduce_consistency(case):
+    """inclusive scan at the top rank == all-reduce: the defining relation."""
+    machine, dims, seed = case
+    vals = np.random.default_rng(seed).standard_normal(machine.p)
+    scanned = comm.scan(machine, machine.pvar(vals), "sum", dims=dims,
+                        inclusive=True)
+    reduced = comm.reduce_all(machine, machine.pvar(vals), "sum", dims=dims)
+    rank = comm.subcube_rank(machine, dims)
+    top = (1 << len(dims)) - 1
+    for pid in range(machine.p):
+        if rank[pid] == top:
+            assert np.isclose(scanned.data[pid], reduced.data[pid])
+
+
+@settings(max_examples=40, deadline=None)
+@given(cube_and_dims())
+def test_gather_scatter_round_trip(case):
+    machine, dims, seed = case
+    vals = np.random.default_rng(seed).standard_normal((machine.p, 2))
+    gathered = comm.allgather(machine, machine.pvar(vals), dims=dims)
+    back = comm.scatter(machine, gathered, dims=dims)
+    assert np.allclose(back.data, vals)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cube_and_dims(), st.sampled_from(["max", "min"]))
+def test_reduce_all_loc_oracle(case, mode):
+    machine, dims, seed = case
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(0, 4, machine.p).astype(float)  # force ties
+    idx = np.arange(machine.p)
+    v, i = comm.reduce_all_loc(
+        machine, machine.pvar(vals), machine.pvar(idx), dims=dims, mode=mode
+    )
+    for pid in range(machine.p):
+        group = members(machine, pid, dims)
+        gvals = vals[group]
+        best = gvals.max() if mode == "max" else gvals.min()
+        winner = min(q for q in group if vals[q] == best)
+        assert v.data[pid] == best
+        assert i.data[pid] == winner
+
+
+@settings(max_examples=40, deadline=None)
+@given(cube_and_dims())
+def test_collectives_charge_monotone_time(case):
+    machine, dims, seed = case
+    vals = np.random.default_rng(seed).standard_normal(machine.p)
+    pv = machine.pvar(vals)
+    last = machine.counters.time
+    for fn in (
+        lambda: comm.reduce_all(machine, pv, "sum", dims=dims),
+        lambda: comm.broadcast(machine, pv, dims=dims),
+        lambda: comm.scan(machine, pv, "sum", dims=dims),
+        lambda: comm.allgather(machine, pv, dims=dims),
+    ):
+        fn()
+        assert machine.counters.time >= last
+        last = machine.counters.time
+
+
+@settings(max_examples=40, deadline=None)
+@given(cube_and_dims())
+def test_round_counts_equal_dim_count(case):
+    """Every one-shot collective uses exactly |dims| exchange rounds."""
+    machine, dims, seed = case
+    pv = machine.pvar(np.zeros(machine.p))
+    for fn in (
+        lambda: comm.reduce_all(machine, pv, "sum", dims=dims),
+        lambda: comm.broadcast(machine, pv, dims=dims),
+        lambda: comm.scan(machine, pv, "sum", dims=dims),
+    ):
+        r0 = machine.counters.comm_rounds
+        fn()
+        assert machine.counters.comm_rounds - r0 == len(dims)

@@ -1,0 +1,65 @@
+"""Unit tests for combining operators (S9)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ALL, ANY, MAX, MIN, PROD, SUM, CombineOp, get_op
+
+
+class TestIdentities:
+    def test_sum_identity(self):
+        assert SUM.identity(np.float64) == 0.0
+        assert SUM.identity(np.int32) == 0
+
+    def test_prod_identity(self):
+        assert PROD.identity(np.float64) == 1.0
+
+    def test_max_identity_float_is_neg_inf(self):
+        assert MAX.identity(np.float64) == -np.inf
+
+    def test_max_identity_int_is_min(self):
+        assert MAX.identity(np.int64) == np.iinfo(np.int64).min
+
+    def test_min_identity_float_is_inf(self):
+        assert MIN.identity(np.float64) == np.inf
+
+    def test_min_identity_int_is_max(self):
+        assert MIN.identity(np.int32) == np.iinfo(np.int32).max
+
+    def test_bool_identities(self):
+        assert ANY.identity(np.bool_) is False
+        assert ALL.identity(np.bool_) is True
+        assert MAX.identity(np.bool_) is False
+        assert MIN.identity(np.bool_) is True
+
+    def test_identity_is_actually_neutral(self):
+        x = np.array([3.5, -2.0, 0.0])
+        for op in (SUM, PROD, MAX, MIN):
+            ident = op.identity(x.dtype)
+            assert np.array_equal(op(x, np.full_like(x, ident)), x), op.name
+
+    def test_max_identity_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            MAX.identity(np.complex128)
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_op("sum") is SUM
+        assert get_op("max") is MAX
+
+    def test_lookup_passthrough(self):
+        assert get_op(MIN) is MIN
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown combine op"):
+            get_op("median")
+
+    def test_call_applies_ufunc(self):
+        a = np.array([1.0, 5.0])
+        b = np.array([4.0, 2.0])
+        assert np.array_equal(MAX(a, b), [4.0, 5.0])
+        assert np.array_equal(SUM(a, b), [5.0, 7.0])
+
+    def test_repr(self):
+        assert "sum" in repr(SUM)

@@ -1,0 +1,118 @@
+"""Tests for the SIMD activity context (the CM's context flags)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(3, CostModel.unit())
+
+
+class TestAssignWithoutContext:
+    def test_plain_overwrite(self, m):
+        a = m.pvar(np.zeros(8))
+        a.assign(m.pvar(np.arange(8.0)))
+        assert np.array_equal(a.data, np.arange(8.0))
+
+    def test_scalar_assign(self, m):
+        a = m.pvar(np.zeros(8))
+        a.assign(7.0)
+        assert np.all(a.data == 7.0)
+
+    def test_returns_self(self, m):
+        a = m.pvar(np.zeros(8))
+        assert a.assign(1.0) is a
+
+    def test_charges_one_pass(self, m):
+        a = m.zeros((5,))
+        t0 = m.counters.time
+        a.assign(1.0)
+        assert m.counters.time - t0 == 5.0  # unit t_m
+
+
+class TestWhereContext:
+    def test_masked_store(self, m):
+        mask = m.pvar(np.arange(8) % 2 == 0)
+        a = m.pvar(np.zeros(8))
+        with m.where(mask):
+            a.assign(1.0)
+        assert np.array_equal(a.data, np.where(np.arange(8) % 2 == 0, 1.0, 0.0))
+
+    def test_inactive_processors_keep_values(self, m):
+        mask = m.pvar(np.arange(8) < 4)
+        a = m.pvar(np.arange(8.0) * 10)
+        with m.where(mask):
+            a.assign(a + 1)
+        expect = np.where(np.arange(8) < 4, np.arange(8.0) * 10 + 1,
+                          np.arange(8.0) * 10)
+        assert np.array_equal(a.data, expect)
+
+    def test_nested_contexts_and_together(self, m):
+        a = m.pvar(np.zeros(8))
+        with m.where(m.pvar(np.arange(8) < 6)):
+            with m.where(m.pvar(np.arange(8) % 2 == 0)):
+                a.assign(1.0)
+        assert np.array_equal(a.data, [1, 0, 1, 0, 1, 0, 0, 0])
+
+    def test_context_restored_on_exit(self, m):
+        with m.where(m.pvar(np.zeros(8, bool))):
+            assert m.active_mask is not None
+        assert m.active_mask is None
+        a = m.pvar(np.zeros(8))
+        a.assign(2.0)  # unrestricted again
+        assert np.all(a.data == 2.0)
+
+    def test_context_restored_on_exception(self, m):
+        with pytest.raises(RuntimeError):
+            with m.where(m.pvar(np.zeros(8, bool))):
+                raise RuntimeError("boom")
+        assert m.active_mask is None
+
+    def test_block_target(self, m):
+        mask = m.pvar(np.arange(8) < 4)
+        a = m.pvar(np.zeros((8, 3)))
+        with m.where(mask):
+            a.assign(5.0)
+        assert np.all(a.data[:4] == 5.0)
+        assert np.all(a.data[4:] == 0.0)
+
+    def test_elementwise_mask_on_block(self, m):
+        mask = m.pvar(np.arange(24).reshape(8, 3) % 2 == 0)
+        a = m.pvar(np.zeros((8, 3)))
+        with m.where(mask):
+            a.assign(1.0)
+        assert np.array_equal(a.data, (np.arange(24).reshape(8, 3) % 2 == 0) * 1.0)
+
+    def test_non_boolean_mask_rejected(self, m):
+        with pytest.raises(TypeError, match="boolean"):
+            with m.where(m.pvar(np.arange(8))):
+                pass
+
+    def test_incompatible_mask_shape_rejected(self, m):
+        mask = m.pvar(np.ones((8, 3), dtype=bool))
+        a = m.pvar(np.zeros((8, 2)))
+        with m.where(mask):
+            with pytest.raises(ValueError, match="incompatible"):
+                a.assign(1.0)
+
+    def test_simd_cost_is_unconditional(self, m):
+        """SIMD executes everywhere: a masked store costs the same pass."""
+        a = m.zeros((4,))
+        with m.where(m.pvar(np.zeros(8, bool))):
+            t0 = m.counters.time
+            a.assign(1.0)
+            assert m.counters.time - t0 == 4.0
+
+    def test_conditional_accumulate_idiom(self, m):
+        """The classic CM pattern: accumulate only on active processors."""
+        values = m.pvar(np.arange(8.0))
+        acc = m.pvar(np.zeros(8))
+        for threshold in (2, 4, 6):
+            with m.where(values < threshold):
+                acc.assign(acc + 1)
+        # element i was counted once per threshold it is below
+        expect = np.array([3, 3, 2, 2, 1, 1, 0, 0], dtype=float)
+        assert np.array_equal(acc.data, expect)

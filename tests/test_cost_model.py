@@ -1,0 +1,70 @@
+"""Unit tests for the cost model (S1)."""
+
+import pytest
+
+from repro.machine import CostModel
+
+
+class TestPresets:
+    def test_unit_preset_is_all_ones(self):
+        c = CostModel.unit()
+        assert (c.tau, c.t_c, c.t_a, c.t_m) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_cm2_startup_dominates_transfer(self):
+        c = CostModel.cm2()
+        assert c.tau > 10 * c.t_c, "CM-2 router start-up must dominate"
+
+    def test_cm2_transfer_dominates_arithmetic(self):
+        c = CostModel.cm2()
+        assert c.t_c > c.t_a
+
+    def test_latency_bound_has_huge_startup(self):
+        assert CostModel.latency_bound().tau > CostModel.cm2().tau
+
+    def test_bandwidth_bound_has_huge_transfer(self):
+        c = CostModel.bandwidth_bound()
+        assert c.t_c > c.tau / 10
+
+    def test_negative_parameter_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            CostModel(tau=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(t_c=-0.5)
+        with pytest.raises(ValueError):
+            CostModel(t_a=-2)
+        with pytest.raises(ValueError):
+            CostModel(t_m=-0.1)
+
+    def test_frozen(self):
+        c = CostModel.unit()
+        with pytest.raises(Exception):
+            c.tau = 5.0
+
+
+class TestCharging:
+    def test_comm_round_is_startup_plus_volume(self):
+        c = CostModel(tau=100.0, t_c=2.0)
+        assert c.comm_round(10) == 100.0 + 20.0
+
+    def test_comm_round_multiple_hops(self):
+        c = CostModel(tau=100.0, t_c=2.0)
+        assert c.comm_round(10, hops=3) == 3 * (100.0 + 20.0)
+
+    def test_comm_round_zero_hops_is_free(self):
+        assert CostModel.cm2().comm_round(10, hops=0) == 0.0
+
+    def test_comm_round_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel.unit().comm_round(10, hops=-1)
+
+    def test_arithmetic_scales_with_elements(self):
+        c = CostModel(t_a=3.0)
+        assert c.arithmetic(7) == 21.0
+
+    def test_memory_scales_with_elements(self):
+        c = CostModel(t_m=0.5)
+        assert c.memory(8) == 4.0
+
+    def test_zero_volume_round_still_pays_startup(self):
+        c = CostModel(tau=50.0, t_c=1.0)
+        assert c.comm_round(0) == 50.0

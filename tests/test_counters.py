@@ -1,0 +1,120 @@
+"""Unit tests for cycle accounting (S1)."""
+
+import pytest
+
+from repro.machine import Counters, CostSnapshot
+
+
+class TestCharging:
+    def test_charge_time_accumulates(self):
+        c = Counters()
+        c.charge_time(5.0)
+        c.charge_time(2.5)
+        assert c.time == 7.5
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().charge_time(-1.0)
+
+    def test_charge_flops_tracks_count_and_time(self):
+        c = Counters()
+        c.charge_flops(100, 10.0)
+        assert c.flops == 100
+        assert c.time == 10.0
+
+    def test_charge_transfer_tracks_all_three(self):
+        c = Counters()
+        c.charge_transfer(64, 2, 20.0)
+        assert c.elements_transferred == 64
+        assert c.comm_rounds == 2
+        assert c.time == 20.0
+
+    def test_charge_local(self):
+        c = Counters()
+        c.charge_local(16, 4.0)
+        assert c.local_moves == 16
+        assert c.time == 4.0
+
+    def test_reset_clears_everything(self):
+        c = Counters()
+        c.charge_flops(5, 1.0)
+        c.charge_transfer(3, 1, 2.0)
+        with c.phase("x"):
+            c.charge_time(1.0)
+        c.reset()
+        assert c.time == 0 and c.flops == 0 and c.comm_rounds == 0
+        assert c.phase_times == {}
+
+
+class TestPhases:
+    def test_phase_attribution(self):
+        c = Counters()
+        with c.phase("reduce"):
+            c.charge_time(3.0)
+        c.charge_time(1.0)
+        assert c.phase_times["reduce"] == 3.0
+        assert c.time == 4.0
+
+    def test_nested_phases_charge_both(self):
+        c = Counters()
+        with c.phase("outer"):
+            c.charge_time(1.0)
+            with c.phase("inner"):
+                c.charge_time(2.0)
+        assert c.phase_times["outer"] == 3.0
+        assert c.phase_times["inner"] == 2.0
+
+    def test_reentrant_same_phase_not_double_counted(self):
+        c = Counters()
+        with c.phase("p"):
+            with c.phase("p"):
+                c.charge_time(2.0)
+        assert c.phase_times["p"] == 2.0
+
+    def test_phase_breakdown_sorted_descending(self):
+        c = Counters()
+        with c.phase("small"):
+            c.charge_time(1.0)
+        with c.phase("big"):
+            c.charge_time(9.0)
+        names = [name for name, _ in c.phase_breakdown()]
+        assert names == ["big", "small"]
+
+    def test_phase_exits_cleanly_on_exception(self):
+        c = Counters()
+        with pytest.raises(RuntimeError):
+            with c.phase("x"):
+                raise RuntimeError("boom")
+        # subsequent charges must not leak into the closed phase
+        c.charge_time(5.0)
+        assert c.phase_times.get("x", 0.0) == 0.0
+
+
+class TestSnapshots:
+    def test_snapshot_is_immutable_copy(self):
+        c = Counters()
+        c.charge_flops(10, 2.0)
+        snap = c.snapshot()
+        c.charge_flops(10, 2.0)
+        assert snap.flops == 10
+        assert c.flops == 20
+
+    def test_snapshot_difference(self):
+        c = Counters()
+        c.charge_transfer(10, 1, 5.0)
+        before = c.snapshot()
+        c.charge_transfer(20, 2, 7.0)
+        delta = c.snapshot() - before
+        assert delta.elements_transferred == 20
+        assert delta.comm_rounds == 2
+        assert delta.time == 7.0
+
+    def test_as_dict_round_trip(self):
+        snap = CostSnapshot(time=1.0, flops=2.0, elements_transferred=3.0,
+                            comm_rounds=4, local_moves=5.0)
+        d = snap.as_dict()
+        assert d["time"] == 1.0
+        assert d["comm_rounds"] == 4.0
+        assert set(d) == {
+            "time", "flops", "elements_transferred", "comm_rounds", "local_moves"
+        }

@@ -1,0 +1,134 @@
+"""Hypothesis property tests over the full embedding configuration space.
+
+Random machine sizes × shapes × dimension splits × layout kinds × codings:
+the structural invariants every embedding must satisfy, checked against
+brute force.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import primitives as P
+from repro.embeddings import (
+    ColAlignedEmbedding,
+    MatrixEmbedding,
+    RowAlignedEmbedding,
+    VectorOrderEmbedding,
+)
+from repro.machine import CostModel, Hypercube
+
+LAYOUTS = ["block", "cyclic", "block_cyclic:2", "block_cyclic:3"]
+
+
+@st.composite
+def embeddings(draw):
+    n = draw(st.integers(min_value=0, max_value=5))
+    machine = Hypercube(n, CostModel.unit())
+    R = draw(st.integers(min_value=1, max_value=20))
+    C = draw(st.integers(min_value=1, max_value=20))
+    dims = list(draw(st.permutations(range(n))))
+    nr = draw(st.integers(min_value=0, max_value=n))
+    emb = MatrixEmbedding(
+        machine, R, C,
+        row_dims=tuple(dims[:nr]),
+        col_dims=tuple(dims[nr:]),
+        row_layout_kind=draw(st.sampled_from(LAYOUTS)),
+        col_layout_kind=draw(st.sampled_from(LAYOUTS)),
+        coding=draw(st.sampled_from(["gray", "binary"])),
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return emb, seed
+
+
+@settings(max_examples=80, deadline=None)
+@given(embeddings())
+def test_every_element_has_exactly_one_home(case):
+    emb, seed = case
+    mask = emb.valid_mask()
+    assert int(mask.sum()) == emb.R * emb.C
+    # and owner_slot points into a valid slot holding that element
+    A = np.random.default_rng(seed).standard_normal((emb.R, emb.C))
+    pv = emb.scatter(A)
+    ii, jj = np.meshgrid(np.arange(emb.R), np.arange(emb.C), indexing="ij")
+    pid, sr, sc = emb.owner_slot(ii.ravel(), jj.ravel())
+    got = pv.data[np.asarray(pid), np.asarray(sr), np.asarray(sc)]
+    assert np.array_equal(got, A.ravel())
+
+
+@settings(max_examples=80, deadline=None)
+@given(embeddings())
+def test_load_balance_bound(case):
+    """The paper's guarantee: no processor holds more than
+    ceil(R/Pr) * ceil(C/Pc) elements."""
+    emb, _ = case
+    counts = emb.valid_mask().sum(axis=(1, 2))
+    lr, lc = emb.local_shape
+    assert counts.max() <= lr * lc
+
+
+@settings(max_examples=60, deadline=None)
+@given(embeddings())
+def test_scatter_gather_identity(case):
+    emb, seed = case
+    A = np.random.default_rng(seed).standard_normal((emb.R, emb.C))
+    assert np.array_equal(emb.gather(emb.scatter(A)), A)
+
+
+@settings(max_examples=60, deadline=None)
+@given(embeddings())
+def test_grid_pid_bijection(case):
+    emb, _ = case
+    seen = set()
+    for gr in range(emb.Pr):
+        for gc in range(emb.Pc):
+            pid = int(np.asarray(emb.pid_for_grid(gr, gc)))
+            assert emb.grid_for_pid(pid) == (gr, gc)
+            seen.add(pid)
+    assert len(seen) == emb.machine.p
+
+
+@settings(max_examples=40, deadline=None)
+@given(embeddings())
+def test_reduce_correct_on_any_configuration(case):
+    """The reduce primitive's oracle check over the whole config space —
+    layouts, codings and splits must all be transparent to semantics."""
+    emb, seed = case
+    A = np.random.default_rng(seed).standard_normal((emb.R, emb.C))
+    M = emb.scatter(A)
+    for axis in (0, 1):
+        v, ve = P.reduce(M, emb, axis, "sum")
+        assert np.allclose(ve.gather(v), A.sum(axis=axis))
+
+
+@settings(max_examples=40, deadline=None)
+@given(embeddings(), st.data())
+def test_aligned_vectors_align(case, data):
+    """Row/column-aligned vectors share slots with the matrix's slices."""
+    emb, seed = case
+    A = np.random.default_rng(seed).standard_normal((emb.R, emb.C))
+    pv = emb.scatter(A)
+    i = data.draw(st.integers(min_value=0, max_value=emb.R - 1))
+    row_emb = RowAlignedEmbedding(emb, None)
+    w = np.random.default_rng(seed + 1).standard_normal(emb.C)
+    wv = row_emb.scatter(w)
+    for j in range(emb.C):
+        mpid, _, msc = emb.owner_slot(i, j)
+        vpid, vs = row_emb.owner_slot(j)
+        assert int(np.asarray(msc)) == int(np.asarray(vs))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=1, max_value=40),
+    st.sampled_from(LAYOUTS),
+    st.sampled_from(["gray", "binary"]),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_vector_order_round_trip(n, L, layout, coding, seed):
+    machine = Hypercube(n, CostModel.unit())
+    emb = VectorOrderEmbedding(machine, L, layout, coding)
+    v = np.random.default_rng(seed).standard_normal(L)
+    assert np.array_equal(emb.gather(emb.scatter(v)), v)
+    mask = emb.valid_mask()
+    assert int(mask.sum()) == L

@@ -1,0 +1,68 @@
+"""Run every example end-to-end (each asserts its own correctness).
+
+Protects the documentation from rot: an API change that breaks an example
+breaks the suite.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(autouse=True)
+def quiet_stdout(capsys):
+    yield
+    capsys.readouterr()
+
+
+def test_quickstart():
+    load_example("quickstart").main()
+
+
+def test_linear_solver_small():
+    load_example("linear_solver").main(48)
+
+
+def test_lp_production():
+    load_example("lp_production").main()
+
+
+def test_power_iteration_small():
+    load_example("power_iteration").main(n=24, iters=50)
+
+
+def test_least_squares_small():
+    load_example("least_squares").main(samples=48, degree=4)
+
+
+def test_signal_filter_small():
+    load_example("signal_filter").main(N=256, keep_below=30)
+
+
+def test_heat_adi_small():
+    load_example("heat_adi").main(n=16, steps=6)
+
+
+def test_every_example_has_a_test():
+    examples = {
+        f[:-3] for f in os.listdir(EXAMPLES_DIR)
+        if f.endswith(".py") and not f.startswith("_")
+    }
+    tested = {
+        name[len("test_"):].rsplit("_small", 1)[0]
+        for name in globals()
+        if name.startswith("test_") and name != "test_every_example_has_a_test"
+    }
+    assert examples <= tested, f"untested examples: {examples - tested}"

@@ -1,0 +1,136 @@
+"""Tests for the distributed radix-2 FFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import fft as F
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+class TestForward:
+    @pytest.mark.parametrize("N", [1, 2, 16, 64, 256])
+    def test_matches_numpy(self, m, rng, N):
+        if N < m.p:
+            pytest.skip("fewer points than processors")
+        x = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        res = F.fft(m, x)
+        assert np.allclose(res.values, np.fft.fft(x), atol=1e-9)
+
+    def test_real_input(self, m, rng):
+        x = rng.standard_normal(64)
+        res = F.fft(m, x)
+        assert np.allclose(res.values, np.fft.fft(x), atol=1e-9)
+
+    def test_impulse_gives_flat_spectrum(self, m):
+        x = np.zeros(32)
+        x[0] = 1.0
+        res = F.fft(m, x)
+        assert np.allclose(res.values, 1.0)
+
+    def test_constant_gives_dc_only(self, m):
+        res = F.fft(m, np.ones(32))
+        assert np.isclose(res.values[0], 32.0)
+        assert np.allclose(res.values[1:], 0.0, atol=1e-10)
+
+    def test_single_processor(self, rng):
+        m1 = Hypercube(0, CostModel.unit())
+        x = rng.standard_normal(16)
+        assert np.allclose(F.fft(m1, x).values, np.fft.fft(x), atol=1e-10)
+
+    def test_one_point_per_processor(self, m, rng):
+        x = rng.standard_normal(16)
+        assert np.allclose(F.fft(m, x).values, np.fft.fft(x), atol=1e-10)
+
+    def test_non_power_of_two_rejected(self, m):
+        with pytest.raises(ValueError, match="power of two"):
+            F.fft(m, np.zeros(12))
+
+    def test_too_few_points_rejected(self, m):
+        with pytest.raises(ValueError, match="more processors"):
+            F.fft(m, np.zeros(8))
+
+    def test_2d_rejected(self, m):
+        with pytest.raises(ValueError, match="1-D"):
+            F.fft(m, np.zeros((4, 4)))
+
+
+class TestInverse:
+    def test_round_trip(self, m, rng):
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        back = F.ifft(m, F.fft(m, x).values)
+        assert np.allclose(back.values, x, atol=1e-9)
+
+    def test_matches_numpy_ifft(self, m, rng):
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        assert np.allclose(F.ifft(m, x).values, np.fft.ifft(x), atol=1e-10)
+
+
+class TestConvolve:
+    def test_circular_convolution(self, m, rng):
+        a = rng.standard_normal(64)
+        b = rng.standard_normal(64)
+        res = F.convolve(m, a, b)
+        expect = np.real(np.fft.ifft(np.fft.fft(a) * np.fft.fft(b)))
+        assert np.allclose(np.real(res.values), expect, atol=1e-9)
+
+    def test_identity_kernel(self, m, rng):
+        a = rng.standard_normal(32)
+        delta = np.zeros(32)
+        delta[0] = 1.0
+        res = F.convolve(m, a, delta)
+        assert np.allclose(np.real(res.values), a, atol=1e-10)
+
+    def test_shape_mismatch(self, m):
+        with pytest.raises(ValueError):
+            F.convolve(m, np.zeros(8), np.zeros(16))
+
+
+class TestCost:
+    def test_cube_stage_count(self):
+        """lg p cross-processor stages, each one exchange round (plus the
+        bit-reversal routing)."""
+        m = Hypercube(3, CostModel.unit())
+        x = np.ones(64)  # L = 8: 3 local + 3 cube stages
+        r0 = m.counters.comm_rounds
+        F.fft(m, x)
+        rounds = m.counters.comm_rounds - r0
+        assert rounds >= 3  # the three cube-stage exchanges
+        assert rounds <= 3 + 3  # + at most n rounds of bit-reversal routing
+
+    def test_flop_count_tracks_n_log_n(self):
+        times = []
+        for N in (64, 128, 256):
+            m = Hypercube(2, CostModel(tau=0, t_c=0, t_a=1, t_m=0))
+            f0 = m.counters.flops
+            F.fft(m, np.ones(N))
+            times.append(m.counters.flops - f0)
+        # flops ~ 10 N lg N / p per processor-step; ratio ~ 2.3x per doubling
+        assert 1.8 < times[1] / times[0] < 2.6
+        assert 1.8 < times[2] / times[1] < 2.6
+
+    def test_parseval_energy_preserved(self, m, rng):
+        x = rng.standard_normal(64)
+        X = F.fft(m, x).values
+        assert np.isclose((np.abs(X) ** 2).sum() / 64, (x ** 2).sum())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_property_matches_numpy(n, t, seed):
+    if (1 << t) < (1 << n):
+        return
+    machine = Hypercube(n, CostModel.unit())
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(1 << t) + 1j * rng.standard_normal(1 << t)
+    res = F.fft(machine, x)
+    assert np.allclose(res.values, np.fft.fft(x), atol=1e-8)

@@ -1,0 +1,103 @@
+"""Randomised cross-validation of the solvers against NumPy/SciPy.
+
+Hypothesis generates random machine sizes and problem instances; every
+solver must agree with the reference implementation.  This is the broad
+artillery behind the targeted unit tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import gaussian, simplex, triangular
+from repro.core import DistributedMatrix
+from repro.machine import CostModel, Hypercube
+
+scipy = pytest.importorskip("scipy")
+from scipy.optimize import linprog  # noqa: E402
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=2**31),
+    st.sampled_from(["partial", "implicit"]),
+)
+def test_gaussian_fuzz(n, cube, seed, pivoting):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n)) + 2 * np.eye(n)
+    x_true = rng.standard_normal(n)
+    b = A @ x_true
+    machine = Hypercube(cube, CostModel.unit())
+    res = gaussian.solve(
+        DistributedMatrix.from_numpy(machine, A), b, pivoting=pivoting
+    )
+    assert np.allclose(res.x, np.linalg.solve(A, b), atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_lu_fuzz(n, cube, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n)) + 2 * np.eye(n)
+    b = rng.standard_normal(n)
+    machine = Hypercube(cube, CostModel.unit())
+    fact = triangular.lu_factor(DistributedMatrix.from_numpy(machine, A))
+    x = triangular.lu_solve(fact, b)
+    assert np.allclose(A @ x, b, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),   # constraints
+    st.integers(min_value=1, max_value=6),   # variables
+    st.integers(min_value=0, max_value=4),   # cube dims
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_simplex_fuzz_feasible(m_rows, n_vars, cube, seed):
+    """Random feasible bounded LPs: objective must match scipy/highs."""
+    rng = np.random.default_rng(seed)
+    A = rng.uniform(0.05, 1.0, size=(m_rows, n_vars))
+    b = rng.uniform(0.5, 2.0, size=m_rows)
+    c = rng.uniform(0.0, 1.0, size=n_vars)
+    machine = Hypercube(cube, CostModel.unit())
+    res = simplex.solve(machine, A, b, c)
+    ref = linprog(-c, A_ub=A, b_ub=b, bounds=(0, None), method="highs")
+    assert res.status == "optimal"
+    assert ref.status == 0
+    assert np.isclose(res.objective, -ref.fun, atol=1e-6)
+    # and the certificate holds
+    assert np.all(A @ res.x <= b + 1e-7)
+    assert np.all(res.x >= -1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_simplex_fuzz_general_rhs(m_rows, n_vars, cube, seed):
+    """Mixed-sign RHS (phase I territory): status and objective must agree
+    with scipy on every instance, feasible or not."""
+    rng = np.random.default_rng(seed)
+    A = rng.uniform(-1.0, 1.0, size=(m_rows, n_vars))
+    b = rng.uniform(-1.0, 2.0, size=m_rows)
+    c = rng.uniform(0.0, 1.0, size=n_vars)
+    # a box row keeps the problem bounded whenever it is feasible
+    A = np.vstack([A, np.ones((1, n_vars))])
+    b = np.append(b, 10.0)
+    machine = Hypercube(cube, CostModel.unit())
+    res = simplex.solve(machine, A, b, c)
+    ref = linprog(-c, A_ub=A, b_ub=b, bounds=(0, None), method="highs")
+    if ref.status == 0:
+        assert res.status == "optimal", (res.status, ref.status)
+        assert np.isclose(res.objective, -ref.fun, atol=1e-6)
+    elif ref.status == 2:
+        assert res.status == "infeasible"

@@ -1,0 +1,215 @@
+"""Tests for the Gaussian-elimination extensions: implicit pivoting,
+multi-RHS solves, inversion and determinants."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro import workloads as W
+from repro.algorithms import gaussian
+from repro.algorithms.gaussian import Elimination, SingularMatrixError
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestImplicitPivoting:
+    @pytest.mark.parametrize("n", [1, 3, 8, 16, 24])
+    def test_solves_random_systems(self, s, n):
+        A_h, b, x_true = W.random_system(n, seed=n + 100)
+        res = gaussian.solve(s.matrix(A_h), b, pivoting="implicit")
+        assert np.allclose(res.x, x_true, atol=1e-7)
+
+    def test_agrees_with_explicit(self, s):
+        A_h, b, _ = W.random_system(12, seed=55)
+        explicit = gaussian.solve(s.matrix(A_h), b, pivoting="partial")
+        implicit = gaussian.solve(s.matrix(A_h), b, pivoting="implicit")
+        assert np.allclose(explicit.x, implicit.x, atol=1e-9)
+
+    def test_permutation_matrix(self, s, rng):
+        perm = rng.permutation(8)
+        P = np.eye(8)[perm]
+        b = np.arange(1.0, 9.0)
+        res = gaussian.solve(s.matrix(P), b, pivoting="implicit")
+        assert np.allclose(P @ res.x, b)
+        # the pivot list is exactly the permutation's structure
+        assert sorted(res.pivots) == list(range(8))
+
+    def test_no_row_swap_phase(self, rng):
+        s = Session(4, "unit")
+        A_h, b, _ = W.random_system(16, seed=56)
+        gaussian.solve(s.matrix(A_h), b, pivoting="implicit")
+        assert "row-swap" not in s.machine.counters.phase_times
+
+    def test_cheaper_than_explicit_when_swaps_abound(self):
+        """On systems that pivot every step, skipping the physical swaps
+        must save simulated time."""
+        times = {}
+        for mode in ("partial", "implicit"):
+            s = Session(6, "cm2")
+            A_h, b, _ = W.random_system(32, seed=57)
+            res = gaussian.solve(s.matrix(A_h), b, pivoting=mode)
+            times[mode] = res.cost.time
+            nswaps = sum(1 for k, p in enumerate(res.pivots) if p != k)
+            if mode == "partial":
+                assert nswaps > 10  # the workload really does swap
+        assert times["implicit"] < times["partial"]
+
+    def test_singular_detected(self, s):
+        with pytest.raises(SingularMatrixError):
+            gaussian.solve(s.matrix(np.ones((4, 4))), np.ones(4),
+                           pivoting="implicit")
+
+
+class TestSolveMulti:
+    def test_multiple_rhs(self, s, rng):
+        A_h, _, _ = W.random_system(10, seed=60)
+        B_h = rng.standard_normal((10, 4))
+        res = gaussian.solve_multi(s.matrix(A_h), B_h)
+        assert res.x.shape == (10, 4)
+        assert np.allclose(res.x, np.linalg.solve(A_h, B_h), atol=1e-7)
+
+    def test_single_rhs_as_vector(self, s):
+        A_h, b, x_true = W.random_system(8, seed=61)
+        res = gaussian.solve_multi(s.matrix(A_h), b)
+        assert np.allclose(res.x[:, 0], x_true, atol=1e-7)
+
+    def test_implicit_mode(self, s, rng):
+        A_h, _, _ = W.random_system(9, seed=62)
+        B_h = rng.standard_normal((9, 2))
+        res = gaussian.solve_multi(s.matrix(A_h), B_h, pivoting="implicit")
+        assert np.allclose(res.x, np.linalg.solve(A_h, B_h), atol=1e-7)
+
+    def test_one_factorisation_beats_k_solves(self):
+        """The blocked tableau amortises the elimination."""
+        A_h, _, _ = W.random_system(16, seed=63)
+        B_h = np.random.default_rng(0).standard_normal((16, 8))
+        s1 = Session(4, "cm2")
+        multi = gaussian.solve_multi(s1.matrix(A_h), B_h)
+        s2 = Session(4, "cm2")
+        t0 = s2.machine.counters.time
+        for j in range(8):
+            gaussian.solve(s2.matrix(A_h), B_h[:, j])
+        separate = s2.machine.counters.time - t0
+        assert multi.cost.time < separate
+
+    def test_shape_checks(self, s, rng):
+        with pytest.raises(ValueError, match="square"):
+            gaussian.solve_multi(s.matrix(rng.standard_normal((3, 4))),
+                                 np.ones(3))
+        with pytest.raises(ValueError, match="rows"):
+            gaussian.solve_multi(s.matrix(np.eye(3)), np.ones((4, 2)))
+
+
+class TestInvert:
+    def test_inverse_matches_numpy(self, s):
+        A_h, _, _ = W.random_system(10, seed=64)
+        res = gaussian.invert(s.matrix(A_h))
+        assert np.allclose(res.x, np.linalg.inv(A_h), atol=1e-7)
+
+    def test_inverse_times_matrix_is_identity(self, s):
+        A_h, _, _ = W.random_system(8, seed=65)
+        inv = gaussian.invert(s.matrix(A_h)).x
+        assert np.allclose(inv @ A_h, np.eye(8), atol=1e-7)
+
+    def test_identity_inverse(self, s):
+        res = gaussian.invert(s.matrix(np.eye(6)))
+        assert np.allclose(res.x, np.eye(6))
+
+    def test_non_square_rejected(self, s, rng):
+        with pytest.raises(ValueError, match="square"):
+            gaussian.invert(s.matrix(rng.standard_normal((3, 4))))
+
+
+class TestDeterminant:
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_matches_numpy(self, s, rng, n):
+        A_h = rng.standard_normal((n, n))
+        got = gaussian.determinant(s.matrix(A_h))
+        assert np.isclose(got, np.linalg.det(A_h), rtol=1e-8)
+
+    def test_singular_gives_zero(self, s):
+        assert gaussian.determinant(s.matrix(np.ones((4, 4)))) == 0.0
+
+    def test_permutation_sign(self, s):
+        # a single row swap flips the sign of det(I)
+        P = np.eye(4)
+        P[[0, 1]] = P[[1, 0]]
+        assert np.isclose(gaussian.determinant(s.matrix(P)), -1.0)
+
+    def test_scaling_row_scales_det(self, s, rng):
+        A_h, _, _ = W.random_system(6, seed=67)
+        d1 = gaussian.determinant(s.matrix(A_h))
+        A2 = A_h.copy()
+        A2[2] *= 3.0
+        d2 = gaussian.determinant(s.matrix(A2))
+        assert np.isclose(d2, 3.0 * d1, rtol=1e-8)
+
+
+class TestEliminationRecord:
+    def test_pivot_values_product_is_det_magnitude(self, s, rng):
+        A_h = rng.standard_normal((7, 7))
+        T = s.matrix(A_h)
+        elim = gaussian.eliminate(
+            type(T).from_numpy(s.machine, A_h), pivoting="partial"
+        )
+        prod = np.prod(elim.pivot_values)
+        assert np.isclose(abs(prod), abs(np.linalg.det(A_h)), rtol=1e-8)
+
+    def test_row_of_step(self):
+        e = Elimination(None, [2, 0, 1], [1.0] * 3, "implicit")
+        assert [e.row_of_step(k) for k in range(3)] == [2, 0, 1]
+        e2 = Elimination(None, [2, 1, 2], [1.0] * 3, "partial")
+        assert [e2.row_of_step(k) for k in range(3)] == [0, 1, 2]
+
+    def test_permutation_sign_identity(self):
+        e = Elimination(None, [0, 1, 2], [1.0] * 3, "implicit")
+        assert e.permutation_sign() == 1.0
+
+    def test_permutation_sign_transposition(self):
+        e = Elimination(None, [1, 0, 2], [1.0] * 3, "implicit")
+        assert e.permutation_sign() == -1.0
+
+    def test_permutation_sign_three_cycle(self):
+        e = Elimination(None, [1, 2, 0], [1.0] * 3, "implicit")
+        assert e.permutation_sign() == 1.0
+
+
+class TestGaussJordan:
+    @pytest.mark.parametrize("n", [1, 4, 12, 20])
+    def test_solves(self, s, n):
+        A_h, b, x_true = W.random_system(n, seed=n + 70)
+        res = gaussian.gauss_jordan(s.matrix(A_h), b)
+        assert np.allclose(res.x, x_true, atol=1e-7)
+
+    def test_agrees_with_lu_path(self, s):
+        A_h, b, _ = W.random_system(10, seed=71)
+        gj = gaussian.gauss_jordan(s.matrix(A_h), b)
+        lu = gaussian.solve(s.matrix(A_h), b)
+        assert np.allclose(gj.x, lu.x, atol=1e-9)
+
+    def test_no_back_substitution_phase(self):
+        s = Session(4, "unit")
+        A_h, b, _ = W.random_system(10, seed=72)
+        gaussian.gauss_jordan(s.matrix(A_h), b)
+        assert "back-substitution" not in s.machine.counters.phase_times
+        assert "gauss-jordan" in s.machine.counters.phase_times
+
+    def test_singular_detected(self, s):
+        with pytest.raises(SingularMatrixError):
+            gaussian.gauss_jordan(s.matrix(np.zeros((3, 3))), np.ones(3))
+
+    def test_simd_flop_parity_with_lu(self):
+        """On a SIMD machine the masked rank-1 update costs a full local
+        pass whether it touches all rows (Gauss-Jordan) or only the
+        trailing ones (LU) — so, unlike the serial 1.5x rule, the two
+        charge comparable arithmetic here."""
+        s1 = Session(4, "unit")
+        s2 = Session(4, "unit")
+        A_h, b, _ = W.random_system(24, seed=73)
+        gaussian.gauss_jordan(s1.matrix(A_h), b)
+        gaussian.solve(s2.matrix(A_h), b)
+        ratio = s1.machine.counters.flops / s2.machine.counters.flops
+        assert 0.7 < ratio < 1.5, ratio

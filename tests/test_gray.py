@@ -1,0 +1,108 @@
+"""Unit + property tests for binary-reflected Gray codes (S4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embeddings import (
+    deposit_bits,
+    extract_bits,
+    gray,
+    gray_neighbors_differ_by_one_bit,
+    gray_rank,
+    hamming_distance,
+)
+
+
+class TestGray:
+    def test_first_codes(self):
+        assert [gray(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_vectorised(self):
+        out = gray(np.arange(16))
+        assert out[2] == 3 and out[15] == 8
+
+    def test_scalar_returns_int(self):
+        assert isinstance(gray(5), int)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray(-1)
+        with pytest.raises(ValueError):
+            gray_rank(-2)
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 5, 8])
+    def test_neighbor_property_all_sizes(self, k):
+        assert gray_neighbors_differ_by_one_bit(k)
+
+    def test_gray_is_a_bijection(self):
+        codes = gray(np.arange(256))
+        assert len(set(codes.tolist())) == 256
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_rank_inverts_gray(self, i):
+        assert gray_rank(gray(i)) == i
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_gray_inverts_rank(self, c):
+        assert gray(gray_rank(c)) == c
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    def test_consecutive_ranks_are_cube_neighbors(self, i):
+        assert hamming_distance(gray(i), gray(i + 1)) == 1
+
+
+class TestHamming:
+    def test_basic(self):
+        assert hamming_distance(0, 0) == 0
+        assert hamming_distance(0b101, 0b010) == 3
+        assert hamming_distance(7, 5) == 1
+
+    def test_vectorised(self):
+        out = hamming_distance(np.array([0, 1, 3]), np.array([7, 1, 0]))
+        assert np.array_equal(out, [3, 0, 2])
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**30))
+    def test_symmetry(self, a, b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+    @given(st.integers(0, 2**20), st.integers(0, 2**20), st.integers(0, 2**20))
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming_distance(a, c) <= (
+            hamming_distance(a, b) + hamming_distance(b, c)
+        )
+
+
+class TestBitScatterGather:
+    def test_deposit_places_bits(self):
+        assert deposit_bits(0b11, (1, 3)) == 0b1010
+        assert deposit_bits(0b01, (1, 3)) == 0b0010
+        assert deposit_bits(0b10, (0, 2)) == 0b100
+
+    def test_extract_gathers_bits(self):
+        assert extract_bits(0b1010, (1, 3)) == 0b11
+        assert extract_bits(0b1010, (0, 2)) == 0b00
+
+    def test_round_trip(self):
+        dims = (0, 2, 5)
+        for v in range(8):
+            assert extract_bits(deposit_bits(v, dims), dims) == v
+
+    def test_vectorised(self):
+        vals = np.arange(4)
+        out = deposit_bits(vals, (2, 4))
+        assert np.array_equal(out, [0, 4, 16, 20])
+        assert np.array_equal(extract_bits(out, (2, 4)), vals)
+
+    @given(
+        st.integers(0, 255),
+        st.permutations(range(8)).map(lambda p: tuple(p[:4])),
+    )
+    def test_round_trip_property(self, v, dims):
+        v &= (1 << len(dims)) - 1
+        assert extract_bits(deposit_bits(v, dims), dims) == v
+
+    def test_disjoint_deposits_commute(self):
+        a = deposit_bits(0b11, (0, 1))
+        b = deposit_bits(0b10, (2, 3))
+        assert a | b == 0b1011

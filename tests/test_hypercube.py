@@ -1,0 +1,140 @@
+"""Unit tests for the hypercube machine (S2)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Hypercube
+
+
+class TestConstruction:
+    def test_processor_count(self):
+        assert Hypercube(0).p == 1
+        assert Hypercube(5).p == 32
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Hypercube(-1)
+
+    def test_oversized_cube_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            Hypercube(25)
+
+    def test_default_cost_model_is_cm2(self):
+        assert Hypercube(2).cost_model == CostModel.cm2()
+
+    def test_dims_property(self):
+        assert Hypercube(3).dims == (0, 1, 2)
+
+    def test_pids(self):
+        assert np.array_equal(Hypercube(2).pids(), [0, 1, 2, 3])
+
+    def test_self_address(self):
+        m = Hypercube(3)
+        assert np.array_equal(m.self_address().data, np.arange(8))
+
+
+class TestExchange:
+    def test_exchange_swaps_neighbors(self):
+        m = Hypercube(3, CostModel.unit())
+        pv = m.pvar(np.arange(8))
+        for d in range(3):
+            out = m.exchange(pv, d)
+            assert np.array_equal(out.data, np.arange(8) ^ (1 << d))
+
+    def test_exchange_is_involution(self):
+        m = Hypercube(4, CostModel.unit())
+        pv = m.pvar(np.arange(16.0))
+        back = m.exchange(m.exchange(pv, 2), 2)
+        assert np.array_equal(back.data, pv.data)
+
+    def test_exchange_block_data(self):
+        m = Hypercube(2, CostModel.unit())
+        pv = m.pvar(np.arange(12.0).reshape(4, 3))
+        out = m.exchange(pv, 1)
+        assert np.array_equal(out.data[0], pv.data[2])
+
+    def test_exchange_cost(self):
+        m = Hypercube(3, CostModel(tau=100, t_c=2, t_a=1, t_m=1))
+        pv = m.zeros((5,))
+        t0 = m.counters.time
+        m.exchange(pv, 0)
+        assert m.counters.time - t0 == 100 + 2 * 5
+        assert m.counters.comm_rounds == 1
+        assert m.counters.elements_transferred == 5 * 8
+
+    def test_exchange_free_charges_nothing(self):
+        m = Hypercube(3, CostModel.unit())
+        pv = m.zeros((5,))
+        t0 = m.counters.time
+        m.exchange_free(pv, 1)
+        assert m.counters.time == t0
+
+    def test_bad_dimension_rejected(self):
+        m = Hypercube(2)
+        with pytest.raises(ValueError, match="out of range"):
+            m.exchange(m.zeros(), 2)
+        with pytest.raises(ValueError):
+            m.exchange(m.zeros(), -1)
+
+
+class TestHostAccess:
+    def test_to_host_is_free_copy(self):
+        m = Hypercube(2, CostModel.unit())
+        pv = m.pvar(np.arange(4.0))
+        t0 = m.counters.time
+        host = m.to_host(pv)
+        assert m.counters.time == t0
+        host[0] = 99
+        assert pv.data[0] == 0.0
+
+    def test_read_scalar_value(self):
+        m = Hypercube(2, CostModel.unit())
+        pv = m.pvar(np.array([10.0, 11, 12, 13]))
+        assert m.read_scalar(pv, pid=2) == 12.0
+
+    def test_read_scalar_charges_a_round(self):
+        m = Hypercube(2, CostModel(tau=50, t_c=3, t_a=1, t_m=1))
+        pv = m.zeros()
+        t0 = m.counters.time
+        m.read_scalar(pv, 0)
+        assert m.counters.time - t0 == 53.0
+
+    def test_read_scalar_bad_pid(self):
+        m = Hypercube(2)
+        with pytest.raises(ValueError, match="out of range"):
+            m.read_scalar(m.zeros(), pid=4)
+
+    def test_read_scalar_block(self):
+        m = Hypercube(1, CostModel.unit())
+        pv = m.pvar(np.arange(6.0).reshape(2, 3))
+        out = m.read_scalar(pv, pid=1)
+        assert np.array_equal(out, [3.0, 4.0, 5.0])
+
+
+class TestChargingHelpers:
+    def test_charge_comm_round_multiple_rounds(self):
+        m = Hypercube(3, CostModel(tau=10, t_c=1, t_a=1, t_m=1))
+        m.charge_comm_round(4, rounds=3)
+        assert m.counters.time == 3 * (10 + 4)
+        assert m.counters.comm_rounds == 3
+        assert m.counters.elements_transferred == 4 * 8 * 3
+
+    def test_phase_context(self):
+        m = Hypercube(2, CostModel.unit())
+        with m.phase("work"):
+            m.charge_flops(3)
+        assert m.counters.phase_times["work"] == 3.0
+
+    def test_elapsed_since(self):
+        m = Hypercube(2, CostModel.unit())
+        s = m.snapshot()
+        m.charge_flops(5)
+        assert m.elapsed_since(s).time == 5.0
+
+    def test_check_dims_rejects_duplicates(self):
+        m = Hypercube(3)
+        with pytest.raises(ValueError, match="duplicate"):
+            m.check_dims((0, 0))
+
+    def test_check_dims_passes_valid(self):
+        assert Hypercube(4).check_dims([2, 0]) == (2, 0)

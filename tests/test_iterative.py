@@ -1,0 +1,275 @@
+"""Tests for the iterative solvers (CG, Jacobi, power method)."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro import workloads as W
+from repro.algorithms import iterative
+from repro.algorithms.naive import NaiveMatrix
+
+
+def spd_system(n, seed=0):
+    rng = np.random.default_rng(seed)
+    M = rng.standard_normal((n, n))
+    A = M @ M.T + n * np.eye(n)
+    x = rng.standard_normal(n)
+    return A, A @ x, x
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestConjugateGradient:
+    @pytest.mark.parametrize("n", [1, 4, 16, 32])
+    def test_solves_spd_systems(self, s, n):
+        A_h, b, x_true = spd_system(n, seed=n)
+        res = iterative.conjugate_gradient(s.matrix(A_h), b)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_converges_within_n_iterations(self, s):
+        """Exact-arithmetic CG terminates in n steps; float64 on a
+        well-conditioned system stays close to that."""
+        A_h, b, _ = spd_system(24, seed=5)
+        res = iterative.conjugate_gradient(s.matrix(A_h), b)
+        assert res.iterations <= 24 + 5
+
+    def test_residuals_decrease_overall(self, s):
+        A_h, b, _ = spd_system(20, seed=6)
+        res = iterative.conjugate_gradient(s.matrix(A_h), b)
+        assert res.residuals[-1] < res.residuals[0] * 1e-6
+
+    def test_warm_start(self, s):
+        A_h, b, x_true = spd_system(16, seed=7)
+        cold = iterative.conjugate_gradient(s.matrix(A_h), b)
+        warm = iterative.conjugate_gradient(
+            s.matrix(A_h), b, x0=x_true + 1e-8
+        )
+        assert warm.iterations < cold.iterations
+
+    def test_identity_converges_in_one(self, s):
+        b = np.arange(1.0, 9.0)
+        res = iterative.conjugate_gradient(s.matrix(np.eye(8)), b)
+        assert res.iterations <= 1
+        assert np.allclose(res.x, b)
+
+    def test_indefinite_matrix_detected(self, s):
+        A_h = -np.eye(6)
+        with pytest.raises(np.linalg.LinAlgError, match="positive definite"):
+            iterative.conjugate_gradient(s.matrix(A_h), np.ones(6))
+
+    def test_iteration_limit(self, s):
+        A_h, b, _ = spd_system(16, seed=8)
+        res = iterative.conjugate_gradient(s.matrix(A_h), b, max_iters=2)
+        assert not res.converged
+        assert res.iterations == 2
+
+    def test_naive_matrix_runs_same_algorithm(self, s):
+        A_h, b, x_true = spd_system(12, seed=9)
+        res = iterative.conjugate_gradient(
+            NaiveMatrix.from_numpy(s.machine, A_h), b
+        )
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_cost_and_phase_recorded(self, s):
+        A_h, b, _ = spd_system(12, seed=10)
+        res = iterative.conjugate_gradient(s.matrix(A_h), b)
+        assert res.cost.time > 0
+        assert "conjugate-gradient" in s.machine.counters.phase_times
+
+    def test_shape_validation(self, s, rng):
+        with pytest.raises(ValueError, match="square"):
+            iterative.conjugate_gradient(
+                s.matrix(rng.standard_normal((3, 4))), np.ones(3)
+            )
+        with pytest.raises(ValueError, match="shape"):
+            iterative.conjugate_gradient(s.matrix(np.eye(3)), np.ones(4))
+
+
+class TestJacobi:
+    @pytest.mark.parametrize("n", [2, 8, 20])
+    def test_solves_dominant_systems(self, s, n):
+        A_h, b, x_true = W.diagonally_dominant_system(n, seed=n)
+        res = iterative.jacobi(s.matrix(A_h), b)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-7)
+
+    def test_diagonal_system_converges_immediately(self, s):
+        D = np.diag(np.arange(1.0, 9.0))
+        b = np.ones(8)
+        res = iterative.jacobi(s.matrix(D), b)
+        assert res.converged
+        assert res.iterations <= 1
+        assert np.allclose(res.x, 1.0 / np.arange(1.0, 9.0))
+
+    def test_zero_diagonal_rejected(self, s):
+        A_h = np.array([[0.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(np.linalg.LinAlgError, match="diagonal"):
+            iterative.jacobi(s.matrix(A_h), np.ones(2))
+
+    def test_non_convergent_hits_limit(self, s):
+        """A non-dominant system can diverge; the limit must stop it."""
+        rng = np.random.default_rng(11)
+        A_h = rng.standard_normal((8, 8)) + 0.1 * np.eye(8)
+        res = iterative.jacobi(s.matrix(A_h), np.ones(8), max_iters=20)
+        assert res.iterations <= 20
+
+    def test_residual_history_recorded(self, s):
+        A_h, b, _ = W.diagonally_dominant_system(10, seed=12)
+        res = iterative.jacobi(s.matrix(A_h), b)
+        assert len(res.residuals) == res.iterations + 1
+        assert res.residuals[-1] <= 1e-10
+
+
+class TestPowerMethod:
+    def test_finds_dominant_eigenpair(self, s, rng):
+        Q, _ = np.linalg.qr(rng.standard_normal((12, 12)))
+        lams = np.concatenate([[5.0], rng.uniform(0.1, 1.0, 11)])
+        A_h = Q @ np.diag(lams) @ Q.T
+        lam, vec, res = iterative.power_method(s.matrix(A_h), tol=1e-13)
+        assert res.converged
+        assert np.isclose(lam, 5.0, atol=1e-8)
+        assert np.isclose(abs(vec @ Q[:, 0]), 1.0, atol=1e-6)
+
+    def test_negative_dominant_eigenvalue(self, s, rng):
+        A_h = np.diag([-4.0, 1.0, 0.5, 0.1])
+        lam, vec, res = iterative.power_method(s.matrix(A_h), tol=1e-13)
+        assert np.isclose(lam, -4.0, atol=1e-8)
+
+    def test_rayleigh_estimate_at_limit(self, s):
+        A_h = np.diag([2.0, 1.9, 1.0, 0.5])  # slow separation
+        lam, _, res = iterative.power_method(
+            s.matrix(A_h), tol=1e-16, max_iters=5
+        )
+        assert not res.converged
+        assert 1.8 < lam <= 2.01
+
+    def test_cost_recorded(self, s):
+        lam, vec, res = iterative.power_method(s.matrix(np.diag([3.0, 1.0])))
+        assert res.cost.time > 0
+
+
+class TestPreconditionedCG:
+    def test_matches_plain_on_well_conditioned(self, s):
+        A_h, b, x_true = spd_system(16, seed=30)
+        plain = iterative.conjugate_gradient(s.matrix(A_h), b)
+        pre = iterative.conjugate_gradient(
+            s.matrix(A_h), b, preconditioner="jacobi"
+        )
+        assert pre.converged
+        assert np.allclose(pre.x, plain.x, atol=1e-7)
+
+    def test_cuts_iterations_on_badly_scaled_systems(self, s, rng):
+        """The FEM reports' configuration: diagonal preconditioning tames
+        badly scaled SPD systems."""
+        n = 24
+        M = rng.standard_normal((n, n))
+        A_h = M @ M.T + n * np.eye(n)
+        D = np.diag(10.0 ** rng.uniform(-3, 3, n))
+        A2 = D @ A_h @ D
+        x_true = rng.standard_normal(n)
+        b2 = A2 @ x_true
+        plain = iterative.conjugate_gradient(s.matrix(A2), b2, max_iters=500)
+        pre = iterative.conjugate_gradient(
+            s.matrix(A2), b2, max_iters=500, preconditioner="jacobi"
+        )
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+        resid = np.linalg.norm(A2 @ pre.x - b2) / np.linalg.norm(b2)
+        assert resid < 1e-8
+
+    def test_zero_diagonal_rejected(self, s):
+        A_h = np.eye(4)
+        A_h[2, 2] = 0.0
+        with pytest.raises(np.linalg.LinAlgError, match="diagonal"):
+            iterative.conjugate_gradient(
+                s.matrix(A_h), np.ones(4), preconditioner="jacobi"
+            )
+
+    def test_unknown_preconditioner_rejected(self, s):
+        with pytest.raises(ValueError, match="preconditioner"):
+            iterative.conjugate_gradient(
+                s.matrix(np.eye(3)), np.ones(3), preconditioner="ilu"
+            )
+
+    def test_costs_one_extra_pass_per_iteration(self):
+        """Jacobi PCG adds only the z = D^-1 r elementwise multiply."""
+        A_h, b, _ = spd_system(16, seed=31)
+        s1 = Session(4, "cm2")
+        s2 = Session(4, "cm2")
+        plain = iterative.conjugate_gradient(s1.matrix(A_h), b)
+        pre = iterative.conjugate_gradient(
+            s2.matrix(A_h), b, preconditioner="jacobi"
+        )
+        per_plain = plain.cost.time / max(plain.iterations, 1)
+        per_pre = pre.cost.time / max(pre.iterations, 1)
+        assert per_pre < per_plain * 1.3
+
+
+class TestGMRES:
+    @pytest.mark.parametrize("n", [1, 8, 20, 32])
+    def test_solves_nonsymmetric_systems(self, s, n):
+        r = np.random.default_rng(n + 50)
+        A_h = r.standard_normal((n, n)) + 3 * np.eye(n)
+        x_true = r.standard_normal(n)
+        res = iterative.gmres(s.matrix(A_h), A_h @ x_true, tol=1e-11)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-6)
+
+    def test_handles_systems_cg_cannot(self, s, rng):
+        """A nonsymmetric (even non-positive-definite-symmetric-part)
+        system: CG's premise fails, GMRES still solves it."""
+        A_h = np.array([[0.0, 1.0], [-1.0, 0.5]]) + 2 * np.eye(2)
+        x_true = np.array([1.0, -2.0])
+        res = iterative.gmres(s.matrix(A_h), A_h @ x_true)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_full_gmres_converges_within_n(self, s, rng):
+        n = 16
+        A_h = rng.standard_normal((n, n)) + 4 * np.eye(n)
+        x_true = rng.standard_normal(n)
+        res = iterative.gmres(s.matrix(A_h), A_h @ x_true, restart=n)
+        assert res.converged
+        assert res.iterations <= n + 1
+
+    def test_restarted_converges(self, s, rng):
+        n = 40
+        A_h = rng.standard_normal((n, n)) + 10 * np.eye(n)
+        x_true = rng.standard_normal(n)
+        res = iterative.gmres(s.matrix(A_h), A_h @ x_true, restart=10)
+        assert res.converged
+        assert np.allclose(res.x, x_true, atol=1e-5)
+
+    def test_identity_converges_immediately(self, s):
+        b = np.arange(1.0, 9.0)
+        res = iterative.gmres(s.matrix(np.eye(8)), b)
+        assert res.converged
+        assert res.iterations <= 1
+        assert np.allclose(res.x, b)
+
+    def test_zero_rhs(self, s):
+        res = iterative.gmres(s.matrix(np.eye(4) * 3), np.zeros(4))
+        assert res.converged
+        assert np.allclose(res.x, 0.0)
+
+    def test_iteration_limit(self, s, rng):
+        A_h = rng.standard_normal((12, 12)) + 4 * np.eye(12)
+        res = iterative.gmres(s.matrix(A_h), np.ones(12), max_iters=3)
+        assert res.iterations <= 3
+
+    def test_validation(self, s, rng):
+        with pytest.raises(ValueError, match="square"):
+            iterative.gmres(s.matrix(rng.standard_normal((3, 4))), np.ones(3))
+        with pytest.raises(ValueError, match="restart"):
+            iterative.gmres(s.matrix(np.eye(3)), np.ones(3), restart=0)
+
+    def test_cost_and_phase_recorded(self, s, rng):
+        A_h = rng.standard_normal((10, 10)) + 4 * np.eye(10)
+        res = iterative.gmres(s.matrix(A_h), np.ones(10))
+        assert res.cost.time > 0
+        assert "gmres" in s.machine.counters.phase_times

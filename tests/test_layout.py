@@ -1,0 +1,248 @@
+"""Unit + property tests for the balanced 1-D layouts (S5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embeddings import BlockLayout, CyclicLayout, make_layout
+
+layout_cases = st.tuples(
+    st.integers(min_value=0, max_value=200),   # n
+    st.integers(min_value=1, max_value=32),    # parts
+    st.sampled_from(["block", "cyclic"]),
+)
+
+
+class TestConstruction:
+    def test_factory(self):
+        assert isinstance(make_layout("block", 10, 4), BlockLayout)
+        assert isinstance(make_layout("cyclic", 10, 4), CyclicLayout)
+
+    def test_factory_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown layout kind"):
+            make_layout("striped", 10, 4)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            BlockLayout(-1, 4)
+        with pytest.raises(ValueError):
+            CyclicLayout(10, 0)
+
+    def test_capacity_is_ceil(self):
+        assert BlockLayout(10, 4).capacity == 3
+        assert CyclicLayout(10, 4).capacity == 3
+        assert BlockLayout(8, 4).capacity == 2
+        assert BlockLayout(0, 4).capacity == 0
+
+    def test_equality_and_hash(self):
+        assert BlockLayout(10, 4) == BlockLayout(10, 4)
+        assert BlockLayout(10, 4) != CyclicLayout(10, 4)
+        assert BlockLayout(10, 4) != BlockLayout(11, 4)
+        assert hash(BlockLayout(10, 4)) == hash(BlockLayout(10, 4))
+
+
+class TestBlockSemantics:
+    def test_consecutive_runs(self):
+        lay = BlockLayout(10, 4)  # sizes 3,3,2,2
+        assert [int(lay.owner(g)) for g in range(10)] == [0, 0, 0, 1, 1, 1, 2, 2, 3, 3]
+
+    def test_slots_are_offsets_within_run(self):
+        lay = BlockLayout(10, 4)
+        assert [int(lay.slot(g)) for g in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_counts(self):
+        lay = BlockLayout(10, 4)
+        assert [int(lay.count(q)) for q in range(4)] == [3, 3, 2, 2]
+
+    def test_offsets(self):
+        lay = BlockLayout(10, 4)
+        assert [int(lay.offset(q)) for q in range(4)] == [0, 3, 6, 8]
+
+    def test_out_of_range_global(self):
+        lay = BlockLayout(10, 4)
+        with pytest.raises(IndexError):
+            lay.owner(10)
+        with pytest.raises(IndexError):
+            lay.slot(np.array([0, -1]))
+
+
+class TestCyclicSemantics:
+    def test_round_robin(self):
+        lay = CyclicLayout(10, 4)
+        assert [int(lay.owner(g)) for g in range(10)] == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_slots_count_cycles(self):
+        lay = CyclicLayout(10, 4)
+        assert [int(lay.slot(g)) for g in range(10)] == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_counts(self):
+        lay = CyclicLayout(10, 4)
+        assert [int(lay.count(q)) for q in range(4)] == [3, 3, 2, 2]
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            CyclicLayout(5, 2).owner(5)
+
+
+class TestSharedInvariants:
+    @given(layout_cases)
+    def test_round_trip_owner_slot_global(self, case):
+        n, parts, kind = case
+        lay = make_layout(kind, n, parts)
+        for g in range(n):
+            part, slot = lay.owner_slot(g)
+            assert 0 <= part < parts
+            assert 0 <= slot < lay.capacity
+            assert lay.global_index(part, slot) == g
+
+    @given(layout_cases)
+    def test_load_balance(self, case):
+        n, parts, kind = case
+        lay = make_layout(kind, n, parts)
+        counts = np.asarray(lay.count(np.arange(parts)))
+        assert counts.sum() == n
+        assert lay.is_balanced()
+        if n:
+            assert counts.max() - counts.min() <= 1
+
+    @given(layout_cases)
+    def test_valid_masks_match_counts(self, case):
+        n, parts, kind = case
+        lay = make_layout(kind, n, parts)
+        masks = lay.all_valid_masks()
+        assert masks.shape == (parts, lay.capacity)
+        assert np.array_equal(
+            masks.sum(axis=1), np.asarray(lay.count(np.arange(parts)))
+        )
+
+    @given(layout_cases)
+    def test_all_global_indices_consistent(self, case):
+        n, parts, kind = case
+        lay = make_layout(kind, n, parts)
+        table = lay.all_global_indices()
+        masks = lay.all_valid_masks()
+        seen = set()
+        for part in range(parts):
+            for slot in range(lay.capacity):
+                g = table[part, slot]
+                if masks[part, slot]:
+                    assert lay.owner(g) == part and lay.slot(g) == slot
+                    seen.add(int(g))
+                else:
+                    assert 0 <= g < max(n, 1)  # clamped padding stays in range
+        assert seen == set(range(n))
+
+    @given(layout_cases)
+    def test_vectorised_matches_scalar(self, case):
+        n, parts, kind = case
+        if n == 0:
+            return
+        lay = make_layout(kind, n, parts)
+        gs = np.arange(n)
+        owners = np.asarray(lay.owner(gs))
+        slots = np.asarray(lay.slot(gs))
+        for g in range(n):
+            assert owners[g] == lay.owner(g)
+            assert slots[g] == lay.slot(g)
+
+
+class TestBlockCyclic:
+    def test_factory_with_block_size(self):
+        from repro.embeddings import BlockCyclicLayout
+        lay = make_layout("block_cyclic:3", 20, 4)
+        assert isinstance(lay, BlockCyclicLayout)
+        assert lay.block == 3
+        assert make_layout("block_cyclic", 20, 4).block == 2
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError, match="block size"):
+            make_layout("block_cyclic:x", 10, 2)
+        from repro.embeddings import BlockCyclicLayout
+        with pytest.raises(ValueError, match="block size"):
+            BlockCyclicLayout(10, 2, block=0)
+
+    def test_deal_pattern(self):
+        lay = make_layout("block_cyclic:2", 12, 3)
+        # blocks [0,1][2,3][4,5][6,7][8,9][10,11] dealt to parts 0,1,2,0,1,2
+        assert [int(lay.owner(g)) for g in range(12)] == [
+            0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2
+        ]
+
+    def test_slots_pack_contiguously(self):
+        lay = make_layout("block_cyclic:2", 12, 3)
+        assert [int(lay.slot(g)) for g in (0, 1, 6, 7)] == [0, 1, 2, 3]
+
+    def test_block_one_equals_cyclic(self):
+        a = make_layout("block_cyclic:1", 17, 4)
+        b = make_layout("cyclic", 17, 4)
+        for g in range(17):
+            assert a.owner(g) == b.owner(g)
+            assert a.slot(g) == b.slot(g)
+
+    def test_huge_block_equals_block_ownership(self):
+        a = make_layout("block_cyclic:100", 17, 4)
+        for g in range(17):
+            assert a.owner(g) == 0  # everything in the first (only) block
+
+    @given(st.tuples(
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=7),
+    ))
+    def test_invariants(self, case):
+        n, parts, block = case
+        lay = make_layout(f"block_cyclic:{block}", n, parts)
+        counts = np.asarray(lay.count(np.arange(parts)))
+        assert counts.sum() == n
+        assert counts.max(initial=0) <= lay.capacity
+        seen = set()
+        for g in range(n):
+            part, slot = lay.owner_slot(g)
+            assert 0 <= slot < lay.capacity
+            assert slot < lay.count(part)
+            assert lay.global_index(part, slot) == g
+            seen.add((int(part), int(slot)))
+        assert len(seen) == n
+
+    def test_matrix_embedding_round_trip(self):
+        from repro.embeddings import MatrixEmbedding
+        from repro.machine import CostModel, Hypercube
+        m = Hypercube(4, CostModel.unit())
+        emb = MatrixEmbedding(
+            m, 13, 9, row_dims=(0, 1), col_dims=(2, 3),
+            row_layout_kind="block_cyclic:2",
+            col_layout_kind="block_cyclic:3",
+        )
+        A = np.random.default_rng(3).standard_normal((13, 9))
+        assert np.allclose(emb.gather(emb.scatter(A)), A)
+
+    def test_primitives_on_block_cyclic(self):
+        from repro.core import primitives as P
+        from repro.embeddings import MatrixEmbedding
+        from repro.machine import CostModel, Hypercube
+        m = Hypercube(4, CostModel.unit())
+        emb = MatrixEmbedding(
+            m, 11, 10, row_dims=(0, 1), col_dims=(2, 3),
+            row_layout_kind="block_cyclic:2",
+            col_layout_kind="block_cyclic:2",
+        )
+        A = np.random.default_rng(4).standard_normal((11, 10))
+        M = emb.scatter(A)
+        v, ve = P.reduce(M, emb, 1, "sum")
+        assert np.allclose(ve.gather(v), A.sum(1))
+        w, we = P.extract(M, emb, 0, 5)
+        assert np.allclose(we.gather(w), A[5])
+        val, idx, ie = P.reduce_loc(M, emb, 0, "max")
+        assert np.array_equal(ie.gather(idx), A.argmax(0))
+
+    def test_scan_rejects_block_cyclic(self):
+        from repro.core import primitives as P
+        from repro.embeddings import MatrixEmbedding
+        from repro.machine import CostModel, Hypercube
+        m = Hypercube(2, CostModel.unit())
+        emb = MatrixEmbedding(
+            m, 8, 8, row_dims=(0,), col_dims=(1,),
+            row_layout_kind="block", col_layout_kind="block_cyclic:2",
+        )
+        with pytest.raises(ValueError, match="block layout"):
+            P.scan(emb.scatter(np.ones((8, 8))), emb, 1, "sum")

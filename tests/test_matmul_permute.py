@@ -1,0 +1,165 @@
+"""Tests for matrix-matrix multiply and slice permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session
+from repro.core import DistributedMatrix
+from repro.embeddings import MatrixEmbedding
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestMatmul:
+    @pytest.mark.parametrize("R,K,C", [(8, 8, 8), (12, 7, 9), (1, 5, 3),
+                                       (4, 16, 2)])
+    def test_matches_numpy(self, s, rng, R, K, C):
+        A_h = rng.standard_normal((R, K))
+        B_h = rng.standard_normal((K, C))
+        C_d = s.matrix(A_h) @ s.matrix(B_h)
+        assert np.allclose(C_d.to_numpy(), A_h @ B_h)
+
+    def test_operator_and_method_agree(self, s, rng):
+        A = s.matrix(rng.standard_normal((6, 6)))
+        B = s.matrix(rng.standard_normal((6, 6)))
+        assert np.allclose((A @ B).to_numpy(), A.matmul(B).to_numpy())
+
+    def test_identity(self, s, rng):
+        A_h = rng.standard_normal((9, 9))
+        A = s.matrix(A_h)
+        I = s.matrix(np.eye(9))
+        assert np.allclose((A @ I).to_numpy(), A_h)
+        assert np.allclose((I @ A).to_numpy(), A_h)
+
+    def test_chain_associativity(self, s, rng):
+        A_h = rng.standard_normal((5, 6))
+        B_h = rng.standard_normal((6, 4))
+        C_h = rng.standard_normal((4, 7))
+        A, B, C = s.matrix(A_h), s.matrix(B_h), s.matrix(C_h)
+        left = ((A @ B) @ C).to_numpy()
+        right = (A @ (B @ C)).to_numpy()
+        assert np.allclose(left, right)
+        assert np.allclose(left, A_h @ B_h @ C_h)
+
+    def test_dimension_mismatch(self, s, rng):
+        A = s.matrix(rng.standard_normal((4, 5)))
+        B = s.matrix(rng.standard_normal((4, 5)))
+        with pytest.raises(ValueError, match="matmul"):
+            A @ B
+
+    def test_mixed_grids_redistributes(self, s, rng):
+        A_h = rng.standard_normal((8, 6))
+        B_h = rng.standard_normal((6, 8))
+        A = s.matrix(A_h)
+        emb = MatrixEmbedding(
+            s.machine, 6, 8, row_dims=(3,), col_dims=(0, 1, 2)
+        )
+        B = DistributedMatrix.from_numpy(s.machine, B_h, embedding=emb)
+        assert np.allclose((A @ B).to_numpy(), A_h @ B_h)
+
+    def test_cost_scales_with_inner_dimension(self, rng):
+        """K rank-1 steps: simulated time ~ linear in K at fixed output."""
+        times = []
+        for K in (4, 8, 16):
+            m = Hypercube(4, CostModel.cm2())
+            A = DistributedMatrix.from_numpy(m, np.ones((16, K)))
+            B = DistributedMatrix.from_numpy(m, np.ones((K, 16)))
+            t0 = m.counters.time
+            A @ B
+            times.append(m.counters.time - t0)
+        assert times[1] / times[0] == pytest.approx(2.0, rel=0.3)
+        assert times[2] / times[1] == pytest.approx(2.0, rel=0.3)
+
+    def test_normal_equations(self, s, rng):
+        """A^T A via transpose + matmul — the least-squares building block."""
+        A_h = rng.standard_normal((10, 4))
+        A = s.matrix(A_h)
+        AtA = A.transpose(same_grid=True) @ A
+        assert np.allclose(AtA.to_numpy(), A_h.T @ A_h)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_matches_numpy(self, R, K, C, n, seed):
+        rng = np.random.default_rng(seed)
+        m = Hypercube(n, CostModel.unit())
+        A_h = rng.standard_normal((R, K))
+        B_h = rng.standard_normal((K, C))
+        got = (
+            DistributedMatrix.from_numpy(m, A_h)
+            @ DistributedMatrix.from_numpy(m, B_h)
+        ).to_numpy()
+        assert np.allclose(got, A_h @ B_h)
+
+
+class TestPermuteSlices:
+    def test_row_permutation(self, s, rng):
+        A_h = rng.standard_normal((9, 13))
+        perm = rng.permutation(9)
+        got = s.matrix(A_h).permute(0, perm).to_numpy()
+        expect = np.empty_like(A_h)
+        expect[perm] = A_h
+        assert np.allclose(got, expect)
+
+    def test_col_permutation(self, s, rng):
+        A_h = rng.standard_normal((9, 13))
+        perm = rng.permutation(13)
+        got = s.matrix(A_h).permute(1, perm).to_numpy()
+        expect = np.empty_like(A_h)
+        expect[:, perm] = A_h
+        assert np.allclose(got, expect)
+
+    def test_identity_permutation_no_comm(self, rng):
+        m = Hypercube(4, CostModel.unit())
+        A = DistributedMatrix.from_numpy(m, rng.standard_normal((8, 8)))
+        e0 = m.counters.elements_transferred
+        out = A.permute(0, np.arange(8))
+        assert np.allclose(out.to_numpy(), A.to_numpy())
+        assert m.counters.elements_transferred == e0
+
+    def test_reversal(self, s, rng):
+        A_h = rng.standard_normal((10, 6))
+        got = s.matrix(A_h).permute(0, np.arange(10)[::-1].copy()).to_numpy()
+        assert np.allclose(got, A_h[::-1])
+
+    def test_inverse_round_trip(self, s, rng):
+        A_h = rng.standard_normal((11, 7))
+        perm = rng.permutation(11)
+        inv = np.argsort(perm)
+        A = s.matrix(A_h)
+        back = A.permute(0, perm).permute(0, inv).to_numpy()
+        assert np.allclose(back, A_h)
+
+    def test_bad_permutation_rejected(self, s, rng):
+        A = s.matrix(rng.standard_normal((5, 5)))
+        with pytest.raises(ValueError, match="permutation"):
+            A.permute(0, np.zeros(5, dtype=int))
+        with pytest.raises(ValueError, match="permutation"):
+            A.permute(0, np.arange(4))
+
+    def test_within_band_permutation_is_local(self, rng):
+        """Permuting slices that stay in their grid band moves no data
+        between processors."""
+        m = Hypercube(2, CostModel.unit())
+        # 8 rows over 2 grid rows: rows 0-3 band 0, rows 4-7 band 1
+        from repro.embeddings import MatrixEmbedding
+        emb = MatrixEmbedding(m, 8, 4, row_dims=(0,), col_dims=(1,))
+        A_h = rng.standard_normal((8, 4))
+        A = DistributedMatrix(emb.scatter(A_h), emb)
+        perm = np.array([3, 2, 1, 0, 7, 6, 5, 4])  # within-band reversal
+        e0 = m.counters.elements_transferred
+        out = A.permute(0, perm)
+        expect = np.empty_like(A_h)
+        expect[perm] = A_h
+        assert np.allclose(out.to_numpy(), expect)
+        assert m.counters.elements_transferred == e0

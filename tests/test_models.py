@@ -1,0 +1,232 @@
+"""Tests for the analytic cost models (S15): simulator == closed form.
+
+The reproduction's analogue of the paper's "timing model verified by
+experiment": every primitive's simulated charge must equal the closed-form
+prediction exactly, across machine sizes, shapes, layouts and cost models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PrimitiveCosts
+from repro.core import primitives as P
+from repro.embeddings import MatrixEmbedding, RowAlignedEmbedding
+from repro.machine import CostModel, Hypercube
+
+CASES = [
+    (4, 16, 16, "block"),
+    (4, 9, 13, "block"),
+    (4, 9, 13, "cyclic"),
+    (6, 64, 64, "block"),
+    (6, 100, 3, "block"),
+    (0, 5, 7, "block"),
+    (3, 33, 2, "cyclic"),
+]
+MODELS = [CostModel.unit(), CostModel.cm2(), CostModel.latency_bound()]
+
+
+def setup_case(n, R, C, layout, model):
+    m = Hypercube(n, model)
+    emb = MatrixEmbedding.default(m, R, C, layout=layout)
+    A = np.random.default_rng(1).standard_normal((R, C))
+    return m, emb, emb.scatter(A), PrimitiveCosts.for_embedding(emb)
+
+
+def elapsed(m, fn):
+    t0 = m.counters.time
+    fn()
+    return m.counters.time - t0
+
+
+@pytest.mark.parametrize("n,R,C,layout", CASES)
+@pytest.mark.parametrize("model", MODELS, ids=["unit", "cm2", "latency"])
+class TestExactAgreement:
+    def test_reduce(self, n, R, C, layout, model):
+        m, emb, M, pc = setup_case(n, R, C, layout, model)
+        for axis in (0, 1):
+            got = elapsed(m, lambda: P.reduce(M, emb, axis, "sum"))
+            assert got == pytest.approx(pc.reduce(axis), abs=1e-9)
+
+    def test_reduce_loc(self, n, R, C, layout, model):
+        m, emb, M, pc = setup_case(n, R, C, layout, model)
+        for axis in (0, 1):
+            got = elapsed(m, lambda: P.reduce_loc(M, emb, axis, "max"))
+            assert got == pytest.approx(pc.reduce_loc(axis), abs=1e-9)
+
+    def test_reduce_loc_with_valid(self, n, R, C, layout, model):
+        from repro.machine import PVar
+        m, emb, M, pc = setup_case(n, R, C, layout, model)
+        valid = PVar(m, M.data > 0)
+        m.counters.reset()
+        got = elapsed(m, lambda: P.reduce_loc(M, emb, 1, "max", valid=valid))
+        assert got == pytest.approx(pc.reduce_loc(1, with_valid=True), abs=1e-9)
+
+    def test_extract(self, n, R, C, layout, model):
+        m, emb, M, pc = setup_case(n, R, C, layout, model)
+        for axis, replicate in ((0, True), (1, True), (0, False), (1, False)):
+            got = elapsed(
+                m, lambda: P.extract(M, emb, axis, 0, replicate=replicate)
+            )
+            assert got == pytest.approx(pc.extract(axis, replicate), abs=1e-9)
+
+    def test_distribute(self, n, R, C, layout, model):
+        m, emb, M, pc = setup_case(n, R, C, layout, model)
+        for axis in (0, 1):
+            v, ve = P.extract(M, emb, axis, 0)
+            got = elapsed(m, lambda: P.distribute(v, ve, emb, axis))
+            assert got == pytest.approx(pc.distribute(axis), abs=1e-9)
+            vr, vre = P.extract(M, emb, axis, 0, replicate=False)
+            got = elapsed(m, lambda: P.distribute(vr, vre, emb, axis))
+            assert got == pytest.approx(
+                pc.distribute(axis, resident=True), abs=1e-9
+            )
+
+    def test_insert(self, n, R, C, layout, model):
+        m, emb, M, pc = setup_case(n, R, C, layout, model)
+        for axis in (0, 1):
+            v, ve = P.extract(M, emb, axis, 0)
+            got = elapsed(m, lambda: P.insert(M, emb, axis, 0, v, ve))
+            assert got == pytest.approx(pc.insert_aligned(axis), abs=1e-9)
+
+    def test_rank1(self, n, R, C, layout, model):
+        m, emb, M, pc = setup_case(n, R, C, layout, model)
+        col, cole = P.extract(M, emb, 1, 0)
+        row, rowe = P.extract(M, emb, 0, 0)
+        got = elapsed(m, lambda: P.rank1_update(M, emb, col, cole, row, rowe))
+        assert got == pytest.approx(pc.rank1_update(), abs=1e-9)
+
+    def test_matvec_aligned(self, n, R, C, layout, model):
+        m, emb, M, pc = setup_case(n, R, C, layout, model)
+        from repro.machine import PVar
+        ve = RowAlignedEmbedding(emb, None)
+        v = ve.scatter(np.ones(C))
+
+        def run():
+            X = P.distribute(v, ve, emb, axis=0)
+            prod = PVar(m, M.data * X.data)
+            m.charge_flops(M.local_size)
+            P.reduce(prod, emb, 1, "sum")
+
+        got = elapsed(m, run)
+        assert got == pytest.approx(pc.matvec(), abs=1e-9)
+
+
+@pytest.mark.parametrize("n,R,C,layout", CASES)
+class TestNaiveModels:
+    def test_naive_reduce(self, n, R, C, layout):
+        from repro.algorithms.naive import NaiveMatrix
+        m = Hypercube(n, CostModel.cm2())
+        emb = MatrixEmbedding.default(m, R, C, layout=layout)
+        A = np.random.default_rng(2).standard_normal((R, C))
+        NA = NaiveMatrix(emb.scatter(A), emb)
+        pc = PrimitiveCosts.for_embedding(emb)
+        for axis in (0, 1):
+            t0 = m.counters.time
+            NA.reduce(axis, "sum")
+            got = m.counters.time - t0
+            assert got == pytest.approx(pc.naive_reduce(axis), abs=1e-9)
+
+    def test_naive_extract(self, n, R, C, layout):
+        from repro.algorithms.naive import NaiveMatrix
+        m = Hypercube(n, CostModel.cm2())
+        emb = MatrixEmbedding.default(m, R, C, layout=layout)
+        A = np.random.default_rng(2).standard_normal((R, C))
+        NA = NaiveMatrix(emb.scatter(A), emb)
+        pc = PrimitiveCosts.for_embedding(emb)
+        for axis in (0, 1):
+            t0 = m.counters.time
+            NA.extract(axis, 0)
+            got = m.counters.time - t0
+            assert got == pytest.approx(pc.naive_extract(axis), abs=1e-9)
+
+
+class TestModelStructure:
+    """The asymptotic shape the paper's argument relies on."""
+
+    def test_local_term_scales_with_m_over_p(self):
+        pcs = []
+        for scale in (1, 2, 4):
+            m = Hypercube(4, CostModel.unit())
+            emb = MatrixEmbedding.default(m, 16 * scale, 16 * scale)
+            pcs.append(PrimitiveCosts.for_embedding(emb).rank1_update())
+        assert pcs[1] / pcs[0] == pytest.approx(4.0)
+        assert pcs[2] / pcs[1] == pytest.approx(4.0)
+
+    def test_comm_term_scales_with_lg_p(self):
+        """Reduce's round count grows like lg p at fixed local block."""
+        rounds = []
+        for n in (2, 4, 6):
+            m = Hypercube(n, CostModel(tau=1e9, t_c=0, t_a=0, t_m=0))
+            # keep local block ~fixed: m elements = 16 * p
+            side = int(np.sqrt(16 * m.p))
+            emb = MatrixEmbedding.default(m, side, side)
+            pc = PrimitiveCosts.for_embedding(emb)
+            rounds.append(pc.reduce(1) / 1e9)
+        assert rounds == [1.0, 2.0, 3.0]
+
+    def test_naive_reduce_rounds_scale_with_p(self):
+        costs = []
+        for n in (2, 4, 6):
+            m = Hypercube(n, CostModel(tau=1e9, t_c=0, t_a=0, t_m=0))
+            side = int(np.sqrt(16 * m.p))
+            emb = MatrixEmbedding.default(m, side, side)
+            pc = PrimitiveCosts.for_embedding(emb)
+            costs.append(round(pc.naive_reduce(1) / 1e9))
+        # 2*(Pc-1) with Pc = 2, 4, 8
+        assert costs == [2, 6, 14]
+
+
+@pytest.mark.parametrize("n,R,C,layout", [c for c in CASES if c[3] == "block"])
+@pytest.mark.parametrize("model", MODELS, ids=["unit", "cm2", "latency"])
+class TestExtensionModels:
+    def test_scan(self, n, R, C, layout, model):
+        m, emb, M, pc = setup_case(n, R, C, layout, model)
+        for axis in (0, 1):
+            got = elapsed(m, lambda: P.scan(M, emb, axis, "sum"))
+            assert got == pytest.approx(pc.scan(axis), abs=1e-9)
+
+
+@pytest.mark.parametrize("model", MODELS, ids=["unit", "cm2", "latency"])
+class TestCollectiveModels:
+    def test_alltoall(self, model):
+        from repro import comm
+        m = Hypercube(4, model)
+        pc = PrimitiveCosts(R=1, C=1, Pr=1, Pc=1, lr=1, lc=1, nr=0, nc=0,
+                            cost=model)
+        for dims, block in [((0, 1), 3), ((0, 1, 2, 3), 2), ((2,), 5)]:
+            nblocks = 1 << len(dims)
+            pv = m.pvar(np.zeros((16, nblocks, block)))
+            t0 = m.counters.time
+            comm.alltoall(m, pv, dims=dims)
+            got = m.counters.time - t0
+            assert got == pytest.approx(
+                pc.alltoall(len(dims), block), abs=1e-9
+            )
+
+    def test_broadcast_pipelined(self, model):
+        from repro import comm
+        m = Hypercube(4, model)
+        pc = PrimitiveCosts(R=1, C=1, Pr=1, Pc=1, lr=1, lc=1, nr=0, nc=0,
+                            cost=model)
+        for dims, L in [((0, 1, 2), 40), ((0, 1, 2, 3), 7)]:
+            pv = m.pvar(np.zeros((16, L)))
+            t0 = m.counters.time
+            comm.broadcast_pipelined(m, pv, dims=dims)
+            got = m.counters.time - t0
+            assert got == pytest.approx(
+                pc.broadcast_pipelined(len(dims), L), abs=1e-9
+            )
+
+    def test_reduce_all_pipelined(self, model):
+        from repro import comm
+        m = Hypercube(4, model)
+        pc = PrimitiveCosts(R=1, C=1, Pr=1, Pc=1, lr=1, lc=1, nr=0, nc=0,
+                            cost=model)
+        for dims, L in [((0, 1, 2), 40), ((1, 3), 9)]:
+            pv = m.pvar(np.zeros((16, L)))
+            t0 = m.counters.time
+            comm.reduce_all_pipelined(m, pv, "sum", dims=dims)
+            got = m.counters.time - t0
+            assert got == pytest.approx(
+                pc.reduce_all_pipelined(len(dims), L), abs=1e-9
+            )

@@ -1,0 +1,180 @@
+"""Tests for the naive baseline (S13): same answers, serialised cost."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro import workloads as W
+from repro.algorithms import gaussian, matvec, simplex
+from repro.algorithms.naive import NaiveMatrix, NaiveVector
+from repro.core import DistributedMatrix, DistributedVector
+from repro.embeddings import RowAlignedEmbedding, VectorOrderEmbedding
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+@pytest.fixture
+def A_host(rng):
+    return rng.standard_normal((11, 9))
+
+
+@pytest.fixture
+def NA(m, A_host):
+    return NaiveMatrix.from_numpy(m, A_host)
+
+
+class TestSameSemantics:
+    """Every overridden operation must agree with the primitive version."""
+
+    def test_extract(self, NA, A_host):
+        for i in (0, 5, 10):
+            assert np.allclose(NA.extract(0, i).to_numpy(), A_host[i])
+        for j in (0, 8):
+            assert np.allclose(NA.extract(1, j).to_numpy(), A_host[:, j])
+
+    def test_extract_replicates_everywhere(self, NA, A_host):
+        v = NA.extract(0, 3)
+        assert isinstance(v, NaiveVector)
+        assert v.embedding.replicated
+        mask = v.embedding.valid_mask()
+        idx = v.embedding.global_indices()
+        assert np.allclose(v.pvar.data[mask], A_host[3][idx[mask]])
+
+    def test_reduce(self, NA, A_host):
+        assert np.allclose(NA.reduce(1, "sum").to_numpy(), A_host.sum(1))
+        assert np.allclose(NA.reduce(0, "max").to_numpy(), A_host.max(0))
+        assert np.allclose(NA.reduce(1, "min").to_numpy(), A_host.min(1))
+
+    def test_reduce_result_replicated(self, NA, A_host):
+        v = NA.reduce(1, "sum")
+        mask = v.embedding.valid_mask()
+        idx = v.embedding.global_indices()
+        assert np.allclose(v.pvar.data[mask], A_host.sum(1)[idx[mask]])
+
+    def test_argreduce(self, NA, A_host):
+        vals, idxs = NA.argreduce(1, "max")
+        assert np.array_equal(idxs.to_numpy(), A_host.argmax(1))
+        vals, idxs = NA.argreduce(0, "min")
+        assert np.array_equal(idxs.to_numpy(), A_host.argmin(0))
+
+    def test_argreduce_with_valid(self, m, NA, A_host):
+        valid = NA > 0
+        _, idxs = NA.argreduce(1, "min", valid=valid)
+        got = idxs.to_numpy()
+        for i in range(11):
+            cands = np.nonzero(A_host[i] > 0)[0]
+            expect = cands[A_host[i][cands].argmin()] if len(cands) else -1
+            assert got[i] == expect
+
+    def test_vector_reduce_and_argreduce(self, m, rng):
+        v_h = rng.standard_normal(18)
+        v = NaiveVector.from_numpy(m, v_h)
+        assert np.isclose(v.sum(), v_h.sum())
+        val, idx = v.argmax()
+        assert idx == v_h.argmax()
+        val, idx = v.argreduce("min", valid=v > 0)
+        cands = np.nonzero(v_h > 0)[0]
+        assert idx == cands[v_h[cands].argmin()]
+
+    def test_distribute_from_resident(self, m, NA, rng):
+        w = rng.standard_normal(9)
+        emb = RowAlignedEmbedding(NA.embedding, 1)
+        v = NaiveVector(emb.scatter(w), emb)
+        out = v.distribute(NA, axis=0)
+        assert np.allclose(out.to_numpy(), np.tile(w, (11, 1)))
+        assert isinstance(out, NaiveMatrix)
+
+    def test_distribute_from_vector_order(self, m, NA, rng):
+        w = rng.standard_normal(9)
+        emb = VectorOrderEmbedding(m, 9)
+        v = NaiveVector(emb.scatter(w), emb)
+        out = v.distribute(NA, axis=0)
+        assert np.allclose(out.to_numpy(), np.tile(w, (11, 1)))
+
+    def test_subclass_flows_through_ops(self, NA):
+        assert isinstance(NA + 1, NaiveMatrix)
+        assert isinstance(NA.extract(0, 0), NaiveVector)
+        assert isinstance(NA.extract(0, 0) * 2, NaiveVector)
+        vals, idxs = NA.argreduce(1)
+        assert isinstance(vals, NaiveVector)
+
+
+class TestSameAlgorithms:
+    def test_gaussian_identical_answers(self, m):
+        A_h, b, x_true = W.random_system(12, seed=21)
+        res = gaussian.solve(NaiveMatrix.from_numpy(m, A_h), b)
+        assert np.allclose(res.x, x_true, atol=1e-7)
+
+    def test_matvec_identical_answers(self, m, rng):
+        A_h = rng.standard_normal((12, 8))
+        x_h = rng.standard_normal(8)
+        NA = NaiveMatrix.from_numpy(m, A_h)
+        emb = RowAlignedEmbedding(NA.embedding, None)
+        x = NaiveVector(emb.scatter(x_h), emb)
+        res = matvec.matvec(NA, x)
+        assert np.allclose(res.y.to_numpy(), A_h @ x_h)
+
+    def test_simplex_identical_answers(self, m):
+        lp = W.feasible_lp(7, 5, seed=22)
+        prim = simplex.solve(m, lp.A, lp.b, lp.c)
+        nav = simplex.solve(m, lp.A, lp.b, lp.c, matrix_cls=NaiveMatrix)
+        assert nav.status == prim.status == "optimal"
+        assert np.isclose(nav.objective, prim.objective, atol=1e-9)
+        assert nav.iterations == prim.iterations
+        assert nav.pivots == prim.pivots
+
+
+class TestSerialisedCost:
+    def test_reduce_rounds_linear_not_log(self, A_host):
+        """The whole point: 2(Pc-1) serial rounds vs lg(Pc) tree rounds."""
+        m1 = Hypercube(4, CostModel.unit())
+        m2 = Hypercube(4, CostModel.unit())
+        prim = DistributedMatrix.from_numpy(m1, A_host)
+        nav = NaiveMatrix.from_numpy(m2, A_host)
+        r1 = m1.counters.comm_rounds
+        prim.reduce(1, "sum")
+        prim_rounds = m1.counters.comm_rounds - r1
+        r2 = m2.counters.comm_rounds
+        nav.reduce(1, "sum")
+        naive_rounds = m2.counters.comm_rounds - r2
+        k = len(prim.embedding.col_dims)
+        assert prim_rounds == k
+        assert naive_rounds == 2 * ((1 << k) - 1)
+
+    def test_naive_slower_under_cm2(self, A_host):
+        m1 = Hypercube(6, CostModel.cm2())
+        m2 = Hypercube(6, CostModel.cm2())
+        prim = DistributedMatrix.from_numpy(m1, A_host)
+        nav = NaiveMatrix.from_numpy(m2, A_host)
+        t1 = m1.counters.time
+        prim.reduce(1, "sum")
+        prim_t = m1.counters.time - t1
+        t2 = m2.counters.time
+        nav.reduce(1, "sum")
+        naive_t = m2.counters.time - t2
+        assert naive_t > prim_t
+
+    def test_gap_grows_with_machine_size(self):
+        """The paper's order-of-magnitude claim is a large-p effect."""
+        A_h, b, _ = W.random_system(16, seed=23)
+        ratios = []
+        for n in (2, 6):
+            mp = Hypercube(n, CostModel.cm2())
+            mn = Hypercube(n, CostModel.cm2())
+            rp = gaussian.solve(DistributedMatrix.from_numpy(mp, A_h), b)
+            rn = gaussian.solve(NaiveMatrix.from_numpy(mn, A_h), b)
+            ratios.append(rn.cost.time / rp.cost.time)
+        assert ratios[1] > ratios[0]
+
+    def test_insert_inherits_primitive_cost(self, m, NA, rng):
+        """insert is a local masked write in both implementations."""
+        w = rng.standard_normal(9)
+        emb = RowAlignedEmbedding(NA.embedding, None)
+        v = NaiveVector(emb.scatter(w), emb)
+        e0 = m.counters.elements_transferred
+        NA.insert(0, 2, v)
+        assert m.counters.elements_transferred == e0

@@ -1,0 +1,112 @@
+"""Classic numerical stress cases from the optimization/linear-algebra
+folklore, run on the distributed implementations."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.algorithms import gaussian, qr, simplex, triangular
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestBealeCycling:
+    """Beale's example makes naive Dantzig simplex cycle under certain
+    tie-breaks; Bland's rule must terminate at the optimum regardless."""
+
+    A = np.array([
+        [0.25, -8.0, -1.0, 9.0],
+        [0.5, -12.0, -0.5, 3.0],
+        [0.0, 0.0, 1.0, 0.0],
+    ])
+    b = np.array([0.0, 0.0, 1.0])
+    c = np.array([0.75, -150.0, 0.02, -6.0])
+
+    def test_bland_terminates_at_optimum(self, s):
+        res = simplex.solve(s.machine, self.A, self.b, self.c, rule="bland")
+        assert res.status == "optimal"
+        assert np.isclose(res.objective, 0.77, atol=1e-9)
+
+    def test_dantzig_with_smallest_index_ties_terminates(self, s):
+        """Our deterministic smallest-index tie-breaks happen to escape the
+        classic cycle too; either way the solver must not loop forever."""
+        res = simplex.solve(
+            s.machine, self.A, self.b, self.c, rule="dantzig", max_iters=100
+        )
+        assert res.status in ("optimal", "iteration_limit")
+        if res.status == "optimal":
+            assert np.isclose(res.objective, 0.77, atol=1e-9)
+
+    def test_scipy_agrees(self, s):
+        scipy = pytest.importorskip("scipy")
+        from scipy.optimize import linprog
+        ref = linprog(-self.c, A_ub=self.A, b_ub=self.b, bounds=(0, None),
+                      method="highs")
+        res = simplex.solve(s.machine, self.A, self.b, self.c, rule="bland")
+        assert np.isclose(res.objective, -ref.fun, atol=1e-9)
+
+
+class TestHilbert:
+    """The Hilbert matrix: notoriously ill-conditioned; solvers must keep
+    the *residual* small even when the error cannot be."""
+
+    @staticmethod
+    def hilbert(n):
+        i, j = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        return 1.0 / (i + j + 1.0)
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_gaussian_residual(self, s, n):
+        H = self.hilbert(n)
+        b = H @ np.ones(n)
+        res = gaussian.solve(s.matrix(H), b)
+        assert np.linalg.norm(H @ res.x - b) < 1e-8
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_qr_residual(self, s, n):
+        H = self.hilbert(n)
+        b = H @ np.ones(n)
+        x = qr.qr_solve(s.matrix(H), b)
+        assert np.linalg.norm(H @ x - b) < 1e-8
+
+    def test_matches_numpy_to_residual_level(self, s):
+        H = self.hilbert(8)
+        b = H @ np.ones(8)
+        ours = gaussian.solve(s.matrix(H), b).x
+        theirs = np.linalg.solve(H, b)
+        assert np.linalg.norm(H @ ours - b) <= 10 * (
+            np.linalg.norm(H @ theirs - b) + 1e-12
+        )
+
+
+class TestGrowthAndScaling:
+    def test_wilkinson_growth_matrix(self, s):
+        """The classic worst case for partial-pivoting element growth; the
+        solve must still return the exact answer at this size."""
+        n = 12
+        W = -np.tril(np.ones((n, n)), -1) + np.eye(n)
+        W[:, -1] = 1.0
+        x_true = np.ones(n)
+        b = W @ x_true
+        res = gaussian.solve(s.matrix(W), b)
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_badly_row_scaled_system(self, s, rng):
+        A = rng.standard_normal((10, 10)) + 3 * np.eye(10)
+        scales = 10.0 ** rng.integers(-8, 8, 10)
+        A_scaled = A * scales[:, None]
+        x_true = rng.standard_normal(10)
+        b = A_scaled @ x_true
+        res = gaussian.solve(s.matrix(A_scaled), b)
+        assert np.allclose(res.x, x_true, atol=1e-5)
+
+    def test_lu_on_nearly_singular(self, s):
+        eps = 1e-10
+        A = np.array([[1.0, 1.0], [1.0, 1.0 + eps]])
+        fact = triangular.lu_factor(s.matrix(A))
+        b = A @ np.array([1.0, 2.0])
+        x = triangular.lu_solve(fact, b)
+        assert np.linalg.norm(A @ x - b) < 1e-8

@@ -1,0 +1,205 @@
+"""Tests for the optimality audit (S16): the paper's m > p lg p claim.
+
+These are the reproduction's central quantitative checks: beyond the threshold
+the processor-time product of the primitives stays within a constant
+factor of the serial algorithm, and below it the latency term makes the
+ratio blow up.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    OptimalityAudit,
+    parallel_time_lower_bound,
+    pt_ratio,
+    serial_time,
+    time_ratio,
+)
+from repro.analysis.models import PrimitiveCosts
+from repro.algorithms import serial
+from repro.core import DistributedMatrix, DistributedVector
+from repro.embeddings import MatrixEmbedding, RowAlignedEmbedding
+from repro.machine import CostModel, CostSnapshot, Hypercube
+
+
+class TestRatioPrimitives:
+    def test_serial_time(self):
+        assert serial_time(100, CostModel(t_a=2.0)) == 200.0
+
+    def test_pt_ratio(self):
+        snap = CostSnapshot(time=10.0)
+        assert pt_ratio(snap, p=4, serial_ops=20, cost=CostModel.unit()) == 2.0
+
+    def test_pt_ratio_needs_positive_serial(self):
+        with pytest.raises(ValueError):
+            pt_ratio(CostSnapshot(time=1.0), 2, 0, CostModel.unit())
+
+    def test_lower_bound_work_limited(self):
+        # serial work 1000 on 4 procs dominates one tau=10 round
+        assert parallel_time_lower_bound(1000, 4, CostModel(tau=10.0)) == 250.0
+
+    def test_lower_bound_latency_limited(self):
+        assert parallel_time_lower_bound(4, 4, CostModel(tau=10.0), rounds=3) == 30.0
+
+    def test_time_ratio(self):
+        snap = CostSnapshot(time=500.0)
+        assert time_ratio(snap, 1000, 4, CostModel.unit()) == 2.0
+
+
+class TestAuditBookkeeping:
+    def test_threshold_predicate(self):
+        from repro.analysis import AuditPoint
+        pt = AuditPoint(m=1024, p=16, parallel_time=1, serial_ops=1,
+                        pt_over_serial=1.0)
+        assert pt.above_threshold  # 1024 > 16*4
+        pt2 = AuditPoint(m=32, p=16, parallel_time=1, serial_ops=1,
+                         pt_over_serial=1.0)
+        assert not pt2.above_threshold
+
+    def test_from_runs_validates_lengths(self):
+        with pytest.raises(ValueError):
+            OptimalityAudit.from_runs([1], 2, [1.0, 2.0], [1.0], CostModel.unit())
+
+    def test_no_points_beyond_threshold_raises(self):
+        audit = OptimalityAudit.from_runs(
+            [4], 16, [1.0], [8.0], CostModel.unit()
+        )
+        with pytest.raises(ValueError, match="threshold"):
+            audit.constant_factor_beyond_threshold()
+
+    def test_ratio_series_shape(self):
+        audit = OptimalityAudit.from_runs(
+            [64, 128], 4, [10.0, 18.0], [128.0, 256.0], CostModel.unit()
+        )
+        series = audit.ratio_series()
+        assert series[0][0] == 16.0
+        assert len(series) == 2
+
+
+def _matvec_run(n_dims, side, cost=None):
+    """One primitive-based matvec; returns (m, time, serial_ops, machine)."""
+    cost = cost or CostModel.cm2()
+    machine = Hypercube(n_dims, cost)
+    A_h = np.ones((side, side))
+    A = DistributedMatrix.from_numpy(machine, A_h)
+    emb = RowAlignedEmbedding(A.embedding, None)
+    x = DistributedVector(emb.scatter(np.ones(side)), emb)
+    start = machine.snapshot()
+    A.matvec(x)
+    elapsed = machine.elapsed_since(start)
+    return side * side, elapsed.time, 2 * side * side, machine
+
+
+class TestMatvecOptimality:
+    """The claim, measured on the simulator (R-F1's test-suite version)."""
+
+    def test_pt_product_bounded_beyond_threshold(self):
+        cost = CostModel.cm2()
+        p = 2 ** 6
+        ratios = {}
+        for side in (32, 64, 128, 256):
+            m_elems, t, ops, machine = _matvec_run(6, side, cost)
+            ratios[m_elems] = pt_ratio(
+                CostSnapshot(time=t), p, ops, cost
+            )
+        # beyond m = p lg p = 384: ratio bounded and converging to a small
+        # constant (the tau term amortises as 1/(m/p))
+        beyond = [r for m_e, r in ratios.items() if m_e > p * math.log2(p)]
+        assert max(beyond) < 50.0
+        ms = sorted(ratios)
+        ordered = [ratios[m_e] for m_e in ms]
+        assert ordered == sorted(ordered, reverse=True)  # monotone decrease
+        assert ordered[-1] < 5.0  # near-serial PT product at large m/p
+
+    def test_ratio_blows_up_below_threshold(self):
+        """With one element per processor the tau·lg p term dominates and
+        the PT product is far from serial."""
+        cost = CostModel.cm2()
+        m_elems, t, ops, machine = _matvec_run(6, 8, cost)  # 64 elements = p
+        small = pt_ratio(CostSnapshot(time=t), 64, ops, cost)
+        m_elems, t, ops, machine = _matvec_run(6, 256, cost)
+        big = pt_ratio(CostSnapshot(time=t), 64, ops, cost)
+        assert small > 10 * big
+
+    def test_parallel_time_within_constant_of_lower_bound(self):
+        cost = CostModel.cm2()
+        for side in (64, 256):
+            m_elems, t, ops, machine = _matvec_run(6, side, cost)
+            ratio = time_ratio(
+                CostSnapshot(time=t), ops, machine.p, cost,
+                rounds=machine.n,
+            )
+            assert ratio < 30.0
+
+    def test_audit_end_to_end(self):
+        cost = CostModel.cm2()
+        sides = [16, 32, 64, 128]
+        ms, times, ops = [], [], []
+        for side in sides:
+            m_e, t, o, _ = _matvec_run(4, side, cost)
+            ms.append(m_e)
+            times.append(t)
+            ops.append(o)
+        audit = OptimalityAudit.from_runs(ms, 16, times, ops, cost)
+        assert audit.constant_factor_beyond_threshold() < 25.0
+
+
+class TestGaussianOptimality:
+    def test_pt_product_constant_factor(self):
+        """Gaussian elimination: PT/serial bounded for big-enough blocks."""
+        from repro import workloads as W
+        from repro.algorithms import gaussian
+        cost = CostModel.cm2()
+        ratios = []
+        for n_sys in (24, 48, 96):
+            machine = Hypercube(4, cost)
+            A_h, b, _ = W.diagonally_dominant_system(n_sys, seed=1)
+            res = gaussian.solve(
+                DistributedMatrix.from_numpy(machine, A_h), b
+            )
+            ops = serial.gaussian_solve(A_h, b).ops
+            ratios.append(pt_ratio(res.cost, machine.p, ops, cost))
+        assert ratios[2] < ratios[1] < ratios[0]  # converging to the constant
+        assert ratios[2] < 30.0
+
+
+class TestFindCrossover:
+    def test_simple_curve(self):
+        from repro.analysis import find_crossover
+        # ratio(m) = 1000/m + 2
+        assert find_crossover(lambda m: 1000 / m + 2, 1, 10000, 3.0) == 1000
+
+    def test_lo_already_below(self):
+        from repro.analysis import find_crossover
+        assert find_crossover(lambda m: 0.5, 7, 100, 1.0) == 7
+
+    def test_never_reached(self):
+        from repro.analysis import find_crossover
+        with pytest.raises(ValueError, match="never reaches"):
+            find_crossover(lambda m: 100.0, 1, 10, 1.0)
+
+    def test_empty_range(self):
+        from repro.analysis import find_crossover
+        with pytest.raises(ValueError, match="empty"):
+            find_crossover(lambda m: 1.0, 5, 4, 1.0)
+
+    def test_on_simulated_matvec(self):
+        """Locate the empirical constant-factor knee of the matvec curve —
+        it must be within a small factor of p lg p."""
+        from repro.analysis import find_crossover
+        import math
+        cost = CostModel.cm2()
+        p_dims = 6
+
+        def ratio_of(side):
+            _, t, ops, machine = _matvec_run(p_dims, int(side), cost)
+            return pt_ratio(CostSnapshot(time=t), machine.p, ops, cost)
+
+        # search over sides (m = side^2), ratio decreasing in side
+        knee_side = find_crossover(ratio_of, 8, 512, 10.0)
+        knee_m = knee_side ** 2
+        threshold = 64 * math.log2(64)
+        assert threshold / 4 < knee_m < threshold * 40

@@ -1,0 +1,105 @@
+"""Tests for the pipelined (large-message) collectives and their crossover."""
+
+import numpy as np
+import pytest
+
+from repro import comm
+from repro.machine import CostModel, Hypercube
+
+
+def fresh(n=4, tau=100.0, t_c=2.0):
+    return Hypercube(n, CostModel(tau=tau, t_c=t_c, t_a=1.0, t_m=1.0))
+
+
+class TestBroadcastPipelined:
+    def test_functional_equality(self, rng):
+        m = fresh()
+        data = rng.standard_normal((16, 24))
+        pv = m.pvar(data)
+        for dims, root in [((0, 1, 2), 3), ((1, 3), 0), (None, 5)]:
+            a = comm.broadcast(m, pv, dims=dims, root_rank=root)
+            b = comm.broadcast_pipelined(m, pv, dims=dims, root_rank=root)
+            assert np.allclose(a.data, b.data), (dims, root)
+
+    def test_degenerate_one_dim_falls_back(self, rng):
+        m = fresh()
+        pv = m.pvar(rng.standard_normal(16))
+        r0 = m.counters.comm_rounds
+        comm.broadcast_pipelined(m, pv, dims=(2,))
+        assert m.counters.comm_rounds - r0 == 1
+
+    def test_round_and_volume_schedule(self):
+        m = fresh(tau=100, t_c=2)
+        pv = m.pvar(np.zeros((16, 40)))
+        t0 = m.counters.time
+        r0 = m.counters.comm_rounds
+        comm.broadcast_pipelined(m, pv)
+        assert m.counters.comm_rounds - r0 == 2 * 4 - 1
+        assert m.counters.time - t0 == 7 * (100 + 2 * 10)
+
+    def test_wins_for_large_blocks_only(self):
+        def cost(fn, L):
+            m = fresh(tau=100, t_c=2)
+            pv = m.pvar(np.zeros((16, L)))
+            t0 = m.counters.time
+            fn(m, pv)
+            return m.counters.time - t0
+
+        small_plain = cost(lambda m, p: comm.broadcast(m, p), 4)
+        small_pipe = cost(lambda m, p: comm.broadcast_pipelined(m, p), 4)
+        big_plain = cost(lambda m, p: comm.broadcast(m, p), 2000)
+        big_pipe = cost(lambda m, p: comm.broadcast_pipelined(m, p), 2000)
+        assert small_plain < small_pipe
+        assert big_pipe < big_plain
+        # asymptotic gain approaches k/2 = 2
+        assert big_plain / big_pipe > 1.8
+
+    def test_crossover_formula(self):
+        c = CostModel(tau=100, t_c=2)
+        k = 4
+        L_star = comm.broadcast_crossover(c, k)
+        for L in (int(L_star * 0.5), int(L_star * 2)):
+            plain = k * (100 + 2 * L)
+            pipe = (2 * k - 1) * (100 + 2 * (-(-L // k)))
+            assert (pipe < plain) == (L > L_star), (L, L_star)
+
+    def test_crossover_degenerate_cases(self):
+        assert comm.broadcast_crossover(CostModel(tau=1, t_c=0), 4) == np.inf
+        assert comm.broadcast_crossover(CostModel.cm2(), 1) == np.inf
+
+
+class TestReduceAllPipelined:
+    def test_functional_equality(self, rng):
+        m = fresh()
+        data = rng.standard_normal((16, 24))
+        pv = m.pvar(data)
+        for opname in ("sum", "max", "min"):
+            a = comm.reduce_all(m, pv, opname)
+            b = comm.reduce_all_pipelined(m, pv, opname)
+            assert np.allclose(a.data, b.data), opname
+
+    def test_subcube(self, rng):
+        m = fresh()
+        pv = m.pvar(rng.standard_normal((16, 8)))
+        a = comm.reduce_all(m, pv, "sum", dims=(0, 2))
+        b = comm.reduce_all_pipelined(m, pv, "sum", dims=(0, 2))
+        assert np.allclose(a.data, b.data)
+
+    def test_bandwidth_optimal_volume(self):
+        """Reduce-scatter + all-gather moves ~2L per processor vs k·L."""
+        m_plain = fresh(tau=0, t_c=1)
+        m_pipe = fresh(tau=0, t_c=1)
+        L = 4096
+        comm.reduce_all(m_plain, m_plain.pvar(np.zeros((16, L))), "sum")
+        comm.reduce_all_pipelined(m_pipe, m_pipe.pvar(np.zeros((16, L))), "sum")
+        plain_vol = m_plain.counters.elements_transferred
+        pipe_vol = m_pipe.counters.elements_transferred
+        assert plain_vol == pytest.approx(4 * L * 16)
+        assert pipe_vol < 2.1 * L * 16
+
+    def test_latency_bound_prefers_plain(self):
+        m_plain = fresh(tau=10000, t_c=1)
+        m_pipe = fresh(tau=10000, t_c=1)
+        comm.reduce_all(m_plain, m_plain.pvar(np.zeros((16, 4))), "sum")
+        comm.reduce_all_pipelined(m_pipe, m_pipe.pvar(np.zeros((16, 4))), "sum")
+        assert m_plain.counters.time < m_pipe.counters.time

@@ -1,0 +1,236 @@
+"""Unit tests for the distribute and reduce primitives (S10)."""
+
+import numpy as np
+import pytest
+
+from repro.core import primitives as P
+from repro.embeddings import (
+    ColAlignedEmbedding,
+    MatrixEmbedding,
+    RowAlignedEmbedding,
+    VectorOrderEmbedding,
+)
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+@pytest.fixture
+def emb(m):
+    return MatrixEmbedding(m, 9, 13, row_dims=(0, 1), col_dims=(2, 3))
+
+
+@pytest.fixture
+def A(rng):
+    return rng.standard_normal((9, 13))
+
+
+@pytest.fixture
+def M(emb, A):
+    return emb.scatter(A)
+
+
+class TestDistribute:
+    def test_axis0_tiles_rows(self, m, emb, rng):
+        w = rng.standard_normal(13)
+        we = RowAlignedEmbedding(emb, None)
+        out = P.distribute(we.scatter(w), we, emb, axis=0)
+        assert np.allclose(emb.gather(out), np.tile(w, (9, 1)))
+
+    def test_axis1_tiles_columns(self, m, emb, rng):
+        u = rng.standard_normal(9)
+        ue = ColAlignedEmbedding(emb, None)
+        out = P.distribute(ue.scatter(u), ue, emb, axis=1)
+        assert np.allclose(emb.gather(out), np.tile(u[:, None], (1, 13)))
+
+    def test_replicated_source_is_local_only(self, m, emb, rng):
+        we = RowAlignedEmbedding(emb, None)
+        pv = we.scatter(rng.standard_normal(13))
+        r0 = m.counters.comm_rounds
+        P.distribute(pv, we, emb, axis=0)
+        assert m.counters.comm_rounds == r0  # zero communication
+
+    def test_resident_source_broadcasts(self, m, emb, rng):
+        we = RowAlignedEmbedding(emb, 2)
+        pv = we.scatter(rng.standard_normal(13))
+        r0 = m.counters.comm_rounds
+        out = P.distribute(pv, we, emb, axis=0)
+        assert m.counters.comm_rounds - r0 == len(emb.row_dims)
+        w = we.gather(pv)
+        assert np.allclose(emb.gather(out), np.tile(w, (9, 1)))
+
+    def test_vector_order_source_remaps(self, m, emb, rng):
+        w = rng.standard_normal(13)
+        we = VectorOrderEmbedding(m, 13)
+        out = P.distribute(we.scatter(w), we, emb, axis=0)
+        assert np.allclose(emb.gather(out), np.tile(w, (9, 1)))
+
+    def test_length_mismatch(self, m, emb):
+        we = VectorOrderEmbedding(m, 5)
+        with pytest.raises(ValueError, match="length"):
+            P.distribute(we.scatter(np.zeros(5)), we, emb, axis=0)
+
+    def test_cost_replicated_is_one_tile_pass(self, m, emb, rng):
+        we = RowAlignedEmbedding(emb, None)
+        pv = we.scatter(rng.standard_normal(13))
+        t0 = m.counters.time
+        P.distribute(pv, we, emb, axis=0)
+        lr, lc = emb.local_shape
+        assert m.counters.time - t0 == lr * lc
+
+
+class TestReduce:
+    @pytest.mark.parametrize("opname,np_fn", [
+        ("sum", np.sum), ("max", np.max), ("min", np.min), ("prod", np.prod),
+    ])
+    def test_axis1_row_totals(self, M, emb, A, opname, np_fn):
+        v, ve = P.reduce(M, emb, axis=1, op=opname)
+        assert isinstance(ve, ColAlignedEmbedding)
+        assert np.allclose(ve.gather(v), np_fn(A, axis=1))
+
+    @pytest.mark.parametrize("opname,np_fn", [("sum", np.sum), ("max", np.max)])
+    def test_axis0_col_totals(self, M, emb, A, opname, np_fn):
+        v, ve = P.reduce(M, emb, axis=0, op=opname)
+        assert isinstance(ve, RowAlignedEmbedding)
+        assert np.allclose(ve.gather(v), np_fn(A, axis=0))
+
+    def test_result_is_replicated(self, M, emb, A):
+        v, ve = P.reduce(M, emb, axis=1, op="sum")
+        assert ve.replicated
+        mask = ve.valid_mask()
+        idx = ve.global_indices()
+        expect = A.sum(axis=1)
+        assert np.allclose(v.data[mask], expect[idx[mask]])
+
+    def test_padding_never_pollutes(self, m):
+        """With odd sizes, padded slots must not leak into reductions even
+        for ops whose identity is not zero."""
+        emb = MatrixEmbedding(m, 5, 5, row_dims=(0, 1), col_dims=(2, 3))
+        A = -np.ones((5, 5))
+        M = emb.scatter(A)  # padding holds 0.0 > every element
+        v, ve = P.reduce(M, emb, axis=1, op="max")
+        assert np.allclose(ve.gather(v), -1.0)
+
+    def test_prod_with_padding(self, m):
+        emb = MatrixEmbedding(m, 3, 3, row_dims=(0, 1), col_dims=(2, 3))
+        A = np.full((3, 3), 2.0)
+        v, ve = P.reduce(emb.scatter(A), emb, axis=0, op="prod")
+        assert np.allclose(ve.gather(v), 8.0)
+
+    def test_reduce_then_distribute_is_cheap(self, m, M, emb):
+        """The reduce result is replicated, so a following distribute does
+        no communication — the pattern matvec exploits."""
+        v, ve = P.reduce(M, emb, axis=0, op="sum")
+        r0 = m.counters.comm_rounds
+        P.distribute(v, ve, emb, axis=0)
+        assert m.counters.comm_rounds == r0
+
+    def test_exact_size_no_masking_pass(self):
+        m = Hypercube(4, CostModel(tau=0, t_c=0, t_a=0, t_m=1))
+        emb = MatrixEmbedding(m, 16, 16, row_dims=(0, 1), col_dims=(2, 3))
+        M = emb.scatter(np.ones((16, 16)))
+        t0 = m.counters.time
+        P.reduce(M, emb, axis=1, op="sum")
+        assert m.counters.time == t0  # no t_m charged when nothing is padded
+
+
+class TestReduceLoc:
+    def test_argmax_rows(self, M, emb, A):
+        val, idx, ve = P.reduce_loc(M, emb, axis=1, mode="max")
+        assert np.allclose(ve.gather(val), A.max(axis=1))
+        assert np.array_equal(ve.gather(idx), A.argmax(axis=1))
+
+    def test_argmin_cols(self, M, emb, A):
+        val, idx, ve = P.reduce_loc(M, emb, axis=0, mode="min")
+        assert np.allclose(ve.gather(val), A.min(axis=0))
+        assert np.array_equal(ve.gather(idx), A.argmin(axis=0))
+
+    def test_ties_go_to_smallest_global_index(self, m, emb):
+        A = np.zeros((9, 13))
+        M = emb.scatter(A)
+        _, idx, ve = P.reduce_loc(M, emb, axis=1, mode="max")
+        assert np.all(ve.gather(idx) == 0)
+
+    def test_ties_under_cyclic_layout(self, m):
+        """Cyclic layouts scramble slot order; the tie-break must still be
+        by global index."""
+        emb = MatrixEmbedding(
+            m, 8, 12, row_dims=(0, 1), col_dims=(2, 3),
+            row_layout_kind="cyclic", col_layout_kind="cyclic",
+        )
+        A = np.zeros((8, 12))
+        M = emb.scatter(A)
+        _, idx, ve = P.reduce_loc(M, emb, axis=1, mode="max")
+        assert np.all(ve.gather(idx) == 0)
+        _, idx0, ve0 = P.reduce_loc(M, emb, axis=0, mode="min")
+        assert np.all(ve0.gather(idx0) == 0)
+
+    def test_valid_mask_restricts_candidates(self, m, emb, A, M):
+        from repro.machine import PVar
+        pos = PVar(m, M.data > 0.5)
+        val, idx, ve = P.reduce_loc(M, emb, axis=1, mode="min", valid=pos)
+        got_idx = ve.gather(idx)
+        for i in range(9):
+            cands = np.nonzero(A[i] > 0.5)[0]
+            if len(cands):
+                assert got_idx[i] == cands[np.argmin(A[i][cands])]
+            else:
+                assert got_idx[i] == -1
+
+    def test_empty_candidate_slice_yields_minus_one(self, m, emb, M):
+        from repro.machine import PVar
+        none = PVar(m, np.zeros_like(M.data, dtype=bool))
+        _, idx, ve = P.reduce_loc(M, emb, axis=1, mode="max", valid=none)
+        assert np.all(ve.gather(idx) == -1)
+
+    def test_bad_mode(self, M, emb):
+        with pytest.raises(ValueError, match="mode"):
+            P.reduce_loc(M, emb, axis=1, mode="mean")
+
+    def test_valid_shape_check(self, m, M, emb):
+        with pytest.raises(ValueError, match="local shape"):
+            P.reduce_loc(M, emb, axis=1, valid=m.zeros((2, 2)))
+
+
+class TestRank1Update:
+    def test_matches_numpy_outer(self, M, emb, A):
+        col, cole = P.extract(M, emb, axis=1, index=0)
+        row, rowe = P.extract(M, emb, axis=0, index=0)
+        out = P.rank1_update(M, emb, col, cole, row, rowe, alpha=-1.0)
+        expect = A - np.outer(A[:, 0], A[0, :])
+        assert np.allclose(emb.gather(out), expect)
+
+    def test_alpha_scaling(self, M, emb, A):
+        col, cole = P.extract(M, emb, axis=1, index=2)
+        row, rowe = P.extract(M, emb, axis=0, index=3)
+        out = P.rank1_update(M, emb, col, cole, row, rowe, alpha=0.25)
+        expect = A + 0.25 * np.outer(A[:, 2], A[3, :])
+        assert np.allclose(emb.gather(out), expect)
+
+    def test_zero_communication_with_aligned_inputs(self, m, M, emb):
+        col, cole = P.extract(M, emb, axis=1, index=0)
+        row, rowe = P.extract(M, emb, axis=0, index=0)
+        r0 = m.counters.comm_rounds
+        P.rank1_update(M, emb, col, cole, row, rowe)
+        assert m.counters.comm_rounds == r0
+
+    def test_vector_order_inputs_are_remapped(self, m, emb, A, M, rng):
+        u = rng.standard_normal(9)
+        w = rng.standard_normal(13)
+        ue = VectorOrderEmbedding(m, 9)
+        we = VectorOrderEmbedding(m, 13)
+        out = P.rank1_update(
+            M, emb, ue.scatter(u), ue, we.scatter(w), we, alpha=-2.0
+        )
+        assert np.allclose(emb.gather(out), A - 2.0 * np.outer(u, w))
+
+    def test_cost_is_three_passes(self, m, M, emb):
+        col, cole = P.extract(M, emb, axis=1, index=0)
+        row, rowe = P.extract(M, emb, axis=0, index=0)
+        t0 = m.counters.time
+        P.rank1_update(M, emb, col, cole, row, rowe)
+        lr, lc = emb.local_shape
+        assert m.counters.time - t0 == 3 * lr * lc

@@ -1,0 +1,155 @@
+"""Unit tests for the extract and insert primitives (S10)."""
+
+import numpy as np
+import pytest
+
+from repro.core import primitives as P
+from repro.embeddings import (
+    ColAlignedEmbedding,
+    MatrixEmbedding,
+    RowAlignedEmbedding,
+    VectorOrderEmbedding,
+)
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+@pytest.fixture
+def emb(m):
+    return MatrixEmbedding(m, 9, 13, row_dims=(0, 1), col_dims=(2, 3))
+
+
+@pytest.fixture
+def A(rng):
+    return rng.standard_normal((9, 13))
+
+
+@pytest.fixture
+def M(emb, A):
+    return emb.scatter(A)
+
+
+class TestExtract:
+    @pytest.mark.parametrize("i", [0, 4, 8])
+    def test_row(self, M, emb, A, i):
+        v, ve = P.extract(M, emb, axis=0, index=i)
+        assert isinstance(ve, RowAlignedEmbedding)
+        assert ve.replicated
+        assert np.allclose(ve.gather(v), A[i, :])
+
+    @pytest.mark.parametrize("j", [0, 7, 12])
+    def test_column(self, M, emb, A, j):
+        v, ve = P.extract(M, emb, axis=1, index=j)
+        assert isinstance(ve, ColAlignedEmbedding)
+        assert np.allclose(ve.gather(v), A[:, j])
+
+    def test_no_replicate_stays_resident(self, M, emb, A):
+        v, ve = P.extract(M, emb, axis=0, index=5, replicate=False)
+        assert not ve.replicated
+        assert ve.resident == int(emb.row_layout.owner(5))
+        assert np.allclose(ve.gather(v), A[5, :])
+
+    def test_replicated_copy_on_every_band(self, M, emb, A):
+        v, ve = P.extract(M, emb, axis=1, index=3)
+        mask = ve.valid_mask()
+        idx = ve.global_indices()
+        assert np.allclose(v.data[mask], A[:, 3][idx[mask]])
+
+    def test_out_of_range(self, M, emb):
+        with pytest.raises(IndexError):
+            P.extract(M, emb, axis=0, index=9)
+        with pytest.raises(IndexError):
+            P.extract(M, emb, axis=1, index=-1)
+
+    def test_bad_axis(self, M, emb):
+        with pytest.raises(ValueError, match="axis"):
+            P.extract(M, emb, axis=2, index=0)
+
+    def test_cost_no_replicate_is_one_local_pass(self, m, M, emb):
+        t0 = m.counters.time
+        P.extract(M, emb, axis=0, index=0, replicate=False)
+        lc = emb.local_shape[1]
+        assert m.counters.time - t0 == lc  # unit t_m
+
+    def test_cost_replicate_adds_lg_rounds(self, M, emb):
+        m2 = Hypercube(4, CostModel(tau=100, t_c=2, t_a=1, t_m=1))
+        emb2 = MatrixEmbedding(m2, 9, 13, row_dims=(0, 1), col_dims=(2, 3))
+        M2 = emb2.scatter(np.zeros((9, 13)))
+        t0 = m2.counters.time
+        P.extract(M2, emb2, axis=0, index=0)
+        lc = emb2.local_shape[1]
+        assert m2.counters.time - t0 == lc + 2 * (100 + 2 * lc)
+
+    def test_extract_is_communication_free_along_slice(self, m, M, emb):
+        """Replication crosses only the orthogonal dims, never the slice."""
+        r0 = m.counters.comm_rounds
+        P.extract(M, emb, axis=0, index=2)
+        assert m.counters.comm_rounds - r0 == len(emb.row_dims)
+
+
+class TestInsert:
+    def test_row_with_replicated_vector(self, M, emb, A, rng):
+        w = rng.standard_normal(13)
+        we = RowAlignedEmbedding(emb, None)
+        out = P.insert(M, emb, axis=0, index=2, vec=we.scatter(w), vec_emb=we)
+        expect = A.copy()
+        expect[2, :] = w
+        assert np.allclose(emb.gather(out), expect)
+
+    def test_column_with_replicated_vector(self, M, emb, A, rng):
+        u = rng.standard_normal(9)
+        ue = ColAlignedEmbedding(emb, None)
+        out = P.insert(M, emb, axis=1, index=11, vec=ue.scatter(u), vec_emb=ue)
+        expect = A.copy()
+        expect[:, 11] = u
+        assert np.allclose(emb.gather(out), expect)
+
+    def test_functional_not_in_place(self, M, emb, A, rng):
+        we = RowAlignedEmbedding(emb, None)
+        P.insert(M, emb, 0, 0, we.scatter(rng.standard_normal(13)), we)
+        assert np.allclose(emb.gather(M), A)  # original untouched
+
+    def test_vector_order_source_triggers_embedding_change(self, m, M, emb, A, rng):
+        w = rng.standard_normal(13)
+        we = VectorOrderEmbedding(m, 13)
+        t0 = m.counters.elements_transferred
+        out = P.insert(M, emb, axis=0, index=7, vec=we.scatter(w), vec_emb=we)
+        expect = A.copy()
+        expect[7, :] = w
+        assert np.allclose(emb.gather(out), expect)
+        assert m.counters.elements_transferred > t0  # a remap happened
+
+    def test_resident_in_wrong_band_remaps(self, M, emb, A, rng):
+        w = rng.standard_normal(13)
+        owner = int(emb.row_layout.owner(0))
+        wrong = (owner + 1) % emb.Pr
+        we = RowAlignedEmbedding(emb, wrong)
+        out = P.insert(M, emb, axis=0, index=0, vec=we.scatter(w), vec_emb=we)
+        expect = A.copy()
+        expect[0, :] = w
+        assert np.allclose(emb.gather(out), expect)
+
+    def test_resident_in_right_band_no_motion(self, m, M, emb, A, rng):
+        w = rng.standard_normal(13)
+        owner = int(emb.row_layout.owner(4))
+        we = RowAlignedEmbedding(emb, owner)
+        e0 = m.counters.elements_transferred
+        out = P.insert(M, emb, axis=0, index=4, vec=we.scatter(w), vec_emb=we)
+        assert m.counters.elements_transferred == e0
+        expect = A.copy()
+        expect[4, :] = w
+        assert np.allclose(emb.gather(out), expect)
+
+    def test_length_mismatch(self, m, M, emb):
+        we = VectorOrderEmbedding(m, 9)  # wrong length for a row
+        with pytest.raises(ValueError, match="length"):
+            P.insert(M, emb, axis=0, index=0, vec=we.scatter(np.zeros(9)), vec_emb=we)
+
+    def test_extract_insert_round_trip(self, M, emb, A):
+        v, ve = P.extract(M, emb, axis=1, index=5)
+        out = P.insert(M, emb, axis=1, index=5, vec=v, vec_emb=ve)
+        assert np.allclose(emb.gather(out), A)

@@ -1,0 +1,163 @@
+"""Hypothesis property tests: the primitives against their NumPy oracles.
+
+Every primitive, on random machine sizes, matrix shapes, layouts and grid
+splits, must agree exactly (to float tolerance) with the obvious NumPy
+operation on the gathered host matrix, and a full extract/insert sweep
+must reconstruct the matrix.  These are the core correctness invariants of
+the reproduction.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import primitives as P
+from repro.embeddings import MatrixEmbedding
+from repro.machine import CostModel, Hypercube
+
+
+@st.composite
+def embedded_matrices(draw):
+    n = draw(st.integers(min_value=0, max_value=5))
+    R = draw(st.integers(min_value=1, max_value=24))
+    C = draw(st.integers(min_value=1, max_value=24))
+    nr = draw(st.integers(min_value=0, max_value=n))
+    layouts = ["block", "cyclic", "block_cyclic:2", "block_cyclic:3"]
+    row_layout = draw(st.sampled_from(layouts))
+    col_layout = draw(st.sampled_from(layouts))
+    coding = draw(st.sampled_from(["gray", "binary"]))
+    machine = Hypercube(n, CostModel.unit())
+    dims = machine.dims
+    emb = MatrixEmbedding(
+        machine, R, C,
+        row_dims=dims[:nr], col_dims=dims[nr:],
+        row_layout_kind=row_layout, col_layout_kind=col_layout,
+        coding=coding,
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    A = np.random.default_rng(seed).standard_normal((R, C))
+    return emb, A
+
+
+@settings(max_examples=60, deadline=None)
+@given(embedded_matrices())
+def test_scatter_gather_identity(case):
+    emb, A = case
+    assert np.array_equal(emb.gather(emb.scatter(A)), A)
+
+
+@settings(max_examples=60, deadline=None)
+@given(embedded_matrices(), st.sampled_from(["sum", "max", "min"]))
+def test_reduce_matches_numpy(case, opname):
+    emb, A = case
+    M = emb.scatter(A)
+    np_fn = {"sum": np.sum, "max": np.max, "min": np.min}[opname]
+    for axis in (0, 1):
+        v, ve = P.reduce(M, emb, axis=axis, op=opname)
+        assert np.allclose(ve.gather(v), np_fn(A, axis=axis))
+
+
+@settings(max_examples=60, deadline=None)
+@given(embedded_matrices(), st.sampled_from(["max", "min"]))
+def test_reduce_loc_matches_numpy(case, mode):
+    emb, A = case
+    M = emb.scatter(A)
+    for axis in (0, 1):
+        val, idx, ve = P.reduce_loc(M, emb, axis=axis, mode=mode)
+        np_val = A.max(axis=axis) if mode == "max" else A.min(axis=axis)
+        np_idx = A.argmax(axis=axis) if mode == "max" else A.argmin(axis=axis)
+        assert np.allclose(ve.gather(val), np_val)
+        assert np.array_equal(ve.gather(idx), np_idx)
+
+
+@settings(max_examples=40, deadline=None)
+@given(embedded_matrices(), st.data())
+def test_extract_matches_slicing(case, data):
+    emb, A = case
+    M = emb.scatter(A)
+    i = data.draw(st.integers(min_value=0, max_value=emb.R - 1))
+    j = data.draw(st.integers(min_value=0, max_value=emb.C - 1))
+    v, ve = P.extract(M, emb, axis=0, index=i)
+    assert np.allclose(ve.gather(v), A[i, :])
+    w, we = P.extract(M, emb, axis=1, index=j)
+    assert np.allclose(we.gather(w), A[:, j])
+
+
+@settings(max_examples=40, deadline=None)
+@given(embedded_matrices(), st.data())
+def test_insert_then_extract_round_trips(case, data):
+    emb, A = case
+    M = emb.scatter(A)
+    axis = data.draw(st.sampled_from([0, 1]))
+    length = emb.C if axis == 0 else emb.R
+    hi = (emb.R if axis == 0 else emb.C) - 1
+    index = data.draw(st.integers(min_value=0, max_value=hi))
+    seed = data.draw(st.integers(min_value=0, max_value=2**31))
+    w = np.random.default_rng(seed).standard_normal(length)
+    _, ve = P.extract(M, emb, axis=axis, index=index)
+    M2 = P.insert(M, emb, axis=axis, index=index, vec=ve.scatter(w), vec_emb=ve)
+    v2, ve2 = P.extract(M2, emb, axis=axis, index=index)
+    assert np.allclose(ve2.gather(v2), w)
+    # the rest of the matrix is untouched
+    got = emb.gather(M2)
+    expect = A.copy()
+    if axis == 0:
+        expect[index, :] = w
+    else:
+        expect[:, index] = w
+    assert np.allclose(got, expect)
+
+
+@settings(max_examples=40, deadline=None)
+@given(embedded_matrices())
+def test_distribute_of_reduce_tiles_totals(case):
+    emb, A = case
+    M = emb.scatter(A)
+    v, ve = P.reduce(M, emb, axis=1, op="sum")
+    out = P.distribute(v, ve, emb, axis=1)
+    expect = np.tile(A.sum(axis=1)[:, None], (1, emb.C))
+    assert np.allclose(emb.gather(out), expect)
+
+
+@settings(max_examples=40, deadline=None)
+@given(embedded_matrices())
+def test_reduce_distribute_reduce_scales_by_width(case):
+    """reduce(distribute(v)) over the tiled axis multiplies by the extent —
+    an algebraic identity linking the two primitives."""
+    emb, A = case
+    M = emb.scatter(A)
+    v, ve = P.reduce(M, emb, axis=0, op="sum")
+    D = P.distribute(v, ve, emb, axis=0)
+    v2, ve2 = P.reduce(D, emb, axis=0, op="sum")
+    assert np.allclose(ve2.gather(v2), emb.R * A.sum(axis=0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(embedded_matrices())
+def test_full_extract_sweep_reconstructs_matrix(case):
+    emb, A = case
+    M = emb.scatter(A)
+    rows = [P.extract(M, emb, axis=0, index=i) for i in range(emb.R)]
+    got = np.stack([ve.gather(v) for v, ve in rows])
+    assert np.allclose(got, A)
+
+
+@settings(max_examples=30, deadline=None)
+@given(embedded_matrices())
+def test_time_is_monotone_nondecreasing(case):
+    """Simulated time never decreases, whatever mix of primitives runs."""
+    emb, A = case
+    machine = emb.machine
+    M = emb.scatter(A)
+    last = machine.counters.time
+    for action in range(4):
+        if action == 0:
+            P.reduce(M, emb, axis=1, op="sum")
+        elif action == 1:
+            P.extract(M, emb, axis=0, index=0)
+        elif action == 2:
+            v, ve = P.extract(M, emb, axis=1, index=0)
+            P.distribute(v, ve, emb, axis=1)
+        else:
+            P.reduce_loc(M, emb, axis=0, mode="min")
+        assert machine.counters.time >= last
+        last = machine.counters.time

@@ -1,0 +1,180 @@
+"""Unit tests for processor variables (S2)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Hypercube, PVar
+
+
+@pytest.fixture
+def m():
+    return Hypercube(3, CostModel.unit())
+
+
+class TestConstruction:
+    def test_shape_validation(self, m):
+        with pytest.raises(ValueError, match="shape"):
+            PVar(m, np.zeros(4))  # wrong processor extent
+
+    def test_scalar_local_shape(self, m):
+        pv = m.zeros()
+        assert pv.local_shape == ()
+        assert pv.local_size == 1
+
+    def test_block_local_shape(self, m):
+        pv = m.zeros((2, 5))
+        assert pv.local_shape == (2, 5)
+        assert pv.local_size == 10
+
+    def test_full_and_ones(self, m):
+        assert np.all(m.full((2,), 7).data == 7)
+        assert np.all(m.ones((3,)).data == 1.0)
+
+    def test_pvar_wraps_host_data(self, m):
+        data = np.arange(8.0)
+        pv = m.pvar(data)
+        assert np.array_equal(pv.data, data)
+
+    def test_pvar_copies_host_data(self, m):
+        data = np.arange(8.0)
+        pv = m.pvar(data)
+        data[0] = 99
+        assert pv.data[0] == 0.0
+
+    def test_wrong_machine_rejected(self, m):
+        other = Hypercube(3, CostModel.unit())
+        pv = other.zeros()
+        with pytest.raises(ValueError, match="different machine"):
+            m.exchange(pv, 0)
+
+
+class TestArithmeticSemantics:
+    def test_add_sub_mul_div(self, m):
+        a = m.pvar(np.arange(8.0))
+        b = m.pvar(np.full(8, 2.0))
+        assert np.array_equal((a + b).data, np.arange(8.0) + 2)
+        assert np.array_equal((a - b).data, np.arange(8.0) - 2)
+        assert np.array_equal((a * b).data, np.arange(8.0) * 2)
+        assert np.array_equal((a / b).data, np.arange(8.0) / 2)
+
+    def test_scalar_operands(self, m):
+        a = m.pvar(np.arange(8.0))
+        assert np.array_equal((a + 1).data, np.arange(8.0) + 1)
+        assert np.array_equal((1 + a).data, np.arange(8.0) + 1)
+        assert np.array_equal((3 - a).data, 3 - np.arange(8.0))
+        assert np.array_equal((2 / (a + 1)).data, 2 / (np.arange(8.0) + 1))
+
+    def test_unary(self, m):
+        a = m.pvar(np.array([-1.0, 2, -3, 4, -5, 6, -7, 8]))
+        assert np.array_equal((-a).data, -a.data)
+        assert np.array_equal(abs(a).data, np.abs(a.data))
+        assert np.array_equal(a.abs().data, np.abs(a.data))
+
+    def test_pow_mod_floordiv(self, m):
+        a = m.pvar(np.arange(8.0))
+        assert np.array_equal((a ** 2).data, np.arange(8.0) ** 2)
+        assert np.array_equal((a % 3).data, np.arange(8.0) % 3)
+        assert np.array_equal((a // 3).data, np.arange(8.0) // 3)
+
+    def test_sqrt_reciprocal(self, m):
+        a = m.pvar(np.arange(1.0, 9.0))
+        assert np.allclose(a.sqrt().data, np.sqrt(a.data))
+        assert np.allclose(a.reciprocal().data, 1.0 / a.data)
+
+    def test_comparisons_produce_bools(self, m):
+        a = m.pvar(np.arange(8.0))
+        assert (a < 4).data.dtype == np.bool_
+        assert np.array_equal((a < 4).data, np.arange(8) < 4)
+        assert np.array_equal((a >= 4).data, np.arange(8) >= 4)
+        assert np.array_equal(a.eq(3).data, np.arange(8) == 3)
+        assert np.array_equal(a.ne(3).data, np.arange(8) != 3)
+
+    def test_logical_ops(self, m):
+        a = m.pvar(np.arange(8) % 2 == 0)
+        b = m.pvar(np.arange(8) < 4)
+        assert np.array_equal((a & b).data, a.data & b.data)
+        assert np.array_equal((a | b).data, a.data | b.data)
+        assert np.array_equal((a ^ b).data, a.data ^ b.data)
+        assert np.array_equal((~a).data, ~a.data)
+
+    def test_minimum_maximum(self, m):
+        a = m.pvar(np.arange(8.0))
+        b = m.pvar(np.full(8, 3.5))
+        assert np.array_equal(a.minimum(b).data, np.minimum(a.data, 3.5))
+        assert np.array_equal(a.maximum(3.5).data, np.maximum(a.data, 3.5))
+
+    def test_where_select(self, m):
+        cond = m.pvar(np.arange(8) % 2 == 0)
+        a = m.pvar(np.full(8, 1.0))
+        out = cond.where(a, 0.0)
+        assert np.array_equal(out.data, np.where(np.arange(8) % 2 == 0, 1.0, 0.0))
+
+    def test_raw_ndarray_operand_rejected(self, m):
+        a = m.pvar(np.arange(8.0))
+        with pytest.raises(TypeError, match="wrap"):
+            a + np.ones(8)
+
+    def test_cross_machine_operand_rejected(self, m):
+        other = Hypercube(3, CostModel.unit())
+        with pytest.raises(ValueError, match="different machines"):
+            m.zeros() + other.zeros()
+
+
+class TestLocalReductions:
+    def test_local_sum(self, m):
+        pv = m.pvar(np.arange(24.0).reshape(8, 3))
+        assert np.array_equal(pv.local_sum(0).data, pv.data.sum(axis=1))
+
+    def test_local_reduce_axis_selection(self, m):
+        pv = m.pvar(np.arange(48.0).reshape(8, 2, 3))
+        assert np.array_equal(pv.local_sum(1).data, pv.data.sum(axis=2))
+        assert np.array_equal(pv.local_max(0).data, pv.data.max(axis=1))
+
+    def test_local_min_max_any_all(self, m):
+        pv = m.pvar(np.arange(24.0).reshape(8, 3))
+        assert np.array_equal(pv.local_min(0).data, pv.data.min(axis=1))
+        b = m.pvar((np.arange(24) % 5 == 0).reshape(8, 3))
+        assert np.array_equal(b.local_any(0).data, b.data.any(axis=1))
+        assert np.array_equal(b.local_all(0).data, b.data.all(axis=1))
+
+    def test_local_argmax_argmin(self, m):
+        pv = m.pvar(np.arange(24.0).reshape(8, 3)[:, ::-1].copy())
+        assert np.all(pv.local_argmax(0).data == 0)
+        assert np.all(pv.local_argmin(0).data == 2)
+
+    def test_scalar_local_reduce_rejected(self, m):
+        with pytest.raises(ValueError, match="scalar"):
+            m.zeros().local_sum(0)
+
+
+class TestCostCharging:
+    def test_elementwise_charges_local_size(self, m):
+        pv = m.zeros((10,))
+        t0 = m.counters.time
+        _ = pv + pv
+        assert m.counters.time - t0 == 10.0  # unit model: t_a * local elements
+
+    def test_flop_count_is_machine_wide(self, m):
+        pv = m.zeros((10,))
+        f0 = m.counters.flops
+        _ = pv * 2
+        assert m.counters.flops - f0 == 10 * m.p
+
+    def test_copy_charges_memory_pass(self, m):
+        pv = m.zeros((5,))
+        t0 = m.counters.time
+        pv.copy()
+        assert m.counters.time - t0 == 5.0
+
+    def test_local_reduce_charges_combining_steps(self, m):
+        pv = m.zeros((4, 3))
+        t0 = m.counters.time
+        pv.local_sum(0)  # 12 -> 3 per processor: 9 combining steps
+        assert m.counters.time - t0 == 9.0
+
+    def test_reshape_local_free(self, m):
+        pv = m.zeros((4, 3))
+        t0 = m.counters.time
+        out = pv.reshape_local(12)
+        assert out.local_shape == (12,)
+        assert m.counters.time == t0

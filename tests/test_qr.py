@@ -1,0 +1,134 @@
+"""Tests for the Householder QR factorisation and least squares."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session
+from repro import workloads as W
+from repro.algorithms import qr
+from repro.algorithms.gaussian import SingularMatrixError
+from repro.core import DistributedMatrix
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestFactor:
+    def test_r_is_upper_triangular(self, s, rng):
+        A_h = rng.standard_normal((10, 10))
+        fact = qr.qr_factor(s.matrix(A_h))
+        assert np.allclose(np.tril(fact.r(), -1), 0.0)
+
+    def test_r_magnitudes_match_numpy(self, s, rng):
+        A_h = rng.standard_normal((12, 8))
+        fact = qr.qr_factor(s.matrix(A_h))
+        _, R_np = np.linalg.qr(A_h)
+        assert np.allclose(
+            np.abs(np.diag(fact.r())), np.abs(np.diag(R_np)), atol=1e-8
+        )
+
+    def test_qt_is_orthogonal(self, s, rng):
+        A_h = rng.standard_normal((9, 9))
+        fact = qr.qr_factor(s.matrix(A_h))
+        for seed in range(3):
+            b = np.random.default_rng(seed).standard_normal(9)
+            assert np.isclose(
+                np.linalg.norm(fact.apply_qt(b)), np.linalg.norm(b)
+            )
+
+    def test_qt_a_equals_r(self, s, rng):
+        A_h = rng.standard_normal((8, 5))
+        fact = qr.qr_factor(s.matrix(A_h))
+        QtA = np.column_stack(
+            [fact.apply_qt(A_h[:, j]) for j in range(5)]
+        )
+        assert np.allclose(QtA[:5], fact.r(), atol=1e-8)
+        assert np.allclose(QtA[5:], 0.0, atol=1e-8)  # below R: annihilated
+
+    def test_wide_matrix_rejected(self, s, rng):
+        with pytest.raises(ValueError, match="m >= n"):
+            qr.qr_factor(s.matrix(rng.standard_normal((3, 5))))
+
+    def test_cost_and_phase(self, s, rng):
+        fact = qr.qr_factor(s.matrix(rng.standard_normal((8, 6))))
+        assert fact.cost.time > 0
+        assert "qr-factor" in s.machine.counters.phase_times
+
+    def test_apply_qt_shape_check(self, s, rng):
+        fact = qr.qr_factor(s.matrix(rng.standard_normal((6, 4))))
+        with pytest.raises(ValueError, match="shape"):
+            fact.apply_qt(np.ones(5))
+
+
+class TestSolve:
+    @pytest.mark.parametrize("n", [1, 5, 12, 20])
+    def test_square_systems(self, s, n):
+        A_h, b, x_true = W.random_system(n, seed=n + 80)
+        x = qr.qr_solve(s.matrix(A_h), b)
+        assert np.allclose(x, x_true, atol=1e-7)
+
+    def test_agrees_with_gaussian(self, s):
+        from repro.algorithms import gaussian
+        A_h, b, _ = W.random_system(10, seed=81)
+        x_qr = qr.qr_solve(s.matrix(A_h), b)
+        x_ge = gaussian.solve(s.matrix(A_h), b).x
+        assert np.allclose(x_qr, x_ge, atol=1e-8)
+
+    @pytest.mark.parametrize("m_rows,n_cols", [(10, 4), (20, 6), (8, 8)])
+    def test_least_squares_matches_lstsq(self, s, rng, m_rows, n_cols):
+        A_h = rng.standard_normal((m_rows, n_cols))
+        b = rng.standard_normal(m_rows)
+        x = qr.qr_solve(s.matrix(A_h), b)
+        ref = np.linalg.lstsq(A_h, b, rcond=None)[0]
+        assert np.allclose(x, ref, atol=1e-8)
+
+    def test_better_than_normal_equations_when_ill_conditioned(self, s):
+        """QR's raison d'être: the normal equations square the condition
+        number; Householder does not."""
+        eps = 1e-7
+        A_h = np.array([[1.0, 1.0], [eps, 0.0], [0.0, eps]])
+        b = np.array([2.0, eps, eps])
+        x = qr.qr_solve(s.matrix(A_h), b)
+        ref = np.linalg.lstsq(A_h, b, rcond=None)[0]
+        assert np.allclose(x, ref, atol=1e-6)
+
+    def test_singular_detected(self, s):
+        with pytest.raises(SingularMatrixError):
+            qr.qr_solve(s.matrix(np.ones((4, 4))), np.ones(4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_qr_fuzz_square(n, cube, seed):
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n)) + 2 * np.eye(n)
+    b = rng.standard_normal(n)
+    machine = Hypercube(cube, CostModel.unit())
+    x = qr.qr_solve(DistributedMatrix.from_numpy(machine, A), b)
+    assert np.allclose(A @ x, b, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_qr_fuzz_least_squares(m_rows, n_cols, seed):
+    if m_rows < n_cols:
+        m_rows, n_cols = n_cols, m_rows
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m_rows, n_cols))
+    b = rng.standard_normal(m_rows)
+    machine = Hypercube(3, CostModel.unit())
+    x = qr.qr_solve(DistributedMatrix.from_numpy(machine, A), b)
+    ref = np.linalg.lstsq(A, b, rcond=None)[0]
+    assert np.allclose(x, ref, atol=1e-6)

@@ -1,0 +1,171 @@
+"""Unit tests for embedding changes (S8): remap, redistribute, transpose."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    ColAlignedEmbedding,
+    MatrixEmbedding,
+    RowAlignedEmbedding,
+    VectorOrderEmbedding,
+    redistribute_matrix,
+    remap_vector,
+    transpose,
+)
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+@pytest.fixture
+def matrix_emb(m):
+    return MatrixEmbedding(m, 9, 14, row_dims=(0, 1), col_dims=(2, 3))
+
+
+def all_vector_embeddings(m, matrix_emb, L):
+    """Every embedding of a length-L vector this library supports."""
+    out = [
+        VectorOrderEmbedding(m, L, "block"),
+        VectorOrderEmbedding(m, L, "cyclic"),
+        VectorOrderEmbedding(m, L, "block_cyclic:2"),
+        VectorOrderEmbedding(m, L, "block", coding="binary"),
+    ]
+    if L == matrix_emb.C:
+        out += [RowAlignedEmbedding(matrix_emb, r) for r in (None, 0, 1)]
+    if L == matrix_emb.R:
+        out += [ColAlignedEmbedding(matrix_emb, r) for r in (None, 0, 3)]
+    return out
+
+
+class TestRemapVector:
+    @pytest.mark.parametrize("L", [14, 9])
+    def test_all_pairs_preserve_values(self, m, matrix_emb, rng, L):
+        v = rng.standard_normal(L)
+        embs = all_vector_embeddings(m, matrix_emb, L)
+        for src, dst in itertools.product(embs, embs):
+            pv = src.scatter(v)
+            out = remap_vector(pv, src, dst)
+            assert np.allclose(dst.gather(out), v), (src, dst)
+
+    def test_replication_fills_all_bands(self, m, matrix_emb, rng):
+        v = rng.standard_normal(14)
+        src = VectorOrderEmbedding(m, 14)
+        dst = RowAlignedEmbedding(matrix_emb, None)
+        out = remap_vector(src.scatter(v), src, dst)
+        mask = dst.valid_mask()
+        idx = dst.global_indices()
+        assert np.all(out.data[mask] == v[idx[mask]])
+
+    def test_noop_when_compatible(self, m, rng):
+        emb = VectorOrderEmbedding(m, 10)
+        pv = emb.scatter(rng.standard_normal(10))
+        t0 = m.counters.time
+        out = remap_vector(pv, emb, VectorOrderEmbedding(m, 10))
+        assert out is pv
+        assert m.counters.time == t0
+
+    def test_remap_charges_time(self, m, matrix_emb, rng):
+        src = VectorOrderEmbedding(m, 14)
+        dst = RowAlignedEmbedding(matrix_emb, 0)
+        pv = src.scatter(rng.standard_normal(14))
+        t0 = m.counters.time
+        remap_vector(pv, src, dst)
+        assert m.counters.time > t0
+
+    def test_length_mismatch(self, m, matrix_emb):
+        src = VectorOrderEmbedding(m, 14)
+        dst = VectorOrderEmbedding(m, 15)
+        with pytest.raises(ValueError, match="length"):
+            remap_vector(src.scatter(np.zeros(14)), src, dst)
+
+    def test_cross_machine_rejected(self, m, rng):
+        other = Hypercube(4, CostModel.unit())
+        src = VectorOrderEmbedding(m, 8)
+        dst = VectorOrderEmbedding(other, 8)
+        with pytest.raises(ValueError, match="different machines"):
+            remap_vector(src.scatter(np.zeros(8)), src, dst)
+
+    def test_residence_change_moves_only_between_two_bands(self, m, matrix_emb, rng):
+        """Moving between bands transfers exactly one copy of the vector
+        (each element makes one hop per differing Gray bit)."""
+        v = rng.standard_normal(14)
+        a = RowAlignedEmbedding(matrix_emb, 0)
+        b = RowAlignedEmbedding(matrix_emb, 1)  # Gray-adjacent bands
+        pv = a.scatter(v)
+        e0 = m.counters.elements_transferred
+        remap_vector(pv, a, b)
+        assert m.counters.elements_transferred - e0 == 14
+
+
+class TestRedistributeMatrix:
+    def test_layout_change(self, m, rng):
+        A = rng.standard_normal((9, 14))
+        src = MatrixEmbedding.default(m, 9, 14, layout="block")
+        dst = MatrixEmbedding.default(m, 9, 14, layout="cyclic")
+        out = redistribute_matrix(src.scatter(A), src, dst)
+        assert np.allclose(dst.gather(out), A)
+
+    def test_grid_reshape(self, m, rng):
+        A = rng.standard_normal((9, 14))
+        src = MatrixEmbedding(m, 9, 14, row_dims=(0, 1), col_dims=(2, 3))
+        dst = MatrixEmbedding(m, 9, 14, row_dims=(0, 1, 2), col_dims=(3,))
+        out = redistribute_matrix(src.scatter(A), src, dst)
+        assert np.allclose(dst.gather(out), A)
+
+    def test_noop_same_embedding(self, m, rng):
+        A = rng.standard_normal((4, 4))
+        emb = MatrixEmbedding.default(m, 4, 4)
+        pv = emb.scatter(A)
+        t0 = m.counters.time
+        assert redistribute_matrix(pv, emb, emb) is pv
+        assert m.counters.time == t0
+
+    def test_shape_mismatch(self, m):
+        a = MatrixEmbedding.default(m, 4, 4)
+        b = MatrixEmbedding.default(m, 4, 5)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            redistribute_matrix(a.scatter(np.zeros((4, 4))), a, b)
+
+
+class TestTranspose:
+    @pytest.mark.parametrize("R,C", [(8, 8), (9, 14), (1, 16), (13, 2)])
+    @pytest.mark.parametrize("layout", ["block", "cyclic"])
+    def test_values(self, m, rng, R, C, layout):
+        A = rng.standard_normal((R, C))
+        emb = MatrixEmbedding.default(m, R, C, layout=layout)
+        pv, dst = transpose(emb.scatter(A), emb)
+        assert (dst.R, dst.C) == (C, R)
+        assert np.allclose(dst.gather(pv), A.T)
+
+    def test_double_transpose_round_trip(self, m, rng):
+        A = rng.standard_normal((6, 10))
+        emb = MatrixEmbedding.default(m, 6, 10)
+        pv1, e1 = transpose(emb.scatter(A), emb)
+        pv2, e2 = transpose(pv1, e1)
+        assert e2 == emb
+        assert np.allclose(e2.gather(pv2), A)
+
+    def test_square_grid_transpose_congestion_is_low(self):
+        """On a square grid the transpose is a stable dimension permutation:
+        the router must not see many-to-one congestion."""
+        m = Hypercube(4, CostModel(tau=0, t_c=1, t_a=0, t_m=0))
+        emb = MatrixEmbedding(m, 16, 16, row_dims=(0, 1), col_dims=(2, 3))
+        A = np.arange(256.0).reshape(16, 16)
+        t0 = m.counters.time
+        transpose(emb.scatter(A), emb)
+        moved = m.counters.time - t0
+        # each off-diagonal block (local 4x4 = 16 elements) crosses <= 4 dims;
+        # congestion-free would be ~16*4 per processor pair worst case
+        assert moved <= 16 * 4 * 2
+
+    def test_transpose_charges(self, m, rng):
+        emb = MatrixEmbedding.default(m, 8, 8)
+        pv = emb.scatter(rng.standard_normal((8, 8)))
+        t0 = m.counters.time
+        transpose(pv, emb)
+        assert m.counters.time > t0

@@ -1,0 +1,84 @@
+"""Unit tests for the report formatting helpers (S17)."""
+
+import pytest
+
+from repro.analysis import Series, format_series, format_speedup, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].strip().startswith("a")
+        # columns align right
+        assert lines[2].endswith("2")
+        assert lines[3].endswith("40")
+
+    def test_caption(self):
+        out = format_table(["x"], [[1]], caption="R-T1: demo")
+        assert out.splitlines()[0] == "R-T1: demo"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1234.5678]])
+        assert "1,234.57" in out
+
+    def test_scientific_for_extremes(self):
+        out = format_table(["v"], [[1.5e9], [2.5e-7]])
+        assert "e+09" in out and "e-07" in out
+
+    def test_nan_renders_dash(self):
+        out = format_table(["v"], [[float("nan")]])
+        assert out.splitlines()[-1].strip() == "-"
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError, match="arity"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestSeries:
+    def test_add_points(self):
+        s = Series("t")
+        s.add(1, 2.0)
+        s.add(2, 4.0)
+        assert s.xs == [1.0, 2.0]
+        assert s.ys == [2.0, 4.0]
+
+    def test_format_series_merges_on_x(self):
+        a = Series("prim")
+        b = Series("naive")
+        for x in (1, 2):
+            a.add(x, x * 10)
+            b.add(x, x * 100)
+        out = format_series([a, b], x_label="n")
+        assert "prim" in out and "naive" in out
+        assert "100" in out
+
+    def test_format_series_rejects_mismatched_grids(self):
+        a = Series("a"); a.add(1, 1)
+        b = Series("b"); b.add(2, 2)
+        with pytest.raises(ValueError, match="x grid"):
+            format_series([a, b], x_label="n")
+
+    def test_format_series_needs_one(self):
+        with pytest.raises(ValueError):
+            format_series([], x_label="n")
+
+
+class TestSpeedup:
+    def test_ratio_column(self):
+        out = format_speedup([10], [100.0], [10.0], x_label="n")
+        assert "10.00" in out  # the speedup 100/10
+        assert "speedup" in out
+
+    def test_length_check(self):
+        with pytest.raises(ValueError):
+            format_speedup([1, 2], [1.0], [1.0], x_label="n")
+
+    def test_zero_improved_gives_nan(self):
+        out = format_speedup([1], [5.0], [0.0], x_label="n")
+        assert "-" in out.splitlines()[-1]

@@ -1,0 +1,147 @@
+"""Unit tests for the e-cube router (S3)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CostModel, Hypercube, Router
+
+
+@pytest.fixture
+def m():
+    return Hypercube(3, CostModel(tau=100.0, t_c=2.0, t_a=1.0, t_m=1.0))
+
+
+@pytest.fixture
+def router(m):
+    return Router(m)
+
+
+class TestSimulate:
+    def test_single_message_pays_per_differing_bit(self, m, router):
+        # 0 -> 7 differs in 3 bits: 3 rounds, congestion 1 each
+        stats = router.simulate(np.array([0]), np.array([7]), np.array([4.0]))
+        assert stats.rounds == 3
+        assert stats.element_hops == 12.0
+        assert stats.time == 3 * (100 + 2 * 4)
+
+    def test_self_message_is_free(self, m, router):
+        t0 = m.counters.time
+        stats = router.simulate(np.array([3]), np.array([3]), np.array([10.0]))
+        assert stats.rounds == 0
+        assert stats.time == 0.0
+        assert m.counters.time == t0
+
+    def test_congestion_serialises(self, router):
+        # two messages from the same source along the same first link
+        src = np.array([0, 0])
+        dst = np.array([1, 1])
+        stats = router.simulate(src, dst, np.array([5.0, 5.0]))
+        assert stats.rounds == 1
+        assert stats.max_congestion == 10.0
+        assert stats.time == 100 + 2 * 10
+
+    def test_disjoint_messages_share_a_round(self, router):
+        # 0->1 and 2->3 both use dimension 0 but different links
+        stats = router.simulate(
+            np.array([0, 2]), np.array([1, 3]), np.array([5.0, 5.0])
+        )
+        assert stats.rounds == 1
+        assert stats.max_congestion == 5.0
+
+    def test_dimension_order_is_lowest_first(self, router):
+        # message 0->6 (bits 1,2) and 1->3 (bit 1): both traverse dim 1
+        # from different nodes -> no shared link, one round for dim 1.
+        stats = router.simulate(
+            np.array([0, 1]), np.array([6, 3]), np.array([1.0, 1.0])
+        )
+        assert stats.rounds == 2  # dims 1 and 2 (dim 2 only for the first)
+
+    def test_charge_flag(self, m, router):
+        t0 = m.counters.time
+        router.simulate(np.array([0]), np.array([7]), np.array([1.0]), charge=False)
+        assert m.counters.time == t0
+        router.simulate(np.array([0]), np.array([7]), np.array([1.0]))
+        assert m.counters.time > t0
+
+    def test_out_of_range_rejected(self, router):
+        with pytest.raises(ValueError):
+            router.simulate(np.array([8]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            router.simulate(np.array([0]), np.array([-1]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self, router):
+        with pytest.raises(ValueError, match="identical shapes"):
+            router.simulate(np.array([0, 1]), np.array([1]), np.array([1.0]))
+
+
+class TestPermute:
+    def test_permutation_moves_blocks(self, m, router):
+        pv = m.pvar(np.arange(8.0))
+        dest = m.pvar((np.arange(8) + 1) % 8)  # cyclic shift
+        out = router.permute(pv, dest)
+        expect = np.empty(8)
+        expect[(np.arange(8) + 1) % 8] = np.arange(8.0)
+        assert np.array_equal(out.data, expect)
+
+    def test_identity_permutation_free_rounds(self, m, router):
+        pv = m.pvar(np.arange(8.0))
+        t0 = m.counters.time
+        out = router.permute(pv, m.pvar(np.arange(8)))
+        assert np.array_equal(out.data, pv.data)
+        assert m.counters.time == t0
+
+    def test_bit_reversal_permutation(self, m, router):
+        rev = np.array([int(f"{i:03b}"[::-1], 2) for i in range(8)])
+        pv = m.pvar(np.arange(8.0))
+        out = router.permute(pv, m.pvar(rev))
+        assert np.array_equal(out.data[rev], np.arange(8.0))
+
+    def test_non_permutation_rejected(self, m, router):
+        pv = m.pvar(np.arange(8.0))
+        with pytest.raises(ValueError, match="not a permutation"):
+            router.permute(pv, m.pvar(np.zeros(8, dtype=int)))
+
+    def test_non_scalar_dest_rejected(self, m, router):
+        pv = m.pvar(np.arange(8.0))
+        with pytest.raises(ValueError, match="scalar PVar"):
+            router.permute(pv, m.zeros((2,)))
+
+    def test_block_payload(self, m, router):
+        pv = m.pvar(np.arange(16.0).reshape(8, 2))
+        dest = m.pvar(np.arange(8)[::-1].copy())
+        out = router.permute(pv, dest)
+        assert np.array_equal(out.data[7], pv.data[0])
+
+
+class TestPointToPoint:
+    def test_delivers_block(self, m, router):
+        pv = m.pvar(np.arange(8.0))
+        out, stats = router.point_to_point(pv, src=0, dst=5)
+        assert out.data[5] == 0.0
+        assert out.data[3] == 3.0  # untouched elsewhere
+        assert stats.rounds == 2  # 0 -> 5 differs in bits 0 and 2
+
+    def test_explicit_element_count(self, m, router):
+        pv = m.pvar(np.arange(8.0))
+        _, stats = router.point_to_point(pv, 0, 1, elements=10)
+        assert stats.time == 100 + 2 * 10
+
+
+class TestCongestionStructure:
+    def test_all_to_one_congests_near_root(self):
+        """Many-to-one traffic must cost ~p at the root links, not lg p."""
+        m = Hypercube(4, CostModel(tau=0.0, t_c=1.0, t_a=1, t_m=1))
+        r = Router(m)
+        src = np.arange(16)
+        dst = np.zeros(16, dtype=int)
+        stats = r.simulate(src, dst, np.ones(16))
+        # Half the machine funnels through the last dimension's root link.
+        assert stats.max_congestion >= 8
+
+    def test_shuffle_permutation_is_congestion_free(self):
+        m = Hypercube(4, CostModel.unit())
+        r = Router(m)
+        src = np.arange(16)
+        dst = ((src << 1) | (src >> 3)) & 15  # rotate address bits
+        stats = r.simulate(src, dst, np.ones(16))
+        assert stats.max_congestion <= 2.0

@@ -1,0 +1,113 @@
+"""Hypothesis property tests for the e-cube router."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embeddings import hamming_distance
+from repro.machine import CostModel, Hypercube, Router
+
+
+@st.composite
+def message_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    machine = Hypercube(n, CostModel(tau=10.0, t_c=1.0, t_a=1.0, t_m=1.0))
+    count = draw(st.integers(min_value=0, max_value=24))
+    src = draw(st.lists(
+        st.integers(min_value=0, max_value=machine.p - 1),
+        min_size=count, max_size=count,
+    ))
+    dst = draw(st.lists(
+        st.integers(min_value=0, max_value=machine.p - 1),
+        min_size=count, max_size=count,
+    ))
+    sizes = draw(st.lists(
+        st.integers(min_value=1, max_value=8),
+        min_size=count, max_size=count,
+    ))
+    return machine, np.array(src, dtype=np.int64), \
+        np.array(dst, dtype=np.int64), np.array(sizes, dtype=np.float64)
+
+
+@settings(max_examples=60, deadline=None)
+@given(message_sets())
+def test_element_hops_equal_size_weighted_hamming(case):
+    """E-cube routes are shortest paths: total element-hops == sum over
+    messages of size * hamming(src, dst)."""
+    machine, src, dst, sizes = case
+    stats = Router(machine).simulate(src, dst, sizes, charge=False)
+    expect = float(sum(
+        s * hamming_distance(int(a), int(b))
+        for a, b, s in zip(src, dst, sizes)
+    ))
+    assert stats.element_hops == expect
+
+
+@settings(max_examples=60, deadline=None)
+@given(message_sets())
+def test_rounds_bounded_by_dimension_count(case):
+    machine, src, dst, sizes = case
+    stats = Router(machine).simulate(src, dst, sizes, charge=False)
+    assert 0 <= stats.rounds <= machine.n
+
+
+@settings(max_examples=60, deadline=None)
+@given(message_sets())
+def test_congestion_lower_bounds(case):
+    """Max congestion is at least the largest single message and at least
+    the average per-round load implied by the volume."""
+    machine, src, dst, sizes = case
+    stats = Router(machine).simulate(src, dst, sizes, charge=False)
+    moving = sizes[src != dst]
+    if len(moving) == 0:
+        assert stats.max_congestion == 0
+        return
+    assert stats.max_congestion >= moving.max()
+
+
+@settings(max_examples=60, deadline=None)
+@given(message_sets())
+def test_time_decomposes_into_rounds(case):
+    """time == rounds*tau + t_c * (sum of per-round max congestion);
+    in particular time >= rounds*tau + t_c*max_congestion."""
+    machine, src, dst, sizes = case
+    cm = machine.cost_model
+    stats = Router(machine).simulate(src, dst, sizes, charge=False)
+    assert stats.time >= stats.rounds * cm.tau - 1e-9
+    if stats.rounds:
+        assert stats.time >= stats.rounds * cm.tau + cm.t_c * stats.max_congestion - 1e-9
+        # and never more than every round paying the worst congestion
+        assert stats.time <= stats.rounds * (cm.tau + cm.t_c * stats.max_congestion) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(message_sets())
+def test_charge_matches_stats(case):
+    machine, src, dst, sizes = case
+    t0 = machine.counters.time
+    r0 = machine.counters.comm_rounds
+    e0 = machine.counters.elements_transferred
+    stats = Router(machine).simulate(src, dst, sizes)
+    assert machine.counters.time - t0 == pytest.approx(stats.time)
+    assert machine.counters.comm_rounds - r0 == stats.rounds
+    assert machine.counters.elements_transferred - e0 == pytest.approx(
+        stats.element_hops
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_random_permutation_round_trip(n, seed):
+    """permute followed by its inverse restores the data."""
+    machine = Hypercube(n, CostModel.unit())
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(machine.p)
+    inv = np.argsort(perm)
+    r = Router(machine)
+    pv = machine.pvar(np.arange(machine.p, dtype=np.float64))
+    out = r.permute(pv, machine.pvar(perm))
+    back = r.permute(out, machine.pvar(inv))
+    assert np.array_equal(back.data, pv.data)

@@ -1,0 +1,189 @@
+"""Tests for the scan primitives: matrix scans, vector scans, segmented scans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session
+from repro.core import DistributedVector, primitives as P
+from repro.embeddings import MatrixEmbedding
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestMatrixScan:
+    @pytest.mark.parametrize("R,C", [(9, 13), (16, 16), (1, 20), (17, 3)])
+    def test_exclusive_row_scan(self, s, rng, R, C):
+        A_h = rng.standard_normal((R, C))
+        A = s.matrix(A_h)
+        got = A.scan(axis=1, op="sum").to_numpy()
+        expect = np.concatenate(
+            [np.zeros((R, 1)), np.cumsum(A_h, axis=1)[:, :-1]], axis=1
+        )
+        assert np.allclose(got, expect)
+
+    @pytest.mark.parametrize("R,C", [(9, 13), (8, 8)])
+    def test_inclusive_col_scan(self, s, rng, R, C):
+        A_h = rng.standard_normal((R, C))
+        A = s.matrix(A_h)
+        got = A.scan(axis=0, op="sum", inclusive=True).to_numpy()
+        assert np.allclose(got, np.cumsum(A_h, axis=0))
+
+    def test_max_scan(self, s, rng):
+        A_h = rng.standard_normal((10, 12))
+        got = s.matrix(A_h).scan(axis=1, op="max", inclusive=True).to_numpy()
+        assert np.allclose(got, np.maximum.accumulate(A_h, axis=1))
+
+    def test_scan_then_last_column_equals_reduce(self, s, rng):
+        """inclusive scan's last slice == reduce: the defining relation."""
+        A_h = rng.standard_normal((7, 11))
+        A = s.matrix(A_h)
+        scanned = A.scan(axis=1, op="sum", inclusive=True)
+        last = scanned.extract(axis=1, index=10)
+        assert np.allclose(last.to_numpy(), A.reduce(1, "sum").to_numpy())
+
+    def test_cyclic_layout_rejected(self, s, rng):
+        A = s.matrix(rng.standard_normal((8, 8)), layout="cyclic")
+        with pytest.raises(ValueError, match="block layout"):
+            A.scan(axis=1)
+
+    def test_cost_structure_matches_reduce_shape(self):
+        """scan = local pass + lg rounds + local pass: same asymptotic
+        shape as reduce (one extra local pass)."""
+        m = Hypercube(6, CostModel(tau=100, t_c=1, t_a=1, t_m=1))
+        emb = MatrixEmbedding.default(m, 64, 64)
+        A = emb.scatter(np.ones((64, 64)))
+        r0 = m.counters.comm_rounds
+        P.scan(A, emb, axis=1, op="sum")
+        assert m.counters.comm_rounds - r0 == len(emb.col_dims)
+
+    def test_gray_order_correct_at_every_size(self, rng):
+        """The scan must follow *grid* order on the Gray-coded grid."""
+        for n in (0, 1, 3, 5):
+            m = Hypercube(n, CostModel.unit())
+            emb = MatrixEmbedding.default(m, 6, 18)
+            A_h = rng.standard_normal((6, 18))
+            out = P.scan(emb.scatter(A_h), emb, axis=1, op="sum",
+                         inclusive=True)
+            assert np.allclose(emb.gather(out), np.cumsum(A_h, 1)), n
+
+
+class TestVectorScan:
+    def test_exclusive(self, s, rng):
+        v_h = rng.standard_normal(23)
+        got = s.vector(v_h).scan("sum").to_numpy()
+        assert np.allclose(got, np.concatenate([[0], np.cumsum(v_h)[:-1]]))
+
+    def test_inclusive_max(self, s, rng):
+        v_h = rng.standard_normal(23)
+        got = s.vector(v_h).scan("max", inclusive=True).to_numpy()
+        assert np.allclose(got, np.maximum.accumulate(v_h))
+
+    def test_aligned_vector_scan(self, s, rng):
+        A = s.matrix(rng.standard_normal((10, 14)))
+        rv = A.reduce(1, "sum")
+        got = rv.scan("sum", inclusive=True).to_numpy()
+        assert np.allclose(got, np.cumsum(A.to_numpy().sum(1)))
+
+    def test_cyclic_vector_rejected(self, s, rng):
+        v = s.vector(rng.standard_normal(10), layout="cyclic")
+        with pytest.raises(ValueError, match="block"):
+            v.scan("sum")
+
+    def test_single_element(self, s):
+        v = s.vector(np.array([5.0]))
+        assert v.scan("sum").to_numpy()[0] == 0.0
+        assert v.scan("sum", inclusive=True).to_numpy()[0] == 5.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_matches_cumsum(self, L, n, seed):
+        m = Hypercube(n, CostModel.unit())
+        v_h = np.random.default_rng(seed).standard_normal(L)
+        v = DistributedVector.from_numpy(m, v_h)
+        got = v.scan("sum", inclusive=True).to_numpy()
+        assert np.allclose(got, np.cumsum(v_h))
+
+
+def seg_scan_oracle(vals, flags):
+    out = np.zeros_like(vals, dtype=float)
+    acc = 0.0
+    for i, (x, f) in enumerate(zip(vals, flags)):
+        if f:
+            acc = 0.0
+        out[i] = acc
+        acc += x
+    return out
+
+
+class TestSegmentedScan:
+    def test_basic(self, s):
+        v_h = np.array([1.0, 2, 3, 4, 5, 6])
+        f_h = np.array([True, False, True, False, False, True])
+        v = s.vector(v_h)
+        f = DistributedVector(v.embedding.scatter(f_h), v.embedding)
+        got = v.segmented_scan(f).to_numpy()
+        assert np.allclose(got, [0, 1, 0, 3, 7, 0])
+
+    def test_no_flags_is_plain_scan(self, s, rng):
+        v_h = rng.standard_normal(19)
+        v = s.vector(v_h)
+        f = DistributedVector(
+            v.embedding.scatter(np.zeros(19, bool)), v.embedding
+        )
+        assert np.allclose(
+            v.segmented_scan(f).to_numpy(), v.scan("sum").to_numpy()
+        )
+
+    def test_all_flags_gives_zero(self, s, rng):
+        v_h = rng.standard_normal(12)
+        v = s.vector(v_h)
+        f = DistributedVector(
+            v.embedding.scatter(np.ones(12, bool)), v.embedding
+        )
+        assert np.allclose(v.segmented_scan(f).to_numpy(), 0.0)
+
+    def test_embedding_mismatch_rejected(self, s, rng):
+        v = s.vector(rng.standard_normal(8))
+        f = s.vector(np.zeros(8), layout="cyclic")
+        with pytest.raises(ValueError):
+            v.segmented_scan(f)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=80),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    def test_property_matches_oracle(self, L, n, seed, density):
+        rng = np.random.default_rng(seed)
+        m = Hypercube(n, CostModel.unit())
+        v_h = rng.standard_normal(L)
+        f_h = rng.random(L) < density
+        v = DistributedVector.from_numpy(m, v_h)
+        f = DistributedVector(v.embedding.scatter(f_h), v.embedding)
+        got = v.segmented_scan(f).to_numpy()
+        assert np.allclose(got, seg_scan_oracle(v_h, f_h))
+
+    def test_segment_sums_via_scan(self, s, rng):
+        """Classic idiom: (segmented inclusive scan)'s value before the
+        next flag equals the segment sum — check by reconstruction."""
+        v_h = np.arange(1.0, 13.0)
+        f_h = np.zeros(12, bool)
+        f_h[[0, 4, 9]] = True
+        v = s.vector(v_h)
+        f = DistributedVector(v.embedding.scatter(f_h), v.embedding)
+        excl = v.segmented_scan(f).to_numpy()
+        incl = excl + v_h
+        assert np.isclose(incl[3], v_h[0:4].sum())
+        assert np.isclose(incl[8], v_h[4:9].sum())
+        assert np.isclose(incl[11], v_h[9:].sum())

@@ -1,0 +1,92 @@
+"""Tests for the simplex dual values and reduced costs."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro import workloads as W
+from repro.algorithms import simplex
+
+scipy = pytest.importorskip("scipy")
+from scipy.optimize import linprog  # noqa: E402
+
+
+@pytest.fixture
+def m():
+    return Session(4, "unit").machine
+
+
+class TestDuals:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_strong_duality(self, m, seed):
+        lp = W.feasible_lp(7, 5, seed=seed)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert res.status == "optimal"
+        assert np.isclose(res.duals @ lp.b, res.objective, atol=1e-7)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_dual_feasibility(self, m, seed):
+        lp = W.feasible_lp(6, 8, seed=seed)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert np.all(res.duals >= -1e-9)
+        assert np.all(lp.A.T @ res.duals >= lp.c - 1e-7)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scipy_marginals(self, m, seed):
+        lp = W.feasible_lp(7, 5, seed=seed + 10)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        ref = linprog(-lp.c, A_ub=lp.A, b_ub=lp.b, bounds=(0, None),
+                      method="highs")
+        assert np.allclose(res.duals, -ref.ineqlin.marginals, atol=1e-6)
+
+    def test_two_phase_duals(self, m):
+        lp = W.two_phase_lp(6, 4, seed=1)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        ref = linprog(-lp.c, A_ub=lp.A, b_ub=lp.b, bounds=(0, None),
+                      method="highs")
+        assert np.allclose(res.duals, -ref.ineqlin.marginals, atol=1e-6)
+        assert np.isclose(res.duals @ lp.b, res.objective, atol=1e-6)
+
+    def test_complementary_slackness(self, m):
+        lp = W.feasible_lp(8, 6, seed=20)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        slack = lp.b - lp.A @ res.x
+        # y_i * slack_i == 0 for every constraint
+        assert np.allclose(res.duals * slack, 0.0, atol=1e-7)
+
+    def test_binding_constraints_have_positive_duals(self, m):
+        """A non-degenerate resource at capacity carries a shadow price."""
+        A = np.array([[1.0, 1.0], [1.0, 0.0]])
+        b = np.array([2.0, 1.5])
+        c = np.array([3.0, 2.0])
+        res = simplex.solve(m, A, b, c)
+        slack = b - A @ res.x
+        for i in range(2):
+            if slack[i] < 1e-9:
+                assert res.duals[i] > 1e-9
+
+
+class TestReducedCosts:
+    def test_nonnegative_at_optimum(self, m):
+        lp = W.feasible_lp(6, 5, seed=30)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert np.all(res.reduced_costs >= -1e-9)
+
+    def test_basic_variables_have_zero_reduced_cost(self, m):
+        lp = W.feasible_lp(6, 5, seed=31)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        for r, col in enumerate(res.basis):
+            if col < 5:
+                assert abs(res.reduced_costs[col]) < 1e-9
+
+    def test_reduced_cost_identity(self, m):
+        """reduced_cost_j == (A^T y - c)_j at the optimum."""
+        lp = W.feasible_lp(7, 4, seed=32)
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        expect = lp.A.T @ res.duals - lp.c
+        assert np.allclose(res.reduced_costs, expect, atol=1e-7)
+
+    def test_unbounded_has_no_duals(self, m):
+        lp = W.unbounded_lp()
+        res = simplex.solve(m, lp.A, lp.b, lp.c)
+        assert res.duals is None

@@ -1,0 +1,240 @@
+"""Tests for bitonic sort and the histogram algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import histogram as H
+from repro.algorithms.sort import bitonic_sort, is_sorted
+from repro.core import DistributedVector
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("N", [1, 5, 16, 23, 64, 100])
+    def test_sorts(self, m, rng, N):
+        x = rng.standard_normal(N)
+        res = bitonic_sort(DistributedVector.from_numpy(m, x))
+        assert np.allclose(res.values.to_numpy(), np.sort(x))
+
+    @pytest.mark.parametrize("N", [7, 32])
+    def test_descending(self, m, rng, N):
+        x = rng.standard_normal(N)
+        res = bitonic_sort(
+            DistributedVector.from_numpy(m, x), descending=True
+        )
+        assert np.allclose(res.values.to_numpy(), np.sort(x)[::-1])
+        assert is_sorted(res.values, descending=True)
+
+    def test_duplicates(self, m, rng):
+        x = rng.integers(0, 4, 48).astype(float)
+        res = bitonic_sort(DistributedVector.from_numpy(m, x))
+        assert np.allclose(res.values.to_numpy(), np.sort(x))
+
+    def test_already_sorted(self, m):
+        x = np.arange(32.0)
+        res = bitonic_sort(DistributedVector.from_numpy(m, x))
+        assert np.allclose(res.values.to_numpy(), x)
+
+    def test_reverse_sorted(self, m):
+        x = np.arange(32.0)[::-1].copy()
+        res = bitonic_sort(DistributedVector.from_numpy(m, x))
+        assert np.allclose(res.values.to_numpy(), np.sort(x))
+
+    def test_output_embedding_reusable(self, m, rng):
+        """The sorted vector is a first-class DistributedVector."""
+        x = rng.standard_normal(40)
+        res = bitonic_sort(DistributedVector.from_numpy(m, x))
+        assert np.isclose(res.values.sum(), x.sum())
+        val, idx = res.values.argmax()
+        assert idx == 39  # the max sits at the last position after sorting
+
+    def test_cyclic_layout_rejected(self, m, rng):
+        v = DistributedVector.from_numpy(m, rng.standard_normal(16),
+                                         layout="cyclic")
+        with pytest.raises(ValueError, match="block layout"):
+            bitonic_sort(v)
+
+    def test_aligned_embedding_rejected(self, m, rng):
+        from repro.core import DistributedMatrix
+        A = DistributedMatrix.from_numpy(m, rng.standard_normal((8, 8)))
+        v = A.reduce(1, "sum")
+        with pytest.raises(ValueError, match="vector-order"):
+            bitonic_sort(v)
+
+    def test_exchange_round_count(self):
+        """lg p (lg p + 1) / 2 merge-split exchanges plus cleanup routing."""
+        m = Hypercube(4, CostModel.unit())
+        x = np.random.default_rng(0).standard_normal(64)
+        r0 = m.counters.comm_rounds
+        bitonic_sort(DistributedVector.from_numpy(m, x))
+        rounds = m.counters.comm_rounds - r0
+        assert rounds >= 4 * 5 // 2
+        assert rounds <= 4 * 5 // 2 + m.n  # + final remap routing
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=120),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_sorts_any_size(self, n, N, seed):
+        machine = Hypercube(n, CostModel.unit())
+        x = np.random.default_rng(seed).standard_normal(N)
+        res = bitonic_sort(DistributedVector.from_numpy(machine, x))
+        assert np.allclose(res.values.to_numpy(), np.sort(x))
+
+
+class TestHistogram:
+    def test_matches_numpy(self, m, rng):
+        x = rng.standard_normal(300)
+        res = H.histogram(DistributedVector.from_numpy(m, x), bins=12,
+                          value_range=(-4, 4))
+        expect, edges = np.histogram(x, bins=12, range=(-4, 4))
+        assert np.array_equal(res.counts, expect)
+        assert np.allclose(res.edges, edges)
+
+    def test_sparse_agrees_with_dense(self, m, rng):
+        x = rng.standard_normal(200)
+        v1 = DistributedVector.from_numpy(m, x)
+        a = H.histogram(v1, bins=32, value_range=(-5, 5))
+        b = H.histogram_sparse(v1, bins=32, value_range=(-5, 5))
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_total_count_preserved(self, m, rng):
+        x = rng.standard_normal(137)
+        res = H.histogram(DistributedVector.from_numpy(m, x), bins=7)
+        assert res.counts.sum() == 137
+
+    def test_out_of_range_values_clipped(self, m):
+        x = np.array([-100.0, 0.0, 100.0] + [0.0] * 13)
+        res = H.histogram(DistributedVector.from_numpy(m, x), bins=4,
+                          value_range=(-1, 1))
+        assert res.counts.sum() == 16
+        assert res.counts[0] >= 1 and res.counts[-1] >= 1
+
+    def test_auto_range(self, m, rng):
+        x = rng.uniform(3.0, 7.0, 100)
+        res = H.histogram(DistributedVector.from_numpy(m, x), bins=8)
+        assert res.counts.sum() == 100
+        assert res.edges[0] <= x.min() and res.edges[-1] >= x.max()
+
+    def test_constant_data(self, m):
+        x = np.full(20, 2.5)
+        res = H.histogram(DistributedVector.from_numpy(m, x), bins=4)
+        assert res.counts.sum() == 20
+
+    def test_validation(self, m, rng):
+        v = DistributedVector.from_numpy(m, rng.standard_normal(16))
+        with pytest.raises(ValueError, match="bins"):
+            H.histogram(v, bins=0)
+        with pytest.raises(ValueError, match="hi > lo"):
+            H.histogram(v, bins=4, value_range=(1.0, 1.0))
+
+    def test_sparse_wins_at_low_occupancy(self):
+        """The TMC histogram paper's regime: few elements per processor,
+        many bins — shipping only non-empty bins wins."""
+        rng = np.random.default_rng(15)
+        x = rng.standard_normal(256)
+        m1 = Hypercube(8, CostModel.cm2())
+        m2 = Hypercube(8, CostModel.cm2())
+        t0 = m1.counters.time
+        H.histogram(DistributedVector.from_numpy(m1, x), bins=4096,
+                    value_range=(-4, 4))
+        dense = m1.counters.time - t0
+        t0 = m2.counters.time
+        H.histogram_sparse(DistributedVector.from_numpy(m2, x), bins=4096,
+                           value_range=(-4, 4))
+        sparse = m2.counters.time - t0
+        assert sparse < dense / 2
+
+    def test_dense_wins_at_high_occupancy(self):
+        """Once every processor touches most bins, the dense algorithm's
+        simpler rounds win back."""
+        rng = np.random.default_rng(16)
+        x = rng.standard_normal(4096)
+        m1 = Hypercube(2, CostModel.cm2())
+        m2 = Hypercube(2, CostModel.cm2())
+        t0 = m1.counters.time
+        H.histogram(DistributedVector.from_numpy(m1, x), bins=8,
+                    value_range=(-4, 4))
+        dense = m1.counters.time - t0
+        t0 = m2.counters.time
+        H.histogram_sparse(DistributedVector.from_numpy(m2, x), bins=8,
+                           value_range=(-4, 4))
+        sparse = m2.counters.time - t0
+        assert dense <= sparse
+
+
+class TestSampleSort:
+    from repro.algorithms.sort import sample_sort as _ss
+
+    @pytest.mark.parametrize("N", [1, 7, 16, 64, 300])
+    def test_sorts(self, m, rng, N):
+        from repro.algorithms.sort import sample_sort
+        x = rng.standard_normal(N)
+        res = sample_sort(DistributedVector.from_numpy(m, x))
+        assert np.allclose(res.values.to_numpy(), np.sort(x))
+
+    def test_duplicates_and_skewed_data(self, m, rng):
+        from repro.algorithms.sort import sample_sort
+        x = np.concatenate([np.zeros(30), rng.standard_normal(34)])
+        res = sample_sort(DistributedVector.from_numpy(m, x))
+        assert np.allclose(res.values.to_numpy(), np.sort(x))
+
+    def test_agrees_with_bitonic(self, m, rng):
+        from repro.algorithms.sort import bitonic_sort, sample_sort
+        x = rng.standard_normal(120)
+        a = bitonic_sort(DistributedVector.from_numpy(m, x))
+        b = sample_sort(DistributedVector.from_numpy(m, x))
+        assert np.allclose(a.values.to_numpy(), b.values.to_numpy())
+
+    def test_validation(self, m, rng):
+        from repro.algorithms.sort import sample_sort
+        v = DistributedVector.from_numpy(m, rng.standard_normal(16),
+                                         layout="cyclic")
+        with pytest.raises(ValueError, match="block layout"):
+            sample_sort(v)
+        v2 = DistributedVector.from_numpy(m, rng.standard_normal(16))
+        with pytest.raises(ValueError, match="oversample"):
+            sample_sort(v2, oversample=0)
+
+    def test_wins_at_large_blocks(self):
+        """The booklet's bucket-sort regime: many elements per processor."""
+        from repro.algorithms.sort import bitonic_sort, sample_sort
+        rng = np.random.default_rng(21)
+        x = rng.standard_normal(64 * 256)
+        m1 = Hypercube(6, CostModel.cm2())
+        m2 = Hypercube(6, CostModel.cm2())
+        t_b = bitonic_sort(DistributedVector.from_numpy(m1, x)).cost.time
+        t_s = sample_sort(DistributedVector.from_numpy(m2, x)).cost.time
+        assert t_s < t_b
+
+    def test_loses_on_big_machines_small_blocks(self):
+        """The replicated splitter sort dominates at large p, tiny L."""
+        from repro.algorithms.sort import bitonic_sort, sample_sort
+        rng = np.random.default_rng(22)
+        x = rng.standard_normal((1 << 10) * 2)
+        m1 = Hypercube(10, CostModel.cm2())
+        m2 = Hypercube(10, CostModel.cm2())
+        t_b = bitonic_sort(DistributedVector.from_numpy(m1, x)).cost.time
+        t_s = sample_sort(DistributedVector.from_numpy(m2, x)).cost.time
+        assert t_b < t_s
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=150),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_property_sorts_any_size(self, n, N, seed):
+        from repro.algorithms.sort import sample_sort
+        machine = Hypercube(n, CostModel.unit())
+        x = np.random.default_rng(seed).standard_normal(N)
+        res = sample_sort(DistributedVector.from_numpy(machine, x))
+        assert np.allclose(res.values.to_numpy(), np.sort(x))

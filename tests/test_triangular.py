@@ -1,0 +1,164 @@
+"""Tests for triangular solvers and the reusable LU factorisation."""
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro import workloads as W
+from repro.algorithms import triangular
+from repro.algorithms.gaussian import SingularMatrixError
+
+
+@pytest.fixture
+def s():
+    return Session(4, "unit")
+
+
+class TestSolveLower:
+    @pytest.mark.parametrize("n", [1, 4, 14, 24])
+    def test_forward_substitution(self, s, rng, n):
+        L = np.tril(rng.standard_normal((n, n))) + 3 * np.eye(n)
+        b = rng.standard_normal(n)
+        x = triangular.solve_lower(s.matrix(L), b)
+        assert np.allclose(L @ x, b, atol=1e-9)
+
+    def test_unit_diagonal(self, s, rng):
+        n = 10
+        L = np.tril(rng.standard_normal((n, n)), -1) + np.eye(n)
+        b = rng.standard_normal(n)
+        x = triangular.solve_lower(s.matrix(L), b, unit_diagonal=True)
+        assert np.allclose(L @ x, b, atol=1e-9)
+
+    def test_unit_diagonal_ignores_stored_diagonal(self, s, rng):
+        """With unit_diagonal=True the actual diagonal entries are never
+        read — exactly what the packed LU format requires."""
+        n = 8
+        L = np.tril(rng.standard_normal((n, n)), -1) + np.eye(n)
+        garbage = L + np.diag(rng.standard_normal(n) * 100)
+        b = rng.standard_normal(n)
+        x = triangular.solve_lower(s.matrix(garbage), b, unit_diagonal=True)
+        assert np.allclose(L @ x, b, atol=1e-9)
+
+    def test_upper_triangle_ignored(self, s, rng):
+        n = 9
+        L = np.tril(rng.standard_normal((n, n))) + 3 * np.eye(n)
+        M = L + np.triu(rng.standard_normal((n, n)), 1)
+        b = rng.standard_normal(n)
+        x = triangular.solve_lower(s.matrix(M), b)
+        assert np.allclose(L @ x, b, atol=1e-9)
+
+    def test_zero_diagonal_raises(self, s):
+        L = np.tril(np.ones((3, 3)))
+        L[1, 1] = 0.0
+        with pytest.raises(SingularMatrixError):
+            triangular.solve_lower(s.matrix(L), np.ones(3))
+
+    def test_shape_checks(self, s, rng):
+        with pytest.raises(ValueError, match="square"):
+            triangular.solve_lower(s.matrix(rng.standard_normal((3, 4))),
+                                   np.ones(3))
+        with pytest.raises(ValueError, match="shape"):
+            triangular.solve_lower(s.matrix(np.eye(3)), np.ones(4))
+
+
+class TestSolveUpper:
+    @pytest.mark.parametrize("n", [1, 4, 14])
+    def test_backward_substitution(self, s, rng, n):
+        U = np.triu(rng.standard_normal((n, n))) + 3 * np.eye(n)
+        b = rng.standard_normal(n)
+        x = triangular.solve_upper(s.matrix(U), b)
+        assert np.allclose(U @ x, b, atol=1e-9)
+
+    def test_lower_triangle_ignored(self, s, rng):
+        n = 9
+        U = np.triu(rng.standard_normal((n, n))) + 3 * np.eye(n)
+        M = U + np.tril(rng.standard_normal((n, n)), -1)
+        b = rng.standard_normal(n)
+        x = triangular.solve_upper(s.matrix(M), b)
+        assert np.allclose(U @ x, b, atol=1e-9)
+
+    def test_zero_diagonal_raises(self, s):
+        U = np.triu(np.ones((3, 3)))
+        U[2, 2] = 0.0
+        with pytest.raises(SingularMatrixError):
+            triangular.solve_upper(s.matrix(U), np.ones(3))
+
+
+class TestLUFactor:
+    @pytest.mark.parametrize("n", [1, 5, 16, 24])
+    def test_reconstruction(self, s, n):
+        A_h, _, _ = W.random_system(n, seed=n + 40)
+        fact = triangular.lu_factor(s.matrix(A_h))
+        PA = A_h.copy()
+        for k, piv in enumerate(fact.swaps):
+            if piv != k:
+                PA[[k, piv]] = PA[[piv, k]]
+        assert np.allclose(fact.lower() @ fact.upper(), PA, atol=1e-8)
+
+    def test_unit_lower(self, s):
+        A_h, _, _ = W.random_system(10, seed=41)
+        fact = triangular.lu_factor(s.matrix(A_h))
+        L = fact.lower()
+        assert np.allclose(np.diag(L), 1.0)
+        assert np.allclose(np.triu(L, 1), 0.0)
+
+    def test_no_pivoting_on_dominant(self, s):
+        A_h, _, _ = W.diagonally_dominant_system(8, seed=42)
+        fact = triangular.lu_factor(s.matrix(A_h), pivoting="none")
+        assert fact.swaps == list(range(8))
+        assert np.allclose(fact.lower() @ fact.upper(), A_h, atol=1e-9)
+
+    def test_singular_raises(self, s):
+        with pytest.raises(SingularMatrixError):
+            triangular.lu_factor(s.matrix(np.ones((4, 4))))
+
+    def test_bad_pivoting_mode(self, s):
+        with pytest.raises(ValueError, match="pivoting"):
+            triangular.lu_factor(s.matrix(np.eye(2)), pivoting="rook")
+
+    def test_cost_recorded(self, s):
+        A_h, _, _ = W.random_system(8, seed=43)
+        fact = triangular.lu_factor(s.matrix(A_h))
+        assert fact.cost.time > 0
+        assert "lu-factor" in s.machine.counters.phase_times
+
+
+class TestLUSolve:
+    def test_solves(self, s):
+        A_h, b, x_true = W.random_system(16, seed=44)
+        fact = triangular.lu_factor(s.matrix(A_h))
+        assert np.allclose(triangular.lu_solve(fact, b), x_true, atol=1e-7)
+
+    def test_reuse_across_rhs(self, s, rng):
+        A_h, _, _ = W.random_system(12, seed=45)
+        fact = triangular.lu_factor(s.matrix(A_h))
+        for seed in range(4):
+            b = np.random.default_rng(seed).standard_normal(12)
+            x = triangular.lu_solve(fact, b)
+            assert np.allclose(A_h @ x, b, atol=1e-7)
+
+    def test_reuse_is_cheaper_than_refactor(self):
+        """Replaying the factors costs O(n^2/p) per RHS vs O(n^3/p)."""
+        from repro.algorithms import gaussian
+        s = Session(4, "cm2")
+        A_h, b, _ = W.random_system(24, seed=46)
+        fact = triangular.lu_factor(s.matrix(A_h))
+        t0 = s.machine.counters.time
+        triangular.lu_solve(fact, b)
+        replay = s.machine.counters.time - t0
+        t0 = s.machine.counters.time
+        gaussian.solve(s.matrix(A_h), b)
+        fresh = s.machine.counters.time - t0
+        assert replay < fresh / 2
+
+    def test_matches_direct_solver(self, s):
+        from repro.algorithms import gaussian
+        A_h, b, _ = W.random_system(10, seed=47)
+        via_lu = triangular.lu_solve(triangular.lu_factor(s.matrix(A_h)), b)
+        direct = gaussian.solve(s.matrix(A_h), b)
+        assert np.allclose(via_lu, direct.x, atol=1e-9)
+
+    def test_rhs_shape_check(self, s):
+        fact = triangular.lu_factor(s.matrix(np.eye(4)))
+        with pytest.raises(ValueError, match="shape"):
+            triangular.lu_solve(fact, np.ones(5))

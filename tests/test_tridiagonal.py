@@ -1,0 +1,183 @@
+"""Tests for the substructured parallel cyclic reduction tridiagonal solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import tridiagonal as T
+from repro.machine import CostModel, Hypercube
+
+
+def dominant_system(n, seed=0):
+    r = np.random.default_rng(seed)
+    a = r.standard_normal(n)
+    c = r.standard_normal(n)
+    b = np.abs(a) + np.abs(c) + r.uniform(1.0, 2.0, n)
+    a[0] = 0.0
+    c[-1] = 0.0
+    d = r.standard_normal(n)
+    return a, b, c, d
+
+
+class TestThomasOracle:
+    def test_matches_dense_solve(self):
+        a, b, c, d = dominant_system(12, seed=1)
+        A = np.diag(b) + np.diag(a[1:], -1) + np.diag(c[:-1], 1)
+        assert np.allclose(T.thomas(a, b, c, d), np.linalg.solve(A, d))
+
+    def test_single_equation(self):
+        x = T.thomas(np.array([0.0]), np.array([2.0]), np.array([0.0]),
+                     np.array([6.0]))
+        assert np.allclose(x, [3.0])
+
+
+class TestSolve:
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 37, 100])
+    @pytest.mark.parametrize("cube", [0, 2, 4])
+    def test_matches_thomas(self, n, cube):
+        machine = Hypercube(cube, CostModel.unit())
+        a, b, c, d = dominant_system(n, seed=n * 13 + cube)
+        res = T.solve(machine, a, b, c, d)
+        assert np.allclose(res.x, T.thomas(a, b, c, d), atol=1e-9)
+
+    def test_one_row_per_processor(self):
+        machine = Hypercube(4, CostModel.unit())
+        a, b, c, d = dominant_system(16, seed=5)
+        res = T.solve(machine, a, b, c, d)
+        assert np.allclose(res.x, T.thomas(a, b, c, d), atol=1e-9)
+
+    def test_fewer_rows_than_processors(self):
+        machine = Hypercube(5, CostModel.unit())
+        a, b, c, d = dominant_system(7, seed=6)
+        res = T.solve(machine, a, b, c, d)
+        assert np.allclose(res.x, T.thomas(a, b, c, d), atol=1e-9)
+
+    def test_constant_coefficient_laplacian(self):
+        """The -1, 2, -1 Poisson stencil — the ADI papers' workload."""
+        n = 63
+        machine = Hypercube(4, CostModel.cm2())
+        a = -np.ones(n); c = -np.ones(n); b = 2.0 * np.ones(n)
+        a[0] = 0.0; c[-1] = 0.0
+        x_true = np.sin(np.linspace(0, np.pi, n))
+        A = np.diag(b) + np.diag(a[1:], -1) + np.diag(c[:-1], 1)
+        d = A @ x_true
+        res = T.solve(machine, a, b, c, d)
+        assert np.allclose(res.x, x_true, atol=1e-8)
+
+    def test_validation(self):
+        machine = Hypercube(2, CostModel.unit())
+        with pytest.raises(ValueError, match="equal lengths"):
+            T.solve(machine, np.zeros(3), np.ones(4), np.zeros(4), np.ones(4))
+        with pytest.raises(ValueError, match="empty"):
+            T.solve(machine, np.zeros(0), np.zeros(0), np.zeros(0),
+                    np.zeros(0))
+
+    def test_cost_recorded_with_phase(self):
+        machine = Hypercube(4, CostModel.cm2())
+        a, b, c, d = dominant_system(64, seed=7)
+        res = T.solve(machine, a, b, c, d)
+        assert res.cost.time > 0
+        assert "tridiagonal" in machine.counters.phase_times
+
+    def test_log_depth_communication(self):
+        """Rounds grow ~lg p (PCR), not linearly in p or n."""
+        rounds = {}
+        for cube in (4, 8):
+            machine = Hypercube(cube, CostModel.cm2())
+            a, b, c, d = dominant_system(1024, seed=8)
+            r0 = machine.counters.comm_rounds
+            T.solve(machine, a, b, c, d)
+            rounds[cube] = machine.counters.comm_rounds - r0
+        # 16x the processors must cost far less than 16x the rounds
+        assert rounds[8] < 8 * rounds[4]
+
+    def test_substructuring_beats_serial_time_at_scale(self):
+        """Parallel time << serial Thomas time once n >> p lg p · tau:
+        the local sweeps are O(n/p) while the PCR interface solve is a
+        fixed lg p · tau latency term that must amortise."""
+        machine = Hypercube(6, CostModel.cm2())
+        n = 1 << 16
+        a, b, c, d = dominant_system(n, seed=9)
+        res = T.solve(machine, a, b, c, d)
+        serial_time = 8 * n * machine.cost_model.t_a  # ~8 flops per row
+        assert res.cost.time < serial_time / 8
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_property_matches_thomas(n, cube, seed):
+    machine = Hypercube(cube, CostModel.unit())
+    a, b, c, d = dominant_system(n, seed=seed)
+    res = T.solve(machine, a, b, c, d)
+    assert np.allclose(res.x, T.thomas(a, b, c, d), atol=1e-8)
+
+
+def batch_system(k, n, seed=0):
+    r = np.random.default_rng(seed)
+    a = r.standard_normal((k, n))
+    c = r.standard_normal((k, n))
+    b = np.abs(a) + np.abs(c) + r.uniform(1.0, 2.0, (k, n))
+    a[:, 0] = 0.0
+    c[:, -1] = 0.0
+    d = r.standard_normal((k, n))
+    return a, b, c, d
+
+
+class TestSolveMany:
+    @pytest.mark.parametrize("k,n,cube", [
+        (16, 20, 3), (5, 12, 4), (64, 32, 4), (1, 16, 3), (3, 50, 0),
+    ])
+    def test_matches_thomas_per_system(self, k, n, cube):
+        machine = Hypercube(cube, CostModel.unit())
+        a, b, c, d = batch_system(k, n, seed=k * 11 + n)
+        res = T.solve_many(machine, a, b, c, d)
+        assert res.x.shape == (k, n)
+        for j in range(k):
+            assert np.allclose(
+                res.x[j], T.thomas(a[j], b[j], c[j], d[j]), atol=1e-8
+            )
+
+    def test_embarrassingly_parallel_case_has_zero_comm(self):
+        """k >= p: the published optimum partitioning — no communication."""
+        machine = Hypercube(4, CostModel.cm2())
+        a, b, c, d = batch_system(32, 24, seed=1)
+        r0 = machine.counters.comm_rounds
+        T.solve_many(machine, a, b, c, d)
+        assert machine.counters.comm_rounds == r0
+
+    def test_fewer_systems_than_processors_uses_groups(self):
+        """k < p: subcube groups run the PCR solver; comm happens."""
+        machine = Hypercube(6, CostModel.cm2())
+        a, b, c, d = batch_system(4, 64, seed=2)
+        r0 = machine.counters.comm_rounds
+        res = T.solve_many(machine, a, b, c, d)
+        assert machine.counters.comm_rounds > r0
+        for j in range(4):
+            assert np.allclose(
+                res.x[j], T.thomas(a[j], b[j], c[j], d[j]), atol=1e-8
+            )
+
+    def test_batch_time_scales_with_k_over_p(self):
+        """Doubling the batch on the same machine ~doubles the time."""
+        times = []
+        for k in (32, 64):
+            machine = Hypercube(4, CostModel.cm2())
+            a, b, c, d = batch_system(k, 32, seed=3)
+            times.append(T.solve_many(machine, a, b, c, d).cost.time)
+        assert 1.5 < times[1] / times[0] < 2.5
+
+    def test_shape_validation(self):
+        machine = Hypercube(2, CostModel.unit())
+        with pytest.raises(ValueError, match="shape"):
+            T.solve_many(machine, np.zeros((2, 3)), np.ones((2, 4)),
+                         np.zeros((2, 4)), np.ones((2, 4)))
+
+    def test_phase_recorded(self):
+        machine = Hypercube(3, CostModel.cm2())
+        a, b, c, d = batch_system(8, 16, seed=4)
+        T.solve_many(machine, a, b, c, d)
+        assert "tridiagonal-batch" in machine.counters.phase_times

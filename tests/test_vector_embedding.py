@@ -1,0 +1,156 @@
+"""Unit tests for the three vector embeddings (S6)."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import (
+    ColAlignedEmbedding,
+    MatrixEmbedding,
+    RowAlignedEmbedding,
+    VectorOrderEmbedding,
+    gray,
+)
+from repro.machine import CostModel, Hypercube
+
+
+@pytest.fixture
+def m():
+    return Hypercube(4, CostModel.unit())
+
+
+@pytest.fixture
+def matrix_emb(m):
+    return MatrixEmbedding(m, 10, 12, row_dims=(0, 1), col_dims=(2, 3))
+
+
+class TestVectorOrder:
+    def test_round_trip(self, m, rng):
+        for L in (1, 3, 16, 40):
+            for layout in ("block", "cyclic"):
+                emb = VectorOrderEmbedding(m, L, layout)
+                v = rng.standard_normal(L)
+                assert np.allclose(emb.gather(emb.scatter(v)), v)
+
+    def test_local_capacity(self, m):
+        assert VectorOrderEmbedding(m, 40).local_shape == (3,)
+        assert VectorOrderEmbedding(m, 16).local_shape == (1,)
+
+    def test_not_replicated(self, m):
+        assert not VectorOrderEmbedding(m, 8).replicated
+
+    def test_gray_order_adjacency(self, m):
+        """Consecutive blocks live on cube-neighbouring processors."""
+        emb = VectorOrderEmbedding(m, 16)  # one element per rank
+        owners = [int(np.asarray(emb.owner_slot(g)[0])) for g in range(16)]
+        for a, b in zip(owners, owners[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_owner_is_gray_of_rank(self, m):
+        emb = VectorOrderEmbedding(m, 16)
+        pid, slot = emb.owner_slot(5)
+        assert int(np.asarray(pid)) == gray(5)
+        assert int(np.asarray(slot)) == 0
+
+    def test_compatibility(self, m):
+        a = VectorOrderEmbedding(m, 8, "block")
+        assert a.compatible(VectorOrderEmbedding(m, 8, "block"))
+        assert not a.compatible(VectorOrderEmbedding(m, 8, "cyclic"))
+        assert not a.compatible(VectorOrderEmbedding(m, 9, "block"))
+
+    def test_invalid_length(self, m):
+        with pytest.raises(ValueError):
+            VectorOrderEmbedding(m, 0)
+
+    def test_valid_mask_counts(self, m):
+        emb = VectorOrderEmbedding(m, 10)
+        assert emb.valid_mask().sum() == 10
+
+
+class TestAlignedEmbeddings:
+    def test_row_aligned_length_is_C(self, matrix_emb):
+        assert RowAlignedEmbedding(matrix_emb).L == 12
+
+    def test_col_aligned_length_is_R(self, matrix_emb):
+        assert ColAlignedEmbedding(matrix_emb).L == 10
+
+    def test_replicated_flag(self, matrix_emb):
+        assert RowAlignedEmbedding(matrix_emb, None).replicated
+        assert not RowAlignedEmbedding(matrix_emb, 1).replicated
+
+    def test_resident_range_checked(self, matrix_emb):
+        with pytest.raises(ValueError, match="resident"):
+            RowAlignedEmbedding(matrix_emb, 4)  # Pr == 4 grid rows
+        with pytest.raises(ValueError):
+            ColAlignedEmbedding(matrix_emb, 7)
+
+    @pytest.mark.parametrize("cls,L", [(RowAlignedEmbedding, 12),
+                                       (ColAlignedEmbedding, 10)])
+    @pytest.mark.parametrize("resident", [None, 0, 2])
+    def test_round_trip(self, matrix_emb, rng, cls, L, resident):
+        emb = cls(matrix_emb, resident)
+        v = rng.standard_normal(L)
+        assert np.allclose(emb.gather(emb.scatter(v)), v)
+
+    def test_replicated_scatter_fills_every_band(self, matrix_emb, rng):
+        emb = RowAlignedEmbedding(matrix_emb, None)
+        v = rng.standard_normal(12)
+        pv = emb.scatter(v)
+        idx = emb.global_indices()
+        mask = emb.valid_mask()
+        for pid in range(matrix_emb.machine.p):
+            for s in range(emb.local_shape[0]):
+                if mask[pid, s]:
+                    assert pv.data[pid, s] == v[idx[pid, s]]
+
+    def test_resident_scatter_only_fills_that_band(self, matrix_emb, rng):
+        emb = ColAlignedEmbedding(matrix_emb, 1)
+        v = rng.standard_normal(10)
+        pv = emb.scatter(v)
+        _, grid_c = matrix_emb.grid_coords()
+        outside = grid_c != 1
+        assert np.all(pv.data[outside] == 0.0)
+
+    def test_alignment_matches_matrix_slices(self, matrix_emb, rng):
+        """The defining property: a row-aligned vector's element j lives on
+        the same grid column, same local slot, as matrix column j."""
+        emb = RowAlignedEmbedding(matrix_emb, None)
+        for j in range(12):
+            _, slot = emb.owner_slot(j)
+            assert int(np.asarray(slot)) == int(matrix_emb.col_layout.slot(j))
+
+    def test_along_across_dims(self, matrix_emb):
+        row = RowAlignedEmbedding(matrix_emb)
+        assert row.along_dims == matrix_emb.col_dims
+        assert row.across_dims == matrix_emb.row_dims
+        col = ColAlignedEmbedding(matrix_emb)
+        assert col.along_dims == matrix_emb.row_dims
+        assert col.across_dims == matrix_emb.col_dims
+
+    def test_compatibility(self, matrix_emb, m):
+        a = RowAlignedEmbedding(matrix_emb, None)
+        assert a.compatible(RowAlignedEmbedding(matrix_emb, None))
+        assert not a.compatible(RowAlignedEmbedding(matrix_emb, 0))
+        assert not a.compatible(ColAlignedEmbedding(matrix_emb, None))
+        other_grid = MatrixEmbedding(m, 10, 12, row_dims=(2, 3), col_dims=(0, 1))
+        assert not a.compatible(RowAlignedEmbedding(other_grid, None))
+
+    def test_with_resident(self, matrix_emb):
+        a = RowAlignedEmbedding(matrix_emb, 2)
+        b = a.with_resident(None)
+        assert b.replicated and b.L == a.L
+        c = b.with_resident(1)
+        assert c.resident == 1
+
+    def test_repr_shows_state(self, matrix_emb):
+        assert "replicated" in repr(RowAlignedEmbedding(matrix_emb))
+        assert "resident@2" in repr(RowAlignedEmbedding(matrix_emb, 2))
+
+    def test_gather_shape_check(self, matrix_emb, m):
+        emb = RowAlignedEmbedding(matrix_emb)
+        with pytest.raises(ValueError):
+            emb.gather(m.zeros((99,)))
+
+    def test_scatter_shape_check(self, matrix_emb):
+        emb = RowAlignedEmbedding(matrix_emb)
+        with pytest.raises(ValueError, match="host vector"):
+            emb.scatter(np.zeros(5))

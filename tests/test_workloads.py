@@ -1,0 +1,84 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro import workloads as W
+
+
+class TestDense:
+    def test_matrix_shape_and_determinism(self):
+        A = W.dense_matrix(5, 7, seed=3)
+        B = W.dense_matrix(5, 7, seed=3)
+        assert A.shape == (5, 7)
+        assert np.array_equal(A, B)
+        assert not np.array_equal(A, W.dense_matrix(5, 7, seed=4))
+
+    def test_vector(self):
+        v = W.dense_vector(9, seed=1, scale=2.0)
+        assert v.shape == (9,)
+        assert np.array_equal(v, W.dense_vector(9, seed=1, scale=2.0))
+
+
+class TestLinearSystems:
+    def test_diagonally_dominant_is_dominant(self):
+        A, b, x = W.diagonally_dominant_system(12, seed=0)
+        off = np.abs(A).sum(axis=1) - np.abs(np.diag(A))
+        assert np.all(np.abs(np.diag(A)) > off)
+        assert np.allclose(A @ x, b)
+
+    def test_random_system_consistent(self):
+        A, b, x = W.random_system(8, seed=5)
+        assert np.allclose(A @ x, b)
+        assert np.allclose(np.linalg.solve(A, b), x)
+
+
+class TestLPs:
+    def test_feasible_lp_is_feasible_at_zero(self):
+        lp = W.feasible_lp(6, 4, seed=0)
+        assert np.all(lp.b >= 0)
+        assert np.all(lp.A >= 0)
+        assert np.all(lp.c > 0)
+
+    def test_feasible_lp_bounded(self):
+        scipy = pytest.importorskip("scipy")
+        from scipy.optimize import linprog
+        lp = W.feasible_lp(6, 4, seed=1)
+        res = linprog(-lp.c, A_ub=lp.A, b_ub=lp.b, bounds=(0, None),
+                      method="highs")
+        assert res.status == 0  # optimal, not unbounded
+
+    def test_two_phase_lp_has_negative_rhs_and_is_feasible(self):
+        scipy = pytest.importorskip("scipy")
+        from scipy.optimize import linprog
+        found_negative = False
+        for seed in range(6):
+            lp = W.two_phase_lp(6, 4, seed=seed)
+            res = linprog(-lp.c, A_ub=lp.A, b_ub=lp.b, bounds=(0, None),
+                          method="highs")
+            assert res.status == 0, f"seed {seed} not solvable"
+            found_negative |= bool(np.any(lp.b < 0))
+        assert found_negative
+
+    def test_unbounded_lp(self):
+        scipy = pytest.importorskip("scipy")
+        from scipy.optimize import linprog
+        lp = W.unbounded_lp()
+        res = linprog(-lp.c, A_ub=lp.A, b_ub=lp.b, bounds=(0, None),
+                      method="highs")
+        assert res.status == 3  # unbounded
+
+    def test_infeasible_lp(self):
+        scipy = pytest.importorskip("scipy")
+        from scipy.optimize import linprog
+        lp = W.infeasible_lp()
+        res = linprog(-lp.c, A_ub=lp.A, b_ub=lp.b, bounds=(0, None),
+                      method="highs")
+        assert res.status == 2  # infeasible
+
+    def test_instances_are_deterministic(self):
+        a = W.feasible_lp(4, 3, seed=7)
+        b = W.feasible_lp(4, 3, seed=7)
+        assert np.array_equal(a.A, b.A)
+        assert np.array_equal(a.b, b.b)
+        assert np.array_equal(a.c, b.c)
