@@ -136,7 +136,7 @@ class NaiveVector(DistributedVector):
         sends = _charge_serial(machine, 1.0, dims)
         machine.charge_flops(float(sends))  # leader combines serially
         total = _group_reduce(machine, local, dims, op)
-        pid = int(np.asarray(self.embedding.owner_slot(0)[0]))
+        pid = self.embedding.owner_slot_scalar(0)[0]
         return machine.read_scalar(PVar(machine, total), pid=pid)
 
     def argreduce(
@@ -165,7 +165,7 @@ class NaiveVector(DistributedVector):
         sends = _charge_serial(machine, 2.0, dims)  # (value, index) pairs
         machine.charge_flops(3.0 * sends)           # serial compare chain
         v, i = _group_arg(machine, best_val, best_idx, dims, mode)
-        pid = int(np.asarray(self.embedding.owner_slot(0)[0]))
+        pid = self.embedding.owner_slot_scalar(0)[0]
         value = machine.read_scalar(PVar(machine, v), pid=pid)
         index = int(machine.read_scalar(PVar(machine, i), pid=pid))
         if index == INT64_MAX:

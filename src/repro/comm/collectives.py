@@ -31,6 +31,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..machine.hypercube import Hypercube
+from ..machine.plans import readonly
 from ..machine.pvar import PVar
 from .ops import CombineOp, get_op
 
@@ -46,22 +47,74 @@ def subcube_rank(machine: Hypercube, dims: Sequence[int]) -> np.ndarray:
 
     ``dims[0]`` is the least-significant rank bit.  Host-side array (free):
     every processor can compute its own rank from its wired-in address.
+    Memoized per ``dims`` on the machine's plan cache (read-only array).
     """
     dims = _dims_tuple(machine, dims)
-    pids = machine.pids()
-    rank = np.zeros(machine.p, dtype=np.int64)
-    for k, d in enumerate(dims):
-        rank |= ((pids >> d) & 1) << k
-    return rank
+
+    def build() -> np.ndarray:
+        pids = machine.pids()
+        rank = np.zeros(machine.p, dtype=np.int64)
+        for k, d in enumerate(dims):
+            rank |= ((pids >> d) & 1) << k
+        return readonly(rank)
+
+    return machine.plans.memo(("subcube-rank", dims), build)
 
 
 def subcube_base(machine: Hypercube, dims: Sequence[int]) -> np.ndarray:
     """The pid of the rank-0 member of each processor's subcube."""
     dims = _dims_tuple(machine, dims)
-    mask = 0
-    for d in dims:
-        mask |= 1 << d
-    return machine.pids() & ~mask
+
+    def build() -> np.ndarray:
+        mask = 0
+        for d in dims:
+            mask |= 1 << d
+        return readonly(machine.pids() & ~mask)
+
+    return machine.plans.memo(("subcube-base", dims), build)
+
+
+def _root_pid_map(
+    machine: Hypercube, dims: Tuple[int, ...], root_rank: int
+) -> np.ndarray:
+    """Per-pid address of the rank-``root_rank`` member of its subcube.
+
+    This is the whole "plan" of a broadcast over a fixed ``(dims,
+    root_rank)`` pair: every processor's result is the root's block, so
+    knowing each processor's root suffices to replay the collective.
+    """
+
+    def build() -> np.ndarray:
+        root_pid = subcube_base(machine, dims).copy()
+        for j, d in enumerate(dims):
+            if (root_rank >> j) & 1:
+                root_pid |= 1 << d
+        return readonly(root_pid)
+
+    return machine.plans.memo(("root-pid", dims, root_rank), build)
+
+
+def _subcube_members(
+    machine: Hypercube, dims: Tuple[int, ...]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(sub_of_pid, members)``: the subcube membership structure.
+
+    ``members[s]`` lists the ``2**k`` pids of subcube ``s`` and
+    ``sub_of_pid[pid]`` names each processor's subcube, so an
+    order-independent combine over every subcube is one gather / reduce /
+    scatter.  Memoized per ``dims``.
+    """
+
+    def build() -> Tuple[np.ndarray, np.ndarray]:
+        base = subcube_base(machine, dims)
+        uniq, sub_of_pid = np.unique(base, return_inverse=True)
+        j = np.arange(1 << len(dims), dtype=np.int64)
+        spread = np.zeros_like(j)
+        for t, d in enumerate(dims):
+            spread |= ((j >> t) & 1) << d
+        return readonly(sub_of_pid), readonly(uniq[:, None] | spread[None, :])
+
+    return machine.plans.memo(("subcube-members", dims), build)
 
 
 def broadcast(
@@ -80,6 +133,16 @@ def broadcast(
         return pvar
     if not (0 <= root_rank < (1 << len(dims))):
         raise ValueError(f"root_rank {root_rank} out of range for {len(dims)} dims")
+    if machine.plans.enabled:
+        # Plan replay: the binomial tree's charge schedule is one full-block
+        # round per dimension, and its functional result is the root's block
+        # everywhere — both replayed exactly from the cached root map, so
+        # ticks and data are bit-identical to the exchange loop below.
+        machine._check_owned(pvar)
+        root_pid = _root_pid_map(machine, dims, root_rank)
+        for _ in dims:
+            machine.charge_comm_round(pvar.local_size)
+        return PVar(machine, pvar.data[root_pid])
     rank = subcube_rank(machine, dims)
     has = rank == root_rank
     data = pvar
@@ -156,6 +219,41 @@ def reduce_all_loc(
         raise ValueError("value and index must have identical local shapes")
     val = value
     idx = index
+    if (
+        machine.plans.enabled
+        and dims
+        and index.dtype.kind in "iu"
+        and not (value.dtype.kind == "f" and np.isnan(value.data).any())
+    ):
+        # Vectorized replay: the pair-combine (larger value, ties to the
+        # smaller index) is an exact, commutative, associative semilattice
+        # on finite values, so the dimension-exchange loop below computes
+        # precisely the per-subcube (extreme value, smallest winning index)
+        # — computable in one pass.  The loop's charge schedule (two
+        # full-block exchanges plus one 3-op compare pass per dimension) is
+        # data-independent and replayed verbatim.  NaNs break the
+        # order-independence argument, so they take the loop.
+        machine._check_owned(value)
+        machine._check_owned(index)
+        sub_of_pid, members = _subcube_members(machine, dims)
+        mv = value.data[members]  # (S, 2**k, *local)
+        mi = index.data[members]
+        if mode == "max":
+            best = mv.max(axis=1)
+        else:
+            best = mv.min(axis=1)
+        is_best = mv == np.expand_dims(best, 1)
+        sentinel = np.iinfo(mi.dtype).max
+        win_idx = np.where(is_best, mi, sentinel).min(axis=1)
+        ls = val.local_size
+        for _ in dims:
+            machine.charge_comm_round(ls)
+            machine.charge_comm_round(ls)
+            machine.charge_flops(3 * ls)
+        return (
+            PVar(machine, best[sub_of_pid]),
+            PVar(machine, win_idx[sub_of_pid]),
+        )
     for d in dims:
         rv = machine.exchange(val, d)
         ri = machine.exchange(idx, d)
@@ -300,11 +398,7 @@ def scatter(
         remaining //= 2
         machine.charge_comm_round(remaining * block_size)
     rank = subcube_rank(machine, dims)
-    base = subcube_base(machine, dims)
-    root_pid = base.copy()
-    for j, d in enumerate(dims):
-        if (root_rank >> j) & 1:
-            root_pid |= 1 << d
+    root_pid = _root_pid_map(machine, dims, root_rank)
     out = pvar.data[root_pid, rank]
     machine.charge_local(block_size)
     return PVar(machine, out)
@@ -399,12 +493,7 @@ def broadcast_pipelined(
     piece = -(-pvar.local_size // k)
     machine.charge_comm_round(piece, rounds=2 * k - 1)
     # functional result: everyone gets the root's block
-    rank = subcube_rank(machine, dims)
-    base = subcube_base(machine, dims)
-    root_pid = base.copy()
-    for j, d in enumerate(dims):
-        if (root_rank >> j) & 1:
-            root_pid |= 1 << d
+    root_pid = _root_pid_map(machine, dims, root_rank)
     return PVar(machine, pvar.data[root_pid])
 
 

@@ -34,6 +34,8 @@ from . import primitives
 
 Scalar = Union[int, float, bool, np.generic]
 
+INT64_MAX = np.iinfo(np.int64).max
+
 
 class DistributedVector:
     """A length-``L`` vector resident on the machine in some embedding."""
@@ -202,7 +204,7 @@ class DistributedVector:
         total = comm.reduce_all(
             machine, PVar(machine, local), op, dims=self._reduce_dims()
         )
-        pid = int(np.asarray(self.embedding.owner_slot(0)[0]))
+        pid = self.embedding.owner_slot_scalar(0)[0]
         return machine.read_scalar(total, pid=pid)
 
     def sum(self) -> float:
@@ -234,7 +236,7 @@ class DistributedVector:
         data = np.where(mask, self.pvar.data, ident)
         machine.charge_local(self.pvar.local_size)
         gidx = np.where(
-            mask, self.embedding.global_indices(), np.iinfo(np.int64).max
+            mask, self.embedding.global_indices(), INT64_MAX
         )
         # Local arg-reduce over the (p, capacity) block: one serial scan,
         # ties to the smallest global index.
@@ -244,9 +246,9 @@ class DistributedVector:
             best_val = data.min(axis=1)
         machine.charge_flops(self.pvar.local_size)
         extreme = data == best_val[:, None]
-        best_idx = np.where(extreme, gidx, np.iinfo(np.int64).max).min(axis=1)
+        best_idx = np.where(extreme, gidx, INT64_MAX).min(axis=1)
         machine.charge_flops(self.pvar.local_size)
-        best_idx = np.where(best_val == ident, np.iinfo(np.int64).max, best_idx)
+        best_idx = np.where(best_val == ident, INT64_MAX, best_idx)
         val_pv, idx_pv = comm.reduce_all_loc(
             machine,
             PVar(machine, best_val),
@@ -255,10 +257,10 @@ class DistributedVector:
             mode=mode,
         )
         # One subcube member reports to the host.
-        pid = int(np.asarray(self.embedding.owner_slot(0)[0]))
+        pid = self.embedding.owner_slot_scalar(0)[0]
         value = machine.read_scalar(val_pv, pid=pid)
         index = int(machine.read_scalar(idx_pv, pid=pid))
-        if index == np.iinfo(np.int64).max:
+        if index == INT64_MAX:
             index = -1
         return value, index
 
@@ -286,10 +288,9 @@ class DistributedVector:
         """Fetch one element to the host (one charged bus read)."""
         if not (0 <= index < len(self)):
             raise IndexError(f"index {index} out of range [0, {len(self)})")
-        pid, slot = self.embedding.owner_slot(index)
+        pid, slot = self.embedding.owner_slot_scalar(index)
         row = self.machine.read_scalar(
-            PVar(self.machine, self.pvar.data[:, int(np.asarray(slot))]),
-            pid=int(np.asarray(pid)),
+            PVar(self.machine, self.pvar.data[:, slot]), pid=pid
         )
         return row
 
@@ -784,13 +785,9 @@ class DistributedMatrix:
         R, C = self.shape
         if not (0 <= i < R and 0 <= j < C):
             raise IndexError(f"({i}, {j}) out of range for {R}x{C}")
-        pid, sr, sc = self.embedding.owner_slot(i, j)
+        pid, sr, sc = self.embedding.owner_slot_scalar(i, j)
         return self.machine.read_scalar(
-            PVar(
-                self.machine,
-                self.pvar.data[:, int(np.asarray(sr)), int(np.asarray(sc))],
-            ),
-            pid=int(np.asarray(pid)),
+            PVar(self.machine, self.pvar.data[:, sr, sc]), pid=pid
         )
 
     def __repr__(self) -> str:

@@ -45,6 +45,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from .. import comm
+from ..comm.collectives import _root_pid_map
 from ..comm.ops import CombineOp, get_op
 from ..machine.pvar import PVar
 from ..machine.router import Router
@@ -59,6 +60,8 @@ from ..embeddings.vector import (
 
 Axis = int
 
+INT64_MAX = np.iinfo(np.int64).max
+
 
 def _check_axis(axis: Axis) -> int:
     if axis not in (0, 1):
@@ -69,7 +72,22 @@ def _check_axis(axis: Axis) -> int:
 def _aligned_embedding(
     emb: MatrixEmbedding, axis: Axis, resident: Optional[int]
 ) -> _AlignedEmbedding:
-    """The vector embedding aligned with an axis-``axis`` slice of ``emb``."""
+    """The vector embedding aligned with an axis-``axis`` slice of ``emb``.
+
+    Instances are value objects (immutable after construction), so they are
+    memoized per (matrix signature, axis, residence) on the plan cache and
+    shared across solver iterations.
+    """
+    plans = emb.machine.plans
+    if plans.enabled:
+        return plans.memo(
+            ("aligned-emb", emb.signature(), axis, resident),
+            lambda: (
+                RowAlignedEmbedding(emb, resident)
+                if axis == 0
+                else ColAlignedEmbedding(emb, resident)
+            ),
+        )
     if axis == 0:
         return RowAlignedEmbedding(emb, resident)  # slice of a row: length C
     return ColAlignedEmbedding(emb, resident)  # slice of a column: length R
@@ -80,9 +98,15 @@ def _slice_owner(emb: MatrixEmbedding, axis: Axis, index: int) -> Tuple[int, int
     if axis == 0:
         if not (0 <= index < emb.R):
             raise IndexError(f"row index {index} out of range [0, {emb.R})")
+        if emb.machine.plans.enabled:
+            owners, slots = emb.row_owner_table()
+            return int(owners[index]), int(slots[index])
         return int(emb.row_layout.owner(index)), int(emb.row_layout.slot(index))
     if not (0 <= index < emb.C):
         raise IndexError(f"column index {index} out of range [0, {emb.C})")
+    if emb.machine.plans.enabled:
+        owners, slots = emb.col_owner_table()
+        return int(owners[index]), int(slots[index])
     return int(emb.col_layout.owner(index)), int(emb.col_layout.slot(index))
 
 
@@ -109,17 +133,32 @@ def extract(
     grid_r, grid_c = emb.grid_coords()
 
     if axis == 0:
-        in_band = grid_r == grid_coord
         local = pvar.data[:, slot, :]
     else:
-        in_band = grid_c == grid_coord
         local = pvar.data[:, :, slot]
 
+    vec_emb = _aligned_embedding(emb, axis, resident=grid_coord)
+
+    if replicate and machine.plans.enabled and vec_emb.across_dims:
+        # Fused slice-copy + broadcast replay: the broadcast overwrites
+        # every processor with the root band's slice, so the masked
+        # intermediate is dead — gather the roots' values directly.  The
+        # charge sequence (one local pass, then one full-block round per
+        # orthogonal dimension) is exactly the unfused path's.
+        root_pid = _root_pid_map(
+            machine, vec_emb.across_dims, vec_emb.across_code(grid_coord)
+        )
+        machine.charge_local(local.shape[1])
+        share = max(local.shape[1], 1)
+        for _ in vec_emb.across_dims:
+            machine.charge_comm_round(share)
+        return PVar(machine, local[root_pid]), _aligned_embedding(emb, axis, None)
+
+    in_band = (grid_r if axis == 0 else grid_c) == grid_coord
     out = np.where(in_band[:, None], local, np.zeros((), dtype=local.dtype))
     machine.charge_local(local.shape[1])
     vec = PVar(machine, out)
 
-    vec_emb = _aligned_embedding(emb, axis, resident=grid_coord)
     if replicate:
         vec = comm.broadcast(
             machine,
@@ -127,7 +166,7 @@ def extract(
             dims=vec_emb.across_dims,
             root_rank=vec_emb.across_code(grid_coord),
         )
-        vec_emb = vec_emb.with_resident(None)
+        vec_emb = _aligned_embedding(emb, axis, None)
     return vec, vec_emb
 
 
@@ -282,10 +321,10 @@ def local_reduce(
         # combine across columns -> length-R vector aligned with rows
         reduced = PVar(machine, op.ufunc.reduce(data, axis=2))
         machine.charge_flops(max(pvar.local_size - pvar.data.shape[1], 0))
-        return reduced, emb.col_dims, ColAlignedEmbedding(emb, resident=None)
+        return reduced, emb.col_dims, _aligned_embedding(emb, 1, None)
     reduced = PVar(machine, op.ufunc.reduce(data, axis=1))
     machine.charge_flops(max(pvar.local_size - pvar.data.shape[2], 0))
-    return reduced, emb.row_dims, RowAlignedEmbedding(emb, resident=None)
+    return reduced, emb.row_dims, _aligned_embedding(emb, 0, None)
 
 
 def reduce(
@@ -351,7 +390,7 @@ def local_reduce_loc(
             emb.global_rows()[:, :, None], data.shape
         )
         local_axis = 1
-    gidx = np.where(mask, gidx, np.iinfo(np.int64).max)
+    gidx = np.where(mask, gidx, INT64_MAX)
 
     # Local arg-reduce: a serial scan over the local block.
     if mode == "max":
@@ -370,18 +409,14 @@ def local_reduce_loc(
     # subcube; reduce_all_loc enforces the global tie-break, and we fix the
     # local tie-break by re-scanning for the smallest index among ties.
     extreme = np.expand_dims(best_val, local_axis) == data
-    tie_idx = np.where(extreme, gidx, np.iinfo(np.int64).max).min(axis=local_axis)
+    tie_idx = np.where(extreme, gidx, INT64_MAX).min(axis=local_axis)
     machine.charge_flops(pvar.local_size)
-    best_idx = np.where(best_val == ident, np.iinfo(np.int64).max, tie_idx)
+    best_idx = np.where(best_val == ident, INT64_MAX, tie_idx)
 
     val_pv = PVar(machine, best_val)
     idx_pv = PVar(machine, best_idx)
     dims = emb.col_dims if axis == 1 else emb.row_dims
-    vec_emb = (
-        ColAlignedEmbedding(emb, resident=None)
-        if axis == 1
-        else RowAlignedEmbedding(emb, resident=None)
-    )
+    vec_emb = _aligned_embedding(emb, 1 if axis == 1 else 0, None)
     return val_pv, idx_pv, dims, vec_emb
 
 
@@ -410,7 +445,7 @@ def reduce_loc(
     val_pv, idx_pv = comm.reduce_all_loc(machine, val_pv, idx_pv, dims=dims, mode=mode)
     # Slices with no valid candidate keep the sentinel; expose as -1.
     cleaned = np.where(
-        idx_pv.data == np.iinfo(np.int64).max, -1, idx_pv.data
+        idx_pv.data == INT64_MAX, -1, idx_pv.data
     )
     idx_pv = PVar(machine, cleaned)
     return val_pv, idx_pv, vec_emb
@@ -439,8 +474,8 @@ def rank1_update(
     become communication-free.
     """
     machine = emb.machine
-    target_col = ColAlignedEmbedding(emb, resident=None)
-    target_row = RowAlignedEmbedding(emb, resident=None)
+    target_col = _aligned_embedding(emb, 1, None)
+    target_row = _aligned_embedding(emb, 0, None)
     if not (col_emb.compatible(target_col) or (
         isinstance(col_emb, ColAlignedEmbedding)
         and col_emb.replicated and col_emb.matrix.same_grid(emb)
@@ -451,7 +486,15 @@ def rank1_update(
         and row_emb.replicated and row_emb.matrix.same_grid(emb)
     )):
         row = remap_vector(row, row_emb, target_row)
-    out = pvar.data + alpha * (col.data[:, :, None] * row.data[:, None, :])
+    outer = col.data[:, :, None] * row.data[:, None, :]
+    if outer.dtype == pvar.dtype and outer.dtype.kind == "f":
+        # In-place temporaries; elementwise result is bit-identical to
+        # ``data + alpha * outer`` (IEEE multiply/add are commutative).
+        np.multiply(outer, alpha, out=outer)
+        np.add(outer, pvar.data, out=outer)
+        out = outer
+    else:
+        out = pvar.data + alpha * outer
     machine.charge_flops(3 * pvar.local_size)
     return PVar(machine, out)
 

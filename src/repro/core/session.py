@@ -36,6 +36,7 @@ class Session:
         self,
         n_dims: int,
         cost_model: Optional[Union[CostModel, str]] = None,
+        plan_cache: Optional[bool] = None,
     ) -> None:
         if isinstance(cost_model, str):
             try:
@@ -45,7 +46,7 @@ class Session:
                     f"unknown cost model preset {cost_model!r}; "
                     "try 'cm2', 'unit', 'latency_bound' or 'bandwidth_bound'"
                 ) from None
-        self.machine = Hypercube(n_dims, cost_model)
+        self.machine = Hypercube(n_dims, cost_model, plan_cache=plan_cache)
 
     # -- array factories ----------------------------------------------------
 
@@ -118,6 +119,15 @@ class Session:
             f"comm rounds       : {c.comm_rounds}",
             f"local moves       : {c.local_moves:.0f}",
         ]
+        plans = self.machine.plans
+        if plans.enabled:
+            lines.append(
+                f"plan cache        : {len(plans)} plans, "
+                f"{plans.hits} hits / {plans.misses} misses / "
+                f"{plans.evictions} evictions"
+            )
+        else:
+            lines.append("plan cache        : disabled")
         breakdown = c.phase_breakdown()
         if breakdown:
             lines.append("phase breakdown:")

@@ -19,6 +19,7 @@ from typing import Tuple
 import numpy as np
 
 from ..machine.hypercube import Hypercube
+from ..machine.plans import readonly
 from ..machine.pvar import PVar
 from .gray import deposit_bits, extract_bits, gray, gray_rank
 from .layout import Layout, make_layout
@@ -130,6 +131,23 @@ class MatrixEmbedding:
             coding=coding,
         )
 
+    def signature(self) -> tuple:
+        """Hashable value identity; equal signatures mean equal owner maps.
+
+        Plans and lookup tables keyed by signature are shared between
+        fresh-but-equal embedding instances across solver iterations.
+        """
+        return (
+            "matrix",
+            self.R,
+            self.C,
+            self.row_dims,
+            self.col_dims,
+            self._row_layout_kind,
+            self._col_layout_kind,
+            self.coding,
+        )
+
     def code(self, grid_coord):
         """Grid coordinate -> node code under this embedding's coding."""
         return gray(grid_coord) if self.coding == "gray" else grid_coord
@@ -198,15 +216,66 @@ class MatrixEmbedding:
             self.col_layout.slot(j),
         )
 
+    def row_owner_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(grid_row, slot_r)`` of every global row, memoized per signature."""
+
+        def build() -> Tuple[np.ndarray, np.ndarray]:
+            rows = np.arange(self.R)
+            return (
+                readonly(np.asarray(self.row_layout.owner(rows), dtype=np.int64)),
+                readonly(np.asarray(self.row_layout.slot(rows), dtype=np.int64)),
+            )
+
+        return self.machine.plans.memo(
+            ("mat-row-owner", self.signature()), build
+        )
+
+    def col_owner_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(grid_col, slot_c)`` of every global column, memoized per signature."""
+
+        def build() -> Tuple[np.ndarray, np.ndarray]:
+            cols = np.arange(self.C)
+            return (
+                readonly(np.asarray(self.col_layout.owner(cols), dtype=np.int64)),
+                readonly(np.asarray(self.col_layout.slot(cols), dtype=np.int64)),
+            )
+
+        return self.machine.plans.memo(
+            ("mat-col-owner", self.signature()), build
+        )
+
+    def owner_slot_scalar(self, i: int, j: int) -> Tuple[int, int, int]:
+        """``(pid, slot_r, slot_c)`` of one element as Python ints.
+
+        Uses the memoized per-axis owner tables when the plan cache is
+        enabled; otherwise falls back to the direct computation.
+        """
+        if self.machine.plans.enabled:
+            gr_tab, sr_tab = self.row_owner_table()
+            gc_tab, sc_tab = self.col_owner_table()
+            pid = self.pid_for_grid(int(gr_tab[i]), int(gc_tab[j]))
+            return int(np.asarray(pid)), int(sr_tab[i]), int(sc_tab[j])
+        pid, sr, sc = self.owner_slot(i, j)
+        return int(np.asarray(pid)), int(np.asarray(sr)), int(np.asarray(sc))
+
     # -- masks --------------------------------------------------------------------
 
     def valid_mask(self) -> np.ndarray:
-        """Boolean array ``(p, lr, lc)``: which local slots hold elements."""
-        row_masks = self.row_layout.all_valid_masks()  # (Pr, lr)
-        col_masks = self.col_layout.all_valid_masks()  # (Pc, lc)
-        return (
-            row_masks[self._grid_r][:, :, None]
-            & col_masks[self._grid_c][:, None, :]
+        """Boolean array ``(p, lr, lc)``: which local slots hold elements.
+
+        Memoized per signature on the machine's plan cache (read-only).
+        """
+
+        def build() -> np.ndarray:
+            row_masks = self.row_layout.all_valid_masks()  # (Pr, lr)
+            col_masks = self.col_layout.all_valid_masks()  # (Pc, lc)
+            return readonly(
+                row_masks[self._grid_r][:, :, None]
+                & col_masks[self._grid_c][:, None, :]
+            )
+
+        return self.machine.plans.memo(
+            ("mat-valid-mask", self.signature()), build
         )
 
     def valid_pvar(self) -> PVar:
@@ -214,14 +283,24 @@ class MatrixEmbedding:
         return PVar(self.machine, self.valid_mask())
 
     def global_rows(self) -> np.ndarray:
-        """Global row index per (pid, slot_r), shape ``(p, lr)``; padding clamped."""
-        rows = self.row_layout.all_global_indices()  # (Pr, lr)
-        return rows[self._grid_r]
+        """Global row index per (pid, slot_r), shape ``(p, lr)``; padding clamped.
+
+        Memoized per signature on the machine's plan cache (read-only).
+        """
+        return self.machine.plans.memo(
+            ("mat-global-rows", self.signature()),
+            lambda: readonly(self.row_layout.all_global_indices()[self._grid_r]),
+        )
 
     def global_cols(self) -> np.ndarray:
-        """Global column index per (pid, slot_c), shape ``(p, lc)``."""
-        cols = self.col_layout.all_global_indices()  # (Pc, lc)
-        return cols[self._grid_c]
+        """Global column index per (pid, slot_c), shape ``(p, lc)``.
+
+        Memoized per signature on the machine's plan cache (read-only).
+        """
+        return self.machine.plans.memo(
+            ("mat-global-cols", self.signature()),
+            lambda: readonly(self.col_layout.all_global_indices()[self._grid_c]),
+        )
 
     # -- host transfer ----------------------------------------------------------------
 

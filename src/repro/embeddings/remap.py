@@ -27,9 +27,11 @@ from typing import Tuple
 import numpy as np
 
 from ..machine.hypercube import Hypercube
+from ..machine.plans import MISSING, RemapPlan
 from ..machine.pvar import PVar
-from ..machine.router import Router
+from ..machine.router import Router, RouteStats
 from .. import comm
+from .gray import deposit_bits
 from .matrix import MatrixEmbedding
 from .vector import VectorEmbedding, _AlignedEmbedding
 
@@ -46,6 +48,41 @@ def _charge_messages(
     Router(machine).simulate(
         pairs // machine.p, pairs % machine.p, counts.astype(np.float64)
     )
+
+
+def _route_stats(
+    machine: Hypercube, src_pid: np.ndarray, dst_pid: np.ndarray
+) -> "RouteStats | None":
+    """Uncharged :class:`RouteStats` of the multiset :func:`_charge_messages`
+    would route, or ``None`` when no element changes processors.
+
+    ``Router.simulate`` ends in one ``charge_transfer(element_hops, rounds,
+    time)`` call, so replaying the returned stats later (see
+    :meth:`RemapPlan.charge`) is bit-identical to charging here.
+    """
+    moving = src_pid != dst_pid
+    if not np.any(moving):
+        return None
+    pair = src_pid[moving].astype(np.int64) * machine.p + dst_pid[moving]
+    pairs, counts = np.unique(pair, return_counts=True)
+    return Router(machine).simulate(
+        pairs // machine.p,
+        pairs % machine.p,
+        counts.astype(np.float64),
+        charge=False,
+    )
+
+
+def _row_pid_parts(emb: MatrixEmbedding) -> np.ndarray:
+    """Per-global-row contribution to the owner pid (length ``R``)."""
+    gr, _ = emb.row_owner_table()
+    return deposit_bits(emb.code(gr), emb.row_dims)
+
+
+def _col_pid_parts(emb: MatrixEmbedding) -> np.ndarray:
+    """Per-global-column contribution to the owner pid (length ``C``)."""
+    gc, _ = emb.col_owner_table()
+    return deposit_bits(emb.code(gc), emb.col_dims)
 
 
 def remap_vector(
@@ -69,12 +106,29 @@ def remap_vector(
 
     host = src.gather(pvar)
 
-    g = np.arange(src.L)
-    src_pid, _ = src.owner_slot(g)
-    dst_pid, _ = dst.owner_slot(g)
-    machine.charge_local(src.local_size)  # pack
-    _charge_messages(machine, np.asarray(src_pid), np.asarray(dst_pid))
-    machine.charge_local(dst.local_size)  # unpack
+    plans = machine.plans
+    if plans.enabled:
+        key = ("remap-vector", src.signature(), dst.signature())
+        plan = plans.lookup(key)
+        if plan is MISSING:
+            src_pid, _ = src.owner_slot_table()
+            dst_pid, _ = dst.owner_slot_table()
+            plan = plans.store(
+                key,
+                RemapPlan(
+                    src_local=src.local_size,
+                    dst_local=dst.local_size,
+                    route=_route_stats(machine, src_pid, dst_pid),
+                ),
+            )
+        plan.charge(machine)  # pack, route, unpack — seed's exact sequence
+    else:
+        g = np.arange(src.L)
+        src_pid, _ = src.owner_slot(g)
+        dst_pid, _ = dst.owner_slot(g)
+        machine.charge_local(src.local_size)  # pack
+        _charge_messages(machine, np.asarray(src_pid), np.asarray(dst_pid))
+        machine.charge_local(dst.local_size)  # unpack
 
     out = dst.scatter(host)
     if dst.replicated:
@@ -103,14 +157,34 @@ def redistribute_matrix(
 
     host = src.gather(pvar)
 
-    ii, jj = np.meshgrid(np.arange(src.R), np.arange(src.C), indexing="ij")
-    ii = ii.ravel()
-    jj = jj.ravel()
-    src_pid = np.asarray(src.owner(ii, jj))
-    dst_pid = np.asarray(dst.owner(ii, jj))
-    machine.charge_local(src.local_size)
-    _charge_messages(machine, src_pid, dst_pid)
-    machine.charge_local(dst.local_size)
+    plans = machine.plans
+    if plans.enabled:
+        key = ("redistribute", src.signature(), dst.signature())
+        plan = plans.lookup(key)
+        if plan is MISSING:
+            # Owner pids separate over the axes (pid = row_part | col_part),
+            # so the R x C owner maps are two outer ORs — no meshgrid of
+            # R*C index vectors needed.
+            src_pid = _row_pid_parts(src)[:, None] | _col_pid_parts(src)[None, :]
+            dst_pid = _row_pid_parts(dst)[:, None] | _col_pid_parts(dst)[None, :]
+            plan = plans.store(
+                key,
+                RemapPlan(
+                    src_local=src.local_size,
+                    dst_local=dst.local_size,
+                    route=_route_stats(machine, src_pid, dst_pid),
+                ),
+            )
+        plan.charge(machine)
+    else:
+        ii, jj = np.meshgrid(np.arange(src.R), np.arange(src.C), indexing="ij")
+        ii = ii.ravel()
+        jj = jj.ravel()
+        src_pid = np.asarray(src.owner(ii, jj))
+        dst_pid = np.asarray(dst.owner(ii, jj))
+        machine.charge_local(src.local_size)
+        _charge_messages(machine, src_pid, dst_pid)
+        machine.charge_local(dst.local_size)
     return dst.scatter(host)
 
 
@@ -154,12 +228,41 @@ def transpose(
     host = src.gather(pvar)
     hostT = np.ascontiguousarray(host.T)
 
-    ii, jj = np.meshgrid(np.arange(src.R), np.arange(src.C), indexing="ij")
-    ii = ii.ravel()
-    jj = jj.ravel()
-    src_pid = np.asarray(src.owner(ii, jj))
-    dst_pid = np.asarray(dst.owner(jj, ii))
-    machine.charge_local(src.local_size)
-    _charge_messages(machine, src_pid, dst_pid)
-    machine.charge_local(dst.local_size)
+    if not same_grid:
+        # Relabelling transpose: ``transposed()`` swaps the dimension sets
+        # and layouts, so ``dst.owner(j, i) == src.owner(i, j)`` identically
+        # — the message multiset is empty and the seed's router call charged
+        # nothing.  Skip the R x C owner computation outright (valid with
+        # the plan cache on or off).
+        machine.charge_local(src.local_size)
+        machine.charge_local(dst.local_size)
+        return dst.scatter(hostT), dst
+
+    plans = machine.plans
+    if plans.enabled:
+        key = ("transpose-samegrid", src.signature())
+        plan = plans.lookup(key)
+        if plan is MISSING:
+            # Element (i, j) moves to where (j, i) of the destination
+            # lives; both owner maps split into per-axis pid parts.
+            src_pid = _row_pid_parts(src)[:, None] | _col_pid_parts(src)[None, :]
+            dst_pid = _col_pid_parts(dst)[:, None] | _row_pid_parts(dst)[None, :]
+            plan = plans.store(
+                key,
+                RemapPlan(
+                    src_local=src.local_size,
+                    dst_local=dst.local_size,
+                    route=_route_stats(machine, src_pid, dst_pid),
+                ),
+            )
+        plan.charge(machine)
+    else:
+        ii, jj = np.meshgrid(np.arange(src.R), np.arange(src.C), indexing="ij")
+        ii = ii.ravel()
+        jj = jj.ravel()
+        src_pid = np.asarray(src.owner(ii, jj))
+        dst_pid = np.asarray(dst.owner(jj, ii))
+        machine.charge_local(src.local_size)
+        _charge_messages(machine, src_pid, dst_pid)
+        machine.charge_local(dst.local_size)
     return dst.scatter(hostT), dst

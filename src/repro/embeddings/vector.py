@@ -29,6 +29,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..machine.hypercube import Hypercube
+from ..machine.plans import readonly
 from ..machine.pvar import PVar
 from .gray import deposit_bits, gray, gray_rank
 from .layout import Layout, make_layout
@@ -40,6 +41,18 @@ class VectorEmbedding(abc.ABC):
 
     machine: Hypercube
     L: int
+
+    # -- identity ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def signature(self) -> tuple:
+        """Hashable value identity of this embedding.
+
+        Two embeddings with equal signatures (on the same machine) induce
+        identical owner maps and index images, so communication plans and
+        memoized lookup tables keyed by signature are shared across
+        instances constructed in different solver iterations.
+        """
 
     # -- shape -------------------------------------------------------------
 
@@ -66,13 +79,63 @@ class VectorEmbedding(abc.ABC):
     def owner_slot(self, g):
         """Primary ``(pid, slot)`` of global index ``g`` (vectorised)."""
 
-    @abc.abstractmethod
+    def owner_slot_table(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(pid, slot)`` of every global index, memoized per signature.
+
+        The full length-``L`` owner map, shared via the machine's plan
+        cache so hot loops (remaps, scalar reads) stop re-deriving it.
+        """
+
+        def build() -> Tuple[np.ndarray, np.ndarray]:
+            pid, slot = self.owner_slot(np.arange(self.L))
+            return (
+                readonly(np.asarray(pid, dtype=np.int64)),
+                readonly(np.asarray(slot, dtype=np.int64)),
+            )
+
+        return self.machine.plans.memo(
+            ("vec-owner-slot", self.signature()), build
+        )
+
+    def owner_slot_scalar(self, g: int) -> Tuple[int, int]:
+        """``(pid, slot)`` of one global index as Python ints.
+
+        Uses the memoized owner table when the plan cache is enabled;
+        otherwise falls back to the direct per-index computation.
+        """
+        if self.machine.plans.enabled:
+            pids, slots = self.owner_slot_table()
+            return int(pids[g]), int(slots[g])
+        pid, slot = self.owner_slot(g)
+        return int(np.asarray(pid)), int(np.asarray(slot))
+
     def valid_mask(self) -> np.ndarray:
-        """Boolean ``(p, *local_shape)``: slots holding real elements."""
+        """Boolean ``(p, *local_shape)``: slots holding real elements.
+
+        Memoized per signature on the machine's plan cache (read-only).
+        """
+        return self.machine.plans.memo(
+            ("vec-valid-mask", self.signature()),
+            lambda: readonly(self._compute_valid_mask()),
+        )
+
+    def global_indices(self) -> np.ndarray:
+        """Global index per (pid, slot); padding clamped in-range.
+
+        Memoized per signature on the machine's plan cache (read-only).
+        """
+        return self.machine.plans.memo(
+            ("vec-global-indices", self.signature()),
+            lambda: readonly(self._compute_global_indices()),
+        )
 
     @abc.abstractmethod
-    def global_indices(self) -> np.ndarray:
-        """Global index per (pid, slot); padding clamped in-range."""
+    def _compute_valid_mask(self) -> np.ndarray:
+        """Uncached computation behind :meth:`valid_mask`."""
+
+    @abc.abstractmethod
+    def _compute_global_indices(self) -> np.ndarray:
+        """Uncached computation behind :meth:`global_indices`."""
 
     # -- host transfer ------------------------------------------------------------
 
@@ -168,15 +231,18 @@ class VectorOrderEmbedding(VectorEmbedding):
     def replicated(self) -> bool:
         return False
 
+    def signature(self) -> tuple:
+        return ("vec-order", self.L, self._layout_kind, self.coding)
+
     def owner_slot(self, g):
         rank = self.layout.owner(g)
         pid = gray(rank) if self.coding == "gray" else rank
         return pid, self.layout.slot(g)
 
-    def valid_mask(self) -> np.ndarray:
+    def _compute_valid_mask(self) -> np.ndarray:
         return self.layout.all_valid_masks()[self._rank_of_pid]
 
-    def global_indices(self) -> np.ndarray:
+    def _compute_global_indices(self) -> np.ndarray:
         return self.layout.all_global_indices()[self._rank_of_pid]
 
     def order_rank(self) -> np.ndarray:
@@ -241,6 +307,7 @@ class _AlignedEmbedding(VectorEmbedding):
                 f"resident grid index {resident} out of range "
                 f"[0, {self._across_extent})"
             )
+        self._across_codes: dict = {}
 
     @property
     def local_shape(self) -> Tuple[int, ...]:
@@ -249,6 +316,9 @@ class _AlignedEmbedding(VectorEmbedding):
     @property
     def replicated(self) -> bool:
         return self.resident is None
+
+    def signature(self) -> tuple:
+        return (self.axis, "aligned", self.resident, self.matrix.signature())
 
     @property
     def along_dims(self) -> Tuple[int, ...]:
@@ -270,7 +340,10 @@ class _AlignedEmbedding(VectorEmbedding):
 
     def across_code(self, coord: int) -> int:
         """Node code of an orthogonal grid coordinate (coding-aware)."""
-        return int(np.asarray(self.matrix.code(coord)))
+        code = self._across_codes.get(coord)
+        if code is None:
+            code = self._across_codes[coord] = int(np.asarray(self.matrix.code(coord)))
+        return code
 
     def _present_mask(self) -> np.ndarray:
         """(p,) mask of processors that hold the vector at all."""
@@ -278,7 +351,7 @@ class _AlignedEmbedding(VectorEmbedding):
             return np.ones(self.machine.p, dtype=bool)
         return self._grid_across == self.resident
 
-    def valid_mask(self) -> np.ndarray:
+    def _compute_valid_mask(self) -> np.ndarray:
         slot_masks = self._along_layout.all_valid_masks()[self._grid_along]
         return slot_masks & self._present_mask()[:, None]
 
@@ -293,7 +366,7 @@ class _AlignedEmbedding(VectorEmbedding):
     def along_layout(self):
         return self._along_layout
 
-    def global_indices(self) -> np.ndarray:
+    def _compute_global_indices(self) -> np.ndarray:
         return self._along_layout.all_global_indices()[self._grid_along]
 
     def compatible(self, other: VectorEmbedding) -> bool:

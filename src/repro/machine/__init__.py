@@ -14,6 +14,7 @@ Public surface:
 from .cost_model import CostModel
 from .counters import Counters, CostSnapshot
 from .hypercube import Hypercube
+from .plans import PlanCache, RemapPlan
 from .pvar import PVar
 from .router import Router, RouteStats
 
@@ -22,7 +23,9 @@ __all__ = [
     "Counters",
     "CostSnapshot",
     "Hypercube",
+    "PlanCache",
     "PVar",
+    "RemapPlan",
     "Router",
     "RouteStats",
 ]

@@ -45,13 +45,24 @@ class CostSnapshot:
 
 @dataclass
 class Counters:
-    """Mutable running totals plus a per-phase time breakdown."""
+    """Mutable running totals plus a per-phase time breakdown.
+
+    The ``plan_*`` fields are observability for the communication plan
+    cache (``machine.plans``): cache hits, misses and LRU evictions.  They
+    are deliberately *not* part of :class:`CostSnapshot` — the plan cache
+    must never change the cost model, so snapshots stay bit-identical
+    whether the cache is on or off while the plan statistics report what
+    the cache did.
+    """
 
     time: float = 0.0
     flops: float = 0.0
     elements_transferred: float = 0.0
     comm_rounds: int = 0
     local_moves: float = 0.0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_evictions: int = 0
     phase_times: Dict[str, float] = field(default_factory=dict)
     _phase_stack: List[str] = field(default_factory=list)
 
@@ -61,8 +72,9 @@ class Counters:
         if amount < 0:
             raise ValueError(f"cannot charge negative time {amount}")
         self.time += amount
-        for phase in self._phase_stack:
-            self.phase_times[phase] = self.phase_times.get(phase, 0.0) + amount
+        if self._phase_stack:
+            for phase in self._phase_stack:
+                self.phase_times[phase] = self.phase_times.get(phase, 0.0) + amount
 
     def charge_flops(self, count: float, time: float) -> None:
         self.flops += count
@@ -101,6 +113,16 @@ class Counters:
         """Phase times sorted by descending cost."""
         return sorted(self.phase_times.items(), key=lambda kv: -kv[1])
 
+    # -- plan-cache statistics ----------------------------------------------
+
+    def plan_stats(self) -> Dict[str, int]:
+        """Plan-cache hit/miss/eviction counts (observability only)."""
+        return {
+            "hits": self.plan_hits,
+            "misses": self.plan_misses,
+            "evictions": self.plan_evictions,
+        }
+
     # -- snapshots ----------------------------------------------------------
 
     def snapshot(self) -> CostSnapshot:
@@ -118,5 +140,8 @@ class Counters:
         self.elements_transferred = 0.0
         self.comm_rounds = 0
         self.local_moves = 0.0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_evictions = 0
         self.phase_times.clear()
         self._phase_stack.clear()

@@ -25,6 +25,7 @@ import numpy as np
 
 from .cost_model import CostModel
 from .counters import Counters, CostSnapshot
+from .plans import PlanCache
 from .pvar import PVar
 
 
@@ -37,9 +38,19 @@ class Hypercube:
         Number of cube dimensions; the machine has ``p = 2**n`` processors.
     cost_model:
         Charging rates; defaults to :meth:`CostModel.cm2`.
+    plan_cache:
+        Whether the communication plan cache (``self.plans``) is enabled.
+        ``None`` (default) follows the ``REPRO_PLAN_CACHE`` environment
+        variable (on unless set false-y).  The cache never changes charged
+        costs — see :mod:`repro.machine.plans`.
     """
 
-    def __init__(self, n: int, cost_model: Optional[CostModel] = None) -> None:
+    def __init__(
+        self,
+        n: int,
+        cost_model: Optional[CostModel] = None,
+        plan_cache: Optional[bool] = None,
+    ) -> None:
         if n < 0:
             raise ValueError(f"cube dimension must be >= 0, got {n}")
         if n > 24:
@@ -48,9 +59,18 @@ class Hypercube:
         self.p = 1 << n
         self.cost_model = cost_model if cost_model is not None else CostModel.cm2()
         self.counters = Counters()
+        # Per-machine plan cache: a fresh machine (or cost model) gets a
+        # fresh empty cache, so plans can never leak across machines.
+        self.plans = PlanCache(self, enabled=plan_cache)
         self._pids = np.arange(self.p, dtype=np.int64)
         # Neighbour permutations per dimension, precomputed once.
         self._neighbor = [self._pids ^ (1 << d) for d in range(n)]
+        # Per-volume cost memos.  CostModel is frozen, so each rate is a
+        # pure function of the volume; caching returns the *same float* the
+        # direct call would, keeping charged time bit-identical.
+        self._round_cost: dict = {}
+        self._flop_cost: dict = {}
+        self._move_cost: dict = {}
         # SIMD activity-context stack (the CM's context flags): masks are
         # per-processor booleans; nested contexts AND together.
         self._context_stack: list = []
@@ -100,21 +120,31 @@ class Hypercube:
 
     def charge_flops(self, local_elements: float) -> None:
         """One SIMD arithmetic pass over ``local_elements`` items per processor."""
-        self.counters.charge_flops(
-            local_elements * self.p, self.cost_model.arithmetic(local_elements)
-        )
+        time = self._flop_cost.get(local_elements)
+        if time is None:
+            time = self._flop_cost[local_elements] = self.cost_model.arithmetic(
+                local_elements
+            )
+        self.counters.charge_flops(local_elements * self.p, time)
 
     def charge_local(self, local_elements: float) -> None:
         """One SIMD local move/pack pass."""
-        self.counters.charge_local(
-            local_elements * self.p, self.cost_model.memory(local_elements)
-        )
+        time = self._move_cost.get(local_elements)
+        if time is None:
+            time = self._move_cost[local_elements] = self.cost_model.memory(
+                local_elements
+            )
+        self.counters.charge_local(local_elements * self.p, time)
 
     def charge_comm_round(self, elements_per_processor: float, rounds: int = 1) -> None:
         """``rounds`` synchronous exchange rounds of the given volume each."""
-        time = rounds * self.cost_model.comm_round(elements_per_processor)
+        time = self._round_cost.get(elements_per_processor)
+        if time is None:
+            time = self._round_cost[elements_per_processor] = (
+                self.cost_model.comm_round(elements_per_processor)
+            )
         self.counters.charge_transfer(
-            elements_per_processor * self.p * rounds, rounds, time
+            elements_per_processor * self.p * rounds, rounds, rounds * time
         )
 
     @contextlib.contextmanager
@@ -208,7 +238,10 @@ class Hypercube:
         self._check_owned(pvar)
         if not (0 <= pid < self.p):
             raise ValueError(f"pid {pid} out of range for p={self.p}")
-        self.counters.charge_transfer(1, 1, self.cost_model.comm_round(1))
+        time = self._round_cost.get(1)
+        if time is None:
+            time = self._round_cost[1] = self.cost_model.comm_round(1)
+        self.counters.charge_transfer(1, 1, time)
         value = pvar.data[pid]
         if np.ndim(value) == 0:
             return value[()] if isinstance(value, np.ndarray) else value
