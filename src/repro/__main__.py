@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro``.
+"""Command-line entry point: ``python -m repro`` (or the ``repro`` script).
 
 Subcommands:
 
@@ -6,12 +6,18 @@ Subcommands:
 * ``demo``  — run the four primitives on a small matrix and print the
   simulated cost report (the quickstart, headless);
 * ``solve`` — solve a random dense system at a chosen size and report the
-  paper-style cost breakdown.
+  paper-style cost breakdown;
+* ``trace`` — run a workload with tracing on and write a Chrome
+  trace-event file (load it at ``chrome://tracing`` or ui.perfetto.dev).
+
+Every subcommand accepts ``--json`` to emit a machine-readable summary on
+stdout instead of the human-readable report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -19,41 +25,66 @@ import numpy as np
 from . import Session, __version__
 
 
+def _emit(args: argparse.Namespace, data: dict, text: str) -> None:
+    if getattr(args, "json", False):
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(text)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     session = Session(args.n, args.cost_model)
     machine = session.machine
     c = machine.cost_model
-    print(f"repro {__version__} — simulated hypercube multiprocessor")
-    print(f"processors : {machine.p} (n = {machine.n} cube dimensions)")
-    print(f"cost model : tau={c.tau} t_c={c.t_c} t_a={c.t_a} t_m={c.t_m}")
-    print(f"m > p lg p threshold: {machine.p * max(machine.n, 1)} elements")
+    threshold = machine.p * max(machine.n, 1)
+    data = {
+        "version": __version__,
+        "p": machine.p,
+        "n": machine.n,
+        "cost_model": {
+            "tau": c.tau, "t_c": c.t_c, "t_a": c.t_a, "t_m": c.t_m,
+        },
+        "large_vector_threshold": threshold,
+    }
+    text = "\n".join([
+        f"repro {__version__} — simulated hypercube multiprocessor",
+        f"processors : {machine.p} (n = {machine.n} cube dimensions)",
+        f"cost model : tau={c.tau} t_c={c.t_c} t_a={c.t_a} t_m={c.t_m}",
+        f"m > p lg p threshold: {threshold} elements",
+    ])
+    _emit(args, data, text)
     return 0
+
+
+def _run_demo(session: Session, rng, rows: int, cols: int):
+    """The quickstart workload: all four primitives on one matrix."""
+    A_host = rng.standard_normal((rows, cols))
+    A = session.matrix(A_host)
+    with session.machine.phase("demo"):
+        row = A.extract(axis=0, index=0)
+        A2 = A.insert(axis=0, index=rows - 1, vector=row)
+        tiled = row.distribute(A, axis=0)
+        sums = A2.reduce(axis=1, op="sum")
+        del tiled
+    assert np.isclose(sums.to_numpy()[0], A_host[0].sum())
+    return A
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     session = Session(args.n, args.cost_model)
-    A_host = rng.standard_normal((args.rows, args.cols))
-    A = session.matrix(A_host)
-    print(f"embedded: {A.embedding!r}\n")
-
-    with session.machine.phase("demo"):
-        row = A.extract(axis=0, index=0)
-        A2 = A.insert(axis=0, index=args.rows - 1, vector=row)
-        tiled = row.distribute(A, axis=0)
-        sums = A2.reduce(axis=1, op="sum")
-        del tiled
-    assert np.isclose(sums.to_numpy()[0], A_host[0].sum())
-    print(session.report())
+    A = _run_demo(session, rng, args.rows, args.cols)
+    data = dict(session.report_data(), embedding=repr(A.embedding))
+    text = f"embedded: {A.embedding!r}\n\n{session.report()}"
+    _emit(args, data, text)
     return 0
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
+def _run_solve(session: Session, args: argparse.Namespace):
     from .algorithms import gaussian, serial
     from .analysis import pt_ratio
     from . import workloads as W
 
-    session = Session(args.n, args.cost_model)
     A_host, b, x_true = W.random_system(args.size, seed=args.seed)
     A = session.matrix(A_host)
     result = gaussian.solve(A, b, pivoting=args.pivoting)
@@ -61,14 +92,73 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     ops = serial.gaussian_solve(A_host, b).ops
     ratio = pt_ratio(result.cost, session.machine.p, ops,
                      session.machine.cost_model)
-    print(f"solved {args.size}x{args.size} on p={session.machine.p} "
-          f"({args.pivoting} pivoting)")
-    print(f"max error        : {err:.2e}")
-    print(f"simulated time   : {result.cost.time:,.0f} ticks")
-    print(f"PT / serial      : {ratio:,.1f}")
-    for name, t in session.machine.counters.phase_breakdown():
-        if name != "gaussian":
-            print(f"  {name:<20s} {t:>14,.0f}")
+    return result, err, ratio
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    session = Session(args.n, args.cost_model)
+    result, err, ratio = _run_solve(session, args)
+    phases = [
+        (name, t)
+        for name, t in session.machine.counters.phase_breakdown()
+        if name != "gaussian"
+    ]
+    data = {
+        "size": args.size,
+        "p": session.machine.p,
+        "pivoting": args.pivoting,
+        "max_error": err,
+        "time": result.cost.time,
+        "pt_ratio": ratio,
+        "phase_breakdown": [{"phase": n, "time": t} for n, t in phases],
+    }
+    lines = [
+        f"solved {args.size}x{args.size} on p={session.machine.p} "
+        f"({args.pivoting} pivoting)",
+        f"max error        : {err:.2e}",
+        f"simulated time   : {result.cost.time:,.0f} ticks",
+        f"PT / serial      : {ratio:,.1f}",
+    ]
+    lines += [f"  {name:<20s} {t:>14,.0f}" for name, t in phases]
+    _emit(args, data, "\n".join(lines))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import to_chrome_trace, to_jsonl, validate_chrome_trace_file
+
+    rng = np.random.default_rng(args.seed)
+    session = Session(args.n, args.cost_model, trace=True)
+    if args.workload == "demo":
+        _run_demo(session, rng, args.rows, args.cols)
+    else:
+        _run_solve(session, args)
+
+    tracer = session.tracer
+    to_chrome_trace(tracer, args.out)
+    counts = validate_chrome_trace_file(args.out)
+    events, spans = counts["events"], counts["spans"]
+    jsonl_lines = to_jsonl(tracer, args.jsonl) if args.jsonl else None
+
+    data = {
+        "workload": args.workload,
+        "out": args.out,
+        "events": events,
+        "spans": spans,
+        "jsonl": args.jsonl,
+        "jsonl_lines": jsonl_lines,
+        "report": session.report_data(),
+    }
+    lines = [
+        f"ran workload '{args.workload}' on p={session.machine.p} "
+        f"with tracing on",
+        f"chrome trace     : {args.out} ({events} events, {spans} spans)",
+    ]
+    if args.jsonl:
+        lines.append(f"jsonl event log  : {args.jsonl} "
+                     f"({jsonl_lines} lines)")
+    lines += ["", session.report()]
+    _emit(args, data, "\n".join(lines))
     return 0
 
 
@@ -87,6 +177,8 @@ def main(argv=None) -> int:
                        choices=["cm2", "unit", "latency_bound",
                                 "bandwidth_bound"])
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--json", action="store_true",
+                       help="emit a machine-readable JSON summary")
 
     p_info = sub.add_parser("info", help="machine summary")
     add_machine_args(p_info)
@@ -104,6 +196,23 @@ def main(argv=None) -> int:
     p_solve.add_argument("--pivoting", default="partial",
                          choices=["partial", "implicit", "none"])
     p_solve.set_defaults(fn=_cmd_solve)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a workload with tracing and export a Chrome trace"
+    )
+    add_machine_args(p_trace)
+    p_trace.add_argument("--workload", default="demo",
+                         choices=["demo", "solve"])
+    p_trace.add_argument("--rows", type=int, default=96)
+    p_trace.add_argument("--cols", type=int, default=64)
+    p_trace.add_argument("--size", type=int, default=64)
+    p_trace.add_argument("--pivoting", default="partial",
+                         choices=["partial", "implicit", "none"])
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace-event output path")
+    p_trace.add_argument("--jsonl", default=None,
+                         help="also write a JSONL structured event log here")
+    p_trace.set_defaults(fn=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -33,6 +33,7 @@ import numpy as np
 from ..machine.hypercube import Hypercube
 from ..machine.plans import readonly
 from ..machine.pvar import PVar
+from ..obs.tracer import maybe_span
 from .ops import CombineOp, get_op
 
 
@@ -133,30 +134,35 @@ def broadcast(
         return pvar
     if not (0 <= root_rank < (1 << len(dims))):
         raise ValueError(f"root_rank {root_rank} out of range for {len(dims)} dims")
-    if machine.plans.enabled:
-        # Plan replay: the binomial tree's charge schedule is one full-block
-        # round per dimension, and its functional result is the root's block
-        # everywhere — both replayed exactly from the cached root map, so
-        # ticks and data are bit-identical to the exchange loop below.
-        machine._check_owned(pvar)
-        root_pid = _root_pid_map(machine, dims, root_rank)
-        for _ in dims:
-            machine.charge_comm_round(pvar.local_size)
-        return PVar(machine, pvar.data[root_pid])
-    rank = subcube_rank(machine, dims)
-    has = rank == root_rank
-    data = pvar
-    for d in dims:
-        recv = machine.exchange(data, d)
-        recv_has = has[machine.pids() ^ (1 << d)]
-        take = recv_has & ~has
-        if np.any(take):
-            out = data.data.copy()
-            out[take] = recv.data[take]
-            data = PVar(machine, out)
-        has = has | recv_has
-    assert bool(np.all(has))
-    return data
+    with maybe_span(
+        machine, "broadcast", "collective",
+        dims=list(dims), volume=pvar.local_size,
+    ):
+        if machine.plans.enabled:
+            # Plan replay: the binomial tree's charge schedule is one
+            # full-block round per dimension, and its functional result is
+            # the root's block everywhere — both replayed exactly from the
+            # cached root map, so ticks and data are bit-identical to the
+            # exchange loop below.
+            machine._check_owned(pvar)
+            root_pid = _root_pid_map(machine, dims, root_rank)
+            for d in dims:
+                machine.charge_comm_round(pvar.local_size, dim=d)
+            return PVar(machine, pvar.data[root_pid])
+        rank = subcube_rank(machine, dims)
+        has = rank == root_rank
+        data = pvar
+        for d in dims:
+            recv = machine.exchange(data, d)
+            recv_has = has[machine.pids() ^ (1 << d)]
+            take = recv_has & ~has
+            if np.any(take):
+                out = data.data.copy()
+                out[take] = recv.data[take]
+                data = PVar(machine, out)
+            has = has | recv_has
+        assert bool(np.all(has))
+        return data
 
 
 def reduce_all(
@@ -172,13 +178,17 @@ def reduce_all(
     """
     op = get_op(op)
     dims = _dims_tuple(machine, dims)
-    data = pvar
-    for d in dims:
-        recv = machine.exchange(data, d)
-        combined = op(data.data, recv.data)
-        machine.charge_flops(data.local_size)
-        data = PVar(machine, combined)
-    return data
+    with maybe_span(
+        machine, "reduce_all", "collective",
+        dims=list(dims), volume=pvar.local_size, op=op.name,
+    ):
+        data = pvar
+        for d in dims:
+            recv = machine.exchange(data, d)
+            combined = op(data.data, recv.data)
+            machine.charge_flops(data.local_size)
+            data = PVar(machine, combined)
+        return data
 
 
 def reduce(
@@ -217,6 +227,20 @@ def reduce_all_loc(
     dims = _dims_tuple(machine, dims)
     if value.local_shape != index.local_shape:
         raise ValueError("value and index must have identical local shapes")
+    with maybe_span(
+        machine, "reduce_all_loc", "collective",
+        dims=list(dims), volume=value.local_size, mode=mode,
+    ):
+        return _reduce_all_loc_impl(machine, value, index, dims, mode)
+
+
+def _reduce_all_loc_impl(
+    machine: Hypercube,
+    value: PVar,
+    index: PVar,
+    dims: Tuple[int, ...],
+    mode: str,
+) -> Tuple[PVar, PVar]:
     val = value
     idx = index
     if (
@@ -246,9 +270,9 @@ def reduce_all_loc(
         sentinel = np.iinfo(mi.dtype).max
         win_idx = np.where(is_best, mi, sentinel).min(axis=1)
         ls = val.local_size
-        for _ in dims:
-            machine.charge_comm_round(ls)
-            machine.charge_comm_round(ls)
+        for d in dims:
+            machine.charge_comm_round(ls, dim=d)
+            machine.charge_comm_round(ls, dim=d)
             machine.charge_flops(3 * ls)
         return (
             PVar(machine, best[sub_of_pid]),
@@ -296,31 +320,35 @@ def scan(
     """
     op = get_op(op)
     dims = _dims_tuple(machine, dims)
-    ident = op.identity(pvar.dtype)
-    prefix = np.full_like(pvar.data, ident)
-    total = pvar.data.copy()
-    machine.charge_local(2 * pvar.local_size)
-    if rank is None:
-        rank = subcube_rank(machine, dims)
-    else:
-        rank = np.asarray(rank)
-        if rank.shape != (machine.p,):
-            raise ValueError(f"rank must have shape ({machine.p},)")
-    for k, d in enumerate(dims):
-        total_pv = PVar(machine, total)
-        recv_total = machine.exchange(total_pv, d).data
-        high = ((rank >> k) & 1) == 1
-        shape = (machine.p,) + (1,) * (pvar.data.ndim - 1)
-        high_b = high.reshape(shape)
-        # Processors in the rank-upper half have every lower-half member
-        # before them in rank order: fold the other half's total in.
-        prefix = np.where(high_b, op(recv_total, prefix), prefix)
-        total = op(total, recv_total)
-        machine.charge_flops(2 * pvar.local_size)
-    if inclusive:
-        prefix = op(prefix, pvar.data)
-        machine.charge_flops(pvar.local_size)
-    return PVar(machine, prefix)
+    with maybe_span(
+        machine, "scan", "collective",
+        dims=list(dims), volume=pvar.local_size, op=op.name,
+    ):
+        ident = op.identity(pvar.dtype)
+        prefix = np.full_like(pvar.data, ident)
+        total = pvar.data.copy()
+        machine.charge_local(2 * pvar.local_size)
+        if rank is None:
+            rank = subcube_rank(machine, dims)
+        else:
+            rank = np.asarray(rank)
+            if rank.shape != (machine.p,):
+                raise ValueError(f"rank must have shape ({machine.p},)")
+        for k, d in enumerate(dims):
+            total_pv = PVar(machine, total)
+            recv_total = machine.exchange(total_pv, d).data
+            high = ((rank >> k) & 1) == 1
+            shape = (machine.p,) + (1,) * (pvar.data.ndim - 1)
+            high_b = high.reshape(shape)
+            # Processors in the rank-upper half have every lower-half member
+            # before them in rank order: fold the other half's total in.
+            prefix = np.where(high_b, op(recv_total, prefix), prefix)
+            total = op(total, recv_total)
+            machine.charge_flops(2 * pvar.local_size)
+        if inclusive:
+            prefix = op(prefix, pvar.data)
+            machine.charge_flops(pvar.local_size)
+        return PVar(machine, prefix)
 
 
 def allgather(
@@ -335,24 +363,28 @@ def allgather(
     Scalar blocks are promoted to length-1 vectors.
     """
     dims = _dims_tuple(machine, dims)
-    data = pvar.data
-    if data.ndim == 1:
-        data = data[:, None]
-    pids = machine.pids()
-    blocks = data[:, None, ...]  # (p, nblocks=1, *local)
-    for d in dims:
-        cur = PVar(machine, blocks)
-        recv = machine.exchange(cur, d).data
-        low = ((pids >> d) & 1) == 0
-        first = np.where(
-            low.reshape((-1,) + (1,) * (blocks.ndim - 1)), blocks, recv
-        )
-        second = np.where(
-            low.reshape((-1,) + (1,) * (blocks.ndim - 1)), recv, blocks
-        )
-        blocks = np.concatenate([first, second], axis=1)
-        machine.charge_local(first[0].size + second[0].size)
-    return PVar(machine, blocks)
+    with maybe_span(
+        machine, "allgather", "collective",
+        dims=list(dims), volume=pvar.local_size,
+    ):
+        data = pvar.data
+        if data.ndim == 1:
+            data = data[:, None]
+        pids = machine.pids()
+        blocks = data[:, None, ...]  # (p, nblocks=1, *local)
+        for d in dims:
+            cur = PVar(machine, blocks)
+            recv = machine.exchange(cur, d).data
+            low = ((pids >> d) & 1) == 0
+            first = np.where(
+                low.reshape((-1,) + (1,) * (blocks.ndim - 1)), blocks, recv
+            )
+            second = np.where(
+                low.reshape((-1,) + (1,) * (blocks.ndim - 1)), recv, blocks
+            )
+            blocks = np.concatenate([first, second], axis=1)
+            machine.charge_local(first[0].size + second[0].size)
+        return PVar(machine, blocks)
 
 
 def gather(
@@ -391,17 +423,21 @@ def scatter(
             f"got local shape {pvar.local_shape}"
         )
     block_size = pvar.local_size // nblocks
-    # Charge the recursive-halving schedule: k rounds, round j moves
-    # nblocks/2**(j+1) blocks.
-    remaining = nblocks
-    for _ in range(k):
-        remaining //= 2
-        machine.charge_comm_round(remaining * block_size)
-    rank = subcube_rank(machine, dims)
-    root_pid = _root_pid_map(machine, dims, root_rank)
-    out = pvar.data[root_pid, rank]
-    machine.charge_local(block_size)
-    return PVar(machine, out)
+    with maybe_span(
+        machine, "scatter", "collective",
+        dims=list(dims), volume=block_size,
+    ):
+        # Charge the recursive-halving schedule: k rounds, round j moves
+        # nblocks/2**(j+1) blocks.
+        remaining = nblocks
+        for d in dims:
+            remaining //= 2
+            machine.charge_comm_round(remaining * block_size, dim=d)
+        rank = subcube_rank(machine, dims)
+        root_pid = _root_pid_map(machine, dims, root_rank)
+        out = pvar.data[root_pid, rank]
+        machine.charge_local(block_size)
+        return PVar(machine, out)
 
 
 def alltoall(
@@ -435,34 +471,39 @@ def alltoall(
     rank = subcube_rank(machine, dims)
     block_size = pvar.local_size // nblocks
 
-    # Re-index blocks by the XOR offset x = rank(src) ^ rank(dst), which is
-    # invariant along a message's whole route: slot x of processor q then
-    # always holds the in-flight message whose source-to-destination offset
-    # is x and whose current holder is q.
-    x_of = rank[:, None] ^ np.arange(nblocks)[None, :]
-    data = np.take_along_axis(
-        pvar.data, x_of.reshape((machine.p, nblocks) + (1,) * (pvar.data.ndim - 2)),
-        axis=1,
-    )
-    machine.charge_local(pvar.local_size)
+    with maybe_span(
+        machine, "alltoall", "collective",
+        dims=list(dims), volume=pvar.local_size,
+    ):
+        # Re-index blocks by the XOR offset x = rank(src) ^ rank(dst), which
+        # is invariant along a message's whole route: slot x of processor q
+        # then always holds the in-flight message whose source-to-destination
+        # offset is x and whose current holder is q.
+        x_of = rank[:, None] ^ np.arange(nblocks)[None, :]
+        data = np.take_along_axis(
+            pvar.data,
+            x_of.reshape((machine.p, nblocks) + (1,) * (pvar.data.ndim - 2)),
+            axis=1,
+        )
+        machine.charge_local(pvar.local_size)
 
-    for bit, d in enumerate(dims):
-        # all messages whose offset has this bit set cross this dimension
-        recv = machine.exchange_free(PVar(machine, data), d).data
-        machine.charge_comm_round((nblocks // 2) * block_size)
-        crossing = ((np.arange(nblocks) >> bit) & 1) == 1
-        shape = (1, nblocks) + (1,) * (data.ndim - 2)
-        data = np.where(crossing.reshape(shape), recv, data)
-        machine.charge_local((nblocks // 2) * block_size)
+        for bit, d in enumerate(dims):
+            # all messages whose offset has this bit set cross this dimension
+            recv = machine.exchange_free(PVar(machine, data), d).data
+            machine.charge_comm_round((nblocks // 2) * block_size, dim=d)
+            crossing = ((np.arange(nblocks) >> bit) & 1) == 1
+            shape = (1, nblocks) + (1,) * (data.ndim - 2)
+            data = np.where(crossing.reshape(shape), recv, data)
+            machine.charge_local((nblocks // 2) * block_size)
 
-    # Slot x now holds the message from the rank-(rank(q)^x) member; undo
-    # the re-indexing so block i holds rank-i's message.
-    out = np.take_along_axis(
-        data, x_of.reshape((machine.p, nblocks) + (1,) * (data.ndim - 2)),
-        axis=1,
-    )
-    machine.charge_local(pvar.local_size)
-    return PVar(machine, out)
+        # Slot x now holds the message from the rank-(rank(q)^x) member;
+        # undo the re-indexing so block i holds rank-i's message.
+        out = np.take_along_axis(
+            data, x_of.reshape((machine.p, nblocks) + (1,) * (data.ndim - 2)),
+            axis=1,
+        )
+        machine.charge_local(pvar.local_size)
+        return PVar(machine, out)
 
 
 def broadcast_pipelined(
@@ -490,11 +531,18 @@ def broadcast_pipelined(
     k = len(dims)
     if k <= 1:
         return broadcast(machine, pvar, dims, root_rank)
-    piece = -(-pvar.local_size // k)
-    machine.charge_comm_round(piece, rounds=2 * k - 1)
-    # functional result: everyone gets the root's block
-    root_pid = _root_pid_map(machine, dims, root_rank)
-    return PVar(machine, pvar.data[root_pid])
+    with maybe_span(
+        machine, "broadcast_pipelined", "collective",
+        dims=list(dims), volume=pvar.local_size,
+    ):
+        piece = -(-pvar.local_size // k)
+        # pipelined rounds traverse the whole spanning-tree family; no
+        # single cube dimension owns a round, so the tracer files them
+        # under dim -1.
+        machine.charge_comm_round(piece, rounds=2 * k - 1)
+        # functional result: everyone gets the root's block
+        root_pid = _root_pid_map(machine, dims, root_rank)
+        return PVar(machine, pvar.data[root_pid])
 
 
 def reduce_all_pipelined(
@@ -516,22 +564,27 @@ def reduce_all_pipelined(
     k = len(dims)
     if k <= 1:
         return reduce_all(machine, pvar, op, dims)
-    # charge the halving/doubling volume schedule
-    vol = pvar.local_size
-    for _ in range(k):
-        vol = -(-vol // 2)
-        machine.charge_comm_round(vol)   # reduce-scatter round
-        machine.charge_flops(vol)        # combine the received piece
-    vol = -(-pvar.local_size // (1 << k))
-    for _ in range(k):
-        machine.charge_comm_round(vol)   # all-gather round
-        vol = min(vol * 2, pvar.local_size)
-    # functional result via the (uncharged) exchange loop
-    data = pvar.data
-    for d in dims:
-        recv = machine.exchange_free(PVar(machine, data), d).data
-        data = op(data, recv)
-    return PVar(machine, data)
+    with maybe_span(
+        machine, "reduce_all_pipelined", "collective",
+        dims=list(dims), volume=pvar.local_size, op=op.name,
+    ):
+        # charge the halving/doubling volume schedule; round j of each
+        # sweep traverses dims[j]
+        vol = pvar.local_size
+        for d in dims:
+            vol = -(-vol // 2)
+            machine.charge_comm_round(vol, dim=d)   # reduce-scatter round
+            machine.charge_flops(vol)               # combine received piece
+        vol = -(-pvar.local_size // (1 << k))
+        for d in reversed(dims):
+            machine.charge_comm_round(vol, dim=d)   # all-gather round
+            vol = min(vol * 2, pvar.local_size)
+        # functional result via the (uncharged) exchange loop
+        data = pvar.data
+        for d in dims:
+            recv = machine.exchange_free(PVar(machine, data), d).data
+            data = op(data, recv)
+        return PVar(machine, data)
 
 
 def broadcast_crossover(cost, k: int) -> float:

@@ -49,6 +49,7 @@ from ..comm.collectives import _root_pid_map
 from ..comm.ops import CombineOp, get_op
 from ..machine.pvar import PVar
 from ..machine.router import Router
+from ..obs.tracer import maybe_span
 from ..embeddings.matrix import MatrixEmbedding
 from ..embeddings.remap import remap_vector
 from ..embeddings.vector import (
@@ -129,45 +130,52 @@ def extract(
     """
     _check_axis(axis)
     machine = emb.machine
-    grid_coord, slot = _slice_owner(emb, axis, index)
-    grid_r, grid_c = emb.grid_coords()
+    with maybe_span(
+        machine, "extract", "primitive",
+        axis=axis, index=index, replicate=replicate,
+    ):
+        grid_coord, slot = _slice_owner(emb, axis, index)
+        grid_r, grid_c = emb.grid_coords()
 
-    if axis == 0:
-        local = pvar.data[:, slot, :]
-    else:
-        local = pvar.data[:, :, slot]
+        if axis == 0:
+            local = pvar.data[:, slot, :]
+        else:
+            local = pvar.data[:, :, slot]
 
-    vec_emb = _aligned_embedding(emb, axis, resident=grid_coord)
+        vec_emb = _aligned_embedding(emb, axis, resident=grid_coord)
 
-    if replicate and machine.plans.enabled and vec_emb.across_dims:
-        # Fused slice-copy + broadcast replay: the broadcast overwrites
-        # every processor with the root band's slice, so the masked
-        # intermediate is dead — gather the roots' values directly.  The
-        # charge sequence (one local pass, then one full-block round per
-        # orthogonal dimension) is exactly the unfused path's.
-        root_pid = _root_pid_map(
-            machine, vec_emb.across_dims, vec_emb.across_code(grid_coord)
-        )
+        if replicate and machine.plans.enabled and vec_emb.across_dims:
+            # Fused slice-copy + broadcast replay: the broadcast overwrites
+            # every processor with the root band's slice, so the masked
+            # intermediate is dead — gather the roots' values directly.  The
+            # charge sequence (one local pass, then one full-block round per
+            # orthogonal dimension) is exactly the unfused path's.
+            root_pid = _root_pid_map(
+                machine, vec_emb.across_dims, vec_emb.across_code(grid_coord)
+            )
+            machine.charge_local(local.shape[1])
+            share = max(local.shape[1], 1)
+            for d in vec_emb.across_dims:
+                machine.charge_comm_round(share, dim=d)
+            return (
+                PVar(machine, local[root_pid]),
+                _aligned_embedding(emb, axis, None),
+            )
+
+        in_band = (grid_r if axis == 0 else grid_c) == grid_coord
+        out = np.where(in_band[:, None], local, np.zeros((), dtype=local.dtype))
         machine.charge_local(local.shape[1])
-        share = max(local.shape[1], 1)
-        for _ in vec_emb.across_dims:
-            machine.charge_comm_round(share)
-        return PVar(machine, local[root_pid]), _aligned_embedding(emb, axis, None)
+        vec = PVar(machine, out)
 
-    in_band = (grid_r if axis == 0 else grid_c) == grid_coord
-    out = np.where(in_band[:, None], local, np.zeros((), dtype=local.dtype))
-    machine.charge_local(local.shape[1])
-    vec = PVar(machine, out)
-
-    if replicate:
-        vec = comm.broadcast(
-            machine,
-            vec,
-            dims=vec_emb.across_dims,
-            root_rank=vec_emb.across_code(grid_coord),
-        )
-        vec_emb = _aligned_embedding(emb, axis, None)
-    return vec, vec_emb
+        if replicate:
+            vec = comm.broadcast(
+                machine,
+                vec,
+                dims=vec_emb.across_dims,
+                root_rank=vec_emb.across_code(grid_coord),
+            )
+            vec_emb = _aligned_embedding(emb, axis, None)
+        return vec, vec_emb
 
 
 # ---------------------------------------------------------------------------
@@ -191,37 +199,39 @@ def insert(
     """
     _check_axis(axis)
     machine = emb.machine
-    grid_coord, slot = _slice_owner(emb, axis, index)
-    expected_len = emb.C if axis == 0 else emb.R
-    if vec_emb.L != expected_len:
-        raise ValueError(
-            f"vector length {vec_emb.L} does not match slice length {expected_len}"
-        )
+    with maybe_span(machine, "insert", "primitive", axis=axis, index=index):
+        grid_coord, slot = _slice_owner(emb, axis, index)
+        expected_len = emb.C if axis == 0 else emb.R
+        if vec_emb.L != expected_len:
+            raise ValueError(
+                f"vector length {vec_emb.L} does not match slice length "
+                f"{expected_len}"
+            )
 
-    target_emb = _aligned_embedding(emb, axis, resident=grid_coord)
-    if not vec_emb.compatible(target_emb):
-        if (
-            isinstance(vec_emb, type(target_emb))
-            and vec_emb.replicated
-            and vec_emb.matrix.same_grid(emb)
-        ):
-            # A replicated aligned vector already has the data in the target
-            # band: no motion needed.
-            pass
+        target_emb = _aligned_embedding(emb, axis, resident=grid_coord)
+        if not vec_emb.compatible(target_emb):
+            if (
+                isinstance(vec_emb, type(target_emb))
+                and vec_emb.replicated
+                and vec_emb.matrix.same_grid(emb)
+            ):
+                # A replicated aligned vector already has the data in the
+                # target band: no motion needed.
+                pass
+            else:
+                vec = remap_vector(vec, vec_emb, target_emb)
+                vec_emb = target_emb
+
+        grid_r, grid_c = emb.grid_coords()
+        out = pvar.data.copy()
+        if axis == 0:
+            band = grid_r == grid_coord
+            out[band, slot, :] = vec.data[band]
         else:
-            vec = remap_vector(vec, vec_emb, target_emb)
-            vec_emb = target_emb
-
-    grid_r, grid_c = emb.grid_coords()
-    out = pvar.data.copy()
-    if axis == 0:
-        band = grid_r == grid_coord
-        out[band, slot, :] = vec.data[band]
-    else:
-        band = grid_c == grid_coord
-        out[band, :, slot] = vec.data[band]
-    machine.charge_local(vec.local_size)
-    return PVar(machine, out)
+            band = grid_c == grid_coord
+            out[band, :, slot] = vec.data[band]
+        machine.charge_local(vec.local_size)
+        return PVar(machine, out)
 
 
 # ---------------------------------------------------------------------------
@@ -246,39 +256,45 @@ def distribute(
     """
     _check_axis(axis)
     machine = emb.machine
-    expected_len = emb.C if axis == 0 else emb.R
-    if vec_emb.L != expected_len:
-        raise ValueError(
-            f"vector length {vec_emb.L} does not match matrix axis length "
-            f"{expected_len}"
-        )
-
-    target_emb = _aligned_embedding(emb, axis, resident=None)
-    if not vec_emb.compatible(target_emb):
-        if (
-            isinstance(vec_emb, type(target_emb))
-            and not vec_emb.replicated
-            and vec_emb.matrix.same_grid(emb)
-        ):
-            # Aligned but resident in one band: a subcube broadcast suffices.
-            vec = comm.broadcast(
-                machine,
-                vec,
-                dims=vec_emb.across_dims,  # type: ignore[attr-defined]
-                root_rank=vec_emb.across_code(  # type: ignore[attr-defined]
-                    vec_emb.resident  # type: ignore[attr-defined]
-                ),
+    with maybe_span(machine, "distribute", "primitive", axis=axis):
+        expected_len = emb.C if axis == 0 else emb.R
+        if vec_emb.L != expected_len:
+            raise ValueError(
+                f"vector length {vec_emb.L} does not match matrix axis length "
+                f"{expected_len}"
             )
-        else:
-            vec = remap_vector(vec, vec_emb, target_emb)
 
-    lr, lc = emb.local_shape
-    if axis == 0:
-        out = np.broadcast_to(vec.data[:, None, :], (machine.p, lr, lc)).copy()
-    else:
-        out = np.broadcast_to(vec.data[:, :, None], (machine.p, lr, lc)).copy()
-    machine.charge_local(lr * lc)
-    return PVar(machine, out)
+        target_emb = _aligned_embedding(emb, axis, resident=None)
+        if not vec_emb.compatible(target_emb):
+            if (
+                isinstance(vec_emb, type(target_emb))
+                and not vec_emb.replicated
+                and vec_emb.matrix.same_grid(emb)
+            ):
+                # Aligned but resident in one band: a subcube broadcast
+                # suffices.
+                vec = comm.broadcast(
+                    machine,
+                    vec,
+                    dims=vec_emb.across_dims,  # type: ignore[attr-defined]
+                    root_rank=vec_emb.across_code(  # type: ignore[attr-defined]
+                        vec_emb.resident  # type: ignore[attr-defined]
+                    ),
+                )
+            else:
+                vec = remap_vector(vec, vec_emb, target_emb)
+
+        lr, lc = emb.local_shape
+        if axis == 0:
+            out = np.broadcast_to(
+                vec.data[:, None, :], (machine.p, lr, lc)
+            ).copy()
+        else:
+            out = np.broadcast_to(
+                vec.data[:, :, None], (machine.p, lr, lc)
+            ).copy()
+        machine.charge_local(lr * lc)
+        return PVar(machine, out)
 
 
 # ---------------------------------------------------------------------------
@@ -342,9 +358,10 @@ def reduce(
     """
     op = get_op(op)
     machine = emb.machine
-    reduced, dims, vec_emb = local_reduce(pvar, emb, axis, op)
-    result = comm.reduce_all(machine, reduced, op, dims=dims)
-    return result, vec_emb
+    with maybe_span(machine, "reduce", "primitive", axis=axis, op=op.name):
+        reduced, dims, vec_emb = local_reduce(pvar, emb, axis, op)
+        result = comm.reduce_all(machine, reduced, op, dims=dims)
+        return result, vec_emb
 
 
 def local_reduce_loc(
@@ -439,16 +456,19 @@ def reduce_loc(
     both simplex pivot rules.
     """
     machine = emb.machine
-    val_pv, idx_pv, dims, vec_emb = local_reduce_loc(
-        pvar, emb, axis, mode=mode, valid=valid
-    )
-    val_pv, idx_pv = comm.reduce_all_loc(machine, val_pv, idx_pv, dims=dims, mode=mode)
-    # Slices with no valid candidate keep the sentinel; expose as -1.
-    cleaned = np.where(
-        idx_pv.data == INT64_MAX, -1, idx_pv.data
-    )
-    idx_pv = PVar(machine, cleaned)
-    return val_pv, idx_pv, vec_emb
+    with maybe_span(machine, "reduce_loc", "primitive", axis=axis, mode=mode):
+        val_pv, idx_pv, dims, vec_emb = local_reduce_loc(
+            pvar, emb, axis, mode=mode, valid=valid
+        )
+        val_pv, idx_pv = comm.reduce_all_loc(
+            machine, val_pv, idx_pv, dims=dims, mode=mode
+        )
+        # Slices with no valid candidate keep the sentinel; expose as -1.
+        cleaned = np.where(
+            idx_pv.data == INT64_MAX, -1, idx_pv.data
+        )
+        idx_pv = PVar(machine, cleaned)
+        return val_pv, idx_pv, vec_emb
 
 
 # ---------------------------------------------------------------------------
@@ -474,29 +494,30 @@ def rank1_update(
     become communication-free.
     """
     machine = emb.machine
-    target_col = _aligned_embedding(emb, 1, None)
-    target_row = _aligned_embedding(emb, 0, None)
-    if not (col_emb.compatible(target_col) or (
-        isinstance(col_emb, ColAlignedEmbedding)
-        and col_emb.replicated and col_emb.matrix.same_grid(emb)
-    )):
-        col = remap_vector(col, col_emb, target_col)
-    if not (row_emb.compatible(target_row) or (
-        isinstance(row_emb, RowAlignedEmbedding)
-        and row_emb.replicated and row_emb.matrix.same_grid(emb)
-    )):
-        row = remap_vector(row, row_emb, target_row)
-    outer = col.data[:, :, None] * row.data[:, None, :]
-    if outer.dtype == pvar.dtype and outer.dtype.kind == "f":
-        # In-place temporaries; elementwise result is bit-identical to
-        # ``data + alpha * outer`` (IEEE multiply/add are commutative).
-        np.multiply(outer, alpha, out=outer)
-        np.add(outer, pvar.data, out=outer)
-        out = outer
-    else:
-        out = pvar.data + alpha * outer
-    machine.charge_flops(3 * pvar.local_size)
-    return PVar(machine, out)
+    with maybe_span(machine, "rank1_update", "primitive", alpha=alpha):
+        target_col = _aligned_embedding(emb, 1, None)
+        target_row = _aligned_embedding(emb, 0, None)
+        if not (col_emb.compatible(target_col) or (
+            isinstance(col_emb, ColAlignedEmbedding)
+            and col_emb.replicated and col_emb.matrix.same_grid(emb)
+        )):
+            col = remap_vector(col, col_emb, target_col)
+        if not (row_emb.compatible(target_row) or (
+            isinstance(row_emb, RowAlignedEmbedding)
+            and row_emb.replicated and row_emb.matrix.same_grid(emb)
+        )):
+            row = remap_vector(row, row_emb, target_row)
+        outer = col.data[:, :, None] * row.data[:, None, :]
+        if outer.dtype == pvar.dtype and outer.dtype.kind == "f":
+            # In-place temporaries; elementwise result is bit-identical to
+            # ``data + alpha * outer`` (IEEE multiply/add are commutative).
+            np.multiply(outer, alpha, out=outer)
+            np.add(outer, pvar.data, out=outer)
+            out = outer
+        else:
+            out = pvar.data + alpha * outer
+        machine.charge_flops(3 * pvar.local_size)
+        return PVar(machine, out)
 
 
 # ---------------------------------------------------------------------------
@@ -530,35 +551,37 @@ def scan(
             "scan requires a block layout along the scanned axis; "
             f"got {layout_kind!r}"
         )
-    data = _masked_for_reduce(pvar, emb, op)
-    local_axis = 2 if axis == 1 else 1
+    with maybe_span(machine, "scan", "primitive", axis=axis, op=op.name):
+        data = _masked_for_reduce(pvar, emb, op)
+        local_axis = 2 if axis == 1 else 1
 
-    # local inclusive prefix + block totals
-    local_incl = op.ufunc.accumulate(data, axis=local_axis)
-    machine.charge_flops(pvar.local_size)
-    totals = np.take(local_incl, -1, axis=local_axis)
+        # local inclusive prefix + block totals
+        local_incl = op.ufunc.accumulate(data, axis=local_axis)
+        machine.charge_flops(pvar.local_size)
+        totals = np.take(local_incl, -1, axis=local_axis)
 
-    dims = emb.col_dims if axis == 1 else emb.row_dims
-    grid_rank = emb.grid_coords()[1] if axis == 1 else emb.grid_coords()[0]
-    carry = comm.scan(
-        machine, PVar(machine, totals), op, dims=dims, rank=grid_rank
-    )
-
-    # fold the carry in; exclusive shifts the local prefix by one slot
-    if inclusive:
-        local = local_incl
-    else:
-        pad_shape = list(data.shape)
-        pad_shape[local_axis] = 1
-        ident = op.identity(pvar.dtype)
-        pad = np.full(pad_shape, ident, dtype=local_incl.dtype)
-        local = np.concatenate(
-            [pad, np.delete(local_incl, -1, axis=local_axis)], axis=local_axis
+        dims = emb.col_dims if axis == 1 else emb.row_dims
+        grid_rank = emb.grid_coords()[1] if axis == 1 else emb.grid_coords()[0]
+        carry = comm.scan(
+            machine, PVar(machine, totals), op, dims=dims, rank=grid_rank
         )
-        machine.charge_local(pvar.local_size)
-    out = op(np.expand_dims(carry.data, local_axis), local)
-    machine.charge_flops(pvar.local_size)
-    return PVar(machine, out)
+
+        # fold the carry in; exclusive shifts the local prefix by one slot
+        if inclusive:
+            local = local_incl
+        else:
+            pad_shape = list(data.shape)
+            pad_shape[local_axis] = 1
+            ident = op.identity(pvar.dtype)
+            pad = np.full(pad_shape, ident, dtype=local_incl.dtype)
+            local = np.concatenate(
+                [pad, np.delete(local_incl, -1, axis=local_axis)],
+                axis=local_axis,
+            )
+            machine.charge_local(pvar.local_size)
+        out = op(np.expand_dims(carry.data, local_axis), local)
+        machine.charge_flops(pvar.local_size)
+        return PVar(machine, out)
 
 
 def permute_slices(
@@ -588,43 +611,54 @@ def permute_slices(
     layout = emb.row_layout if axis == 0 else emb.col_layout
     share = emb.local_shape[1] if axis == 0 else emb.local_shape[0]
 
-    # message set: one message per slice that changes grid band, of one
-    # local share per processor in the band pair; the router sees the
-    # per-processor traffic, so sizes are the slice share.
-    src_band = np.asarray(layout.owner(np.arange(extent)))
-    dst_band = np.asarray(layout.owner(perm))
-    moving = src_band != dst_band
-    if np.any(moving):
-        if axis == 0:
-            src_pid = emb.pid_for_grid(src_band[moving], emb._grid_c[0] * 0)
-        # Build per-(band-pair, grid-cell) messages: every processor in the
-        # source band sends its share of the slice to its counterpart.
-        ii = np.nonzero(moving)[0]
-        srcs = []
-        dsts = []
-        sizes = []
-        across = emb.Pc if axis == 0 else emb.Pr
-        for i in ii:
-            for k in range(across):
-                if axis == 0:
-                    srcs.append(int(np.asarray(emb.pid_for_grid(src_band[i], k))))
-                    dsts.append(int(np.asarray(emb.pid_for_grid(dst_band[i], k))))
-                else:
-                    srcs.append(int(np.asarray(emb.pid_for_grid(k, src_band[i]))))
-                    dsts.append(int(np.asarray(emb.pid_for_grid(k, dst_band[i]))))
-                sizes.append(float(share))
-        Router(machine).simulate(
-            np.array(srcs), np.array(dsts), np.array(sizes)
-        )
-    machine.charge_local(pvar.local_size)  # pack/unpack the moved slices
+    with maybe_span(machine, "permute_slices", "primitive", axis=axis):
+        # message set: one message per slice that changes grid band, of one
+        # local share per processor in the band pair; the router sees the
+        # per-processor traffic, so sizes are the slice share.
+        src_band = np.asarray(layout.owner(np.arange(extent)))
+        dst_band = np.asarray(layout.owner(perm))
+        moving = src_band != dst_band
+        if np.any(moving):
+            if axis == 0:
+                src_pid = emb.pid_for_grid(src_band[moving], emb._grid_c[0] * 0)
+            # Build per-(band-pair, grid-cell) messages: every processor in
+            # the source band sends its share of the slice to its
+            # counterpart.
+            ii = np.nonzero(moving)[0]
+            srcs = []
+            dsts = []
+            sizes = []
+            across = emb.Pc if axis == 0 else emb.Pr
+            for i in ii:
+                for k in range(across):
+                    if axis == 0:
+                        srcs.append(
+                            int(np.asarray(emb.pid_for_grid(src_band[i], k)))
+                        )
+                        dsts.append(
+                            int(np.asarray(emb.pid_for_grid(dst_band[i], k)))
+                        )
+                    else:
+                        srcs.append(
+                            int(np.asarray(emb.pid_for_grid(k, src_band[i])))
+                        )
+                        dsts.append(
+                            int(np.asarray(emb.pid_for_grid(k, dst_band[i])))
+                        )
+                    sizes.append(float(share))
+            Router(machine).simulate(
+                np.array(srcs), np.array(dsts), np.array(sizes)
+            )
+        machine.charge_local(pvar.local_size)  # pack/unpack the moved slices
 
-    # functional move through the host image (exact; see remap.py rationale)
-    if axis == 0:
-        host = emb.gather(pvar)
-        out = np.empty_like(host)
-        out[perm] = host
-    else:
-        host = emb.gather(pvar)
-        out = np.empty_like(host)
-        out[:, perm] = host
-    return emb.scatter(out)
+        # functional move through the host image (exact; see remap.py
+        # rationale)
+        if axis == 0:
+            host = emb.gather(pvar)
+            out = np.empty_like(host)
+            out[perm] = host
+        else:
+            host = emb.gather(pvar)
+            out = np.empty_like(host)
+            out[:, perm] = host
+        return emb.scatter(out)

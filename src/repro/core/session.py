@@ -9,6 +9,10 @@ A :class:`Session` is the quickstart entry point::
     x = s.vector(np.random.rand(256))
     y = A.matvec(x.as_embedding(s.row_aligned(A)))
     print(s.report())
+
+Pass ``trace=True`` (or set ``REPRO_TRACE=1``) to record a span tree of
+every primitive, collective, remap and routing operation; see
+``repro.obs`` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import numpy as np
 from ..machine.cost_model import CostModel
 from ..machine.counters import CostSnapshot
 from ..machine.hypercube import Hypercube
+from ..obs.tracer import Tracer, env_enabled as trace_env_enabled
 from ..embeddings.matrix import MatrixEmbedding
 from ..embeddings.vector import (
     ColAlignedEmbedding,
@@ -37,6 +42,7 @@ class Session:
         n_dims: int,
         cost_model: Optional[Union[CostModel, str]] = None,
         plan_cache: Optional[bool] = None,
+        trace: Optional[Union[bool, Tracer]] = None,
     ) -> None:
         if isinstance(cost_model, str):
             try:
@@ -47,6 +53,19 @@ class Session:
                     "try 'cm2', 'unit', 'latency_bound' or 'bandwidth_bound'"
                 ) from None
         self.machine = Hypercube(n_dims, cost_model, plan_cache=plan_cache)
+        # trace=None defers to the REPRO_TRACE environment variable;
+        # trace may also be a pre-built Tracer to share across sessions.
+        if trace is None:
+            trace = trace_env_enabled()
+        if isinstance(trace, Tracer):
+            self.machine.attach_tracer(trace)
+        elif trace:
+            self.machine.attach_tracer(Tracer())
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The attached :class:`~repro.obs.Tracer`, or ``None``."""
+        return self.machine.tracer
 
     # -- array factories ----------------------------------------------------
 
@@ -134,7 +153,59 @@ class Session:
             for name, t in breakdown:
                 share = 100.0 * t / c.time if c.time else 0.0
                 lines.append(f"  {name:<24s} {t:>14.1f}  ({share:5.1f}%)")
+        tracer = self.machine.tracer
+        if tracer is not None:
+            summary = tracer.primitive_summary()
+            if summary:
+                lines.append("primitive breakdown:")
+                lines.append(
+                    f"  {'name':<16s} {'count':>5s} {'time':>12s} "
+                    f"{'flops':>10s} {'elems':>10s} {'rounds':>6s} "
+                    f"{'cong p50':>9s} {'cong max':>9s}"
+                )
+                for name, row in summary.items():
+                    lines.append(
+                        f"  {name:<16s} {row['count']:>5d} "
+                        f"{row['time']:>12.1f} {row['flops']:>10.0f} "
+                        f"{row['elements']:>10.0f} {row['rounds']:>6d} "
+                        f"{row['congestion_p50']:>9.1f} "
+                        f"{row['congestion_max']:>9.1f}"
+                    )
         return "\n".join(lines)
+
+    def report_data(self) -> dict:
+        """The :meth:`report` content as a JSON-serialisable dict."""
+        c = self.machine.counters
+        plans = self.machine.plans
+        data = {
+            "p": self.machine.p,
+            "n": self.machine.n,
+            "cost_model": str(self.machine.cost_model),
+            "time": c.time,
+            "flops": c.flops,
+            "elements_transferred": c.elements_transferred,
+            "comm_rounds": c.comm_rounds,
+            "local_moves": c.local_moves,
+            "plan_cache": (
+                {
+                    "enabled": True,
+                    "entries": len(plans),
+                    "hits": plans.hits,
+                    "misses": plans.misses,
+                    "evictions": plans.evictions,
+                }
+                if plans.enabled
+                else {"enabled": False}
+            ),
+            "phase_breakdown": [
+                {"phase": name, "time": t} for name, t in c.phase_breakdown()
+            ],
+        }
+        tracer = self.machine.tracer
+        if tracer is not None:
+            data["primitive_breakdown"] = tracer.primitive_summary()
+            data["congestion"] = tracer.congestion.summary()
+        return data
 
     def __repr__(self) -> str:
         return f"Session(p={self.machine.p}, time={self.time:.1f})"

@@ -30,6 +30,7 @@ from ..machine.hypercube import Hypercube
 from ..machine.plans import MISSING, RemapPlan
 from ..machine.pvar import PVar
 from ..machine.router import Router, RouteStats
+from ..obs.tracer import maybe_span
 from .. import comm
 from .gray import deposit_bits
 from .matrix import MatrixEmbedding
@@ -104,39 +105,46 @@ def remap_vector(
     if src.compatible(dst):
         return pvar
 
-    host = src.gather(pvar)
+    with maybe_span(
+        machine, "remap_vector", "remap",
+        src=type(src).__name__, dst=type(dst).__name__, L=src.L,
+    ):
+        host = src.gather(pvar)
 
-    plans = machine.plans
-    if plans.enabled:
-        key = ("remap-vector", src.signature(), dst.signature())
-        plan = plans.lookup(key)
-        if plan is MISSING:
-            src_pid, _ = src.owner_slot_table()
-            dst_pid, _ = dst.owner_slot_table()
-            plan = plans.store(
-                key,
-                RemapPlan(
-                    src_local=src.local_size,
-                    dst_local=dst.local_size,
-                    route=_route_stats(machine, src_pid, dst_pid),
-                ),
+        plans = machine.plans
+        if plans.enabled:
+            key = ("remap-vector", src.signature(), dst.signature())
+            plan = plans.lookup(key)
+            if plan is MISSING:
+                src_pid, _ = src.owner_slot_table()
+                dst_pid, _ = dst.owner_slot_table()
+                plan = plans.store(
+                    key,
+                    RemapPlan(
+                        src_local=src.local_size,
+                        dst_local=dst.local_size,
+                        route=_route_stats(machine, src_pid, dst_pid),
+                    ),
+                )
+            plan.charge(machine)  # pack, route, unpack — seed's sequence
+        else:
+            g = np.arange(src.L)
+            src_pid, _ = src.owner_slot(g)
+            dst_pid, _ = dst.owner_slot(g)
+            machine.charge_local(src.local_size)  # pack
+            _charge_messages(machine, np.asarray(src_pid), np.asarray(dst_pid))
+            machine.charge_local(dst.local_size)  # unpack
+
+        out = dst.scatter(host)
+        if dst.replicated:
+            assert isinstance(dst, _AlignedEmbedding)
+            # Primary copies live at across-coordinate 0 (grid Gray rank 0);
+            # replicate them over the orthogonal subcube with a real
+            # broadcast.
+            out = comm.broadcast(
+                machine, out, dims=dst.across_dims, root_rank=0
             )
-        plan.charge(machine)  # pack, route, unpack — seed's exact sequence
-    else:
-        g = np.arange(src.L)
-        src_pid, _ = src.owner_slot(g)
-        dst_pid, _ = dst.owner_slot(g)
-        machine.charge_local(src.local_size)  # pack
-        _charge_messages(machine, np.asarray(src_pid), np.asarray(dst_pid))
-        machine.charge_local(dst.local_size)  # unpack
-
-    out = dst.scatter(host)
-    if dst.replicated:
-        assert isinstance(dst, _AlignedEmbedding)
-        # Primary copies live at across-coordinate 0 (grid Gray rank 0);
-        # replicate them over the orthogonal subcube with a real broadcast.
-        out = comm.broadcast(machine, out, dims=dst.across_dims, root_rank=0)
-    return out
+        return out
 
 
 def redistribute_matrix(
@@ -155,37 +163,46 @@ def redistribute_matrix(
     if src == dst:
         return pvar
 
-    host = src.gather(pvar)
+    with maybe_span(
+        machine, "redistribute", "remap", R=src.R, C=src.C,
+    ):
+        host = src.gather(pvar)
 
-    plans = machine.plans
-    if plans.enabled:
-        key = ("redistribute", src.signature(), dst.signature())
-        plan = plans.lookup(key)
-        if plan is MISSING:
-            # Owner pids separate over the axes (pid = row_part | col_part),
-            # so the R x C owner maps are two outer ORs — no meshgrid of
-            # R*C index vectors needed.
-            src_pid = _row_pid_parts(src)[:, None] | _col_pid_parts(src)[None, :]
-            dst_pid = _row_pid_parts(dst)[:, None] | _col_pid_parts(dst)[None, :]
-            plan = plans.store(
-                key,
-                RemapPlan(
-                    src_local=src.local_size,
-                    dst_local=dst.local_size,
-                    route=_route_stats(machine, src_pid, dst_pid),
-                ),
+        plans = machine.plans
+        if plans.enabled:
+            key = ("redistribute", src.signature(), dst.signature())
+            plan = plans.lookup(key)
+            if plan is MISSING:
+                # Owner pids separate over the axes (pid = row_part |
+                # col_part), so the R x C owner maps are two outer ORs —
+                # no meshgrid of R*C index vectors needed.
+                src_pid = (
+                    _row_pid_parts(src)[:, None] | _col_pid_parts(src)[None, :]
+                )
+                dst_pid = (
+                    _row_pid_parts(dst)[:, None] | _col_pid_parts(dst)[None, :]
+                )
+                plan = plans.store(
+                    key,
+                    RemapPlan(
+                        src_local=src.local_size,
+                        dst_local=dst.local_size,
+                        route=_route_stats(machine, src_pid, dst_pid),
+                    ),
+                )
+            plan.charge(machine)
+        else:
+            ii, jj = np.meshgrid(
+                np.arange(src.R), np.arange(src.C), indexing="ij"
             )
-        plan.charge(machine)
-    else:
-        ii, jj = np.meshgrid(np.arange(src.R), np.arange(src.C), indexing="ij")
-        ii = ii.ravel()
-        jj = jj.ravel()
-        src_pid = np.asarray(src.owner(ii, jj))
-        dst_pid = np.asarray(dst.owner(ii, jj))
-        machine.charge_local(src.local_size)
-        _charge_messages(machine, src_pid, dst_pid)
-        machine.charge_local(dst.local_size)
-    return dst.scatter(host)
+            ii = ii.ravel()
+            jj = jj.ravel()
+            src_pid = np.asarray(src.owner(ii, jj))
+            dst_pid = np.asarray(dst.owner(ii, jj))
+            machine.charge_local(src.local_size)
+            _charge_messages(machine, src_pid, dst_pid)
+            machine.charge_local(dst.local_size)
+        return dst.scatter(host)
 
 
 def transpose(
@@ -228,41 +245,50 @@ def transpose(
     host = src.gather(pvar)
     hostT = np.ascontiguousarray(host.T)
 
-    if not same_grid:
-        # Relabelling transpose: ``transposed()`` swaps the dimension sets
-        # and layouts, so ``dst.owner(j, i) == src.owner(i, j)`` identically
-        # — the message multiset is empty and the seed's router call charged
-        # nothing.  Skip the R x C owner computation outright (valid with
-        # the plan cache on or off).
-        machine.charge_local(src.local_size)
-        machine.charge_local(dst.local_size)
-        return dst.scatter(hostT), dst
+    with maybe_span(
+        machine, "transpose", "remap", R=src.R, C=src.C, same_grid=same_grid,
+    ):
+        if not same_grid:
+            # Relabelling transpose: ``transposed()`` swaps the dimension
+            # sets and layouts, so ``dst.owner(j, i) == src.owner(i, j)``
+            # identically — the message multiset is empty and the seed's
+            # router call charged nothing.  Skip the R x C owner
+            # computation outright (valid with the plan cache on or off).
+            machine.charge_local(src.local_size)
+            machine.charge_local(dst.local_size)
+            return dst.scatter(hostT), dst
 
-    plans = machine.plans
-    if plans.enabled:
-        key = ("transpose-samegrid", src.signature())
-        plan = plans.lookup(key)
-        if plan is MISSING:
-            # Element (i, j) moves to where (j, i) of the destination
-            # lives; both owner maps split into per-axis pid parts.
-            src_pid = _row_pid_parts(src)[:, None] | _col_pid_parts(src)[None, :]
-            dst_pid = _col_pid_parts(dst)[:, None] | _row_pid_parts(dst)[None, :]
-            plan = plans.store(
-                key,
-                RemapPlan(
-                    src_local=src.local_size,
-                    dst_local=dst.local_size,
-                    route=_route_stats(machine, src_pid, dst_pid),
-                ),
+        plans = machine.plans
+        if plans.enabled:
+            key = ("transpose-samegrid", src.signature())
+            plan = plans.lookup(key)
+            if plan is MISSING:
+                # Element (i, j) moves to where (j, i) of the destination
+                # lives; both owner maps split into per-axis pid parts.
+                src_pid = (
+                    _row_pid_parts(src)[:, None] | _col_pid_parts(src)[None, :]
+                )
+                dst_pid = (
+                    _col_pid_parts(dst)[:, None] | _row_pid_parts(dst)[None, :]
+                )
+                plan = plans.store(
+                    key,
+                    RemapPlan(
+                        src_local=src.local_size,
+                        dst_local=dst.local_size,
+                        route=_route_stats(machine, src_pid, dst_pid),
+                    ),
+                )
+            plan.charge(machine)
+        else:
+            ii, jj = np.meshgrid(
+                np.arange(src.R), np.arange(src.C), indexing="ij"
             )
-        plan.charge(machine)
-    else:
-        ii, jj = np.meshgrid(np.arange(src.R), np.arange(src.C), indexing="ij")
-        ii = ii.ravel()
-        jj = jj.ravel()
-        src_pid = np.asarray(src.owner(ii, jj))
-        dst_pid = np.asarray(dst.owner(jj, ii))
-        machine.charge_local(src.local_size)
-        _charge_messages(machine, src_pid, dst_pid)
-        machine.charge_local(dst.local_size)
-    return dst.scatter(hostT), dst
+            ii = ii.ravel()
+            jj = jj.ravel()
+            src_pid = np.asarray(src.owner(ii, jj))
+            dst_pid = np.asarray(dst.owner(jj, ii))
+            machine.charge_local(src.local_size)
+            _charge_messages(machine, src_pid, dst_pid)
+            machine.charge_local(dst.local_size)
+        return dst.scatter(hostT), dst

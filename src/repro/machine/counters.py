@@ -9,6 +9,7 @@ paper's tables do.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 import contextlib
@@ -77,15 +78,23 @@ class Counters:
                 self.phase_times[phase] = self.phase_times.get(phase, 0.0) + amount
 
     def charge_flops(self, count: float, time: float) -> None:
+        if count < 0:
+            raise ValueError(f"cannot charge negative flop count {count}")
         self.flops += count
         self.charge_time(time)
 
     def charge_transfer(self, elements: float, rounds: int, time: float) -> None:
+        if elements < 0:
+            raise ValueError(f"cannot charge negative transfer volume {elements}")
+        if rounds < 0:
+            raise ValueError(f"cannot charge negative round count {rounds}")
         self.elements_transferred += elements
         self.comm_rounds += rounds
         self.charge_time(time)
 
     def charge_local(self, elements: float, time: float) -> None:
+        if elements < 0:
+            raise ValueError(f"cannot charge negative local-move count {elements}")
         self.local_moves += elements
         self.charge_time(time)
 
@@ -135,13 +144,15 @@ class Counters:
         )
 
     def reset(self) -> None:
-        self.time = 0.0
-        self.flops = 0.0
-        self.elements_transferred = 0.0
-        self.comm_rounds = 0
-        self.local_moves = 0.0
-        self.plan_hits = 0
-        self.plan_misses = 0
-        self.plan_evictions = 0
-        self.phase_times.clear()
-        self._phase_stack.clear()
+        """Restore every field to its dataclass default.
+
+        Deriving the reset from the field definitions keeps this the single
+        source of truth: a counter added to the dataclass is automatically
+        cleared here, so snapshot-era tests that reset between measurements
+        can never observe a stale field.
+        """
+        for f in dataclasses.fields(self):
+            if f.default is not dataclasses.MISSING:
+                setattr(self, f.name, f.default)
+            else:
+                getattr(self, f.name).clear()

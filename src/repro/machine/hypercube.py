@@ -59,6 +59,10 @@ class Hypercube:
         self.p = 1 << n
         self.cost_model = cost_model if cost_model is not None else CostModel.cm2()
         self.counters = Counters()
+        # Observability: ``None`` (the default) is the null tracer — every
+        # instrumented site pays exactly one ``is None`` branch and charges
+        # nothing, so cost totals are bit-identical traced or not.
+        self.tracer = None
         # Per-machine plan cache: a fresh machine (or cost model) gets a
         # fresh empty cache, so plans can never leak across machines.
         self.plans = PlanCache(self, enabled=plan_cache)
@@ -74,6 +78,19 @@ class Hypercube:
         # SIMD activity-context stack (the CM's context flags): masks are
         # per-processor booleans; nested contexts AND together.
         self._context_stack: list = []
+
+    # -- observability ---------------------------------------------------------
+
+    def attach_tracer(self, tracer: Any) -> Any:
+        """Attach an :class:`repro.obs.Tracer` (returns it for chaining).
+
+        The tracer observes charges, spans and routing rounds; it never
+        charges the machine itself.  Pass ``None`` to detach.
+        """
+        if tracer is not None:
+            tracer.bind(self)
+        self.tracer = tracer
+        return tracer
 
     # -- identity ------------------------------------------------------------
 
@@ -136,8 +153,18 @@ class Hypercube:
             )
         self.counters.charge_local(local_elements * self.p, time)
 
-    def charge_comm_round(self, elements_per_processor: float, rounds: int = 1) -> None:
-        """``rounds`` synchronous exchange rounds of the given volume each."""
+    def charge_comm_round(
+        self,
+        elements_per_processor: float,
+        rounds: int = 1,
+        dim: Optional[int] = None,
+    ) -> None:
+        """``rounds`` synchronous exchange rounds of the given volume each.
+
+        ``dim`` (observability only) names the cube dimension the rounds
+        traverse, when the caller knows it; the tracer files dimensionless
+        rounds under ``-1``.
+        """
         time = self._round_cost.get(elements_per_processor)
         if time is None:
             time = self._round_cost[elements_per_processor] = (
@@ -146,11 +173,22 @@ class Hypercube:
         self.counters.charge_transfer(
             elements_per_processor * self.p * rounds, rounds, rounds * time
         )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_comm_round(dim, elements_per_processor, rounds)
 
     @contextlib.contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        with self.counters.phase(name):
-            yield
+        tracer = self.tracer
+        # Mirror the counters' re-entry rule: a nested phase of the same
+        # name neither double-counts time nor opens a second span, so span
+        # durations per phase sum exactly to ``phase_times``.
+        if tracer is not None and name not in self.counters._phase_stack:
+            with self.counters.phase(name), tracer.span(name, "phase"):
+                yield
+        else:
+            with self.counters.phase(name):
+                yield
 
     # -- SIMD activity context (the CM's context flags) -----------------------
 
@@ -203,7 +241,7 @@ class Hypercube:
         """
         self._check_dim(dim)
         self._check_owned(pvar)
-        self.charge_comm_round(pvar.local_size)
+        self.charge_comm_round(pvar.local_size, dim=dim)
         return PVar(self, pvar.data[self._neighbor[dim]])
 
     def exchange_free(self, pvar: PVar, dim: int) -> PVar:

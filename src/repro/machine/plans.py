@@ -106,6 +106,9 @@ def charge_route(machine: "Hypercube", stats: Optional["RouteStats"]) -> None:
         machine.counters.charge_transfer(
             stats.element_hops, stats.rounds, stats.time
         )
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.on_route_replay(stats)
 
 
 class PlanCache:

@@ -21,6 +21,7 @@ naive reductions) serialises on the links near the destination.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -30,15 +31,25 @@ from .hypercube import Hypercube
 from .plans import MISSING
 from .pvar import PVar
 
+#: Shared no-op context for unspanned (untraced or uncharged) simulations.
+_NULL = contextlib.nullcontext()
+
 
 @dataclass(frozen=True)
 class RouteStats:
-    """What one routing operation did, for tests and model validation."""
+    """What one routing operation did, for tests and model validation.
+
+    ``dim_congestion`` records ``(dim, max link volume)`` for every round
+    actually executed, in routing order — the per-dimension congestion
+    profile the tracer's heatmaps are built from.  It rides along in cached
+    plans so a plan replay can still report where the traffic squeezed.
+    """
 
     rounds: int
     element_hops: float
     max_congestion: float
     time: float
+    dim_congestion: Tuple[Tuple[int, float], ...] = ()
 
 
 class Router:
@@ -80,55 +91,75 @@ class Router:
         if dst.size and (dst.min() < 0 or dst.max() >= machine.p):
             raise ValueError("message destination out of processor range")
 
-        # Identical h-relations recur every iteration of the solver loops;
-        # memoize their stats under a digest of the exact message multiset.
-        # A hit replays the identical single charge_transfer call, so the
-        # counters cannot tell the difference.
-        plans = machine.plans
-        cache_key = None
-        if plans.enabled:
-            cache_key = (
-                "route", src.tobytes(), dst.tobytes(), sizes.tobytes()
+        # A charged simulation is an observable event; uncharged what-if
+        # queries from the analytic models stay invisible to the tracer.
+        tracer = machine.tracer if charge else None
+        if tracer is not None:
+            span_ctx = tracer.span(
+                "route",
+                "route",
+                messages=int(src.size),
+                volume=float(sizes.sum()),
             )
-            cached = plans.lookup(cache_key)
-            if cached is not MISSING:
-                if charge:
-                    machine.counters.charge_transfer(
-                        cached.element_hops, cached.rounds, cached.time
-                    )
-                return cached
+        else:
+            span_ctx = None
+        with span_ctx if span_ctx is not None else _NULL:
+            # Identical h-relations recur every iteration of the solver
+            # loops; memoize their stats under a digest of the exact message
+            # multiset.  A hit replays the identical single charge_transfer
+            # call, so the counters cannot tell the difference.
+            plans = machine.plans
+            cache_key = None
+            if plans.enabled:
+                cache_key = (
+                    "route", src.tobytes(), dst.tobytes(), sizes.tobytes()
+                )
+                cached = plans.lookup(cache_key)
+                if cached is not MISSING:
+                    if charge:
+                        machine.counters.charge_transfer(
+                            cached.element_hops, cached.rounds, cached.time
+                        )
+                        if tracer is not None:
+                            tracer.on_route_replay(cached)
+                    return cached
 
-        cur = src.copy()
-        total_time = 0.0
-        total_hops = 0.0
-        rounds = 0
-        worst = 0.0
-        cm = machine.cost_model
-        for d in range(machine.n):
-            bit = np.int64(1) << d
-            moving = ((cur ^ dst) & bit) != 0
-            if not np.any(moving):
-                continue
-            loads = np.bincount(
-                cur[moving], weights=sizes[moving], minlength=machine.p
+            cur = src.copy()
+            total_time = 0.0
+            total_hops = 0.0
+            rounds = 0
+            worst = 0.0
+            round_detail = []
+            cm = machine.cost_model
+            for d in range(machine.n):
+                bit = np.int64(1) << d
+                moving = ((cur ^ dst) & bit) != 0
+                if not np.any(moving):
+                    continue
+                loads = np.bincount(
+                    cur[moving], weights=sizes[moving], minlength=machine.p
+                )
+                congestion = float(loads.max())
+                total_time += cm.tau + cm.t_c * congestion
+                total_hops += float(sizes[moving].sum())
+                worst = max(worst, congestion)
+                rounds += 1
+                round_detail.append((d, congestion))
+                if tracer is not None:
+                    tracer.on_route_round(d, loads, congestion)
+                cur[moving] ^= bit
+            stats = RouteStats(
+                rounds=rounds,
+                element_hops=total_hops,
+                max_congestion=worst,
+                time=total_time,
+                dim_congestion=tuple(round_detail),
             )
-            congestion = float(loads.max())
-            total_time += cm.tau + cm.t_c * congestion
-            total_hops += float(sizes[moving].sum())
-            worst = max(worst, congestion)
-            rounds += 1
-            cur[moving] ^= bit
-        stats = RouteStats(
-            rounds=rounds,
-            element_hops=total_hops,
-            max_congestion=worst,
-            time=total_time,
-        )
-        if cache_key is not None:
-            plans.store(cache_key, stats)
-        if charge:
-            machine.counters.charge_transfer(total_hops, rounds, total_time)
-        return stats
+            if cache_key is not None:
+                plans.store(cache_key, stats)
+            if charge:
+                machine.counters.charge_transfer(total_hops, rounds, total_time)
+            return stats
 
     # -- whole-machine data movement ------------------------------------------
 

@@ -1,0 +1,124 @@
+"""Per-link congestion accounting for the traced machine.
+
+The paper's headline contrast is *congestion*: the four primitives move
+data in uniform dimension-exchange rounds (every link of a cube dimension
+carries the same volume), while the naive baselines funnel many-to-one
+traffic that serialises on the links near the destination.  This module
+turns the tracer's round-level observations into queryable aggregates:
+
+* a per-link **heatmap** — an ``(n, p)`` array of total elements carried by
+  the link of dimension ``d`` at processor ``q`` (a routing round's load on
+  link ``(d, q)`` is the volume the processor at ``q`` injects across
+  ``d``);
+* a **histogram** of per-round maximum link congestion;
+* per-dimension totals and maxima, which stay exact even when a cached
+  route plan replays only its per-dimension congestion summary.
+
+Rounds with no attributable dimension (e.g. pipelined multi-tree
+schedules) are filed under dimension ``-1`` and excluded from the heatmap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Above this processor count the (n, p) heatmap array is not allocated;
+#: per-dimension totals/maxima and the round histogram remain available.
+MAX_HEATMAP_P = 1 << 16
+
+
+class CongestionAggregator:
+    """Accumulates link loads and round congestion across a traced run."""
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.p = 0
+        self._link_load: Optional[np.ndarray] = None  # (n, p) element totals
+        self.dim_volume: Dict[int, float] = {}
+        self.dim_max: Dict[int, float] = {}
+        #: per-round records ``(dim, max link congestion, kind)`` where kind
+        #: is ``"exchange"`` (uniform) or ``"route"`` (e-cube routed).
+        self.round_log: List[Tuple[int, float, str]] = []
+
+    def bind(self, n: int, p: int) -> None:
+        self.n = n
+        self.p = p
+        if self._link_load is None and n > 0 and p <= MAX_HEATMAP_P:
+            self._link_load = np.zeros((n, p))
+
+    # -- recording ------------------------------------------------------------
+
+    def _tally(self, dim: int, volume: float, congestion: float, kind: str) -> None:
+        self.dim_volume[dim] = self.dim_volume.get(dim, 0.0) + volume
+        self.dim_max[dim] = max(self.dim_max.get(dim, 0.0), congestion)
+        self.round_log.append((dim, congestion, kind))
+
+    def record_uniform(self, dim: int, volume: float) -> None:
+        """A dimension-exchange round: every link carries ``volume``."""
+        if self._link_load is not None and 0 <= dim < self.n:
+            self._link_load[dim] += volume
+        self._tally(dim, volume * max(self.p, 1), float(volume), "exchange")
+
+    def record_route(
+        self, dim: int, loads: Optional[np.ndarray], congestion: float
+    ) -> None:
+        """An e-cube routing round with per-processor link ``loads``.
+
+        ``loads`` is ``None`` when a cached plan replays only its summary;
+        the heatmap then misses the round, but the per-dimension maxima and
+        the round histogram stay exact.
+        """
+        volume = float(loads.sum()) if loads is not None else 0.0
+        if loads is not None and self._link_load is not None and 0 <= dim < self.n:
+            self._link_load[dim] += loads
+        self._tally(dim, volume, float(congestion), "route")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        return len(self.round_log)
+
+    def heatmap(self) -> np.ndarray:
+        """Total elements per link: shape ``(n, p)``, row = cube dimension."""
+        if self._link_load is None:
+            return np.zeros((self.n, 0))
+        return self._link_load.copy()
+
+    def per_dim_max(self) -> Dict[int, float]:
+        """Worst single-round link congestion seen per dimension."""
+        return dict(self.dim_max)
+
+    def max_congestion(self) -> float:
+        """Worst single-round link congestion across the whole run."""
+        return max(self.dim_max.values(), default=0.0)
+
+    def round_congestions(self, kind: Optional[str] = None) -> np.ndarray:
+        """Per-round max link congestion, optionally filtered by kind."""
+        vals = [c for _, c, k in self.round_log if kind is None or k == kind]
+        return np.asarray(vals, dtype=np.float64)
+
+    def histogram(
+        self, bins: int = 16, kind: Optional[str] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``np.histogram`` of per-round max congestion."""
+        vals = self.round_congestions(kind)
+        if vals.size == 0:
+            return np.zeros(bins, dtype=np.int64), np.linspace(0.0, 1.0, bins + 1)
+        return np.histogram(vals, bins=bins)
+
+    def percentile(self, q: float, kind: Optional[str] = None) -> float:
+        vals = self.round_congestions(kind)
+        if vals.size == 0:
+            return 0.0
+        return float(np.percentile(vals, q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "rounds": float(self.rounds),
+            "max_congestion": self.max_congestion(),
+            "congestion_p50": self.percentile(50.0),
+            "congestion_p99": self.percentile(99.0),
+        }

@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.obs import validate_chrome_trace_file
 
 
 class TestInfo:
@@ -44,6 +47,59 @@ class TestSolve:
         out = capsys.readouterr().out
         assert "implicit pivoting" in out
         assert "row-swap" not in out
+
+
+class TestJsonOutput:
+    def test_info_json(self, capsys):
+        assert main(["info", "-n", "4", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["p"] == 16
+        assert data["n"] == 4
+        assert set(data["cost_model"]) == {"tau", "t_c", "t_a", "t_m"}
+
+    def test_demo_json(self, capsys):
+        assert main(["demo", "-n", "4", "--rows", "12", "--cols", "8",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["time"] > 0
+        assert "embedding" in data
+        assert any(
+            entry["phase"] == "demo" for entry in data["phase_breakdown"]
+        )
+
+    def test_solve_json(self, capsys):
+        assert main(["solve", "-n", "4", "--size", "12", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["max_error"] < 1e-8
+        assert data["time"] > 0
+        assert data["pt_ratio"] > 0
+
+
+class TestTrace:
+    def test_writes_valid_chrome_trace(self, capsys, tmp_path):
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "-n", "4", "--rows", "12", "--cols", "8",
+                     "--out", out]) == 0
+        counts = validate_chrome_trace_file(out)
+        assert counts["spans"] > 0
+        text = capsys.readouterr().out
+        assert "chrome trace" in text
+        assert "primitive breakdown" in text
+
+    def test_solve_workload_with_jsonl(self, capsys, tmp_path):
+        out = str(tmp_path / "trace.json")
+        jsonl = str(tmp_path / "trace.jsonl")
+        assert main(["trace", "-n", "4", "--workload", "solve",
+                     "--size", "12", "--out", out, "--jsonl", jsonl,
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["workload"] == "solve"
+        assert data["spans"] > 0
+        assert data["report"]["primitive_breakdown"]
+        lines = [json.loads(l) for l in open(jsonl)]
+        assert len(lines) == data["jsonl_lines"]
+        assert lines[0]["type"] == "meta"
+        validate_chrome_trace_file(out)
 
 
 class TestParser:

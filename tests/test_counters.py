@@ -45,6 +45,47 @@ class TestCharging:
         assert c.time == 0 and c.flops == 0 and c.comm_rounds == 0
         assert c.phase_times == {}
 
+    def test_reset_clears_plan_cache_stats(self):
+        c = Counters()
+        c.plan_hits = 3
+        c.plan_misses = 7
+        c.plan_evictions = 1
+        c.reset()
+        assert (c.plan_hits, c.plan_misses, c.plan_evictions) == (0, 0, 0)
+
+
+class TestNegativeGuards:
+    def test_negative_flop_count_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().charge_flops(-1, 1.0)
+
+    def test_negative_transfer_elements_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().charge_transfer(-4, 1, 1.0)
+
+    def test_negative_transfer_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().charge_transfer(4, -1, 1.0)
+
+    def test_negative_local_moves_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().charge_local(-2, 1.0)
+
+    def test_rejected_charge_leaves_counters_untouched(self):
+        c = Counters()
+        c.charge_flops(10, 5.0)
+        with pytest.raises(ValueError):
+            c.charge_flops(-1, 1.0)
+        assert c.flops == 10
+        assert c.time == 5.0
+
+    def test_zero_counts_still_allowed(self):
+        c = Counters()
+        c.charge_flops(0, 0.0)
+        c.charge_transfer(0, 0, 0.0)
+        c.charge_local(0, 0.0)
+        assert c.time == 0.0
+
 
 class TestPhases:
     def test_phase_attribution(self):
@@ -88,6 +129,42 @@ class TestPhases:
         # subsequent charges must not leak into the closed phase
         c.charge_time(5.0)
         assert c.phase_times.get("x", 0.0) == 0.0
+
+    def test_exception_unwinds_nested_stack(self):
+        c = Counters()
+        with pytest.raises(RuntimeError):
+            with c.phase("outer"):
+                c.charge_time(1.0)
+                with c.phase("inner"):
+                    c.charge_time(2.0)
+                    raise RuntimeError("boom")
+        # both frames popped: later charges attribute to neither phase
+        c.charge_time(10.0)
+        assert c.phase_times["outer"] == 3.0
+        assert c.phase_times["inner"] == 2.0
+        # and the stack is reusable
+        with c.phase("after"):
+            c.charge_time(4.0)
+        assert c.phase_times["after"] == 4.0
+
+    def test_reentrant_phase_under_different_parent(self):
+        c = Counters()
+        with c.phase("a"):
+            with c.phase("b"):
+                with c.phase("a"):  # re-entry of "a" deeper in the stack
+                    c.charge_time(2.0)
+        assert c.phase_times["a"] == 2.0
+        assert c.phase_times["b"] == 2.0
+
+    def test_phase_breakdown_stable_for_ties(self):
+        c = Counters()
+        with c.phase("zeta"):
+            c.charge_time(1.0)
+        with c.phase("alpha"):
+            c.charge_time(1.0)
+        # equal times: breakdown must still list every phase exactly once
+        names = sorted(name for name, _ in c.phase_breakdown())
+        assert names == ["alpha", "zeta"]
 
 
 class TestSnapshots:

@@ -82,3 +82,21 @@ class TestAccounting:
         snap = s.snapshot()
         A.reduce(0, "sum")
         assert s.machine.elapsed_since(snap).time > 0
+
+    def test_report_shows_plan_cache_stats(self, rng):
+        s = Session(3, "unit", plan_cache=True)
+        A = s.matrix(rng.standard_normal((6, 6)))
+        A.extract(axis=0, index=0)
+        A.extract(axis=0, index=0)
+        rep = s.report()
+        assert "plan cache" in rep
+        assert f"{s.machine.plans.hits} hits" in rep
+        assert f"{s.machine.plans.misses} misses" in rep
+        data = s.report_data()
+        assert data["plan_cache"]["enabled"] is True
+        assert data["plan_cache"]["hits"] == s.machine.plans.hits
+
+    def test_report_shows_plan_cache_disabled(self, rng):
+        s = Session(3, "unit", plan_cache=False)
+        assert "plan cache        : disabled" in s.report()
+        assert s.report_data()["plan_cache"] == {"enabled": False}
