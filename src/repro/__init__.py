@@ -20,6 +20,15 @@ Quickstart::
 """
 
 from .core import DistributedMatrix, DistributedVector, Session
+from .errors import (
+    CheckpointError,
+    EmbeddingError,
+    FaultError,
+    NodeKilledError,
+    ReproError,
+    ShapeError,
+    UnroutableError,
+)
 from .machine import CostModel, Hypercube, PVar, Router
 
 __version__ = "1.0.0"
@@ -32,5 +41,12 @@ __all__ = [
     "CostModel",
     "PVar",
     "Router",
+    "ReproError",
+    "ShapeError",
+    "EmbeddingError",
+    "FaultError",
+    "NodeKilledError",
+    "UnroutableError",
+    "CheckpointError",
     "__version__",
 ]

@@ -8,7 +8,15 @@ Subcommands:
 * ``solve`` — solve a random dense system at a chosen size and report the
   paper-style cost breakdown;
 * ``trace`` — run a workload with tracing on and write a Chrome
-  trace-event file (load it at ``chrome://tracing`` or ui.perfetto.dev).
+  trace-event file (load it at ``chrome://tracing`` or ui.perfetto.dev);
+* ``faults`` — run a workload under a seeded fault plan (node/link kills,
+  transient drops), recover onto a healthy subcube, and report
+  kills/retries/remaps/recovery ticks; exits non-zero unless recovery
+  succeeded *and* the recovered result matches the fault-free baseline.
+
+``demo``/``solve``/``trace`` additionally accept ``--fault-seed`` /
+``--fault-rate`` to inject non-fatal faults (link kills + transient
+drops) under the regular workloads.
 
 Every subcommand accepts ``--json`` to emit a machine-readable summary on
 stdout instead of the human-readable report.
@@ -56,6 +64,39 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fault_plan(args: argparse.Namespace, horizon: float):
+    """A non-fatal seeded plan (link kills + drops) for demo/solve/trace."""
+    from .faults import FaultPlan
+
+    rate = max(0.0, args.fault_rate)
+    return FaultPlan.random(
+        args.n,
+        seed=args.fault_seed,
+        horizon=horizon,
+        link_kills=max(0, int(round(rate))),
+        node_kills=0,
+        drops=max(1, int(round(2 * rate))),
+    )
+
+
+def _fault_session(args: argparse.Namespace, run_fault_free, trace=False):
+    """Build the session, attaching seeded faults when --fault-seed is set.
+
+    Fault times are fractions of the workload's fault-free runtime, so we
+    first run it once on a throwaway session to measure the horizon, then
+    schedule a non-fatal plan (link kills + transient drops) over ~75% of
+    it.  Kills are non-fatal: exchanges survive via 3-hop detours, so the
+    regular subcommands need no recovery logic (see the ``faults``
+    subcommand for node kills and degraded-mode recovery).
+    """
+    if getattr(args, "fault_seed", None) is None:
+        return Session(args.n, args.cost_model, trace=trace)
+    dry = Session(args.n, args.cost_model)
+    run_fault_free(dry)
+    plan = _build_fault_plan(args, 0.75 * max(dry.time, 1.0))
+    return Session(args.n, args.cost_model, trace=trace, faults=plan)
+
+
 def _run_demo(session: Session, rng, rows: int, cols: int):
     """The quickstart workload: all four primitives on one matrix."""
     A_host = rng.standard_normal((rows, cols))
@@ -71,8 +112,13 @@ def _run_demo(session: Session, rng, rows: int, cols: int):
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    session = _fault_session(
+        args,
+        lambda s: _run_demo(
+            s, np.random.default_rng(args.seed), args.rows, args.cols
+        ),
+    )
     rng = np.random.default_rng(args.seed)
-    session = Session(args.n, args.cost_model)
     A = _run_demo(session, rng, args.rows, args.cols)
     data = dict(session.report_data(), embedding=repr(A.embedding))
     text = f"embedded: {A.embedding!r}\n\n{session.report()}"
@@ -96,7 +142,7 @@ def _run_solve(session: Session, args: argparse.Namespace):
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    session = Session(args.n, args.cost_model)
+    session = _fault_session(args, lambda s: _run_solve(s, args))
     result, err, ratio = _run_solve(session, args)
     phases = [
         (name, t)
@@ -119,6 +165,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"simulated time   : {result.cost.time:,.0f} ticks",
         f"PT / serial      : {ratio:,.1f}",
     ]
+    injector = session.machine.faults
+    if injector is not None:
+        st = injector.stats
+        data["faults"] = st.as_dict()
+        lines.append(
+            f"faults           : {st.link_kills} link kills, "
+            f"{st.drops} drops / {st.retries} retries, "
+            f"{st.detour_rounds} detour rounds"
+        )
     lines += [f"  {name:<20s} {t:>14,.0f}" for name, t in phases]
     _emit(args, data, "\n".join(lines))
     return 0
@@ -127,12 +182,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs import to_chrome_trace, to_jsonl, validate_chrome_trace_file
 
-    rng = np.random.default_rng(args.seed)
-    session = Session(args.n, args.cost_model, trace=True)
-    if args.workload == "demo":
-        _run_demo(session, rng, args.rows, args.cols)
-    else:
-        _run_solve(session, args)
+    def run(session: Session) -> None:
+        rng = np.random.default_rng(args.seed)
+        if args.workload == "demo":
+            _run_demo(session, rng, args.rows, args.cols)
+        else:
+            _run_solve(session, args)
+
+    session = _fault_session(args, run, trace=True)
+    run(session)
 
     tracer = session.tracer
     to_chrome_trace(tracer, args.out)
@@ -162,6 +220,102 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from . import workloads as W
+    from .faults import (
+        CheckpointStore,
+        FaultPlan,
+        gaussian_workload,
+        matvec_workload,
+        run_resilient,
+        simplex_workload,
+    )
+
+    # Integer data keeps sum-reductions exact, so the recovered result can
+    # be compared bit-for-bit against the fault-free baseline even after a
+    # remap onto a smaller subcube.
+    rng = np.random.default_rng(args.seed)
+    size = args.size
+    if args.workload == "gaussian":
+        A = rng.integers(-4, 5, size=(size, size)).astype(np.float64)
+        A += size * np.eye(size)
+        b = rng.integers(-4, 5, size=size).astype(np.float64)
+        make = lambda: gaussian_workload(A, b)
+    elif args.workload == "simplex":
+        lp = W.feasible_lp(size, size, seed=args.seed)
+        make = lambda: simplex_workload(lp.A, lp.b, lp.c)
+    else:  # matvec
+        A = rng.integers(-3, 4, size=(size, size)).astype(np.float64)
+        x = rng.integers(-3, 4, size=size).astype(np.float64)
+        make = lambda: matvec_workload(A, x)
+
+    # Fault-free dry run: the baseline result and the fault horizon.
+    dry = Session(args.n, args.cost_model)
+    baseline = make()(dry, CheckpointStore(dry))
+    horizon = args.at * max(dry.time, 1.0)
+
+    plan = FaultPlan.random(
+        args.n,
+        seed=args.fault_seed,
+        horizon=horizon,
+        link_kills=args.link_kills,
+        node_kills=args.node_kills,
+        drops=args.drops,
+    )
+    session = Session(
+        args.n, args.cost_model, faults=plan, trace=bool(args.trace_out)
+    )
+    report = run_resilient(
+        session, make(), max_recoveries=args.max_recoveries
+    )
+    matches = bool(
+        report.recovered
+        and report.result is not None
+        and np.array_equal(np.asarray(report.result), np.asarray(baseline))
+    )
+    if args.trace_out:
+        from .obs import to_chrome_trace
+
+        to_chrome_trace(session.tracer, args.trace_out)
+
+    st = report.stats
+    data = {
+        "workload": args.workload,
+        "size": size,
+        "p": 2 ** args.n,
+        "final_p": report.final_p,
+        "plan": plan.as_dict(),
+        "recovered": report.recovered,
+        "recoveries": report.recoveries,
+        "matches_baseline": matches,
+        "stats": st.as_dict(),
+        "time": session.time,
+        "fault_free_time": dry.time,
+    }
+    if report.error is not None:
+        data["error"] = report.error
+    if args.trace_out:
+        data["trace_out"] = args.trace_out
+    lines = [
+        f"workload '{args.workload}' ({size}x{size}) on p={2 ** args.n} "
+        f"under {plan!r}",
+        f"recovered        : {report.recovered} "
+        f"({report.recoveries} recoveries, final p={report.final_p})",
+        f"matches baseline : {matches}",
+        f"kills            : {st.node_kills} node / {st.link_kills} link",
+        f"drops / retries  : {st.drops} / {st.retries}",
+        f"detour rounds    : {st.detour_rounds}",
+        f"remapped arrays  : {st.remapped_arrays}",
+        f"recovery ticks   : {st.recovery_ticks:,.0f}",
+        f"simulated time   : {session.time:,.0f} ticks "
+        f"(fault-free {dry.time:,.0f})",
+    ]
+    if report.error is not None:
+        lines.append(f"last fault error : {report.error}")
+    _emit(args, data, "\n".join(lines))
+    return 0 if (report.recovered and matches) else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -180,18 +334,28 @@ def main(argv=None) -> int:
         p.add_argument("--json", action="store_true",
                        help="emit a machine-readable JSON summary")
 
+    def add_fault_args(p):
+        p.add_argument(
+            "--fault-seed", type=int, default=None,
+            help="inject seeded non-fatal faults (link kills + drops)")
+        p.add_argument(
+            "--fault-rate", type=float, default=1.0,
+            help="scale the number of injected faults (default 1.0)")
+
     p_info = sub.add_parser("info", help="machine summary")
     add_machine_args(p_info)
     p_info.set_defaults(fn=_cmd_info)
 
     p_demo = sub.add_parser("demo", help="run the four primitives")
     add_machine_args(p_demo)
+    add_fault_args(p_demo)
     p_demo.add_argument("--rows", type=int, default=96)
     p_demo.add_argument("--cols", type=int, default=64)
     p_demo.set_defaults(fn=_cmd_demo)
 
     p_solve = sub.add_parser("solve", help="solve a random dense system")
     add_machine_args(p_solve)
+    add_fault_args(p_solve)
     p_solve.add_argument("--size", type=int, default=64)
     p_solve.add_argument("--pivoting", default="partial",
                          choices=["partial", "implicit", "none"])
@@ -201,6 +365,7 @@ def main(argv=None) -> int:
         "trace", help="run a workload with tracing and export a Chrome trace"
     )
     add_machine_args(p_trace)
+    add_fault_args(p_trace)
     p_trace.add_argument("--workload", default="demo",
                          choices=["demo", "solve"])
     p_trace.add_argument("--rows", type=int, default=96)
@@ -213,6 +378,27 @@ def main(argv=None) -> int:
     p_trace.add_argument("--jsonl", default=None,
                          help="also write a JSONL structured event log here")
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="run a workload under seeded faults and verify recovery",
+    )
+    add_machine_args(p_faults)
+    p_faults.add_argument("--workload", default="gaussian",
+                          choices=["gaussian", "simplex", "matvec"])
+    p_faults.add_argument("--size", type=int, default=16)
+    p_faults.add_argument("--fault-seed", type=int, default=0,
+                          help="seed for the random fault plan")
+    p_faults.add_argument("--node-kills", type=int, default=1)
+    p_faults.add_argument("--link-kills", type=int, default=1)
+    p_faults.add_argument("--drops", type=int, default=2)
+    p_faults.add_argument("--max-recoveries", type=int, default=2)
+    p_faults.add_argument("--at", type=float, default=0.6,
+                          help="fault horizon as a fraction of the "
+                               "fault-free runtime (default 0.6)")
+    p_faults.add_argument("--trace-out", default=None,
+                          help="also write a Chrome trace-event file here")
+    p_faults.set_defaults(fn=_cmd_faults)
 
     args = parser.parse_args(argv)
     return args.fn(args)

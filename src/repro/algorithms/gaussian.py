@@ -113,11 +113,22 @@ def eliminate(
     T: DistributedMatrix,
     pivoting: str = "partial",
     tol: float = 1e-12,
+    start: int = 0,
+    pivots: Optional[List[int]] = None,
+    pivot_values: Optional[List[float]] = None,
+    on_step: Optional[callable] = None,
 ) -> Elimination:
     """Forward-eliminate an ``n × w`` tableau (``w >= n``).
 
     Columns ``n..w-1`` ride along as right-hand sides.  See the module
     docstring for the pivoting modes.
+
+    ``start``/``pivots``/``pivot_values`` resume a partially eliminated
+    tableau (degraded-mode recovery): ``T`` must be the tableau as it
+    stood after step ``start - 1``, with ``pivots``/``pivot_values`` the
+    history of steps ``0..start-1``.  ``on_step(k, T, pivots,
+    pivot_values)`` fires after each completed step with ``k`` steps done
+    and the *current* tableau — checkpoint hooks save from here.
     """
     if pivoting not in PIVOTING_MODES:
         raise ValueError(
@@ -126,19 +137,30 @@ def eliminate(
     n, w = T.shape
     if w < n:
         raise ValueError("tableau must have at least as many columns as rows")
+    pivots = list(pivots) if pivots is not None else []
+    pivot_values = list(pivot_values) if pivot_values is not None else []
+    if not (0 <= start <= n):
+        raise ValueError(f"start must be in [0, {n}], got {start}")
+    if len(pivots) != start or len(pivot_values) != start:
+        raise ValueError(
+            f"resuming at step {start} requires {start} prior pivots/values, "
+            f"got {len(pivots)}/{len(pivot_values)}"
+        )
     machine = T.machine
-    pivots: List[int] = []
-    pivot_values: List[float] = []
     row_iota = None
     not_pivoted = None  # implicit mode: rows still awaiting their pivot
 
-    for k in range(n):
+    for k in range(start, n):
         with machine.phase("pivot-search"):
             col = T.extract(axis=1, index=k)
             if row_iota is None:
                 row_iota = iota(col.embedding)
                 if pivoting == "implicit":
+                    # Reconstruct the pending-rows mask from the pivot
+                    # history on resume: rows already used as pivots are out.
                     not_pivoted = row_iota >= 0
+                    for used in pivots:
+                        not_pivoted = not_pivoted & ~row_iota.eq(int(used))
             if pivoting == "partial":
                 candidates = row_iota >= k
             elif pivoting == "implicit":
@@ -185,6 +207,8 @@ def eliminate(
             # pivot searches.
             zero_col = below.where(0.0, T.extract(axis=1, index=k))
             T = T.insert(axis=1, index=k, vector=zero_col)
+        if on_step is not None:
+            on_step(k + 1, T, pivots, pivot_values)
     return Elimination(T, pivots, pivot_values, pivoting)
 
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from .. import comm
 from ..comm.ops import CombineOp, get_op
+from ..errors import EmbeddingError, ShapeError
 from ..machine.hypercube import Hypercube
 from ..machine.pvar import PVar
 from ..embeddings.matrix import MatrixEmbedding
@@ -42,9 +43,10 @@ class DistributedVector:
 
     def __init__(self, pvar: PVar, embedding: VectorEmbedding) -> None:
         if pvar.local_shape != embedding.local_shape:
-            raise ValueError(
+            raise ShapeError(
                 f"PVar local shape {pvar.local_shape} does not match "
-                f"embedding local shape {embedding.local_shape}"
+                f"embedding local shape {embedding.local_shape} "
+                f"({type(embedding).__name__}, L={embedding.L})"
             )
         self.pvar = pvar
         self.embedding = embedding
@@ -61,7 +63,7 @@ class DistributedVector:
     ) -> "DistributedVector":
         vector = np.asarray(vector)
         if vector.ndim != 1:
-            raise ValueError(f"expected a 1-D array, got shape {vector.shape}")
+            raise ShapeError(f"expected a 1-D array, got shape {vector.shape}")
         if embedding is None:
             embedding = VectorOrderEmbedding(machine, len(vector), layout)
         return cls(embedding.scatter(vector), embedding)
@@ -97,9 +99,11 @@ class DistributedVector:
     def _binary(self, other, fn_name: str) -> "DistributedVector":
         if isinstance(other, DistributedVector):
             if not self.embedding.compatible(other.embedding):
-                raise ValueError(
-                    "elementwise op on incompatible vector embeddings; "
-                    "remap explicitly with as_embedding()"
+                raise EmbeddingError(
+                    f"elementwise op on incompatible vector embeddings "
+                    f"{self.embedding.signature()} vs "
+                    f"{other.embedding.signature()}; remap explicitly with "
+                    f"as_embedding()"
                 )
             rhs: Union[PVar, Scalar] = other.pvar
         else:
@@ -175,7 +179,11 @@ class DistributedVector:
         def unwrap(x):
             if isinstance(x, DistributedVector):
                 if not self.embedding.compatible(x.embedding):
-                    raise ValueError("where() operands must share the embedding")
+                    raise EmbeddingError(
+                        f"where() operands must share the embedding: "
+                        f"{self.embedding.signature()} vs "
+                        f"{x.embedding.signature()}"
+                    )
                 return x.pvar
             return x
         out = self.pvar.where(unwrap(if_true), unwrap(if_false))
@@ -229,7 +237,11 @@ class DistributedVector:
         mask = self.embedding.valid_mask()
         if valid is not None:
             if not self.embedding.compatible(valid.embedding):
-                raise ValueError("valid mask must share the vector's embedding")
+                raise EmbeddingError(
+                    f"valid mask must share the vector's embedding: "
+                    f"{self.embedding.signature()} vs "
+                    f"{valid.embedding.signature()}"
+                )
             mask = mask & valid.pvar.data.astype(bool)
             machine.charge_flops(self.pvar.local_size)
         ident = op.identity(self.dtype)
@@ -299,9 +311,11 @@ class DistributedVector:
     def _check_block_order(self) -> None:
         from ..embeddings.layout import BlockLayout
         if not isinstance(self.embedding.along_layout, BlockLayout):
-            raise ValueError(
-                "scans require a block (consecutive) layout; a cyclic layout "
-                "interleaves the scan order across processors"
+            raise EmbeddingError(
+                f"scans require a block (consecutive) layout, got "
+                f"{type(self.embedding.along_layout).__name__} in "
+                f"{self.embedding.signature()}; a cyclic layout interleaves "
+                f"the scan order across processors"
             )
 
     def scan(
@@ -354,7 +368,11 @@ class DistributedVector:
         from ..comm.segmented import local_segmented_cumsum, segmented_scan_pairs
         self._check_block_order()
         if not self.embedding.compatible(flags.embedding):
-            raise ValueError("flags must share the vector's embedding")
+            raise EmbeddingError(
+                f"flags must share the vector's embedding: "
+                f"{self.embedding.signature()} vs "
+                f"{flags.embedding.signature()}"
+            )
         machine = self.machine
         emb = self.embedding
         mask = emb.valid_mask()
@@ -421,9 +439,11 @@ class DistributedMatrix:
 
     def __init__(self, pvar: PVar, embedding: MatrixEmbedding) -> None:
         if pvar.local_shape != embedding.local_shape:
-            raise ValueError(
+            raise ShapeError(
                 f"PVar local shape {pvar.local_shape} does not match "
-                f"embedding local shape {embedding.local_shape}"
+                f"embedding local shape {embedding.local_shape} "
+                f"({embedding.R}x{embedding.C} on {embedding.Pr}x"
+                f"{embedding.Pc} grid)"
             )
         self.pvar = pvar
         self.embedding = embedding
@@ -440,7 +460,7 @@ class DistributedMatrix:
     ) -> "DistributedMatrix":
         matrix = np.asarray(matrix)
         if matrix.ndim != 2:
-            raise ValueError(f"expected a 2-D array, got shape {matrix.shape}")
+            raise ShapeError(f"expected a 2-D array, got shape {matrix.shape}")
         if embedding is None:
             embedding = MatrixEmbedding.default(
                 machine, matrix.shape[0], matrix.shape[1], layout=layout
@@ -469,9 +489,11 @@ class DistributedMatrix:
     def _binary(self, other, fn_name: str) -> "DistributedMatrix":
         if isinstance(other, DistributedMatrix):
             if other.embedding != self.embedding:
-                raise ValueError(
-                    "elementwise op on differently embedded matrices; "
-                    "redistribute explicitly with as_embedding()"
+                raise EmbeddingError(
+                    f"elementwise op on differently embedded matrices "
+                    f"{self.embedding.signature()} vs "
+                    f"{other.embedding.signature()}; redistribute explicitly "
+                    f"with as_embedding()"
                 )
             rhs: Union[PVar, Scalar] = other.pvar
         else:
@@ -540,7 +562,11 @@ class DistributedMatrix:
         def unwrap(x):
             if isinstance(x, DistributedMatrix):
                 if x.embedding != self.embedding:
-                    raise ValueError("where() operands must share the embedding")
+                    raise EmbeddingError(
+                        f"where() operands must share the embedding: "
+                        f"{self.embedding.signature()} vs "
+                        f"{x.embedding.signature()}"
+                    )
                 return x.pvar
             return x
         out = self.pvar.where(unwrap(if_true), unwrap(if_false))
@@ -591,7 +617,11 @@ class DistributedMatrix:
         valid_pv = None
         if valid is not None:
             if valid.embedding != self.embedding:
-                raise ValueError("valid mask must share the matrix embedding")
+                raise EmbeddingError(
+                    f"valid mask must share the matrix embedding: "
+                    f"{self.embedding.signature()} vs "
+                    f"{valid.embedding.signature()}"
+                )
             valid_pv = valid.pvar
         val, idx, emb = primitives.reduce_loc(
             self.pvar, self.embedding, axis, mode=mode, valid=valid_pv
@@ -632,8 +662,9 @@ class DistributedMatrix:
         matrix-vector recipe.
         """
         if len(x) != self.shape[1]:
-            raise ValueError(
-                f"matvec dimension mismatch: A is {self.shape}, x has {len(x)}"
+            raise ShapeError(
+                f"matvec dimension mismatch: A is {self.shape}, x has "
+                f"length {len(x)}"
             )
         X = x.distribute(self, axis=0)
         return (self * X).reduce(axis=1, op="sum")
@@ -641,8 +672,9 @@ class DistributedMatrix:
     def vecmat(self, x: DistributedVector) -> DistributedVector:
         """``y = x @ A`` (the paper's vector-matrix multiply): length-R input."""
         if len(x) != self.shape[0]:
-            raise ValueError(
-                f"vecmat dimension mismatch: A is {self.shape}, x has {len(x)}"
+            raise ShapeError(
+                f"vecmat dimension mismatch: A is {self.shape}, x has "
+                f"length {len(x)}"
             )
         X = x.distribute(self, axis=1)
         return (self * X).reduce(axis=0, op="sum")
@@ -746,7 +778,7 @@ class DistributedMatrix:
         R, K = self.shape
         K2, C = other.shape
         if K != K2:
-            raise ValueError(
+            raise ShapeError(
                 f"matmul dimension mismatch: {self.shape} @ {other.shape}"
             )
         machine = self.machine

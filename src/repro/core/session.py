@@ -43,6 +43,7 @@ class Session:
         cost_model: Optional[Union[CostModel, str]] = None,
         plan_cache: Optional[bool] = None,
         trace: Optional[Union[bool, Tracer]] = None,
+        faults: Optional[object] = None,
     ) -> None:
         if isinstance(cost_model, str):
             try:
@@ -61,11 +62,70 @@ class Session:
             self.machine.attach_tracer(trace)
         elif trace:
             self.machine.attach_tracer(Tracer())
+        # faults may be a FaultPlan (wrapped in a fresh injector) or a
+        # pre-built FaultInjector; None (default) leaves the machine on the
+        # zero-overhead healthy path.
+        if faults is not None:
+            from ..faults.injector import FaultInjector
+            from ..faults.plan import FaultPlan
+
+            if isinstance(faults, FaultPlan):
+                faults = FaultInjector(faults)
+            self.machine.attach_faults(faults)
 
     @property
     def tracer(self) -> Optional[Tracer]:
         """The attached :class:`~repro.obs.Tracer`, or ``None``."""
         return self.machine.tracer
+
+    @property
+    def faults(self):
+        """The attached :class:`~repro.faults.FaultInjector`, or ``None``."""
+        return self.machine.faults
+
+    # -- degraded-mode recovery ----------------------------------------------
+
+    def degrade(self) -> Hypercube:
+        """Remap the session onto the largest healthy subcube.
+
+        Called (normally by :func:`repro.faults.run_resilient`) after a
+        :class:`~repro.errors.NodeKilledError`: builds a fresh, healthy
+        machine from the surviving subcube, *sharing the parent's counters*
+        so the simulated clock keeps running, re-binds the tracer and
+        translates the fault injector's remaining events into subcube
+        coordinates.  Distributed arrays built on the old machine are dead;
+        workloads resume from their last host-side checkpoint
+        (:class:`~repro.faults.CheckpointStore`).  Raises
+        :class:`~repro.errors.FaultError` when no healthy subcube exists.
+        """
+        from ..faults.recovery import largest_healthy_subcube
+
+        old = self.machine
+        free_dims, base = largest_healthy_subcube(old)
+        new = Hypercube(
+            len(free_dims),
+            old.cost_model,
+            plan_cache=old.plans.enabled,
+            counters=old.counters,
+        )
+        tracer = old.tracer
+        if tracer is not None:
+            tracer.instant(
+                "degrade",
+                "fault",
+                old_p=old.p,
+                new_p=new.p,
+                base=base,
+                free_dims=list(free_dims),
+            )
+            tracer.rebind(new)
+            new.tracer = tracer
+        injector = old.faults
+        if injector is not None:
+            injector.translate(free_dims, base)
+            new.attach_faults(injector)
+        self.machine = new
+        return new
 
     # -- array factories ----------------------------------------------------
 
@@ -147,6 +207,15 @@ class Session:
             )
         else:
             lines.append("plan cache        : disabled")
+        injector = self.machine.faults
+        if injector is not None:
+            st = injector.stats
+            lines.append(
+                f"faults            : {st.node_kills} node kills, "
+                f"{st.link_kills} link kills, {st.drops} drops / "
+                f"{st.retries} retries, {st.detour_rounds} detour rounds, "
+                f"{st.recoveries} recoveries"
+            )
         breakdown = c.phase_breakdown()
         if breakdown:
             lines.append("phase breakdown:")
@@ -201,6 +270,9 @@ class Session:
                 {"phase": name, "time": t} for name, t in c.phase_breakdown()
             ],
         }
+        injector = self.machine.faults
+        if injector is not None:
+            data["faults"] = injector.stats.as_dict()
         tracer = self.machine.tracer
         if tracer is not None:
             data["primitive_breakdown"] = tracer.primitive_summary()

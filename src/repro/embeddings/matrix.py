@@ -18,6 +18,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..errors import EmbeddingError, ShapeError
 from ..machine.hypercube import Hypercube
 from ..machine.plans import readonly
 from ..machine.pvar import PVar
@@ -78,17 +79,23 @@ class MatrixEmbedding:
         coding: str = "gray",
     ) -> None:
         if coding not in ("gray", "binary"):
-            raise ValueError(f"coding must be 'gray' or 'binary', got {coding!r}")
+            raise EmbeddingError(
+                f"coding must be 'gray' or 'binary', got {coding!r}"
+            )
         if R < 1 or C < 1:
-            raise ValueError(f"matrix extents must be >= 1, got {R}x{C}")
+            raise ShapeError(f"matrix extents must be >= 1, got {R}x{C}")
         row_dims = machine.check_dims(row_dims)
         col_dims = machine.check_dims(col_dims)
         overlap = set(row_dims) & set(col_dims)
         if overlap:
-            raise ValueError(f"row/col dims overlap: {sorted(overlap)}")
+            raise EmbeddingError(
+                f"row/col dims overlap: {sorted(overlap)} "
+                f"(row_dims={row_dims}, col_dims={col_dims})"
+            )
         if len(row_dims) + len(col_dims) != machine.n:
-            raise ValueError(
-                f"row_dims + col_dims must cover all {machine.n} cube dims"
+            raise EmbeddingError(
+                f"row_dims {row_dims} + col_dims {col_dims} must cover all "
+                f"{machine.n} cube dims"
             )
         self.machine = machine
         self.R = R
@@ -308,9 +315,9 @@ class MatrixEmbedding:
         """Load a host matrix into the machine (front-end I/O; not timed)."""
         matrix = np.asarray(matrix)
         if matrix.shape != (self.R, self.C):
-            raise ValueError(
+            raise ShapeError(
                 f"expected host matrix of shape ({self.R}, {self.C}), "
-                f"got {matrix.shape}"
+                f"got {matrix.shape} for {self.signature()}"
             )
         if self.local_size == 0:
             return PVar(self.machine, np.zeros((self.machine.p, 0, 0), matrix.dtype))
@@ -325,11 +332,15 @@ class MatrixEmbedding:
     def gather(self, pvar: PVar) -> np.ndarray:
         """Read the matrix back to the host (front-end I/O; not timed)."""
         if pvar.machine is not self.machine:
-            raise ValueError("PVar belongs to a different machine")
+            raise EmbeddingError(
+                f"PVar belongs to a different machine than embedding "
+                f"{self.signature()}"
+            )
         if pvar.local_shape != self.local_shape:
-            raise ValueError(
+            raise ShapeError(
                 f"PVar local shape {pvar.local_shape} does not match "
-                f"embedding local shape {self.local_shape}"
+                f"embedding local shape {self.local_shape} of "
+                f"{self.signature()}"
             )
         out = np.zeros((self.R, self.C), dtype=pvar.dtype)
         mask = self.valid_mask()

@@ -26,6 +26,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..errors import EmbeddingError, ShapeError
 from ..machine.hypercube import Hypercube
 from ..machine.plans import MISSING, RemapPlan
 from ..machine.pvar import PVar
@@ -98,9 +99,15 @@ def remap_vector(
     local pack/unpack pass on each side.
     """
     if src.machine is not dst.machine:
-        raise ValueError("embeddings live on different machines")
+        raise EmbeddingError(
+            f"embeddings live on different machines: {src.signature()} vs "
+            f"{dst.signature()}"
+        )
     if src.L != dst.L:
-        raise ValueError(f"length mismatch: {src.L} != {dst.L}")
+        raise ShapeError(
+            f"vector length mismatch: {src.L} ({src.signature()}) != "
+            f"{dst.L} ({dst.signature()})"
+        )
     machine = src.machine
     if src.compatible(dst):
         return pvar
@@ -137,7 +144,11 @@ def remap_vector(
 
         out = dst.scatter(host)
         if dst.replicated:
-            assert isinstance(dst, _AlignedEmbedding)
+            if not isinstance(dst, _AlignedEmbedding):
+                raise EmbeddingError(
+                    f"replicated destination must be an aligned embedding, "
+                    f"got {type(dst).__name__} {dst.signature()}"
+                )
             # Primary copies live at across-coordinate 0 (grid Gray rank 0);
             # replicate them over the orthogonal subcube with a real
             # broadcast.
@@ -154,10 +165,14 @@ def redistribute_matrix(
 ) -> PVar:
     """Move a matrix between two embeddings of the same global shape."""
     if src.machine is not dst.machine:
-        raise ValueError("embeddings live on different machines")
+        raise EmbeddingError(
+            f"embeddings live on different machines: {src.signature()} vs "
+            f"{dst.signature()}"
+        )
     if (src.R, src.C) != (dst.R, dst.C):
-        raise ValueError(
-            f"shape mismatch: {src.R}x{src.C} != {dst.R}x{dst.C}"
+        raise ShapeError(
+            f"matrix shape mismatch: {src.R}x{src.C} ({src.signature()}) "
+            f"!= {dst.R}x{dst.C} ({dst.signature()})"
         )
     machine = src.machine
     if src == dst:

@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..errors import EmbeddingError, ShapeError
 from ..machine.hypercube import Hypercube
 from ..machine.plans import readonly
 from ..machine.pvar import PVar
@@ -143,8 +144,9 @@ class VectorEmbedding(abc.ABC):
         """Load a host vector (front-end I/O; not timed)."""
         vector = np.asarray(vector)
         if vector.shape != (self.L,):
-            raise ValueError(
-                f"expected host vector of shape ({self.L},), got {vector.shape}"
+            raise ShapeError(
+                f"expected host vector of shape ({self.L},), got "
+                f"{vector.shape} for {self.signature()}"
             )
         idx = self.global_indices()
         data = vector[idx]
@@ -154,11 +156,14 @@ class VectorEmbedding(abc.ABC):
     def gather(self, pvar: PVar) -> np.ndarray:
         """Read the vector back to the host (front-end I/O; not timed)."""
         if pvar.machine is not self.machine:
-            raise ValueError("PVar belongs to a different machine")
+            raise EmbeddingError(
+                f"PVar belongs to a different machine than embedding "
+                f"{self.signature()}"
+            )
         if pvar.local_shape != self.local_shape:
-            raise ValueError(
+            raise ShapeError(
                 f"PVar local shape {pvar.local_shape} != embedding local "
-                f"shape {self.local_shape}"
+                f"shape {self.local_shape} of {self.signature()}"
             )
         out = np.zeros(self.L, dtype=pvar.dtype)
         mask = self.valid_mask()
@@ -209,9 +214,11 @@ class VectorOrderEmbedding(VectorEmbedding):
         coding: str = "gray",
     ) -> None:
         if L < 1:
-            raise ValueError(f"vector length must be >= 1, got {L}")
+            raise ShapeError(f"vector length must be >= 1, got {L}")
         if coding not in ("gray", "binary"):
-            raise ValueError(f"coding must be 'gray' or 'binary', got {coding!r}")
+            raise EmbeddingError(
+                f"coding must be 'gray' or 'binary', got {coding!r}"
+            )
         self.machine = machine
         self.L = L
         self.layout: Layout = make_layout(layout, L, machine.p)
@@ -303,9 +310,10 @@ class _AlignedEmbedding(VectorEmbedding):
             self._grid_along = matrix.grid_coords()[0]
             self._grid_across = matrix.grid_coords()[1]
         if resident is not None and not (0 <= resident < self._across_extent):
-            raise ValueError(
+            raise EmbeddingError(
                 f"resident grid index {resident} out of range "
-                f"[0, {self._across_extent})"
+                f"[0, {self._across_extent}) for {type(self).__name__} on "
+                f"matrix {matrix.signature()}"
             )
         self._across_codes: dict = {}
 

@@ -1,0 +1,72 @@
+"""The library's exception taxonomy.
+
+Every error the simulator raises on purpose derives from :class:`ReproError`,
+so callers can catch one base class instead of fishing ``ValueError`` out of
+NumPy noise.  The input-validation errors double-inherit from the built-in
+they historically were (``ShapeError`` and ``EmbeddingError`` are also
+``ValueError``\\ s), so existing ``except ValueError`` call sites keep
+working.
+
+Hierarchy::
+
+    ReproError
+    ├── ShapeError(ValueError)      — array extents / local shapes disagree
+    ├── EmbeddingError(ValueError)  — embeddings mismatched or ill-formed
+    ├── FaultError(RuntimeError)    — the simulated machine is degraded
+    │   ├── NodeKilledError         — a processor died; collectives impossible
+    │   └── UnroutableError         — no healthy path exists for a message
+    └── CheckpointError(RuntimeError) — checkpoint contents unusable
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every intentional error raised by the library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Array extents or local shapes are inconsistent.
+
+    Messages name the offending shapes so the failing operand is
+    identifiable from the traceback alone.
+    """
+
+
+class EmbeddingError(ReproError, ValueError):
+    """Embeddings are mismatched, ill-formed, or used out of contract.
+
+    Messages name the embeddings involved.
+    """
+
+
+class FaultError(ReproError, RuntimeError):
+    """The simulated machine cannot complete an operation due to faults."""
+
+
+class NodeKilledError(FaultError):
+    """A processor is dead: SIMD collectives over it are impossible.
+
+    The resilient runner (:func:`repro.faults.run_resilient`) catches this,
+    degrades the session onto the largest healthy subcube, and resumes the
+    workload from its last checkpoint.
+    """
+
+
+class UnroutableError(FaultError):
+    """No healthy path exists for a routed message (links/nodes too dead)."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint is missing required entries or does not fit the machine."""
+
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "EmbeddingError",
+    "FaultError",
+    "NodeKilledError",
+    "UnroutableError",
+    "CheckpointError",
+]

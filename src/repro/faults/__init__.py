@@ -1,0 +1,50 @@
+"""Fault injection, fault-aware routing support, and degraded-mode recovery.
+
+The paper's machine was a real Connection Machine, where link and processor
+failures were an operational fact; this package lets the simulator model
+them deterministically.  See ``docs/robustness.md`` for the fault model and
+cost assumptions, and :mod:`repro.errors` for the exception taxonomy.
+
+Quickstart::
+
+    from repro import Session
+    from repro.faults import FaultPlan, run_resilient, gaussian_workload
+
+    plan = FaultPlan.random(n=4, seed=7, horizon=5e5, node_kills=1)
+    s = Session(4, faults=plan)
+    report = run_resilient(s, gaussian_workload(A, b))
+    assert report.recovered
+"""
+
+from .plan import FaultEvent, FaultPlan, LinkDrop, LinkKill, NodeKill
+from .injector import FaultInjector, FaultStats, RetryPolicy
+from .checkpoint import Checkpoint, CheckpointStore
+from .recovery import (
+    RecoveryReport,
+    gaussian_workload,
+    largest_healthy_subcube,
+    matvec_workload,
+    run_resilient,
+    simplex_workload,
+    subcube_members,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "LinkDrop",
+    "LinkKill",
+    "NodeKill",
+    "FaultInjector",
+    "FaultStats",
+    "RetryPolicy",
+    "Checkpoint",
+    "CheckpointStore",
+    "RecoveryReport",
+    "largest_healthy_subcube",
+    "subcube_members",
+    "run_resilient",
+    "gaussian_workload",
+    "simplex_workload",
+    "matvec_workload",
+]

@@ -1,0 +1,163 @@
+"""Checkpoint/restore of distributed arrays for degraded-mode recovery.
+
+A :class:`Checkpoint` is a host-side snapshot: canonical (row-major) NumPy
+copies of distributed arrays plus a small dict of solver state (step
+counter, pivot lists, ...).  Host-side is deliberate — the Connection
+Machine's front end survives node failures, and a host copy can be
+re-scattered onto *any* machine, including the smaller subcube recovery
+remaps onto.
+
+The data motion is charged honestly on the simulated clock:
+
+* **save** charges a gather-to-host schedule — for each cube dimension
+  ``j`` one round of volume ``local * 2**j`` per array (the classic
+  binary-tree gather, total ``local * (p - 1)`` elements per processor
+  column) plus one local pack pass;
+* **restore** charges the mirror-image scatter (recursive halving) on the
+  machine doing the restoring — a degraded machine pays its own, smaller
+  schedule.
+
+Checkpoints are taken *before* faults land (periodically, from the
+workload's ``on_step`` hook), so a save never races a dead node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import CheckpointError
+
+
+@dataclass
+class Checkpoint:
+    """One saved snapshot: arrays (host copies) plus solver state."""
+
+    label: str
+    step: int
+    time: float  # simulated time at save
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    state: Dict[str, Any] = field(default_factory=dict)
+
+    def array(self, name: str) -> np.ndarray:
+        """The saved array called ``name`` (:class:`CheckpointError` if absent)."""
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise CheckpointError(
+                f"checkpoint {self.label!r} (step {self.step}) has no array "
+                f"{name!r}; it holds {sorted(self.arrays)}"
+            ) from None
+
+
+class CheckpointStore:
+    """Holds the latest checkpoint per label and charges its data motion.
+
+    One store per resilient run; the workload saves periodically and, after
+    the session degrades onto a subcube, restores from the latest snapshot
+    to resume.  ``saves``/``restores`` count operations for reports.
+    """
+
+    def __init__(self, session: Any) -> None:
+        self.session = session
+        self._latest: Optional[Checkpoint] = None
+        self.saves = 0
+        self.restores = 0
+
+    @property
+    def latest(self) -> Optional[Checkpoint]:
+        return self._latest
+
+    # -- charged schedules -----------------------------------------------------
+
+    def _charge_collection(self, local_size: float) -> None:
+        """One binary-tree gather (or its mirror scatter) of an array."""
+        machine = self.session.machine
+        machine.charge_local(local_size)  # pack/unpack pass
+        for j in range(machine.n):
+            machine.charge_comm_round(local_size * (1 << j), dim=j)
+
+    # -- operations ------------------------------------------------------------
+
+    def save(
+        self,
+        label: str,
+        arrays: Dict[str, Any],
+        state: Optional[Dict[str, Any]] = None,
+        step: int = 0,
+    ) -> Checkpoint:
+        """Snapshot distributed arrays (plus host arrays/state) to the host.
+
+        ``arrays`` maps names to distributed arrays (anything with
+        ``to_numpy()`` and a ``pvar``) or plain ndarrays (stored as-is,
+        uncharged — they already live on the host).
+        """
+        machine = self.session.machine
+        host: Dict[str, np.ndarray] = {}
+        for name, arr in arrays.items():
+            pvar = getattr(arr, "pvar", None)
+            if pvar is not None:
+                self._charge_collection(pvar.local_size)
+                host[name] = np.array(arr.to_numpy())
+            else:
+                host[name] = np.array(arr)
+        ck = Checkpoint(
+            label=label,
+            step=step,
+            time=machine.counters.time,
+            arrays=host,
+            state=dict(state or {}),
+        )
+        self._latest = ck
+        self.saves += 1
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"checkpoint:{label}",
+                "fault",
+                step=step,
+                arrays=sorted(host),
+            )
+        return ck
+
+    def restore(self, required: bool = False) -> Optional[Checkpoint]:
+        """The latest checkpoint, charging its re-scatter on the *current*
+        machine.
+
+        Returns ``None`` when nothing has been saved yet (the workload then
+        starts from its inputs), unless ``required`` — then that is a
+        :class:`CheckpointError`.  Each distributed-array payload charges
+        the scatter schedule for the machine doing the restoring; the
+        charged ticks are folded into the injector's ``recovery_ticks``.
+        """
+        ck = self._latest
+        if ck is None:
+            if required:
+                raise CheckpointError("no checkpoint has been saved")
+            return None
+        machine = self.session.machine
+        start = machine.counters.time
+        for host in ck.arrays.values():
+            if machine.p == 0:  # pragma: no cover - defensive
+                raise CheckpointError("cannot restore onto an empty machine")
+            self._charge_collection(float(host.size) / machine.p)
+        self.restores += 1
+        injector = machine.faults
+        if injector is not None:
+            injector.stats.remapped_arrays += len(ck.arrays)
+            injector.stats.recovery_ticks += machine.counters.time - start
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"restore:{ck.label}",
+                "fault",
+                step=ck.step,
+                arrays=sorted(ck.arrays),
+                p=machine.p,
+            )
+        return ck
+
+
+__all__ = ["Checkpoint", "CheckpointStore"]

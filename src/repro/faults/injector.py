@@ -1,0 +1,245 @@
+"""The fault injector: applies a :class:`FaultPlan` to a live machine.
+
+Attach with :meth:`Hypercube.attach_faults` (or ``Session(...,
+faults=plan)``).  The machine polls the injector at every charged
+communication round; events whose scheduled simulated time has arrived are
+applied in order:
+
+* :class:`~.plan.NodeKill` / :class:`~.plan.LinkKill` mutate the machine's
+  health masks and bump the topology epoch (invalidating cached plans);
+* :class:`~.plan.LinkDrop` *arms* transient drops on a dimension — the
+  next round along that dimension retries, each retry charged as one extra
+  round of the same volume plus capped exponential backoff waiting time.
+
+All fault accounting lives in :class:`FaultStats` (on the injector, not on
+:class:`~repro.machine.counters.Counters` — the counters stay a pure cost
+record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from ..errors import NodeKilledError
+from .plan import FaultPlan, LinkDrop, LinkKill, NodeKill
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..machine.hypercube import Hypercube
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff for transient link drops.
+
+    Retry ``k`` (0-based) waits ``tau * min(base * factor**k, cap)`` ticks
+    before re-sending (``tau`` is the machine's start-up cost, so backoff
+    scales with the cost model).  At most ``max_retries`` retries are
+    charged per round; a drop burst longer than that is treated as
+    recovered by the final retry (the link is transiently, not permanently,
+    faulty).
+    """
+
+    max_retries: int = 4
+    base: float = 1.0
+    factor: float = 2.0
+    cap: float = 8.0
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff multiplier (in units of ``tau``) for retry ``attempt``."""
+        return min(self.base * self.factor ** attempt, self.cap)
+
+
+@dataclass
+class FaultStats:
+    """Everything the fault subsystem did, for reports and tests."""
+
+    node_kills: int = 0
+    link_kills: int = 0
+    drops: int = 0
+    retries: int = 0
+    detour_rounds: int = 0
+    backoff_time: float = 0.0
+    recoveries: int = 0
+    remapped_arrays: int = 0
+    recovery_ticks: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "node_kills": self.node_kills,
+            "link_kills": self.link_kills,
+            "drops": self.drops,
+            "retries": self.retries,
+            "detour_rounds": self.detour_rounds,
+            "backoff_time": self.backoff_time,
+            "recoveries": self.recoveries,
+            "remapped_arrays": self.remapped_arrays,
+            "recovery_ticks": self.recovery_ticks,
+        }
+
+
+class FaultInjector:
+    """Drives a :class:`FaultPlan` against one machine's simulated clock.
+
+    The injector survives degraded-mode recovery: when the session remaps
+    onto a healthy subcube, :meth:`translate` renames the remaining
+    unfired events into subcube coordinates (events targeting removed
+    processors, links or dimensions are dropped) and the new machine
+    re-attaches the same injector, so ``stats`` accumulates across the
+    whole resilient run.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, retry: Optional[RetryPolicy] = None
+    ) -> None:
+        self.plan = plan
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.stats = FaultStats()
+        self.machine: Optional["Hypercube"] = None
+        self.log: List[dict] = []  # applied events, in firing order
+        self._pending: List = list(plan.events)
+        self._next = 0
+        self._armed_drops: Dict[int, int] = {}  # dim -> drops awaiting a round
+
+    def bind(self, machine: "Hypercube") -> None:
+        """Bind to a machine (called by ``Hypercube.attach_faults``)."""
+        self.machine = machine
+
+    def now(self) -> float:
+        return self.machine.counters.time
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every scheduled event has fired."""
+        return self._next >= len(self._pending)
+
+    # -- event application -----------------------------------------------------
+
+    def poll(self, strict: bool = True) -> None:
+        """Fire every event whose simulated time has arrived.
+
+        With ``strict`` (the structured-collective path), raises
+        :class:`NodeKilledError` if the machine has dead processors — SIMD
+        rounds over a dead node are impossible until recovery remaps.  The
+        router polls non-strictly: point-to-point traffic between live
+        endpoints is still legal on a machine with dead nodes.
+        """
+        machine = self.machine
+        now = machine.counters.time
+        while self._next < len(self._pending):
+            ev = self._pending[self._next]
+            if ev.time > now:
+                break
+            self._next += 1
+            self._apply(ev)
+        if strict and machine._n_dead_nodes:
+            raise NodeKilledError(
+                f"{machine._n_dead_nodes} of {machine.p} processors are dead "
+                f"(epoch {machine.epoch}); degraded-mode recovery required"
+            )
+
+    def _apply(self, ev) -> None:
+        machine = self.machine
+        entry = ev.as_dict()
+        entry["fired_at"] = machine.counters.time
+        if isinstance(ev, NodeKill):
+            if machine.kill_node(ev.pid):
+                self.stats.node_kills += 1
+        elif isinstance(ev, LinkKill):
+            if machine.kill_link(ev.dim, ev.pid):
+                self.stats.link_kills += 1
+        elif isinstance(ev, LinkDrop):
+            self._armed_drops[ev.dim] = (
+                self._armed_drops.get(ev.dim, 0) + ev.count
+            )
+            self.stats.drops += ev.count
+            tracer = machine.tracer
+            if tracer is not None:
+                tracer.instant(
+                    f"link_drop:dim{ev.dim}", "fault", dim=ev.dim, count=ev.count
+                )
+        else:  # pragma: no cover - future event kinds
+            raise TypeError(f"unknown fault event {ev!r}")
+        self.log.append(entry)
+
+    # -- per-round hooks (called from Hypercube.charge_comm_round) -------------
+
+    def on_round(self, dim: int, volume: float, rounds: int) -> None:
+        """Consume armed transient drops on ``dim``: charge the retries.
+
+        Each retry re-sends the full round (one extra charged round of the
+        same volume) after a backoff wait; the wait is charged as pure time
+        (zero elements, zero rounds) so element/round counters only ever
+        reflect traffic that actually moved.
+        """
+        pending = self._armed_drops.pop(dim, 0)
+        if not pending:
+            return
+        machine = self.machine
+        retries = min(pending, self.retry.max_retries)
+        tau = machine.cost_model.tau
+        backoff = 0.0
+        for attempt in range(retries):
+            backoff += tau * self.retry.backoff(attempt)
+            machine._charge_comm_round_plain(volume, 1, dim)
+        machine.counters.charge_transfer(0.0, 0, backoff)
+        self.stats.retries += retries
+        self.stats.backoff_time += backoff
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"retry:dim{dim}",
+                "fault",
+                dim=dim,
+                dropped=pending,
+                retries=retries,
+                backoff=backoff,
+            )
+
+    # -- degraded-mode translation ---------------------------------------------
+
+    def translate(self, free_dims: Sequence[int], base: int) -> None:
+        """Rename remaining events into the coordinates of a subcube.
+
+        ``free_dims`` (parent dimensions the subcube keeps, ascending) and
+        ``base`` (the parent address bits fixed by the subcube) come from
+        :func:`repro.faults.recovery.largest_healthy_subcube`.  Unfired
+        events whose target survives are renamed; events aimed at removed
+        processors or collapsed dimensions are dropped (the hardware they
+        target no longer exists).  Fired events stay in ``log`` untouched.
+        """
+        free_dims = list(free_dims)
+        dim_map = {d: i for i, d in enumerate(free_dims)}
+        keep = sum(1 << d for d in free_dims)
+
+        def in_subcube(pid: int) -> bool:
+            return (pid & ~keep) == base
+
+        def compress(pid: int) -> int:
+            return sum(((pid >> d) & 1) << i for i, d in enumerate(free_dims))
+
+        remaining = []
+        for ev in self._pending[self._next :]:
+            if isinstance(ev, NodeKill):
+                if in_subcube(ev.pid):
+                    remaining.append(NodeKill(ev.time, pid=compress(ev.pid)))
+            elif isinstance(ev, LinkKill):
+                if ev.dim in dim_map and in_subcube(ev.pid):
+                    remaining.append(
+                        LinkKill(
+                            ev.time, dim=dim_map[ev.dim], pid=compress(ev.pid)
+                        )
+                    )
+            elif isinstance(ev, LinkDrop):
+                if ev.dim in dim_map:
+                    remaining.append(
+                        LinkDrop(ev.time, dim=dim_map[ev.dim], count=ev.count)
+                    )
+        self._pending = remaining
+        self._next = 0
+        self._armed_drops = {
+            dim_map[d]: c for d, c in self._armed_drops.items() if d in dim_map
+        }
+
+
+__all__ = ["RetryPolicy", "FaultStats", "FaultInjector"]

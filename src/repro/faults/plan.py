@@ -1,0 +1,171 @@
+"""Deterministic, seeded fault plans against the simulated clock.
+
+A :class:`FaultPlan` is a time-sorted schedule of fault events.  Each event
+carries the simulated time (in ticks of the machine's :class:`~repro.
+machine.counters.Counters`) at which it fires; the attached
+:class:`~repro.faults.injector.FaultInjector` polls the schedule at every
+charged communication round and applies events whose time has come.
+
+Because the simulated clock is itself deterministic, a given
+``(workload, FaultPlan)`` pair always produces the same kills, detours,
+retries and recovery ticks — the property the robustness tests pin.
+
+Event kinds
+-----------
+:class:`NodeKill`
+    Processor ``pid`` dies permanently.  Structured SIMD communication
+    becomes impossible; recovery must remap onto a healthy subcube.
+:class:`LinkKill`
+    The link across cube dimension ``dim`` at ``pid`` dies permanently.
+    Exchanges along ``dim`` survive via a 3-hop detour through an adjacent
+    dimension (two extra charged rounds per round).
+:class:`LinkDrop`
+    Transient: the next communication round along ``dim`` is dropped
+    ``count`` times before succeeding; each retry is charged one extra
+    round plus capped exponential backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something that happens at one simulated instant."""
+
+    time: float
+
+    def as_dict(self) -> dict:
+        data = {"kind": type(self).__name__, "time": self.time}
+        for key, value in self.__dict__.items():
+            if key != "time":
+                data[key] = value
+        return data
+
+
+@dataclass(frozen=True)
+class NodeKill(FaultEvent):
+    """Processor ``pid`` dies permanently at ``time``."""
+
+    pid: int = 0
+
+
+@dataclass(frozen=True)
+class LinkKill(FaultEvent):
+    """The link across ``dim`` at ``pid`` dies permanently at ``time``."""
+
+    dim: int = 0
+    pid: int = 0
+
+
+@dataclass(frozen=True)
+class LinkDrop(FaultEvent):
+    """The next round along ``dim`` is dropped ``count`` times (transient)."""
+
+    dim: int = 0
+    count: int = 1
+
+
+class FaultPlan:
+    """An immutable, time-sorted schedule of fault events.
+
+    Build one explicitly from events, or with :meth:`random` for a seeded
+    pseudo-random plan.  Equal-time events fire in construction order.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        indexed = list(events)
+        for ev in indexed:
+            if not isinstance(ev, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {ev!r}")
+        # Stable sort: ties keep their construction order, so a plan is a
+        # deterministic function of its event list alone.
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(indexed, key=lambda ev: ev.time)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = {}
+        for ev in self.events:
+            name = type(ev).__name__
+            kinds[name] = kinds.get(name, 0) + 1
+        inner = ", ".join(f"{k}x{v}" for k, v in sorted(kinds.items()))
+        return f"FaultPlan({len(self.events)} events: {inner})"
+
+    def as_dict(self) -> dict:
+        return {"events": [ev.as_dict() for ev in self.events]}
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        seed: int,
+        horizon: float,
+        link_kills: int = 1,
+        node_kills: int = 0,
+        drops: int = 2,
+        max_drop_count: int = 2,
+        window: Tuple[float, float] = (0.1, 0.9),
+    ) -> "FaultPlan":
+        """A seeded pseudo-random plan for an ``n``-dimensional machine.
+
+        Event times are uniform in ``[window[0], window[1]] * horizon``
+        (``horizon`` is typically the fault-free runtime of the workload,
+        so events land mid-flight).  Link kills target distinct links; node
+        kills target distinct processors.  The same ``(n, seed, horizon,
+        ...)`` arguments always produce the identical plan.
+        """
+        if n < 1 and (link_kills or drops):
+            raise ValueError("link faults need a machine with n >= 1")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        lo, hi = window
+        if not (0.0 <= lo <= hi <= 1.0):
+            raise ValueError(f"window must satisfy 0 <= lo <= hi <= 1, got {window}")
+        rng = np.random.default_rng(seed)
+        p = 1 << n
+        events: List[FaultEvent] = []
+
+        def when() -> float:
+            return float(rng.uniform(lo * horizon, hi * horizon))
+
+        seen_links = set()
+        for _ in range(link_kills):
+            for _ in range(16):  # distinct-link retry budget
+                dim = int(rng.integers(n))
+                pid = int(rng.integers(p))
+                key = (dim, min(pid, pid ^ (1 << dim)))
+                if key not in seen_links:
+                    seen_links.add(key)
+                    events.append(LinkKill(when(), dim=key[0], pid=key[1]))
+                    break
+        seen_nodes = set()
+        for _ in range(node_kills):
+            for _ in range(16):
+                pid = int(rng.integers(p))
+                if pid not in seen_nodes:
+                    seen_nodes.add(pid)
+                    events.append(NodeKill(when(), pid=pid))
+                    break
+        for _ in range(drops):
+            events.append(
+                LinkDrop(
+                    when(),
+                    dim=int(rng.integers(n)),
+                    count=int(rng.integers(1, max_drop_count + 1)),
+                )
+            )
+        return cls(events)
+
+
+__all__ = ["FaultEvent", "NodeKill", "LinkKill", "LinkDrop", "FaultPlan"]

@@ -1,0 +1,282 @@
+"""Degraded-mode recovery: healthy-subcube search and the resilient runner.
+
+When a :class:`~repro.errors.NodeKilledError` surfaces, the session remaps
+onto the **largest healthy subcube** — a subcube of the faulted machine in
+which every processor and every internal link is alive.  Subcubes are the
+natural recovery unit here because every embedding in this library is
+defined on a ``2**m``-processor cube: the checkpointed arrays re-embed on
+the survivor with the *same* Gray-code machinery, just one (or more)
+dimensions smaller.
+
+:func:`run_resilient` is the driver loop::
+
+    report = run_resilient(session, gaussian_workload(A, b))
+    assert report.recovered
+    x = report.result
+
+A *workload* is any callable ``workload(session, store)`` that (1) calls
+``store.restore()`` first and resumes from the returned checkpoint when
+there is one, (2) saves checkpoints periodically via ``store.save``, and
+(3) returns its final result.  On :class:`NodeKilledError` the runner
+degrades the session (checkpoint → subcube remap → injector translation)
+and calls the workload again; determinism of the simulator makes the
+recovered numerical result identical to the fault-free one (pinned by
+``tests/test_fault_recovery.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FaultError, NodeKilledError, UnroutableError
+from .checkpoint import CheckpointStore
+from .injector import FaultStats
+
+
+def largest_healthy_subcube(machine: Any) -> Tuple[Tuple[int, ...], int]:
+    """The largest subcube with all nodes and internal links alive.
+
+    Returns ``(free_dims, base)``: the parent dimensions the subcube keeps
+    (ascending) and the fixed parent address bits selecting it.  Ties are
+    broken deterministically — fewest fixed dimensions first, then
+    lexicographically smallest fixed-dimension set, then smallest ``base``.
+    Raises :class:`FaultError` when not even a single processor is healthy.
+    """
+    n = machine.n
+    pids = np.arange(machine.p, dtype=np.int64)
+    for n_fixed in range(n + 1):
+        for fixed in itertools.combinations(range(n), n_fixed):
+            free_dims = tuple(d for d in range(n) if d not in fixed)
+            fixed_mask = sum(1 << d for d in fixed)
+            for combo in range(1 << n_fixed):
+                base = sum(
+                    ((combo >> i) & 1) << d for i, d in enumerate(fixed)
+                )
+                members = pids[(pids & fixed_mask) == base]
+                if machine.node_ok is not None and not machine.node_ok[
+                    members
+                ].all():
+                    continue
+                if machine.link_ok is not None and any(
+                    not machine.link_ok[d, members].all() for d in free_dims
+                ):
+                    continue
+                return free_dims, base
+    raise FaultError(
+        f"no healthy subcube exists on the {machine.p}-processor machine "
+        f"(epoch {machine.epoch})"
+    )
+
+
+def subcube_members(free_dims: Sequence[int], base: int) -> np.ndarray:
+    """Parent pids of the subcube, indexed by subcube pid (Gray-free order)."""
+    free_dims = list(free_dims)
+    size = 1 << len(free_dims)
+    members = np.empty(size, dtype=np.int64)
+    for j in range(size):
+        pid = base
+        for i, d in enumerate(free_dims):
+            pid |= ((j >> i) & 1) << d
+        members[j] = pid
+    return members
+
+
+@dataclass
+class RecoveryReport:
+    """What one resilient run did."""
+
+    result: Any
+    recovered: bool
+    recoveries: int
+    stats: FaultStats
+    final_p: int
+    error: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        data = {
+            "recovered": self.recovered,
+            "recoveries": self.recoveries,
+            "final_p": self.final_p,
+            "stats": self.stats.as_dict(),
+        }
+        if self.error is not None:
+            data["error"] = self.error
+        return data
+
+
+def run_resilient(
+    session: Any,
+    workload: Callable[[Any, CheckpointStore], Any],
+    max_recoveries: int = 2,
+    store: Optional[CheckpointStore] = None,
+) -> RecoveryReport:
+    """Run ``workload`` to completion, degrading past node kills.
+
+    Catches :class:`NodeKilledError` (and :class:`UnroutableError`), remaps
+    the session onto the largest healthy subcube and re-runs the workload —
+    which resumes from its last checkpoint — at most ``max_recoveries``
+    times.  Never raises for fault-related failures; inspect
+    ``report.recovered`` / ``report.error``.
+    """
+    if store is None:
+        store = CheckpointStore(session)
+    recoveries = 0
+    error: Optional[str] = None
+    while True:
+        injector = session.machine.faults
+        stats = injector.stats if injector is not None else FaultStats()
+        try:
+            result = workload(session, store)
+            return RecoveryReport(
+                result=result,
+                recovered=True,
+                recoveries=recoveries,
+                stats=stats,
+                final_p=session.machine.p,
+            )
+        except (NodeKilledError, UnroutableError) as exc:
+            error = str(exc)
+            if recoveries >= max_recoveries:
+                break
+            try:
+                session.degrade()
+            except FaultError as degrade_exc:
+                error = str(degrade_exc)
+                break
+            recoveries += 1
+            injector = session.machine.faults
+            if injector is not None:
+                injector.stats.recoveries += 1
+    injector = session.machine.faults
+    stats = injector.stats if injector is not None else FaultStats()
+    return RecoveryReport(
+        result=None,
+        recovered=False,
+        recoveries=recoveries,
+        stats=stats,
+        final_p=session.machine.p,
+        error=error,
+    )
+
+
+# -- ready-made workloads ------------------------------------------------------
+
+
+def gaussian_workload(
+    A: np.ndarray,
+    b: np.ndarray,
+    pivoting: str = "partial",
+    tol: float = 1e-12,
+    checkpoint_every: int = 4,
+) -> Callable[[Any, CheckpointStore], np.ndarray]:
+    """Solve ``A x = b``, checkpointing the tableau every few pivot steps.
+
+    Gaussian elimination carries real mid-solve state (the partially
+    eliminated tableau and the pivot history), so recovery resumes from
+    the last checkpointed elimination step rather than restarting.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = A.shape[0]
+
+    def run(session: Any, store: CheckpointStore) -> np.ndarray:
+        from ..algorithms import gaussian
+
+        ck = store.restore()
+        if ck is None:
+            T = session.matrix(np.hstack([A, b[:, None]]))
+            start, pivots, pivot_values = 0, None, None
+        else:
+            T = session.matrix(ck.array("tableau"))
+            start = int(ck.state["step"])
+            pivots = list(ck.state["pivots"])
+            pivot_values = list(ck.state["pivot_values"])
+
+        def on_step(k, T_cur, pivots_cur, pivot_values_cur):
+            if k < n and k % checkpoint_every == 0:
+                store.save(
+                    "gaussian",
+                    {"tableau": T_cur},
+                    state={
+                        "step": k,
+                        "pivots": tuple(pivots_cur),
+                        "pivot_values": tuple(pivot_values_cur),
+                    },
+                    step=k,
+                )
+
+        machine = session.machine
+        with machine.phase("gaussian"):
+            elim = gaussian.eliminate(
+                T,
+                pivoting=pivoting,
+                tol=tol,
+                start=start,
+                pivots=pivots,
+                pivot_values=pivot_values,
+                on_step=on_step,
+            )
+            return gaussian.back_substitute(elim, tol=tol)
+
+    return run
+
+
+def simplex_workload(
+    A: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    rule: str = "dantzig",
+    tol: float = 1e-9,
+) -> Callable[[Any, CheckpointStore], np.ndarray]:
+    """Solve the LP ``max c·x, A x <= b, x >= 0``; recovery restarts.
+
+    The simplex tableau is cheap to rebuild and the solve deterministic,
+    so the workload checkpoints only its inputs and re-runs from scratch
+    on the survivor subcube — the result is bit-identical either way.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+
+    def run(session: Any, store: CheckpointStore) -> np.ndarray:
+        from ..algorithms import simplex
+
+        store.restore()
+        result = simplex.solve(session.machine, A, b, c, rule=rule, tol=tol)
+        return result.x
+
+    return run
+
+
+def matvec_workload(
+    A: np.ndarray, x: np.ndarray, reps: int = 4
+) -> Callable[[Any, CheckpointStore], np.ndarray]:
+    """Repeated ``y = A x`` (an iterative-solver stand-in); restarts."""
+    A = np.asarray(A, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+
+    def run(session: Any, store: CheckpointStore) -> np.ndarray:
+        store.restore()
+        dA = session.matrix(A)
+        y = x
+        for _ in range(reps):
+            vec = session.row_vector(y, dA)
+            y = dA.matvec(vec).to_numpy()
+        return y
+
+    return run
+
+
+__all__ = [
+    "largest_healthy_subcube",
+    "subcube_members",
+    "RecoveryReport",
+    "run_resilient",
+    "gaussian_workload",
+    "simplex_workload",
+    "matvec_workload",
+]

@@ -23,6 +23,7 @@ import contextlib
 
 import numpy as np
 
+from ..errors import NodeKilledError, UnroutableError
 from .cost_model import CostModel
 from .counters import Counters, CostSnapshot
 from .plans import PlanCache
@@ -43,6 +44,11 @@ class Hypercube:
         ``None`` (default) follows the ``REPRO_PLAN_CACHE`` environment
         variable (on unless set false-y).  The cache never changes charged
         costs — see :mod:`repro.machine.plans`.
+    counters:
+        An existing :class:`Counters` to charge into.  Used by degraded-mode
+        recovery (:meth:`repro.core.session.Session.degrade`) so a
+        replacement sub-machine keeps accumulating on the same simulated
+        clock; a fresh machine gets fresh counters.
     """
 
     def __init__(
@@ -50,6 +56,7 @@ class Hypercube:
         n: int,
         cost_model: Optional[CostModel] = None,
         plan_cache: Optional[bool] = None,
+        counters: Optional[Counters] = None,
     ) -> None:
         if n < 0:
             raise ValueError(f"cube dimension must be >= 0, got {n}")
@@ -58,17 +65,29 @@ class Hypercube:
         self.n = n
         self.p = 1 << n
         self.cost_model = cost_model if cost_model is not None else CostModel.cm2()
-        self.counters = Counters()
+        self.counters = counters if counters is not None else Counters()
         # Observability: ``None`` (the default) is the null tracer — every
         # instrumented site pays exactly one ``is None`` branch and charges
         # nothing, so cost totals are bit-identical traced or not.
         self.tracer = None
+        # Fault state.  ``epoch`` counts topology changes: every permanent
+        # fault bumps it, and the plan cache folds it into every key, so a
+        # plan derived on one topology can never replay on another.  The
+        # health masks stay ``None`` until the first fault so the healthy
+        # path allocates and checks nothing.
+        self.epoch = 0
+        self.faults = None  # attached repro.faults.FaultInjector, if any
+        self.node_ok: Optional[np.ndarray] = None  # (p,) bool; None = all up
+        self.link_ok: Optional[np.ndarray] = None  # (n, p) bool; None = all up
+        self._n_dead_nodes = 0
+        self._dead_links_by_dim: dict = {}  # dim -> sorted list of low pids
         # Per-machine plan cache: a fresh machine (or cost model) gets a
         # fresh empty cache, so plans can never leak across machines.
         self.plans = PlanCache(self, enabled=plan_cache)
         self._pids = np.arange(self.p, dtype=np.int64)
         # Neighbour permutations per dimension, precomputed once.
         self._neighbor = [self._pids ^ (1 << d) for d in range(n)]
+        self._detour_memo: dict = {}  # exchange-detour dim per faulted dim
         # Per-volume cost memos.  CostModel is frozen, so each rate is a
         # pure function of the volume; caching returns the *same float* the
         # direct call would, keeping charged time bit-identical.
@@ -91,6 +110,141 @@ class Hypercube:
             tracer.bind(self)
         self.tracer = tracer
         return tracer
+
+    # -- fault state -----------------------------------------------------------
+
+    @property
+    def faulty(self) -> bool:
+        """True once any permanent fault (dead node or link) has landed."""
+        return self._n_dead_nodes > 0 or bool(self._dead_links_by_dim)
+
+    def attach_faults(self, injector: Any) -> Any:
+        """Attach a :class:`repro.faults.FaultInjector` (returns it).
+
+        The injector is polled at every charged communication round and
+        applies its scheduled fault events against the simulated clock.
+        Pass ``None`` to detach.
+        """
+        if injector is not None:
+            injector.bind(self)
+        self.faults = injector
+        return injector
+
+    def bump_epoch(self) -> None:
+        """Advance the topology epoch after a permanent fault.
+
+        Every cached communication plan is keyed by the epoch at lookup
+        time (see :class:`PlanCache`), so bumping it atomically invalidates
+        all plans derived on the old topology; the explicit ``clear`` just
+        frees the dead entries early.
+        """
+        self.epoch += 1
+        self.plans.clear()
+        self._detour_memo.clear()
+
+    def node_alive(self, pid: int) -> bool:
+        return self.node_ok is None or bool(self.node_ok[pid])
+
+    def link_alive(self, dim: int, pid: int) -> bool:
+        """Whether ``pid``'s link across ``dim`` is healthy."""
+        return self.link_ok is None or bool(self.link_ok[dim, pid])
+
+    def alive_pids(self) -> np.ndarray:
+        """Addresses of the processors still alive."""
+        if self.node_ok is None:
+            return self._pids
+        return self._pids[self.node_ok]
+
+    def kill_node(self, pid: int) -> bool:
+        """Permanently kill processor ``pid``; returns False if already dead.
+
+        A dead node makes SIMD collectives impossible: every subsequent
+        charged communication round raises :class:`NodeKilledError` until
+        the workload is remapped onto a healthy subcube (degraded mode).
+        """
+        if not (0 <= pid < self.p):
+            raise ValueError(f"pid {pid} out of range for p={self.p}")
+        if self.node_ok is None:
+            self.node_ok = np.ones(self.p, dtype=bool)
+        if not self.node_ok[pid]:
+            return False
+        self.node_ok[pid] = False
+        self._n_dead_nodes += 1
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(f"kill_node:{pid}", "fault", pid=pid, epoch=self.epoch)
+        return True
+
+    def kill_link(self, dim: int, pid: int) -> bool:
+        """Permanently kill the link across ``dim`` at ``pid`` (either end).
+
+        Returns False if that link was already dead.  Structured exchanges
+        along ``dim`` still complete — the two endpoints detour through an
+        adjacent dimension — but each round pays two extra detour rounds
+        (see ``docs/robustness.md`` for the cost model).
+        """
+        self._check_dim(dim)
+        if not (0 <= pid < self.p):
+            raise ValueError(f"pid {pid} out of range for p={self.p}")
+        bit = 1 << dim
+        lo = min(pid, pid ^ bit)
+        if self.link_ok is None:
+            self.link_ok = np.ones((self.n, self.p), dtype=bool)
+        if not self.link_ok[dim, lo]:
+            return False
+        self.link_ok[dim, lo] = False
+        self.link_ok[dim, lo ^ bit] = False
+        links = self._dead_links_by_dim.setdefault(dim, [])
+        links.append(lo)
+        links.sort()
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"kill_link:{dim}@{lo}", "fault", dim=dim, pid=lo, epoch=self.epoch
+            )
+        return True
+
+    def _exchange_detour_dim(self, dim: int) -> int:
+        """Detour dimension for structured exchanges across faulted ``dim``.
+
+        Each dead link ``(dim, lo)`` must be bypassable by some adjacent
+        dimension ``e``: the 3-hop path ``a -e-> a^e -dim-> b^e -e-> b``
+        needs both intermediate nodes and all three substitute links alive.
+        Every dead link may use its own ``e``; all detours proceed
+        concurrently, so the surcharge is a flat two extra rounds.  Raises
+        :class:`UnroutableError` when some dead link has no healthy detour.
+        Returns the lowest detour dimension used (tracer attribution only).
+        """
+        memo_key = (self.epoch, dim)
+        found = self._detour_memo.get(memo_key)
+        if found is not None:
+            return found
+        bit = 1 << dim
+        chosen = self.n
+        for lo in self._dead_links_by_dim.get(dim, ()):
+            a, b = lo, lo ^ bit
+            for e in range(self.n):
+                if e == dim:
+                    continue
+                ebit = 1 << e
+                if (
+                    self.node_alive(a ^ ebit)
+                    and self.node_alive(b ^ ebit)
+                    and self.link_alive(e, a)
+                    and self.link_alive(dim, a ^ ebit)
+                    and self.link_alive(e, b)
+                ):
+                    chosen = min(chosen, e)
+                    break
+            else:
+                raise UnroutableError(
+                    f"link (dim={dim}, pid={lo}) is dead and no adjacent "
+                    f"dimension offers a healthy detour (epoch {self.epoch})"
+                )
+        self._detour_memo[memo_key] = chosen
+        return chosen
 
     # -- identity ------------------------------------------------------------
 
@@ -164,7 +318,28 @@ class Hypercube:
         ``dim`` (observability only) names the cube dimension the rounds
         traverse, when the caller knows it; the tracer files dimensionless
         rounds under ``-1``.
+
+        On a healthy machine with no fault injector attached this is the
+        single plain charge below — bit-identical to a build without the
+        faults subsystem.  With faults, the injector is polled first (its
+        scheduled events fire against the simulated clock), and transient
+        drops / link detours surcharge honest extra rounds afterwards.
         """
+        if (
+            self.faults is None
+            and self.node_ok is None
+            and self.link_ok is None
+        ):
+            self._charge_comm_round_plain(elements_per_processor, rounds, dim)
+        else:
+            self._charge_comm_round_faulty(elements_per_processor, rounds, dim)
+
+    def _charge_comm_round_plain(
+        self,
+        elements_per_processor: float,
+        rounds: int = 1,
+        dim: Optional[int] = None,
+    ) -> None:
         time = self._round_cost.get(elements_per_processor)
         if time is None:
             time = self._round_cost[elements_per_processor] = (
@@ -176,6 +351,35 @@ class Hypercube:
         tracer = self.tracer
         if tracer is not None:
             tracer.on_comm_round(dim, elements_per_processor, rounds)
+
+    def _charge_comm_round_faulty(
+        self,
+        elements_per_processor: float,
+        rounds: int,
+        dim: Optional[int],
+    ) -> None:
+        faults = self.faults
+        if faults is not None:
+            faults.poll()
+        if self._n_dead_nodes:
+            raise NodeKilledError(
+                f"cannot run a SIMD communication round: {self._n_dead_nodes} of "
+                f"{self.p} processors are dead (epoch {self.epoch})"
+            )
+        self._charge_comm_round_plain(elements_per_processor, rounds, dim)
+        if dim is None:
+            return
+        if dim in self._dead_links_by_dim:
+            # Every dead link in ``dim`` detours through an adjacent
+            # dimension: 3 hops instead of 1, so each original round costs
+            # two extra rounds of the same volume (detours run concurrently).
+            detour = self._exchange_detour_dim(dim)
+            extra = 2 * rounds
+            self._charge_comm_round_plain(elements_per_processor, extra, detour)
+            if faults is not None:
+                faults.stats.detour_rounds += extra
+        if faults is not None:
+            faults.on_round(dim, elements_per_processor, rounds)
 
     @contextlib.contextmanager
     def phase(self, name: str) -> Iterator[None]:

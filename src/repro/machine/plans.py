@@ -161,9 +161,14 @@ class PlanCache:
 
         Disabled caches always miss (without counting a miss: nothing is
         being cached, so there is no statistic to report).
+
+        Every key is silently namespaced by the machine's topology *epoch*
+        (bumped on each permanent fault), so a plan derived on one topology
+        can never replay on a machine whose links or nodes have since died.
         """
         if not self.enabled:
             return MISSING
+        key = (self.machine.epoch, key)
         try:
             value = self._store[key]
         except KeyError:
@@ -174,9 +179,14 @@ class PlanCache:
         return value
 
     def store(self, key: Hashable, value: Any) -> Any:
-        """Insert ``value`` under ``key`` (LRU-evicting past ``maxsize``)."""
+        """Insert ``value`` under ``key`` (LRU-evicting past ``maxsize``).
+
+        Keys are namespaced by the topology epoch exactly as in
+        :meth:`lookup`.
+        """
         if not self.enabled:
             return value
+        key = (self.machine.epoch, key)
         self._store[key] = value
         self._store.move_to_end(key)
         while len(self._store) > self.maxsize:

@@ -27,6 +27,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..errors import NodeKilledError, UnroutableError
 from .hypercube import Hypercube
 from .plans import MISSING
 from .pvar import PVar
@@ -91,6 +92,15 @@ class Router:
         if dst.size and (dst.min() < 0 or dst.max() >= machine.p):
             raise ValueError("message destination out of processor range")
 
+        # Fire any fault events due at the current simulated time *before*
+        # consulting the plan cache, so a topology change (epoch bump)
+        # invalidates stale plans ahead of the lookup.  Non-strict: routed
+        # point-to-point traffic is legal on a machine with dead nodes as
+        # long as the endpoints themselves are alive.
+        faults = machine.faults
+        if faults is not None and charge:
+            faults.poll(strict=False)
+
         # A charged simulation is an observable event; uncharged what-if
         # queries from the analytic models stay invisible to the tracer.
         tracer = machine.tracer if charge else None
@@ -124,42 +134,213 @@ class Router:
                             tracer.on_route_replay(cached)
                     return cached
 
-            cur = src.copy()
-            total_time = 0.0
-            total_hops = 0.0
-            rounds = 0
-            worst = 0.0
-            round_detail = []
-            cm = machine.cost_model
-            for d in range(machine.n):
-                bit = np.int64(1) << d
-                moving = ((cur ^ dst) & bit) != 0
-                if not np.any(moving):
-                    continue
-                loads = np.bincount(
-                    cur[moving], weights=sizes[moving], minlength=machine.p
+            if machine.faulty:
+                stats = self._simulate_faulty(src, dst, sizes, tracer)
+            else:
+                cur = src.copy()
+                total_time = 0.0
+                total_hops = 0.0
+                rounds = 0
+                worst = 0.0
+                round_detail = []
+                cm = machine.cost_model
+                for d in range(machine.n):
+                    bit = np.int64(1) << d
+                    moving = ((cur ^ dst) & bit) != 0
+                    if not np.any(moving):
+                        continue
+                    loads = np.bincount(
+                        cur[moving], weights=sizes[moving], minlength=machine.p
+                    )
+                    congestion = float(loads.max())
+                    total_time += cm.tau + cm.t_c * congestion
+                    total_hops += float(sizes[moving].sum())
+                    worst = max(worst, congestion)
+                    rounds += 1
+                    round_detail.append((d, congestion))
+                    if tracer is not None:
+                        tracer.on_route_round(d, loads, congestion)
+                    cur[moving] ^= bit
+                stats = RouteStats(
+                    rounds=rounds,
+                    element_hops=total_hops,
+                    max_congestion=worst,
+                    time=total_time,
+                    dim_congestion=tuple(round_detail),
                 )
-                congestion = float(loads.max())
-                total_time += cm.tau + cm.t_c * congestion
-                total_hops += float(sizes[moving].sum())
-                worst = max(worst, congestion)
-                rounds += 1
-                round_detail.append((d, congestion))
-                if tracer is not None:
-                    tracer.on_route_round(d, loads, congestion)
-                cur[moving] ^= bit
-            stats = RouteStats(
-                rounds=rounds,
-                element_hops=total_hops,
-                max_congestion=worst,
-                time=total_time,
-                dim_congestion=tuple(round_detail),
-            )
             if cache_key is not None:
                 plans.store(cache_key, stats)
             if charge:
                 machine.counters.charge_transfer(total_hops, rounds, total_time)
             return stats
+
+    def _detour_dim(self, node: int, d: int) -> Optional[int]:
+        """Lowest dimension ``e`` detouring ``node``'s dead link across ``d``.
+
+        The 3-hop substitute path ``node -e-> node^e -d-> node^e^d -e->
+        node^d`` needs both intermediate nodes and all three substitute
+        links healthy.  Returns ``None`` when no dimension qualifies.
+        """
+        machine = self.machine
+        bit = 1 << d
+        for e in range(machine.n):
+            if e == d:
+                continue
+            ebit = 1 << e
+            if (
+                machine.node_alive(node ^ ebit)
+                and machine.node_alive(node ^ ebit ^ bit)
+                and machine.link_alive(e, node)
+                and machine.link_alive(d, node ^ ebit)
+                and machine.link_alive(e, node ^ bit)
+            ):
+                return e
+        return None
+
+    def _simulate_faulty(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        sizes: np.ndarray,
+        tracer: Optional[object],
+    ) -> "RouteStats":
+        """E-cube routing on a machine with dead links and/or nodes.
+
+        The healthy router corrects dimensions in a single lowest-first
+        sweep.  Here each message may additionally:
+
+        * **detour** — its link across the current dimension is dead, so it
+          takes the 3-hop path via an adjacent dimension (each hop is a
+          charged round; detours through the same dimension share rounds);
+        * **defer** — correcting this dimension now would land it on a dead
+          node (or no detour exists), so it corrects a later dimension
+          first and retries on the next sweep from its new address.
+
+        Sweeps repeat until every message arrives; a sweep that moves
+        nothing while messages remain raises :class:`UnroutableError`.
+        Messages whose source or destination processor is dead raise
+        :class:`NodeKilledError` up front.
+        """
+        machine = self.machine
+        if machine.node_ok is not None:
+            for arr, label in ((src, "source"), (dst, "destination")):
+                dead = ~machine.node_ok[arr]
+                if dead.any():
+                    pids = sorted(set(int(x) for x in arr[dead]))
+                    raise NodeKilledError(
+                        f"message {label} processor(s) {pids} are dead "
+                        f"(epoch {machine.epoch})"
+                    )
+
+        cm = machine.cost_model
+        cur = src.copy()
+        total_time = 0.0
+        total_hops = 0.0
+        rounds = 0
+        worst = 0.0
+        round_detail = []
+
+        def charge_round(dim: int, positions: list, volumes: list) -> None:
+            nonlocal total_time, total_hops, rounds, worst
+            loads = np.bincount(
+                np.asarray(positions, dtype=np.int64),
+                weights=np.asarray(volumes, dtype=np.float64),
+                minlength=machine.p,
+            )
+            congestion = float(loads.max())
+            total_time += cm.tau + cm.t_c * congestion
+            total_hops += float(sum(volumes))
+            worst = max(worst, congestion)
+            rounds += 1
+            round_detail.append((dim, congestion))
+            if tracer is not None:
+                tracer.on_route_round(dim, loads, congestion)
+
+        while np.any(cur != dst):
+            progressed = False
+            for d in range(machine.n):
+                bit = np.int64(1) << d
+                moving = np.nonzero(((cur ^ dst) & bit) != 0)[0]
+                if moving.size == 0:
+                    continue
+                direct = []
+                detoured: dict = {}  # detour dim e -> list of message indices
+                for i in moving:
+                    node = int(cur[i])
+                    landing = node ^ int(bit)
+                    more_dims = bool((int(cur[i]) ^ int(dst[i])) & ~int(bit))
+                    if not machine.node_alive(landing):
+                        # Landing on a dead node: defer if another dimension
+                        # can be corrected first (changing the landing pad).
+                        if more_dims:
+                            continue
+                        raise UnroutableError(
+                            f"message {int(src[i])}->{int(dst[i])} must land "
+                            f"on dead processor {landing} (epoch "
+                            f"{machine.epoch})"
+                        )
+                    if machine.link_alive(d, node):
+                        direct.append(i)
+                        continue
+                    e = self._detour_dim(node, d)
+                    if e is None:
+                        if more_dims:
+                            continue
+                        raise UnroutableError(
+                            f"message {int(src[i])}->{int(dst[i])}: link "
+                            f"(dim={d}, pid={node}) is dead and no adjacent "
+                            f"dimension offers a healthy detour (epoch "
+                            f"{machine.epoch})"
+                        )
+                    detoured.setdefault(e, []).append(i)
+                if not direct and not detoured:
+                    continue
+                progressed = True
+                # Hop 1: detoured messages sidestep across their detour dim.
+                for e in sorted(detoured):
+                    idx = detoured[e]
+                    charge_round(
+                        e,
+                        [int(cur[i]) for i in idx],
+                        [float(sizes[i]) for i in idx],
+                    )
+                # Hop 2: everyone crosses dimension ``d`` in one round —
+                # direct messages from their own node, detoured ones from
+                # their sidestep position.
+                positions = [int(cur[i]) for i in direct]
+                volumes = [float(sizes[i]) for i in direct]
+                for e, idx in detoured.items():
+                    ebit = 1 << e
+                    positions.extend(int(cur[i]) ^ ebit for i in idx)
+                    volumes.extend(float(sizes[i]) for i in idx)
+                charge_round(d, positions, volumes)
+                # Hop 3: detoured messages step back to the e-cube track.
+                for e in sorted(detoured):
+                    idx = detoured[e]
+                    ebit = 1 << e
+                    charge_round(
+                        e,
+                        [int(cur[i]) ^ ebit ^ int(bit) for i in idx],
+                        [float(sizes[i]) for i in idx],
+                    )
+                corrected = direct + [i for idx in detoured.values() for i in idx]
+                cur[np.asarray(corrected, dtype=np.int64)] ^= bit
+            if not progressed:
+                stuck = np.nonzero(cur != dst)[0]
+                pairs = [
+                    (int(src[i]), int(dst[i])) for i in stuck[:8]
+                ]
+                raise UnroutableError(
+                    f"routing made no progress: {stuck.size} message(s) "
+                    f"stuck, e.g. {pairs} (epoch {machine.epoch})"
+                )
+        return RouteStats(
+            rounds=rounds,
+            element_hops=total_hops,
+            max_congestion=worst,
+            time=total_time,
+            dim_congestion=tuple(round_detail),
+        )
 
     # -- whole-machine data movement ------------------------------------------
 

@@ -58,7 +58,7 @@ class CongestionAggregator:
     def record_uniform(self, dim: int, volume: float) -> None:
         """A dimension-exchange round: every link carries ``volume``."""
         if self._link_load is not None and 0 <= dim < self.n:
-            self._link_load[dim] += volume
+            self._link_load[dim, : self.p] += volume
         self._tally(dim, volume * max(self.p, 1), float(volume), "exchange")
 
     def record_route(
@@ -72,7 +72,9 @@ class CongestionAggregator:
         """
         volume = float(loads.sum()) if loads is not None else 0.0
         if loads is not None and self._link_load is not None and 0 <= dim < self.n:
-            self._link_load[dim] += loads
+            # A degraded (smaller) machine reports fewer links than the
+            # heatmap was allocated for; its pids occupy the low indices.
+            self._link_load[dim, : len(loads)] += loads
         self._tally(dim, volume, float(congestion), "route")
 
     # -- queries ---------------------------------------------------------------

@@ -136,6 +136,33 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
 
     for root in tracer.roots:
         emit(root)
+    # Instant events (fault kills, drops, degrade/restore markers) go on
+    # their own thread: the event log is time-ordered on its own, but its
+    # timestamps interleave with the span tree's depth-first order.
+    instants = [e for e in tracer.events if e.get("type") == "instant"]
+    if instants:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": 1,
+                "name": "thread_name",
+                "args": {"name": "instant events"},
+            }
+        )
+        for e in instants:
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": 1,
+                    "name": e["name"],
+                    "cat": e["category"],
+                    "ts": e["ts"],
+                    "s": "t",
+                    "args": dict(e.get("attrs", {})),
+                }
+            )
     return events
 
 
@@ -164,7 +191,9 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
 
     Validated per ``(pid, tid)`` thread: timestamps monotonically
     non-decreasing, every ``B`` closed by an ``E`` with the same name (LIFO
-    nesting), no stray ``E``.  Returns ``{"events": ..., "spans": ...}``.
+    nesting), no stray ``E``.  Instant (``i``) events only need a name and
+    a monotonic timestamp.  Returns ``{"events": ..., "spans": ...,
+    "instants": ...}``.
     """
     if isinstance(document, dict):
         events = document.get("traceEvents")
@@ -178,13 +207,14 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
     last_ts: Dict[Any, float] = {}
     stacks: Dict[Any, List[str]] = {}
     spans = 0
+    instants = 0
     for i, event in enumerate(events):
         if not isinstance(event, dict) or "ph" not in event:
             raise ValueError(f"event {i} is not a trace event: {event!r}")
         ph = event["ph"]
         if ph == "M":
             continue
-        if ph not in ("B", "E"):
+        if ph not in ("B", "E", "i"):
             raise ValueError(f"event {i}: unexpected phase {ph!r}")
         if "name" not in event or "ts" not in event:
             raise ValueError(f"event {i}: missing 'name' or 'ts'")
@@ -197,6 +227,9 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
                 f"event {i}: ts {ts} goes backwards on thread {thread}"
             )
         last_ts[thread] = ts
+        if ph == "i":
+            instants += 1
+            continue
         stack = stacks.setdefault(thread, [])
         if ph == "B":
             stack.append(event["name"])
@@ -215,7 +248,7 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
             raise ValueError(
                 f"thread {thread}: unclosed spans at end of trace: {stack}"
             )
-    return {"events": len(events), "spans": spans}
+    return {"events": len(events), "spans": spans, "instants": instants}
 
 
 def validate_chrome_trace_file(path: str) -> Dict[str, int]:

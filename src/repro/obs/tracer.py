@@ -161,6 +161,19 @@ class Tracer:
         self.machine = machine
         self.congestion.bind(machine.n, machine.p)
 
+    def rebind(self, machine: "Hypercube") -> None:
+        """Re-bind to a replacement machine, keeping all recorded history.
+
+        Used by degraded-mode recovery (:meth:`repro.core.session.Session.
+        degrade`): the session swaps in a smaller healthy subcube charging
+        into the *same* counters, so the span clock keeps advancing
+        monotonically across the swap.  The congestion heatmap keeps its
+        original geometry; the surviving subcube's links land in the
+        low-index rows/columns.
+        """
+        self.machine = machine
+        self.congestion.bind(machine.n, machine.p)
+
     def _counters(self):
         if self.machine is None:
             raise RuntimeError("tracer is not attached to a machine")

@@ -111,3 +111,80 @@ class TestParser:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+class TestFaultsSubcommand:
+    def test_gaussian_recovers_and_matches(self, capsys):
+        assert main(["faults", "-n", "4", "--size", "12",
+                     "--fault-seed", "0", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["recovered"] is True
+        assert data["matches_baseline"] is True
+        assert data["stats"]["node_kills"] == 1
+        assert data["final_p"] < data["p"]
+        assert data["plan"]["events"]
+
+    def test_text_report(self, capsys):
+        assert main(["faults", "-n", "4", "--size", "12",
+                     "--fault-seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "matches baseline : True" in out
+        assert "recovery ticks" in out
+
+    def test_matvec_workload(self, capsys):
+        assert main(["faults", "-n", "4", "--workload", "matvec",
+                     "--size", "16", "--fault-seed", "0", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["recovered"] and data["matches_baseline"]
+
+    def test_trace_artifact(self, capsys, tmp_path):
+        out = str(tmp_path / "faults.json")
+        assert main(["faults", "-n", "4", "--size", "12",
+                     "--fault-seed", "1", "--trace-out", out,
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["trace_out"] == out
+        counts = validate_chrome_trace_file(out)
+        assert counts["instants"] > 0  # kill/degrade/restore markers
+
+    def test_unrecoverable_exits_nonzero(self, capsys):
+        # max-recoveries 0 with a node kill cannot recover
+        assert main(["faults", "-n", "4", "--size", "12",
+                     "--fault-seed", "0", "--max-recoveries", "0",
+                     "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["recovered"] is False
+        assert "error" in data
+
+
+class TestFaultInjectionFlags:
+    def test_demo_with_fault_seed(self, capsys):
+        assert main(["demo", "-n", "4", "--rows", "16", "--cols", "8",
+                     "--fault-seed", "3", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "faults" in data
+        st = data["faults"]
+        assert st["drops"] >= 1 or st["link_kills"] >= 1
+
+    def test_solve_with_fault_seed_still_accurate(self, capsys):
+        assert main(["solve", "-n", "4", "--size", "16",
+                     "--fault-seed", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["max_error"] < 1e-8
+        assert "faults" in data
+
+    def test_fault_runs_are_reproducible(self, capsys):
+        def run():
+            assert main(["solve", "-n", "4", "--size", "12",
+                         "--fault-seed", "2", "--json"]) == 0
+            return json.loads(capsys.readouterr().out)
+
+        a, b = run(), run()
+        assert a["faults"] == b["faults"]
+        assert a["time"] == b["time"]
+
+    def test_no_fault_seed_means_no_faults_key(self, capsys):
+        assert main(["solve", "-n", "4", "--size", "12", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "faults" not in data
