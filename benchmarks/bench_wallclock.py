@@ -118,6 +118,57 @@ def bench_simplex(n_dims: int, m: int, n: int, reps: int) -> Dict[str, object]:
     }
 
 
+def bench_sanitizer_overhead(
+    n_dims: int, order: int, reps: int
+) -> Dict[str, object]:
+    """Wall-clock cost of the machine sanitizer on the R-T3 solver loop.
+
+    Same interleaved best-of-``reps`` methodology as the cache pair, but
+    the knob is ``sanitize`` — the sanitizer audits every charged round,
+    so its overhead is the honest price of conformance checking.  The
+    simulated counters must be bit-identical either way (the sanitizer
+    only reads).
+    """
+    A, b, x_true = W.diagonally_dominant_system(order, seed=order)
+
+    def run(s: Session):
+        return gaussian.solve(s.matrix(A), b)
+
+    s_on = Session(n_dims, sanitize=True)
+    s_off = Session(n_dims, sanitize=False)
+    run(s_on)  # warm-up
+    run(s_off)
+    best_on = best_off = float("inf")
+    snap_on = snap_off = None
+    for _ in range(reps):
+        s_on.reset_counters()
+        t0 = time.perf_counter()
+        res_on = run(s_on)
+        best_on = min(best_on, time.perf_counter() - t0)
+        snap_on = s_on.snapshot().as_dict()
+
+        s_off.reset_counters()
+        t0 = time.perf_counter()
+        res_off = run(s_off)
+        best_off = min(best_off, time.perf_counter() - t0)
+        snap_off = s_off.snapshot().as_dict()
+    assert snap_on == snap_off, "sanitizer changed the simulated cost!"
+    assert np.array_equal(res_on.x, res_off.x), "sanitizer changed the result!"
+    assert np.allclose(res_on.x, x_true, atol=1e-6)
+    return {
+        "workload": "gaussian",
+        "experiment": "sanitizer-overhead",
+        "params": {"n_dims": n_dims, "order": order},
+        "reps": reps,
+        "sanitize_on_s": best_on,
+        "sanitize_off_s": best_off,
+        "overhead": best_on / best_off,
+        "checks": s_on.sanitizer.stats.total,
+        "bit_identical": True,
+        "snapshot": snap_on,
+    }
+
+
 def main(argv: List[str] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -139,6 +190,7 @@ def main(argv: List[str] = None) -> int:
             bench_simplex(6, 16, 12, reps),
         ]
         scaling = []
+        sanitizer = bench_sanitizer_overhead(6, 31, reps)
     else:
         # Primary configurations: the R-T3/R-T4 solver loops at n=10 with a
         # moderate m/p, where per-iteration plan construction is a large
@@ -154,12 +206,19 @@ def main(argv: List[str] = None) -> int:
             bench_gaussian(10, 255, reps),
             bench_simplex(10, 96, 64, reps),
         ]
+        sanitizer = bench_sanitizer_overhead(10, 127, reps)
 
     for r in results + scaling:
         label = f"{r['workload']} {r['params']}"
         print(f"{label}: cache-on {r['cache_on_s']:.3f}s  "
               f"cache-off {r['cache_off_s']:.3f}s  "
               f"speedup {r['speedup']:.2f}x  bit-identical")
+
+    print(f"sanitizer overhead {sanitizer['params']}: "
+          f"on {sanitizer['sanitize_on_s']:.3f}s  "
+          f"off {sanitizer['sanitize_off_s']:.3f}s  "
+          f"{sanitizer['overhead']:.2f}x "
+          f"({sanitizer['checks']} checks)  bit-identical")
 
     gauss = max(r["speedup"] for r in results if r["workload"] == "gaussian")
     splex = max(r["speedup"] for r in results if r["workload"] == "simplex")
@@ -170,6 +229,7 @@ def main(argv: List[str] = None) -> int:
                  "are bit-identical cache-on vs cache-off",
         "results": results,
         "scaling": scaling,
+        "sanitizer_overhead": sanitizer,
         "gaussian_speedup": gauss,
         "simplex_speedup": splex,
         "target": None if args.smoke else 3.0,

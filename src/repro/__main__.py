@@ -12,7 +12,11 @@ Subcommands:
 * ``faults`` — run a workload under a seeded fault plan (node/link kills,
   transient drops), recover onto a healthy subcube, and report
   kills/retries/remaps/recovery ticks; exits non-zero unless recovery
-  succeeded *and* the recovered result matches the fault-free baseline.
+  succeeded *and* the recovered result matches the fault-free baseline;
+* ``check`` — run the conformance suite (sanitizer self-test,
+  differential oracle sweep, golden cost snapshots) and emit a JSON
+  report; exits non-zero on any violation.  ``--update-golden``
+  re-captures the snapshots after an intentional accounting change.
 
 ``demo``/``solve``/``trace`` additionally accept ``--fault-seed`` /
 ``--fault-rate`` to inject non-fatal faults (link kills + transient
@@ -316,6 +320,69 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if (report.recovered and matches) else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import golden, runner
+
+    if args.update_golden:
+        data = golden.update_golden()
+        text_lines = [f"golden snapshots re-captured -> {golden.GOLDEN_PATH}"]
+        for name, fields in sorted(data["workloads"].items()):
+            text_lines.append(
+                f"  {name:<10s} time={fields['time']:,.1f} "
+                f"flops={fields['flops']:,.0f} "
+                f"rounds={fields['comm_rounds']:.0f}"
+            )
+        _emit(args, data, "\n".join(text_lines))
+        return 0
+
+    report, passed = runner.run_check(
+        seed=args.seed,
+        n_dims=args.n,
+        quick=args.quick,
+        skip_differential=args.skip_differential,
+        skip_golden=args.skip_golden,
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    lines = [f"conformance check on n={args.n} (seed {args.seed})"]
+    st = report["sanitizer_selftest"]
+    lines.append(
+        f"sanitizer selftest : {'PASS' if st['passed'] else 'FAIL'}"
+    )
+    if "differential" in report:
+        diff = report["differential"]
+        n_cells = len(diff["cells"])
+        n_bad = len(diff["failures"])
+        lines.append(
+            f"differential sweep : "
+            f"{'PASS' if diff['passed'] else 'FAIL'} "
+            f"({n_cells - n_bad}/{n_cells} cells)"
+        )
+        for f in diff["failures"]:
+            lines.append(f"  FAIL {f['case']} @ {f['config']}: {f['detail']}")
+    if "golden" in report:
+        g = report["golden"]
+        lines.append(
+            f"golden snapshots   : {'PASS' if g['passed'] else 'FAIL'} "
+            f"({g['path']})"
+        )
+        if "error" in g:
+            lines.append(f"  {g['error']}")
+        for m in g["mismatches"]:
+            lines.append(
+                f"  {m['workload']}[sanitize={m['sanitize']}].{m['field']}: "
+                f"expected {m['expected']!r}, observed {m['observed']!r}"
+            )
+    lines.append(f"overall            : {'PASS' if passed else 'FAIL'}")
+    if args.out:
+        lines.append(f"report written to  : {args.out}")
+    _emit(args, report, "\n".join(lines))
+    return 0 if passed else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -399,6 +466,26 @@ def main(argv=None) -> int:
     p_faults.add_argument("--trace-out", default=None,
                           help="also write a Chrome trace-event file here")
     p_faults.set_defaults(fn=_cmd_faults)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the conformance suite (sanitizer / oracle / golden)",
+    )
+    p_check.add_argument("-n", type=int, default=4,
+                         help="cube dimensions for the oracle sweep "
+                              "(default 4)")
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument("--json", action="store_true",
+                         help="emit the full JSON report on stdout")
+    p_check.add_argument("--quick", action="store_true",
+                         help="reduced config matrix (2 cells per case)")
+    p_check.add_argument("--skip-differential", action="store_true")
+    p_check.add_argument("--skip-golden", action="store_true")
+    p_check.add_argument("--out", default=None,
+                         help="also write the JSON report to this path")
+    p_check.add_argument("--update-golden", action="store_true",
+                         help="re-capture the golden cost snapshots and exit")
+    p_check.set_defaults(fn=_cmd_check)
 
     args = parser.parse_args(argv)
     return args.fn(args)

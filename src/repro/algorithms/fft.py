@@ -27,6 +27,7 @@ from ..machine.hypercube import Hypercube
 from ..machine.pvar import PVar
 from ..machine.router import Router
 from ..embeddings.vector import VectorOrderEmbedding
+from ..errors import ConfigError, ShapeError
 
 
 @dataclass
@@ -48,10 +49,10 @@ def _bit_reverse_indices(t: int) -> np.ndarray:
 
 def _check_embedding(machine: Hypercube, N: int) -> "tuple[int, int, int]":
     if N < 1 or (N & (N - 1)) != 0:
-        raise ValueError(f"FFT length must be a power of two, got {N}")
+        raise ShapeError(f"FFT length must be a power of two, got {N}")
     t = N.bit_length() - 1
     if machine.p > N:
-        raise ValueError(
+        raise ConfigError(
             f"machine has more processors ({machine.p}) than points ({N})"
         )
     L = N // machine.p
@@ -73,7 +74,7 @@ def fft(
     """
     values = np.asarray(values, dtype=np.complex128)
     if values.ndim != 1:
-        raise ValueError(f"expected a 1-D array, got shape {values.shape}")
+        raise ShapeError(f"expected a 1-D array, got shape {values.shape}")
     N = len(values)
     t, L, n = _check_embedding(machine, N)
 
@@ -154,7 +155,7 @@ def convolve(
     a = np.asarray(a, dtype=np.complex128)
     b = np.asarray(b, dtype=np.complex128)
     if a.shape != b.shape or a.ndim != 1:
-        raise ValueError("convolve needs two 1-D arrays of equal length")
+        raise ShapeError("convolve needs two 1-D arrays of equal length")
     start = machine.snapshot()
     fa = fft(machine, a).values
     fb = fft(machine, b).values

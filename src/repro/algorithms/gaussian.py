@@ -45,6 +45,7 @@ import numpy as np
 
 from ..machine.counters import CostSnapshot
 from ..core.arrays import DistributedMatrix, iota
+from ..errors import ConfigError, ShapeError
 
 PIVOTING_MODES = ("partial", "implicit", "none")
 
@@ -131,18 +132,18 @@ def eliminate(
     and the *current* tableau — checkpoint hooks save from here.
     """
     if pivoting not in PIVOTING_MODES:
-        raise ValueError(
+        raise ConfigError(
             f"pivoting must be one of {PIVOTING_MODES}, got {pivoting!r}"
         )
     n, w = T.shape
     if w < n:
-        raise ValueError("tableau must have at least as many columns as rows")
+        raise ShapeError("tableau must have at least as many columns as rows")
     pivots = list(pivots) if pivots is not None else []
     pivot_values = list(pivot_values) if pivot_values is not None else []
     if not (0 <= start <= n):
-        raise ValueError(f"start must be in [0, {n}], got {start}")
+        raise ConfigError(f"start must be in [0, {n}], got {start}")
     if len(pivots) != start or len(pivot_values) != start:
-        raise ValueError(
+        raise ConfigError(
             f"resuming at step {start} requires {start} prior pivots/values, "
             f"got {len(pivots)}/{len(pivot_values)}"
         )
@@ -233,7 +234,7 @@ def back_substitute(
     if rhs_col is None:
         rhs_col = n
     if not (n <= rhs_col < w):
-        raise ValueError(
+        raise ConfigError(
             f"rhs_col {rhs_col} out of the RHS range [{n}, {w}) — "
             "expected an n x (n+k) tableau"
         )
@@ -273,10 +274,10 @@ def solve(
     """
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},), got {b.shape}")
+        raise ShapeError(f"b must have shape ({n},), got {b.shape}")
     machine = A.machine
 
     # Augment on the host: assembling [A | b] is front-end set-up, the same
@@ -309,12 +310,12 @@ def solve_multi(
     """
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     B = np.asarray(B, dtype=np.float64)
     if B.ndim == 1:
         B = B[:, None]
     if B.shape[0] != n:
-        raise ValueError(f"B must have {n} rows, got {B.shape}")
+        raise ShapeError(f"B must have {n} rows, got {B.shape}")
     machine = A.machine
     k = B.shape[1]
 
@@ -342,7 +343,7 @@ def invert(
     """The matrix inverse via ``solve_multi(A, I)``."""
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     return solve_multi(A, np.eye(n), pivoting=pivoting, tol=tol)
 
 
@@ -356,7 +357,7 @@ def determinant(
     """
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     machine = A.machine
     T = type(A).from_numpy(machine, A.to_numpy())
     with machine.phase("gaussian"):
@@ -386,10 +387,10 @@ def gauss_jordan(
     """
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},), got {b.shape}")
+        raise ShapeError(f"b must have shape ({n},), got {b.shape}")
     machine = A.machine
     host_T = np.hstack([A.to_numpy(), b[:, None]])
     T = type(A).from_numpy(machine, host_T)

@@ -27,6 +27,7 @@ import numpy as np
 from ..machine.counters import CostSnapshot
 from ..machine.pvar import PVar
 from ..core.arrays import DistributedVector
+from ..errors import ConfigError
 
 
 @dataclass
@@ -43,9 +44,9 @@ def _local_counts(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-processor bincounts of the valid local elements (charged)."""
     if bins < 1:
-        raise ValueError(f"bins must be >= 1, got {bins}")
+        raise ConfigError(f"bins must be >= 1, got {bins}")
     if not hi > lo:
-        raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+        raise ConfigError(f"need hi > lo, got [{lo}, {hi}]")
     machine = vector.machine
     emb = vector.embedding
     data = vector.pvar.data

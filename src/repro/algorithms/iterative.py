@@ -24,6 +24,7 @@ import numpy as np
 from ..machine.counters import CostSnapshot
 from ..core.arrays import DistributedMatrix, DistributedVector
 from ..embeddings.vector import RowAlignedEmbedding
+from ..errors import ConfigError, ShapeError
 
 
 @dataclass
@@ -80,15 +81,15 @@ def conjugate_gradient(
     elementwise multiply per iteration.
     """
     if preconditioner not in (None, "jacobi"):
-        raise ValueError(
+        raise ConfigError(
             f"preconditioner must be None or 'jacobi', got {preconditioner!r}"
         )
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},)")
+        raise ShapeError(f"b must have shape ({n},)")
     if max_iters is None:
         max_iters = 2 * n
     machine = A.machine
@@ -155,10 +156,10 @@ def jacobi(
     """
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},)")
+        raise ShapeError(f"b must have shape ({n},)")
     machine = A.machine
     row_emb = RowAlignedEmbedding(A.embedding, None)
 
@@ -212,7 +213,7 @@ def power_method(
     """
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     machine = A.machine
     row_emb = RowAlignedEmbedding(A.embedding, None)
     rng = np.random.default_rng(seed)
@@ -269,14 +270,14 @@ def gmres(
     """
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},)")
+        raise ShapeError(f"b must have shape ({n},)")
     if restart is None:
         restart = min(n, 30)
     if restart < 1:
-        raise ValueError("restart must be >= 1")
+        raise ConfigError("restart must be >= 1")
     if max_iters is None:
         max_iters = 10 * n
     machine = A.machine

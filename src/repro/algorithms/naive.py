@@ -34,6 +34,7 @@ from ..core import primitives
 from ..core.arrays import DistributedMatrix, DistributedVector
 from ..embeddings.gray import deposit_bits
 from ..embeddings.vector import _AlignedEmbedding
+from ..errors import EmbeddingError
 
 INT64_MAX = np.iinfo(np.int64).max
 
@@ -147,7 +148,7 @@ class NaiveVector(DistributedVector):
         mask = self.embedding.valid_mask()
         if valid is not None:
             if not self.embedding.compatible(valid.embedding):
-                raise ValueError("valid mask must share the vector's embedding")
+                raise EmbeddingError("valid mask must share the vector's embedding")
             mask = mask & valid.pvar.data.astype(bool)
             machine.charge_flops(self.pvar.local_size)
         ident = op.identity(self.dtype)
@@ -263,7 +264,7 @@ class NaiveMatrix(DistributedMatrix):
         machine = self.machine
         valid_pv = valid.pvar if valid is not None else None
         if valid is not None and valid.embedding != self.embedding:
-            raise ValueError("valid mask must share the matrix embedding")
+            raise EmbeddingError("valid mask must share the matrix embedding")
         val, idx, dims, vec_emb = primitives.local_reduce_loc(
             self.pvar, self.embedding, axis, mode=mode, valid=valid_pv
         )

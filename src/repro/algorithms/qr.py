@@ -32,6 +32,7 @@ from ..core.arrays import DistributedMatrix, DistributedVector, iota
 from ..embeddings.vector import ColAlignedEmbedding
 from .gaussian import SingularMatrixError
 from .triangular import solve_upper
+from ..errors import ShapeError
 
 
 @dataclass
@@ -60,7 +61,7 @@ class QRFactorization:
         mrows, ncols = self.shape
         b = np.asarray(b, dtype=np.float64)
         if b.shape != (mrows,):
-            raise ValueError(f"b must have shape ({mrows},)")
+            raise ShapeError(f"b must have shape ({mrows},)")
         machine = self.combined.machine
         emb = ColAlignedEmbedding(self.combined.embedding, None)
         rhs = DistributedVector(emb.scatter(b), emb)
@@ -85,7 +86,7 @@ def qr_factor(
     """Householder QR of an ``m × n`` matrix with ``m >= n``."""
     mrows, ncols = A.shape
     if mrows < ncols:
-        raise ValueError(
+        raise ShapeError(
             f"qr_factor needs m >= n, got {A.shape} (factor A^T instead)"
         )
     machine = A.machine

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
+from ..errors import ConfigError, ShapeError
 
 
 @dataclass(frozen=True)
@@ -34,7 +35,7 @@ def matvec(A: np.ndarray, x: np.ndarray) -> SerialResult:
     x = np.asarray(x)
     R, C = A.shape
     if x.shape != (C,):
-        raise ValueError(f"shape mismatch: {A.shape} @ {x.shape}")
+        raise ShapeError(f"shape mismatch: {A.shape} @ {x.shape}")
     return SerialResult(A @ x, ops=2 * R * C)
 
 
@@ -44,7 +45,7 @@ def vecmat(x: np.ndarray, A: np.ndarray) -> SerialResult:
     x = np.asarray(x)
     R, C = A.shape
     if x.shape != (R,):
-        raise ValueError(f"shape mismatch: {x.shape} @ {A.shape}")
+        raise ShapeError(f"shape mismatch: {x.shape} @ {A.shape}")
     return SerialResult(x @ A, ops=2 * R * C)
 
 
@@ -65,7 +66,7 @@ def gaussian_solve(
     b = np.array(b, dtype=np.float64)
     n = A.shape[0]
     if A.shape != (n, n) or b.shape != (n,):
-        raise ValueError(f"need square A and matching b, got {A.shape}, {b.shape}")
+        raise ShapeError(f"need square A and matching b, got {A.shape}, {b.shape}")
     ops = 0
     T = np.hstack([A, b[:, None]])
     for k in range(n):
@@ -106,9 +107,9 @@ def simplex_solve(
     c = np.asarray(c, dtype=np.float64)
     m, n = A.shape
     if b.shape != (m,) or c.shape != (n,):
-        raise ValueError("shape mismatch")
+        raise ShapeError("shape mismatch")
     if np.any(b < 0):
-        raise ValueError("serial reference requires b >= 0")
+        raise ConfigError("serial reference requires b >= 0")
     if max_iters is None:
         max_iters = 50 * (m + n)
 

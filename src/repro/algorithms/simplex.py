@@ -35,6 +35,7 @@ import numpy as np
 from ..machine.counters import CostSnapshot
 from ..machine.hypercube import Hypercube
 from ..core.arrays import DistributedMatrix, DistributedVector, iota
+from ..errors import ConfigError, ShapeError
 
 Status = str  # 'optimal' | 'unbounded' | 'infeasible' | 'iteration_limit'
 
@@ -100,7 +101,7 @@ def _build_tableau(
     c = np.asarray(c, dtype=np.float64)
     m, n = A.shape
     if b.shape != (m,) or c.shape != (n,):
-        raise ValueError(
+        raise ShapeError(
             f"shape mismatch: A {A.shape}, b {b.shape}, c {c.shape}"
         )
 
@@ -261,7 +262,7 @@ def solve(
     collectives.
     """
     if rule not in ("dantzig", "bland"):
-        raise ValueError(f"rule must be 'dantzig' or 'bland', got {rule!r}")
+        raise ConfigError(f"rule must be 'dantzig' or 'bland', got {rule!r}")
     tab = _build_tableau(machine, A, b, c, matrix_cls)
     if max_iters is None:
         max_iters = 50 * (tab.m + tab.n)

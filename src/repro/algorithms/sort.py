@@ -25,6 +25,7 @@ from ..machine.pvar import PVar
 from ..machine.router import Router
 from ..core.arrays import DistributedVector
 from ..embeddings.vector import VectorOrderEmbedding
+from ..errors import ConfigError, EmbeddingError
 
 
 @dataclass
@@ -69,10 +70,10 @@ def bitonic_sort(
     """
     emb = vector.embedding
     if not isinstance(emb, VectorOrderEmbedding):
-        raise ValueError("bitonic_sort requires a vector-order embedding")
+        raise EmbeddingError("bitonic_sort requires a vector-order embedding")
     from ..embeddings.layout import BlockLayout
     if not isinstance(emb.layout, BlockLayout):
-        raise ValueError("bitonic_sort requires a block layout")
+        raise EmbeddingError("bitonic_sort requires a block layout")
     machine = emb.machine
     n = machine.n
     L = emb.local_shape[0]
@@ -168,12 +169,12 @@ def sample_sort(
     """
     emb = vector.embedding
     if not isinstance(emb, VectorOrderEmbedding):
-        raise ValueError("sample_sort requires a vector-order embedding")
+        raise EmbeddingError("sample_sort requires a vector-order embedding")
     from ..embeddings.layout import BlockLayout
     if not isinstance(emb.layout, BlockLayout):
-        raise ValueError("sample_sort requires a block layout")
+        raise EmbeddingError("sample_sort requires a block layout")
     if oversample < 1:
-        raise ValueError("oversample must be >= 1")
+        raise ConfigError("oversample must be >= 1")
     machine = emb.machine
     p = machine.p
     L = emb.local_shape[0]

@@ -22,6 +22,7 @@ import numpy as np
 from ..machine.counters import CostSnapshot
 from ..core.arrays import DistributedMatrix, DistributedVector, iota
 from .gaussian import SingularMatrixError
+from ..errors import ConfigError, ShapeError
 
 
 def _sweep(
@@ -72,10 +73,10 @@ def solve_lower(
     """Forward substitution ``L x = b`` (strictly reads the lower triangle)."""
     n, n2 = L.shape
     if n != n2:
-        raise ValueError(f"L must be square, got {L.shape}")
+        raise ShapeError(f"L must be square, got {L.shape}")
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},)")
+        raise ShapeError(f"b must have shape ({n},)")
     with L.machine.phase("forward-substitution"):
         return _sweep(L, b, range(n), lower=True,
                       unit_diagonal=unit_diagonal, tol=tol)
@@ -89,10 +90,10 @@ def solve_upper(
     """Backward substitution ``U x = b`` (strictly reads the upper triangle)."""
     n, n2 = U.shape
     if n != n2:
-        raise ValueError(f"U must be square, got {U.shape}")
+        raise ShapeError(f"U must be square, got {U.shape}")
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},)")
+        raise ShapeError(f"b must have shape ({n},)")
     with U.machine.phase("backward-substitution"):
         return _sweep(U, b, range(n - 1, -1, -1), lower=False,
                       unit_diagonal=False, tol=tol)
@@ -144,12 +145,12 @@ def lu_factor(
     triangular sweeps instead of a fresh ``O(n^3/p)`` elimination.
     """
     if pivoting not in ("partial", "none"):
-        raise ValueError(
+        raise ConfigError(
             f"lu_factor supports 'partial' or 'none' pivoting, got {pivoting!r}"
         )
     n, n2 = A.shape
     if n != n2:
-        raise ValueError(f"A must be square, got {A.shape}")
+        raise ShapeError(f"A must be square, got {A.shape}")
     machine = A.machine
     T = type(A).from_numpy(machine, A.to_numpy())
     swaps: List[int] = []
@@ -217,7 +218,7 @@ def lu_solve(
     n = fact.shape[0]
     b = np.asarray(b, dtype=np.float64)
     if b.shape != (n,):
-        raise ValueError(f"b must have shape ({n},)")
+        raise ShapeError(f"b must have shape ({n},)")
     machine = fact.combined.machine
     with machine.phase("lu-solve"):
         pb = fact.permute_rhs(b)

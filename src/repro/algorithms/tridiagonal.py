@@ -40,6 +40,7 @@ from ..machine.counters import CostSnapshot
 from ..machine.hypercube import Hypercube
 from ..machine.pvar import PVar
 from ..machine.router import Router
+from ..errors import ShapeError
 
 
 @dataclass
@@ -121,9 +122,9 @@ def solve(
     d = np.asarray(d, dtype=np.float64)
     n = len(b)
     if not (len(a) == len(c) == len(d) == n):
-        raise ValueError("a, b, c, d must have equal lengths")
+        raise ShapeError("a, b, c, d must have equal lengths")
     if n < 1:
-        raise ValueError("empty system")
+        raise ShapeError("empty system")
     p = machine.p
 
     start = machine.snapshot()
@@ -275,7 +276,7 @@ def solve_many(
     d = np.atleast_2d(np.asarray(d, dtype=np.float64))
     k, n = b.shape
     if not (a.shape == b.shape == c.shape == d.shape):
-        raise ValueError("a, b, c, d must share the (k, n) shape")
+        raise ShapeError("a, b, c, d must share the (k, n) shape")
     p = machine.p
 
     start = machine.snapshot()

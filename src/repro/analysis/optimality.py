@@ -26,6 +26,7 @@ import math
 
 from ..machine.cost_model import CostModel
 from ..machine.counters import CostSnapshot
+from ..errors import ConfigError, ShapeError
 
 
 def serial_time(ops: float, cost: CostModel) -> float:
@@ -37,7 +38,7 @@ def pt_ratio(parallel: CostSnapshot, p: int, serial_ops: float, cost: CostModel)
     """Processor-time product over best-serial time (≥ ~1 by definition)."""
     st = serial_time(serial_ops, cost)
     if st <= 0:
-        raise ValueError("serial op count must be positive")
+        raise ConfigError("serial op count must be positive")
     return (p * parallel.time) / st
 
 
@@ -95,7 +96,7 @@ class OptimalityAudit:
         cost: CostModel,
     ) -> "OptimalityAudit":
         if not (len(ms) == len(times) == len(serial_ops)):
-            raise ValueError("ms, times and serial_ops must align")
+            raise ShapeError("ms, times and serial_ops must align")
         pts = []
         for m, t, ops in zip(ms, times, serial_ops):
             snap = CostSnapshot(time=t)
@@ -119,7 +120,7 @@ class OptimalityAudit:
         """
         above = [pt.pt_over_serial for pt in self.points if pt.above_threshold]
         if not above:
-            raise ValueError("no sweep points beyond the m > p lg p threshold")
+            raise ConfigError("no sweep points beyond the m > p lg p threshold")
         return max(above)
 
     def ratio_series(self) -> List[tuple]:
@@ -144,9 +145,9 @@ def find_crossover(
     constant-factor regime — the empirical analogue of ``m > p lg p``.
     """
     if lo > hi:
-        raise ValueError("empty search range")
+        raise ConfigError("empty search range")
     if ratio_of(hi) > threshold:
-        raise ValueError(
+        raise ConfigError(
             f"ratio never reaches {threshold} on [{lo}, {hi}] "
             f"(ratio({hi}) = {ratio_of(hi):.3g})"
         )

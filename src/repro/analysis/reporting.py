@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
+from ..errors import ConfigError, ShapeError
 
 
 def _fmt(value: Any, width: int) -> str:
@@ -32,7 +33,7 @@ def format_table(
 ) -> str:
     """A fixed-width table with a rule under the header."""
     if any(len(row) != len(headers) for row in rows):
-        raise ValueError("every row must match the header arity")
+        raise ShapeError("every row must match the header arity")
     str_rows = [
         [
             _fmt(cell, 0).strip() if isinstance(cell, float) else str(cell)
@@ -77,11 +78,11 @@ def format_series(
     All series must share their x grid (the benchmark sweeps guarantee it).
     """
     if not series:
-        raise ValueError("need at least one series")
+        raise ConfigError("need at least one series")
     xs = series[0].xs
     for s in series[1:]:
         if s.xs != xs:
-            raise ValueError(f"series {s.name!r} has a different x grid")
+            raise ShapeError(f"series {s.name!r} has a different x grid")
     headers = [x_label] + [s.name for s in series]
     rows = []
     for i, x in enumerate(xs):
@@ -98,7 +99,7 @@ def format_speedup(
 ) -> str:
     """baseline vs improved times plus their ratio (the paper's speedups)."""
     if not (len(xs) == len(baseline) == len(improved)):
-        raise ValueError("series lengths must match")
+        raise ShapeError("series lengths must match")
     rows = [
         [x, b, i, b / i if i else float("nan")]
         for x, b, i in zip(xs, baseline, improved)

@@ -1,0 +1,403 @@
+"""Differential oracle registry: every algorithm vs its serial reference.
+
+Each :class:`OracleCase` builds one deterministic problem instance from a
+seed, solves it with the distributed algorithm on a given
+:class:`~repro.core.session.Session`, solves the same instance with the
+``repro.algorithms.serial`` / NumPy reference, and reports the divergence.
+:func:`run_differential` sweeps every case across a matrix of machine
+configurations (cost models × plan cache on/off × tracing on/off), always
+with the :class:`~repro.check.MachineSanitizer` attached, plus a
+fault-recovery axis for the tier-1 workloads — so a regression that only
+bites with, say, the plan cache off and tracing on is reported with the
+offending configuration attached.
+
+Problem sizes are deliberately small (``n_dims=4`` by default, 16
+processors): the oracle checks *semantics*, not scale, and the whole sweep
+must stay fast enough to run in CI on every push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.session import Session
+from .. import workloads
+
+
+@dataclass(frozen=True)
+class OracleCase:
+    """One algorithm, its reference, and the comparison contract.
+
+    ``run(session, seed)`` returns ``(got, want)`` as host arrays computed
+    from the *same* seeded instance.  ``exact`` cases must match
+    bit-for-bit (integer outputs, order-only transforms); the rest compare
+    within ``tol`` (absolute + relative, via ``np.allclose``).
+    """
+
+    name: str
+    run: Callable[[Session, int], Tuple[np.ndarray, np.ndarray]]
+    exact: bool = False
+    tol: float = 1e-8
+
+
+@dataclass
+class CaseResult:
+    """The outcome of one (case, configuration) cell."""
+
+    case: str
+    config: Dict[str, object]
+    passed: bool
+    max_error: float = 0.0
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "config": self.config,
+            "passed": self.passed,
+            "max_error": self.max_error,
+            "detail": self.detail,
+        }
+
+
+# -- case implementations -------------------------------------------------------
+
+
+def _matvec_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import matvec, serial
+
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((12, 9))
+    x = rng.standard_normal(9)
+    dA = session.matrix(A)
+    got = matvec.matvec(dA, session.row_vector(x, dA)).y.to_numpy()
+    return got, serial.matvec(A, x).value
+
+
+def _vecmat_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import matvec, serial
+
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((11, 13))
+    x = rng.standard_normal(11)
+    dA = session.matrix(A)
+    got = matvec.vecmat(session.col_vector(x, dA), dA).y.to_numpy()
+    return got, serial.vecmat(x, A).value
+
+
+def _gaussian_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import gaussian
+
+    A, b, _ = workloads.diagonally_dominant_system(14, seed)
+    got = gaussian.solve(session.matrix(A), b).x
+    return got, np.linalg.solve(A, b)
+
+
+def _simplex_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import serial, simplex
+
+    lp = workloads.feasible_lp(6, 9, seed)
+    res = simplex.solve(session.machine, lp.A, lp.b, lp.c)
+    status, objective, x, iterations, _ = serial.simplex_solve(lp.A, lp.b, lp.c)
+    # Same pivot rules on both sides, so statuses, iteration counts and
+    # iterates all agree; fold everything into one comparison vector.
+    got = np.concatenate(
+        [[float(res.status == status), res.objective, res.iterations], res.x]
+    )
+    want = np.concatenate([[1.0, objective, iterations], x])
+    return got, want
+
+
+def _fft_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import fft
+
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+    got = fft.fft(session.machine, values).values
+    return got, np.fft.fft(values)
+
+
+def _sort_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import sort
+
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(37)
+    res = sort.bitonic_sort(session.vector(values))
+    return res.values.to_numpy(), np.sort(values)
+
+
+def _histogram_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import histogram
+
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0.0, 1.0, 50)
+    res = histogram.histogram(
+        session.vector(values), bins=8, value_range=(0.0, 1.0)
+    )
+    want, _ = np.histogram(values, bins=8, range=(0.0, 1.0))
+    return res.counts, want
+
+
+def _qr_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import qr
+
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((12, 7))
+    b = rng.standard_normal(12)
+    got = qr.qr_solve(session.matrix(A), b)
+    want, *_ = np.linalg.lstsq(A, b, rcond=None)
+    return got, want
+
+
+def _tridiagonal_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import tridiagonal
+
+    rng = np.random.default_rng(seed)
+    n = 21
+    a = rng.uniform(-1.0, 1.0, n)
+    c = rng.uniform(-1.0, 1.0, n)
+    b = np.abs(a) + np.abs(c) + rng.uniform(1.0, 2.0, n)
+    d = rng.standard_normal(n)
+    a[0] = c[-1] = 0.0
+    got = tridiagonal.solve(session.machine, a, b, c, d).x
+    T = np.diag(b) + np.diag(a[1:], -1) + np.diag(c[:-1], 1)
+    return got, np.linalg.solve(T, d)
+
+
+def _lu_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import triangular
+
+    A, b, _ = workloads.diagonally_dominant_system(13, seed)
+    fact = triangular.lu_factor(session.matrix(A))
+    got = triangular.lu_solve(fact, b)
+    return got, np.linalg.solve(A, b)
+
+
+def _cg_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    from ..algorithms import iterative
+
+    rng = np.random.default_rng(seed)
+    M = rng.standard_normal((10, 10))
+    A = M @ M.T + 10.0 * np.eye(10)  # SPD, well conditioned
+    b = rng.standard_normal(10)
+    res = iterative.conjugate_gradient(session.matrix(A), b, tol=1e-12)
+    return res.x, np.linalg.solve(A, b)
+
+
+#: The registry, ordered roughly by how much machinery each case exercises.
+CASES: Tuple[OracleCase, ...] = (
+    OracleCase("matvec", _matvec_case),
+    OracleCase("vecmat", _vecmat_case),
+    OracleCase("gaussian", _gaussian_case, tol=1e-7),
+    OracleCase("simplex", _simplex_case, tol=1e-7),
+    OracleCase("fft", _fft_case, tol=1e-7),
+    OracleCase("bitonic_sort", _sort_case, exact=True),
+    OracleCase("histogram", _histogram_case, exact=True),
+    OracleCase("qr_solve", _qr_case, tol=1e-6),
+    OracleCase("tridiagonal", _tridiagonal_case, tol=1e-7),
+    OracleCase("lu_solve", _lu_case, tol=1e-7),
+    OracleCase("conjugate_gradient", _cg_case, tol=1e-6),
+)
+
+
+# -- configuration matrix --------------------------------------------------------
+
+#: (cost_model, plan_cache, trace) cells.  The full matrix covers every
+#: combination that has its own code path; ``quick`` keeps one cell with
+#: each feature on and one with each feature off.
+FULL_MATRIX: Tuple[Tuple[str, bool, bool], ...] = tuple(
+    (cm, cache, trace)
+    for cm in ("cm2", "unit")
+    for cache in (True, False)
+    for trace in (False, True)
+)
+QUICK_MATRIX: Tuple[Tuple[str, bool, bool], ...] = (
+    ("cm2", True, False),
+    ("unit", False, True),
+)
+
+
+def _compare(
+    case: OracleCase, got: np.ndarray, want: np.ndarray
+) -> Tuple[bool, float, str]:
+    got = np.asarray(got)
+    want = np.asarray(want)
+    if got.shape != want.shape:
+        return False, float("inf"), f"shape {got.shape} != {want.shape}"
+    if case.exact:
+        if np.array_equal(got, want):
+            return True, 0.0, ""
+        bad = int(np.flatnonzero(np.ravel(got != want))[0])
+        return False, float("inf"), f"first mismatch at flat index {bad}"
+    err = float(np.max(np.abs(got - want))) if got.size else 0.0
+    ok = bool(np.allclose(got, want, rtol=case.tol, atol=case.tol))
+    return ok, err, "" if ok else f"max |got-want| = {err:g}"
+
+
+def run_case(
+    case: OracleCase,
+    cost_model: str,
+    plan_cache: bool,
+    trace: bool,
+    seed: int,
+    n_dims: int = 4,
+) -> CaseResult:
+    """One (case, configuration) cell, sanitizer always attached."""
+    config = {
+        "cost_model": cost_model,
+        "plan_cache": plan_cache,
+        "trace": trace,
+        "n_dims": n_dims,
+        "seed": seed,
+    }
+    session = Session(
+        n_dims,
+        cost_model=cost_model,
+        plan_cache=plan_cache,
+        trace=trace,
+        sanitize=True,
+    )
+    try:
+        got, want = case.run(session, seed)
+    except Exception as exc:  # a crash is a divergence with a traceback
+        return CaseResult(
+            case.name, config, False,
+            float("inf"), f"{type(exc).__name__}: {exc}",
+        )
+    ok, err, detail = _compare(case, got, want)
+    return CaseResult(case.name, config, ok, err, detail)
+
+
+# -- fault-recovery axis ---------------------------------------------------------
+
+
+def _recovery_workloads(seed: int):
+    """The tier-1 workloads as (name, workload_factory, reference) triples."""
+    from ..faults.recovery import (
+        gaussian_workload,
+        matvec_workload,
+        simplex_workload,
+    )
+
+    A, b, _ = workloads.diagonally_dominant_system(12, seed)
+    lp = workloads.feasible_lp(5, 8, seed)
+    rng = np.random.default_rng(seed)
+    # Integer-valued data keeps sum-reductions exact, so the recovered
+    # result stays bit-identical to fault-free even though the survivor
+    # subcube reduces in a different association order.
+    M = rng.integers(-3, 4, size=(10, 10)).astype(np.float64)
+    x0 = rng.integers(-3, 4, size=10).astype(np.float64)
+    y_ref = x0
+    for _ in range(3):
+        y_ref = M @ y_ref
+    return (
+        ("gaussian", lambda: gaussian_workload(A, b), np.linalg.solve(A, b)),
+        (
+            "simplex",
+            lambda: simplex_workload(lp.A, lp.b, lp.c),
+            None,  # reference computed from the fault-free run below
+        ),
+        ("matvec", lambda: matvec_workload(M, x0, reps=3), y_ref),
+    )
+
+
+def run_recovery_case(
+    name: str,
+    make_workload,
+    reference: Optional[np.ndarray],
+    seed: int,
+    n_dims: int = 4,
+) -> CaseResult:
+    """Kill a node mid-run; the recovered result must match fault-free.
+
+    Self-calibrating: the fault-free run measures total simulated time,
+    then a node kill is scheduled at 40% of it and the workload re-run
+    under :func:`repro.faults.run_resilient` on a fresh session.
+    """
+    from ..faults.checkpoint import CheckpointStore
+    from ..faults.plan import FaultPlan, NodeKill
+    from ..faults.recovery import run_resilient
+
+    config = {
+        "cost_model": "cm2",
+        "axis": "fault-recovered",
+        "n_dims": n_dims,
+        "seed": seed,
+    }
+    clean = Session(n_dims, cost_model="cm2", sanitize=True)
+    baseline = make_workload()(clean, CheckpointStore(clean))
+    if reference is not None:
+        ok = bool(np.allclose(baseline, reference, rtol=1e-7, atol=1e-7))
+        if not ok:
+            return CaseResult(
+                f"recovery:{name}", config, False, float("inf"),
+                "fault-free run diverges from reference",
+            )
+    kill_at = 0.4 * clean.time
+    plan = FaultPlan([NodeKill(time=kill_at, pid=1)])
+    faulted = Session(n_dims, cost_model="cm2", faults=plan, sanitize=True)
+    report = run_resilient(faulted, make_workload())
+    config["kill_at"] = kill_at
+    if report.error is not None:
+        return CaseResult(
+            f"recovery:{name}", config, False, float("inf"),
+            f"unrecovered: {report.error}",
+        )
+    if not np.array_equal(np.asarray(report.result), np.asarray(baseline)):
+        err = float(np.max(np.abs(np.asarray(report.result) - baseline)))
+        return CaseResult(
+            f"recovery:{name}", config, False, err,
+            "recovered result is not bit-identical to the fault-free run",
+        )
+    config["recovered"] = report.recovered
+    config["final_p"] = report.final_p
+    return CaseResult(f"recovery:{name}", config, True)
+
+
+# -- the sweep -------------------------------------------------------------------
+
+
+def run_differential(
+    seed: int = 0,
+    n_dims: int = 4,
+    quick: bool = False,
+) -> dict:
+    """Sweep all cases across the configuration matrix; returns a report.
+
+    The report dict has ``passed`` (bool), ``cells`` (every cell outcome)
+    and ``failures`` (the failing subset, with configs) — ready for JSON.
+    """
+    matrix = QUICK_MATRIX if quick else FULL_MATRIX
+    results: List[CaseResult] = []
+    for case in CASES:
+        for cm, cache, trace in matrix:
+            results.append(run_case(case, cm, cache, trace, seed, n_dims))
+    for name, make_workload, reference in _recovery_workloads(seed):
+        results.append(
+            run_recovery_case(name, make_workload, reference, seed, n_dims)
+        )
+    failures = [r for r in results if not r.passed]
+    return {
+        "passed": not failures,
+        "seed": seed,
+        "n_dims": n_dims,
+        "matrix": [list(cell) for cell in matrix],
+        "cases": len(CASES),
+        "cells": [r.as_dict() for r in results],
+        "failures": [r.as_dict() for r in failures],
+    }
+
+
+__all__ = [
+    "CASES",
+    "CaseResult",
+    "FULL_MATRIX",
+    "OracleCase",
+    "QUICK_MATRIX",
+    "run_case",
+    "run_differential",
+    "run_recovery_case",
+]

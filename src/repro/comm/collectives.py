@@ -30,6 +30,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import ConfigError, ShapeError
 from ..machine.hypercube import Hypercube
 from ..machine.plans import readonly
 from ..machine.pvar import PVar
@@ -133,11 +134,12 @@ def broadcast(
     if not dims:
         return pvar
     if not (0 <= root_rank < (1 << len(dims))):
-        raise ValueError(f"root_rank {root_rank} out of range for {len(dims)} dims")
+        raise ConfigError(f"root_rank {root_rank} out of range for {len(dims)} dims")
     with maybe_span(
         machine, "broadcast", "collective",
         dims=list(dims), volume=pvar.local_size,
     ):
+        sanitizer = machine.sanitizer
         if machine.plans.enabled:
             # Plan replay: the binomial tree's charge schedule is one
             # full-block round per dimension, and its functional result is
@@ -148,7 +150,10 @@ def broadcast(
             root_pid = _root_pid_map(machine, dims, root_rank)
             for d in dims:
                 machine.charge_comm_round(pvar.local_size, dim=d)
-            return PVar(machine, pvar.data[root_pid])
+            out = PVar(machine, pvar.data[root_pid])
+            if sanitizer is not None:
+                sanitizer.audit_broadcast(machine, dims, root_rank, pvar, out)
+            return out
         rank = subcube_rank(machine, dims)
         has = rank == root_rank
         data = pvar
@@ -162,6 +167,8 @@ def broadcast(
                 data = PVar(machine, out)
             has = has | recv_has
         assert bool(np.all(has))
+        if sanitizer is not None:
+            sanitizer.audit_broadcast(machine, dims, root_rank, pvar, data)
         return data
 
 
@@ -188,6 +195,9 @@ def reduce_all(
             combined = op(data.data, recv.data)
             machine.charge_flops(data.local_size)
             data = PVar(machine, combined)
+        sanitizer = machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.audit_replicated(machine, data, dims, "reduce_all")
         return data
 
 
@@ -223,10 +233,13 @@ def reduce_all_loc(
     pivoting in the simplex application).
     """
     if mode not in ("max", "min"):
-        raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        raise ConfigError(f"mode must be 'max' or 'min', got {mode!r}")
     dims = _dims_tuple(machine, dims)
     if value.local_shape != index.local_shape:
-        raise ValueError("value and index must have identical local shapes")
+        raise ShapeError(
+            f"value and index must have identical local shapes, got "
+            f"{value.local_shape} and {index.local_shape}"
+        )
     with maybe_span(
         machine, "reduce_all_loc", "collective",
         dims=list(dims), volume=value.local_size, mode=mode,
@@ -333,7 +346,9 @@ def scan(
         else:
             rank = np.asarray(rank)
             if rank.shape != (machine.p,):
-                raise ValueError(f"rank must have shape ({machine.p},)")
+                raise ShapeError(
+                    f"rank must have shape ({machine.p},), got {rank.shape}"
+                )
         for k, d in enumerate(dims):
             total_pv = PVar(machine, total)
             recv_total = machine.exchange(total_pv, d).data
@@ -418,7 +433,7 @@ def scatter(
     k = len(dims)
     nblocks = 1 << k
     if not pvar.local_shape or pvar.local_shape[0] != nblocks:
-        raise ValueError(
+        raise ShapeError(
             f"scatter input must have leading local axis {nblocks}, "
             f"got local shape {pvar.local_shape}"
         )
@@ -462,7 +477,7 @@ def alltoall(
     k = len(dims)
     nblocks = 1 << k
     if not pvar.local_shape or pvar.local_shape[0] != nblocks:
-        raise ValueError(
+        raise ShapeError(
             f"alltoall input must have leading local axis {nblocks}, "
             f"got local shape {pvar.local_shape}"
         )
@@ -542,7 +557,11 @@ def broadcast_pipelined(
         machine.charge_comm_round(piece, rounds=2 * k - 1)
         # functional result: everyone gets the root's block
         root_pid = _root_pid_map(machine, dims, root_rank)
-        return PVar(machine, pvar.data[root_pid])
+        out = PVar(machine, pvar.data[root_pid])
+        sanitizer = machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.audit_broadcast(machine, dims, root_rank, pvar, out)
+        return out
 
 
 def reduce_all_pipelined(
@@ -584,7 +603,13 @@ def reduce_all_pipelined(
         for d in dims:
             recv = machine.exchange_free(PVar(machine, data), d).data
             data = op(data, recv)
-        return PVar(machine, data)
+        out = PVar(machine, data)
+        sanitizer = machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.audit_replicated(
+                machine, out, dims, "reduce_all_pipelined"
+            )
+        return out
 
 
 def broadcast_crossover(cost, k: int) -> float:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
 import numpy as np
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,6 @@ def get_op(op: "CombineOp | str") -> CombineOp:
     try:
         return _REGISTRY[op]
     except KeyError:
-        raise ValueError(
+        raise ConfigError(
             f"unknown combine op {op!r}; known: {sorted(_REGISTRY)}"
         ) from None

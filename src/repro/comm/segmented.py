@@ -21,6 +21,7 @@ import numpy as np
 from ..machine.hypercube import Hypercube
 from ..machine.pvar import PVar
 from .collectives import _dims_tuple, subcube_rank
+from ..errors import ShapeError
 
 
 def segmented_scan_pairs(
@@ -40,13 +41,13 @@ def segmented_scan_pairs(
     """
     dims = _dims_tuple(machine, dims)
     if value.local_shape != flag.local_shape:
-        raise ValueError("value and flag must share the local shape")
+        raise ShapeError("value and flag must share the local shape")
     if rank is None:
         rank = subcube_rank(machine, dims)
     else:
         rank = np.asarray(rank)
         if rank.shape != (machine.p,):
-            raise ValueError(f"rank must have shape ({machine.p},)")
+            raise ShapeError(f"rank must have shape ({machine.p},)")
     shape = (machine.p,) + (1,) * (value.data.ndim - 1)
 
     prefix_v = np.zeros_like(value.data)
@@ -89,7 +90,7 @@ def local_segmented_cumsum(
     values = np.asarray(values, dtype=np.float64)
     flags = np.asarray(flags, dtype=bool)
     if values.shape != flags.shape:
-        raise ValueError("values and flags must have identical shapes")
+        raise ShapeError("values and flags must have identical shapes")
     values = np.moveaxis(values, axis, -1)
     flags = np.moveaxis(flags, axis, -1)
 

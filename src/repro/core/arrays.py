@@ -20,7 +20,7 @@ import numpy as np
 
 from .. import comm
 from ..comm.ops import CombineOp, get_op
-from ..errors import EmbeddingError, ShapeError
+from ..errors import ConfigError, EmbeddingError, ShapeError
 from ..machine.hypercube import Hypercube
 from ..machine.pvar import PVar
 from ..embeddings.matrix import MatrixEmbedding
@@ -294,7 +294,7 @@ class DistributedVector:
             return abs(self).reduce("sum")
         if ord in ("inf", np.inf):
             return abs(self).reduce("max")
-        raise ValueError(f"unsupported vector norm {ord!r}")
+        raise ConfigError(f"unsupported vector norm {ord!r}")
 
     def get_global(self, index: int) -> float:
         """Fetch one element to the host (one charged bus read)."""
@@ -738,7 +738,7 @@ class DistributedMatrix:
             return abs(self).reduce(axis=0, op="sum").max()
         if ord in ("inf", np.inf):
             return abs(self).reduce(axis=1, op="sum").max()
-        raise ValueError(f"unsupported matrix norm {ord!r}")
+        raise ConfigError(f"unsupported matrix norm {ord!r}")
 
     def scan(
         self,

@@ -58,6 +58,7 @@ from ..embeddings.vector import (
     VectorEmbedding,
     _AlignedEmbedding,
 )
+from ..errors import ConfigError, EmbeddingError, ShapeError
 
 Axis = int
 
@@ -66,7 +67,7 @@ INT64_MAX = np.iinfo(np.int64).max
 
 def _check_axis(axis: Axis) -> int:
     if axis not in (0, 1):
-        raise ValueError(f"axis must be 0 (rows) or 1 (columns), got {axis}")
+        raise ConfigError(f"axis must be 0 (rows) or 1 (columns), got {axis}")
     return axis
 
 
@@ -203,7 +204,7 @@ def insert(
         grid_coord, slot = _slice_owner(emb, axis, index)
         expected_len = emb.C if axis == 0 else emb.R
         if vec_emb.L != expected_len:
-            raise ValueError(
+            raise ShapeError(
                 f"vector length {vec_emb.L} does not match slice length "
                 f"{expected_len}"
             )
@@ -259,7 +260,7 @@ def distribute(
     with maybe_span(machine, "distribute", "primitive", axis=axis):
         expected_len = emb.C if axis == 0 else emb.R
         if vec_emb.L != expected_len:
-            raise ValueError(
+            raise ShapeError(
                 f"vector length {vec_emb.L} does not match matrix axis length "
                 f"{expected_len}"
             )
@@ -381,14 +382,14 @@ def local_reduce_loc(
     """
     _check_axis(axis)
     if mode not in ("max", "min"):
-        raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        raise ConfigError(f"mode must be 'max' or 'min', got {mode!r}")
     op = get_op("max" if mode == "max" else "min")
     machine = emb.machine
 
     mask = emb.valid_mask()
     if valid is not None:
         if valid.local_shape != pvar.local_shape:
-            raise ValueError("valid mask must match the matrix local shape")
+            raise ShapeError("valid mask must match the matrix local shape")
         mask = mask & valid.data.astype(bool)
         machine.charge_flops(pvar.local_size)
     ident = op.identity(pvar.dtype)
@@ -547,7 +548,7 @@ def scan(
     machine = emb.machine
     layout_kind = emb._col_layout_kind if axis == 1 else emb._row_layout_kind
     if layout_kind != "block":
-        raise ValueError(
+        raise EmbeddingError(
             "scan requires a block layout along the scanned axis; "
             f"got {layout_kind!r}"
         )
@@ -606,7 +607,7 @@ def permute_slices(
     if perm.shape != (extent,) or not np.array_equal(
         np.sort(perm), np.arange(extent)
     ):
-        raise ValueError(f"perm must be a permutation of range({extent})")
+        raise ConfigError(f"perm must be a permutation of range({extent})")
 
     layout = emb.row_layout if axis == 0 else emb.col_layout
     share = emb.local_shape[1] if axis == 0 else emb.local_shape[0]

@@ -17,10 +17,12 @@ every primitive, collective, remap and routing operation; see
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Union
 
 import numpy as np
 
+from ..errors import ConfigError
 from ..machine.cost_model import CostModel
 from ..machine.counters import CostSnapshot
 from ..machine.hypercube import Hypercube
@@ -44,12 +46,13 @@ class Session:
         plan_cache: Optional[bool] = None,
         trace: Optional[Union[bool, Tracer]] = None,
         faults: Optional[object] = None,
+        sanitize: Optional[Union[bool, object]] = None,
     ) -> None:
         if isinstance(cost_model, str):
             try:
                 cost_model = getattr(CostModel, cost_model)()
             except AttributeError:
-                raise ValueError(
+                raise ConfigError(
                     f"unknown cost model preset {cost_model!r}; "
                     "try 'cm2', 'unit', 'latency_bound' or 'bandwidth_bound'"
                 ) from None
@@ -72,6 +75,19 @@ class Session:
             if isinstance(faults, FaultPlan):
                 faults = FaultInjector(faults)
             self.machine.attach_faults(faults)
+        # sanitize=None defers to REPRO_SANITIZE (read inline so an
+        # unsanitized run never imports the check subsystem); a pre-built
+        # MachineSanitizer may also be passed to share across sessions.
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+                "1", "on", "true", "yes"
+            )
+        if sanitize:
+            if isinstance(sanitize, bool):
+                from ..check.sanitizer import MachineSanitizer
+
+                sanitize = MachineSanitizer()
+            self.machine.attach_sanitizer(sanitize)
 
     @property
     def tracer(self) -> Optional[Tracer]:
@@ -82,6 +98,11 @@ class Session:
     def faults(self):
         """The attached :class:`~repro.faults.FaultInjector`, or ``None``."""
         return self.machine.faults
+
+    @property
+    def sanitizer(self):
+        """The attached :class:`~repro.check.MachineSanitizer`, or ``None``."""
+        return self.machine.sanitizer
 
     # -- degraded-mode recovery ----------------------------------------------
 
@@ -124,6 +145,12 @@ class Session:
         if injector is not None:
             injector.translate(free_dims, base)
             new.attach_faults(injector)
+        sanitizer = old.sanitizer
+        if sanitizer is not None:
+            # The survivor charges into the parent's counters, so the
+            # monotonicity audit deliberately spans the swap.
+            sanitizer.rebind(new)
+            new.sanitizer = sanitizer
         self.machine = new
         return new
 
@@ -185,6 +212,8 @@ class Session:
 
     def reset_counters(self) -> None:
         self.machine.counters.reset()
+        if self.machine.sanitizer is not None:
+            self.machine.sanitizer.resync()
 
     def report(self) -> str:
         """Human-readable accounting summary."""
@@ -215,6 +244,11 @@ class Session:
                 f"{st.link_kills} link kills, {st.drops} drops / "
                 f"{st.retries} retries, {st.detour_rounds} detour rounds, "
                 f"{st.recoveries} recoveries"
+            )
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            lines.append(
+                f"sanitizer         : {sanitizer.stats.total} checks passed"
             )
         breakdown = c.phase_breakdown()
         if breakdown:
@@ -273,6 +307,9 @@ class Session:
         injector = self.machine.faults
         if injector is not None:
             data["faults"] = injector.stats.as_dict()
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            data["sanitizer"] = sanitizer.stats.as_dict()
         tracer = self.machine.tracer
         if tracer is not None:
             data["primitive_breakdown"] = tracer.primitive_summary()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Union
 
 import numpy as np
+from ..errors import ConfigError
 
 IntLike = Union[int, np.ndarray]
 
@@ -20,7 +21,7 @@ def gray(i: IntLike) -> IntLike:
     """The binary-reflected Gray code of ``i``: ``i ^ (i >> 1)``."""
     i = np.asarray(i)
     if i.size and i.min() < 0:
-        raise ValueError("Gray code argument must be non-negative")
+        raise ConfigError("Gray code argument must be non-negative")
     out = i ^ (i >> 1)
     return int(out) if out.ndim == 0 else out
 
@@ -33,7 +34,7 @@ def gray_rank(code: IntLike, nbits: int = 63) -> IntLike:
     """
     code = np.asarray(code)
     if code.size and code.min() < 0:
-        raise ValueError("Gray code must be non-negative")
+        raise ConfigError("Gray code must be non-negative")
     out = code.copy()
     shift = 1
     while shift <= nbits:
@@ -50,7 +51,7 @@ def gray_neighbors_differ_by_one_bit(k: int) -> bool:
     statement of why the embedding gives dilation-1 ring embeddings.
     """
     if k < 0:
-        raise ValueError("k must be >= 0")
+        raise ConfigError("k must be >= 0")
     if k == 0:
         return True
     n = 1 << k

@@ -23,6 +23,7 @@ import abc
 from typing import Tuple, Union
 
 import numpy as np
+from ..errors import ConfigError
 
 IntArray = Union[int, np.ndarray]
 
@@ -36,9 +37,9 @@ class Layout(abc.ABC):
 
     def __init__(self, n: int, parts: int) -> None:
         if n < 0:
-            raise ValueError(f"n must be >= 0, got {n}")
+            raise ConfigError(f"n must be >= 0, got {n}")
         if parts < 1:
-            raise ValueError(f"parts must be >= 1, got {parts}")
+            raise ConfigError(f"parts must be >= 1, got {parts}")
         self.n = n
         self.parts = parts
         self.capacity = _ceil_div(n, parts) if n else 0
@@ -213,7 +214,7 @@ class BlockCyclicLayout(Layout):
 
     def __init__(self, n: int, parts: int, block: int = 2) -> None:
         if block < 1:
-            raise ValueError(f"block size must be >= 1, got {block}")
+            raise ConfigError(f"block size must be >= 1, got {block}")
         super().__init__(n, parts)
         self.block = block
         # capacity must cover the worst part: full blocks dealt to it
@@ -302,11 +303,11 @@ def make_layout(kind: str, n: int, parts: int) -> Layout:
             try:
                 block = int(kind.split(":", 1)[1])
             except ValueError:
-                raise ValueError(
+                raise ConfigError(
                     f"bad block size in layout kind {kind!r}"
                 ) from None
         return BlockCyclicLayout(n, parts, block)
-    raise ValueError(
+    raise ConfigError(
         f"unknown layout kind {kind!r}; expected 'block', 'cyclic' or "
         "'block_cyclic[:B]'"
     )

@@ -18,7 +18,7 @@ from typing import Tuple
 
 import numpy as np
 
-from ..errors import EmbeddingError, ShapeError
+from ..errors import ConfigError, EmbeddingError, ShapeError
 from ..machine.hypercube import Hypercube
 from ..machine.plans import readonly
 from ..machine.pvar import PVar
@@ -35,9 +35,9 @@ def split_dims(n: int, R: int, C: int) -> Tuple[int, int]:
     paper adopts.
     """
     if n < 0:
-        raise ValueError("n must be >= 0")
+        raise ConfigError("n must be >= 0")
     if R < 1 or C < 1:
-        raise ValueError("matrix extents must be >= 1")
+        raise ShapeError(f"matrix extents must be >= 1, got {R}x{C}")
     best = None
     for nr in range(n + 1):
         nc = n - nr
@@ -327,6 +327,9 @@ class MatrixEmbedding:
         # Padding slots currently replicate edge elements; zero them so
         # stray values can never leak through arithmetic.
         data = np.where(self.valid_mask(), data, np.zeros((), dtype=matrix.dtype))
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.audit_matrix_embedding(self)
         return PVar(self.machine, data)
 
     def gather(self, pvar: PVar) -> np.ndarray:

@@ -151,6 +151,9 @@ class VectorEmbedding(abc.ABC):
         idx = self.global_indices()
         data = vector[idx]
         data = np.where(self.valid_mask(), data, np.zeros((), dtype=vector.dtype))
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.audit_vector_embedding(self)
         return PVar(self.machine, data)
 
     def gather(self, pvar: PVar) -> np.ndarray:

@@ -12,10 +12,15 @@ Hierarchy::
     ReproError
     ├── ShapeError(ValueError)      — array extents / local shapes disagree
     ├── EmbeddingError(ValueError)  — embeddings mismatched or ill-formed
+    ├── ConfigError(ValueError)     — an argument or configuration value is
+    │                                 invalid (bad mode string, out-of-range
+    │                                 pid/dim, negative charge, ...)
     ├── FaultError(RuntimeError)    — the simulated machine is degraded
     │   ├── NodeKilledError         — a processor died; collectives impossible
     │   └── UnroutableError         — no healthy path exists for a message
-    └── CheckpointError(RuntimeError) — checkpoint contents unusable
+    ├── CheckpointError(RuntimeError) — checkpoint contents unusable
+    └── SanitizerError(RuntimeError)  — a machine invariant was violated
+                                        (see repro.check.MachineSanitizer)
 """
 
 from __future__ import annotations
@@ -40,6 +45,15 @@ class EmbeddingError(ReproError, ValueError):
     """
 
 
+class ConfigError(ReproError, ValueError):
+    """An argument or configuration value is invalid.
+
+    Covers everything input-validation that is neither a shape nor an
+    embedding problem: unknown mode/rule strings, out-of-range processor or
+    dimension indices, negative cost charges, malformed documents.
+    """
+
+
 class FaultError(ReproError, RuntimeError):
     """The simulated machine cannot complete an operation due to faults."""
 
@@ -61,12 +75,23 @@ class CheckpointError(ReproError, RuntimeError):
     """A checkpoint is missing required entries or does not fit the machine."""
 
 
+class SanitizerError(ReproError, RuntimeError):
+    """A machine conservation/accounting invariant was violated.
+
+    Raised by :class:`repro.check.MachineSanitizer` at the first charged
+    operation whose books do not balance; the message names the invariant,
+    the expected and observed quantities, and the machine state (p, epoch).
+    """
+
+
 __all__ = [
     "ReproError",
     "ShapeError",
     "EmbeddingError",
+    "ConfigError",
     "FaultError",
     "NodeKilledError",
     "UnroutableError",
     "CheckpointError",
+    "SanitizerError",
 ]

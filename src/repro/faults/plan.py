@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Tuple
 
 import numpy as np
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -126,12 +127,12 @@ class FaultPlan:
         ...)`` arguments always produce the identical plan.
         """
         if n < 1 and (link_kills or drops):
-            raise ValueError("link faults need a machine with n >= 1")
+            raise ConfigError("link faults need a machine with n >= 1")
         if horizon <= 0:
-            raise ValueError(f"horizon must be positive, got {horizon}")
+            raise ConfigError(f"horizon must be positive, got {horizon}")
         lo, hi = window
         if not (0.0 <= lo <= hi <= 1.0):
-            raise ValueError(f"window must satisfy 0 <= lo <= hi <= 1, got {window}")
+            raise ConfigError(f"window must satisfy 0 <= lo <= hi <= 1, got {window}")
         rng = np.random.default_rng(seed)
         p = 1 << n
         events: List[FaultEvent] = []

@@ -22,6 +22,7 @@ in tests that verify complexity formulas.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -50,7 +51,7 @@ class CostModel:
         for name in ("tau", "t_c", "t_a", "t_m"):
             value = getattr(self, name)
             if value < 0:
-                raise ValueError(f"cost parameter {name!r} must be >= 0, got {value}")
+                raise ConfigError(f"cost parameter {name!r} must be >= 0, got {value}")
 
     @classmethod
     def unit(cls) -> "CostModel":
@@ -84,7 +85,7 @@ class CostModel:
     def comm_round(self, elements_per_hop: float, hops: int = 1) -> float:
         """Time of one communication round moving ``elements_per_hop`` each hop."""
         if hops < 0:
-            raise ValueError("hops must be >= 0")
+            raise ConfigError("hops must be >= 0")
         if hops == 0:
             return 0.0
         return hops * (self.tau + self.t_c * elements_per_hop)

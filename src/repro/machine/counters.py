@@ -13,6 +13,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 import contextlib
+from ..errors import ConfigError
 
 
 @dataclass
@@ -71,7 +72,7 @@ class Counters:
 
     def charge_time(self, amount: float) -> None:
         if amount < 0:
-            raise ValueError(f"cannot charge negative time {amount}")
+            raise ConfigError(f"cannot charge negative time {amount}")
         self.time += amount
         if self._phase_stack:
             for phase in self._phase_stack:
@@ -79,22 +80,22 @@ class Counters:
 
     def charge_flops(self, count: float, time: float) -> None:
         if count < 0:
-            raise ValueError(f"cannot charge negative flop count {count}")
+            raise ConfigError(f"cannot charge negative flop count {count}")
         self.flops += count
         self.charge_time(time)
 
     def charge_transfer(self, elements: float, rounds: int, time: float) -> None:
         if elements < 0:
-            raise ValueError(f"cannot charge negative transfer volume {elements}")
+            raise ConfigError(f"cannot charge negative transfer volume {elements}")
         if rounds < 0:
-            raise ValueError(f"cannot charge negative round count {rounds}")
+            raise ConfigError(f"cannot charge negative round count {rounds}")
         self.elements_transferred += elements
         self.comm_rounds += rounds
         self.charge_time(time)
 
     def charge_local(self, elements: float, time: float) -> None:
         if elements < 0:
-            raise ValueError(f"cannot charge negative local-move count {elements}")
+            raise ConfigError(f"cannot charge negative local-move count {elements}")
         self.local_moves += elements
         self.charge_time(time)
 

@@ -23,7 +23,7 @@ import contextlib
 
 import numpy as np
 
-from ..errors import NodeKilledError, UnroutableError
+from ..errors import ConfigError, NodeKilledError, ShapeError, UnroutableError
 from .cost_model import CostModel
 from .counters import Counters, CostSnapshot
 from .plans import PlanCache
@@ -59,9 +59,9 @@ class Hypercube:
         counters: Optional[Counters] = None,
     ) -> None:
         if n < 0:
-            raise ValueError(f"cube dimension must be >= 0, got {n}")
+            raise ConfigError(f"cube dimension must be >= 0, got {n}")
         if n > 24:
-            raise ValueError(f"cube dimension {n} too large to simulate")
+            raise ConfigError(f"cube dimension {n} too large to simulate")
         self.n = n
         self.p = 1 << n
         self.cost_model = cost_model if cost_model is not None else CostModel.cm2()
@@ -70,6 +70,10 @@ class Hypercube:
         # instrumented site pays exactly one ``is None`` branch and charges
         # nothing, so cost totals are bit-identical traced or not.
         self.tracer = None
+        # Conformance checking: ``None`` (the default) is the null
+        # sanitizer, same contract as the tracer — one ``is None`` branch
+        # per instrumented site, zero charges, bit-identical costs on/off.
+        self.sanitizer = None
         # Fault state.  ``epoch`` counts topology changes: every permanent
         # fault bumps it, and the plan cache folds it into every key, so a
         # plan derived on one topology can never replay on another.  The
@@ -111,6 +115,18 @@ class Hypercube:
         self.tracer = tracer
         return tracer
 
+    def attach_sanitizer(self, sanitizer: Any) -> Any:
+        """Attach a :class:`repro.check.MachineSanitizer` (returns it).
+
+        The sanitizer audits conservation/accounting invariants at every
+        charged operation; it never charges the machine itself, so costs
+        stay bit-identical sanitized or not.  Pass ``None`` to detach.
+        """
+        if sanitizer is not None:
+            sanitizer.bind(self)
+        self.sanitizer = sanitizer
+        return sanitizer
+
     # -- fault state -----------------------------------------------------------
 
     @property
@@ -138,9 +154,13 @@ class Hypercube:
         all plans derived on the old topology; the explicit ``clear`` just
         frees the dead entries early.
         """
+        old_epoch = self.epoch
         self.epoch += 1
         self.plans.clear()
         self._detour_memo.clear()
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_epoch_bump(self, old_epoch)
 
     def node_alive(self, pid: int) -> bool:
         return self.node_ok is None or bool(self.node_ok[pid])
@@ -163,7 +183,7 @@ class Hypercube:
         the workload is remapped onto a healthy subcube (degraded mode).
         """
         if not (0 <= pid < self.p):
-            raise ValueError(f"pid {pid} out of range for p={self.p}")
+            raise ConfigError(f"pid {pid} out of range for p={self.p}")
         if self.node_ok is None:
             self.node_ok = np.ones(self.p, dtype=bool)
         if not self.node_ok[pid]:
@@ -186,7 +206,7 @@ class Hypercube:
         """
         self._check_dim(dim)
         if not (0 <= pid < self.p):
-            raise ValueError(f"pid {pid} out of range for p={self.p}")
+            raise ConfigError(f"pid {pid} out of range for p={self.p}")
         bit = 1 << dim
         lo = min(pid, pid ^ bit)
         if self.link_ok is None:
@@ -271,7 +291,7 @@ class Hypercube:
         """
         data = np.asarray(data)
         if data.shape[0] != self.p:
-            raise ValueError(
+            raise ShapeError(
                 f"axis 0 must be the processor axis of extent {self.p}, "
                 f"got shape {data.shape}"
             )
@@ -297,6 +317,9 @@ class Hypercube:
                 local_elements
             )
         self.counters.charge_flops(local_elements * self.p, time)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.observe(self)
 
     def charge_local(self, local_elements: float) -> None:
         """One SIMD local move/pack pass."""
@@ -306,6 +329,9 @@ class Hypercube:
                 local_elements
             )
         self.counters.charge_local(local_elements * self.p, time)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.observe(self)
 
     def charge_comm_round(
         self,
@@ -325,6 +351,11 @@ class Hypercube:
         scheduled events fire against the simulated clock), and transient
         drops / link detours surcharge honest extra rounds afterwards.
         """
+        sanitizer = self.sanitizer
+        # The audit wraps the dispatch (not the plain/faulty bodies), so a
+        # broken override of either body — or a mis-charging test double —
+        # is caught against the specification recomputed from the request.
+        before = self.counters.snapshot() if sanitizer is not None else None
         if (
             self.faults is None
             and self.node_ok is None
@@ -333,6 +364,10 @@ class Hypercube:
             self._charge_comm_round_plain(elements_per_processor, rounds, dim)
         else:
             self._charge_comm_round_faulty(elements_per_processor, rounds, dim)
+        if sanitizer is not None:
+            sanitizer.audit_comm_round(
+                self, elements_per_processor, rounds, dim, before
+            )
 
     def _charge_comm_round_plain(
         self,
@@ -446,7 +481,11 @@ class Hypercube:
         self._check_dim(dim)
         self._check_owned(pvar)
         self.charge_comm_round(pvar.local_size, dim=dim)
-        return PVar(self, pvar.data[self._neighbor[dim]])
+        out = PVar(self, pvar.data[self._neighbor[dim]])
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.audit_exchange(self, pvar, out, dim)
+        return out
 
     def exchange_free(self, pvar: PVar, dim: int) -> PVar:
         """Neighbour view along ``dim`` without charging.
@@ -479,7 +518,7 @@ class Hypercube:
         """
         self._check_owned(pvar)
         if not (0 <= pid < self.p):
-            raise ValueError(f"pid {pid} out of range for p={self.p}")
+            raise ConfigError(f"pid {pid} out of range for p={self.p}")
         time = self._round_cost.get(1)
         if time is None:
             time = self._round_cost[1] = self.cost_model.comm_round(1)
@@ -493,11 +532,11 @@ class Hypercube:
 
     def _check_dim(self, dim: int) -> None:
         if not (0 <= dim < self.n):
-            raise ValueError(f"cube dimension {dim} out of range for n={self.n}")
+            raise ConfigError(f"cube dimension {dim} out of range for n={self.n}")
 
     def _check_owned(self, pvar: PVar) -> None:
         if pvar.machine is not self:
-            raise ValueError("PVar belongs to a different machine")
+            raise ConfigError("PVar belongs to a different machine")
 
     def check_dims(self, dims: Sequence[int]) -> Tuple[int, ...]:
         """Validate a subcube dimension list (distinct, in range)."""
@@ -506,7 +545,7 @@ class Hypercube:
         for d in dims:
             self._check_dim(d)
             if d in seen:
-                raise ValueError(f"duplicate cube dimension {d}")
+                raise ConfigError(f"duplicate cube dimension {d}")
             seen.add(d)
         return dims
 

@@ -44,6 +44,8 @@ from typing import Any, Callable, Hashable, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from ..errors import ConfigError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .hypercube import Hypercube
     from .router import RouteStats
@@ -103,12 +105,16 @@ def charge_route(machine: "Hypercube", stats: Optional["RouteStats"]) -> None:
     bit-identical to re-running the per-dimension routing loop.
     """
     if stats is not None:
+        sanitizer = machine.sanitizer
+        before = machine.counters.snapshot() if sanitizer is not None else None
         machine.counters.charge_transfer(
             stats.element_hops, stats.rounds, stats.time
         )
         tracer = machine.tracer
         if tracer is not None:
             tracer.on_route_replay(stats)
+        if sanitizer is not None:
+            sanitizer.audit_charge_route(machine, stats, before)
 
 
 class PlanCache:
@@ -128,7 +134,7 @@ class PlanCache:
         enabled: Optional[bool] = None,
     ) -> None:
         if maxsize < 1:
-            raise ValueError(f"plan cache maxsize must be >= 1, got {maxsize}")
+            raise ConfigError(f"plan cache maxsize must be >= 1, got {maxsize}")
         self.machine = machine
         self.maxsize = maxsize
         self.enabled = env_enabled() if enabled is None else bool(enabled)
@@ -176,6 +182,9 @@ class PlanCache:
             return MISSING
         self._store.move_to_end(key)
         self.machine.counters.plan_hits += 1
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_plan_hit(self.machine, key, value)
         return value
 
     def store(self, key: Hashable, value: Any) -> Any:
@@ -189,6 +198,9 @@ class PlanCache:
         key = (self.machine.epoch, key)
         self._store[key] = value
         self._store.move_to_end(key)
+        sanitizer = self.machine.sanitizer
+        if sanitizer is not None:
+            sanitizer.on_plan_store(self.machine, key, value)
         while len(self._store) > self.maxsize:
             self._store.popitem(last=False)
             self.machine.counters.plan_evictions += 1

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Tuple, Union
 
 import numpy as np
+from ..errors import ConfigError, ShapeError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .hypercube import Hypercube
@@ -51,7 +52,7 @@ class PVar:
     def __init__(self, machine: "Hypercube", data: np.ndarray) -> None:
         data = np.asarray(data)
         if data.ndim < 1 or data.shape[0] != machine.p:
-            raise ValueError(
+            raise ShapeError(
                 f"PVar data must have shape (p={machine.p}, ...), got {data.shape}"
             )
         self.machine = machine
@@ -98,7 +99,7 @@ class PVar:
                 if all(s == 1 for s in extra):
                     m = m.reshape(m.shape[: self.data.ndim])
                 else:
-                    raise ValueError(
+                    raise ShapeError(
                         f"context mask shape {mask.shape} incompatible with "
                         f"target shape {self.data.shape}"
                     )
@@ -107,7 +108,7 @@ class PVar:
             try:
                 m = np.broadcast_to(m, self.data.shape)
             except ValueError:
-                raise ValueError(
+                raise ShapeError(
                     f"context mask shape {mask.shape} incompatible with "
                     f"target shape {self.data.shape}"
                 ) from None
@@ -127,7 +128,7 @@ class PVar:
     def _coerce(self, other: "PVarOrScalar") -> np.ndarray:
         if isinstance(other, PVar):
             if other.machine is not self.machine:
-                raise ValueError("cannot combine PVars from different machines")
+                raise ConfigError("cannot combine PVars from different machines")
             return other.data
         if isinstance(other, np.ndarray):
             raise TypeError(
@@ -261,7 +262,7 @@ class PVar:
 
     def _local_reduce(self, fn: Callable[..., np.ndarray], axis: int) -> "PVar":
         if not self.local_shape:
-            raise ValueError("cannot locally reduce a scalar PVar")
+            raise ShapeError("cannot locally reduce a scalar PVar")
         # A tree reduction over k local elements costs k-1 combining steps
         # executed serially by each (physical) processor.
         self.machine.charge_flops(max(self.local_size - self.local_size // self.local_shape[axis], 0))

@@ -27,7 +27,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..errors import NodeKilledError, UnroutableError
+from ..errors import ConfigError, NodeKilledError, ShapeError, UnroutableError
 from .hypercube import Hypercube
 from .plans import MISSING
 from .pvar import PVar
@@ -86,11 +86,14 @@ class Router:
         dst = np.asarray(dst, dtype=np.int64)
         sizes = np.asarray(sizes, dtype=np.float64)
         if not (src.shape == dst.shape == sizes.shape):
-            raise ValueError("src, dst and sizes must have identical shapes")
+            raise ShapeError(
+                f"src, dst and sizes must have identical shapes, got "
+                f"{src.shape}, {dst.shape}, {sizes.shape}"
+            )
         if src.size and (src.min() < 0 or src.max() >= machine.p):
-            raise ValueError("message source out of processor range")
+            raise ConfigError("message source out of processor range")
         if dst.size and (dst.min() < 0 or dst.max() >= machine.p):
-            raise ValueError("message destination out of processor range")
+            raise ConfigError("message destination out of processor range")
 
         # Fire any fault events due at the current simulated time *before*
         # consulting the plan cache, so a topology change (epoch bump)
@@ -127,11 +130,22 @@ class Router:
                 cached = plans.lookup(cache_key)
                 if cached is not MISSING:
                     if charge:
+                        sanitizer = machine.sanitizer
+                        before = (
+                            machine.counters.snapshot()
+                            if sanitizer is not None
+                            else None
+                        )
                         machine.counters.charge_transfer(
                             cached.element_hops, cached.rounds, cached.time
                         )
                         if tracer is not None:
                             tracer.on_route_replay(cached)
+                        if sanitizer is not None:
+                            sanitizer.audit_route(
+                                machine, src, dst, sizes, cached,
+                                before, from_cache=True,
+                            )
                     return cached
 
             if machine.faulty:
@@ -171,7 +185,24 @@ class Router:
             if cache_key is not None:
                 plans.store(cache_key, stats)
             if charge:
-                machine.counters.charge_transfer(total_hops, rounds, total_time)
+                # Charge from the stats record so the faulty branch (whose
+                # totals live inside _simulate_faulty) charges too; the
+                # healthy branch stored the identical floats, so this is
+                # bit-identical to charging the loop's own accumulators.
+                sanitizer = machine.sanitizer
+                before = (
+                    machine.counters.snapshot()
+                    if sanitizer is not None
+                    else None
+                )
+                machine.counters.charge_transfer(
+                    stats.element_hops, stats.rounds, stats.time
+                )
+                if sanitizer is not None:
+                    sanitizer.audit_route(
+                        machine, src, dst, sizes, stats, before,
+                        from_cache=False,
+                    )
             return stats
 
     def _detour_dim(self, node: int, d: int) -> Optional[int]:
@@ -356,12 +387,12 @@ class Router:
         machine._check_owned(dest)
         d = np.asarray(dest.data, dtype=np.int64)
         if d.shape != (machine.p,):
-            raise ValueError(
+            raise ShapeError(
                 f"dest must be a scalar PVar of pids, got local shape {dest.local_shape}"
             )
         order = np.sort(d)
         if not np.array_equal(order, machine.pids()):
-            raise ValueError("dest is not a permutation of processor ids")
+            raise ConfigError("dest is not a permutation of processor ids")
         sizes = np.full(machine.p, float(pvar.local_size))
         self.simulate(machine.pids(), d, sizes)
         out = np.empty_like(pvar.data)

@@ -23,6 +23,7 @@ import json
 from typing import Any, Dict, IO, List, Union
 
 from .tracer import Span, Tracer
+from ..errors import ConfigError
 
 PathOrFile = Union[str, "IO[str]"]
 
@@ -198,11 +199,11 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
     if isinstance(document, dict):
         events = document.get("traceEvents")
         if not isinstance(events, list):
-            raise ValueError("trace document has no 'traceEvents' list")
+            raise ConfigError("trace document has no 'traceEvents' list")
     elif isinstance(document, list):
         events = document
     else:
-        raise ValueError(f"not a trace document: {type(document).__name__}")
+        raise ConfigError(f"not a trace document: {type(document).__name__}")
 
     last_ts: Dict[Any, float] = {}
     stacks: Dict[Any, List[str]] = {}
@@ -210,20 +211,20 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
     instants = 0
     for i, event in enumerate(events):
         if not isinstance(event, dict) or "ph" not in event:
-            raise ValueError(f"event {i} is not a trace event: {event!r}")
+            raise ConfigError(f"event {i} is not a trace event: {event!r}")
         ph = event["ph"]
         if ph == "M":
             continue
         if ph not in ("B", "E", "i"):
-            raise ValueError(f"event {i}: unexpected phase {ph!r}")
+            raise ConfigError(f"event {i}: unexpected phase {ph!r}")
         if "name" not in event or "ts" not in event:
-            raise ValueError(f"event {i}: missing 'name' or 'ts'")
+            raise ConfigError(f"event {i}: missing 'name' or 'ts'")
         ts = event["ts"]
         if not isinstance(ts, (int, float)):
-            raise ValueError(f"event {i}: non-numeric ts {ts!r}")
+            raise ConfigError(f"event {i}: non-numeric ts {ts!r}")
         thread = (event.get("pid", 0), event.get("tid", 0))
         if ts < last_ts.get(thread, float("-inf")):
-            raise ValueError(
+            raise ConfigError(
                 f"event {i}: ts {ts} goes backwards on thread {thread}"
             )
         last_ts[thread] = ts
@@ -235,17 +236,17 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
             stack.append(event["name"])
         else:
             if not stack:
-                raise ValueError(f"event {i}: 'E' with no open 'B'")
+                raise ConfigError(f"event {i}: 'E' with no open 'B'")
             opened = stack.pop()
             if opened != event["name"]:
-                raise ValueError(
+                raise ConfigError(
                     f"event {i}: 'E' for {event['name']!r} closes "
                     f"open span {opened!r}"
                 )
             spans += 1
     for thread, stack in stacks.items():
         if stack:
-            raise ValueError(
+            raise ConfigError(
                 f"thread {thread}: unclosed spans at end of trace: {stack}"
             )
     return {"events": len(events), "spans": spans, "instants": instants}

@@ -31,6 +31,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from ..machine.counters import CostSnapshot
 from .congestion import CongestionAggregator
+from ..errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..machine.hypercube import Hypercube
@@ -157,7 +158,7 @@ class Tracer:
     def bind(self, machine: "Hypercube") -> None:
         """Bind to a machine (called by ``Hypercube.attach_tracer``)."""
         if self.machine is not None and self.machine is not machine:
-            raise ValueError("tracer is already bound to a different machine")
+            raise ConfigError("tracer is already bound to a different machine")
         self.machine = machine
         self.congestion.bind(machine.n, machine.p)
 

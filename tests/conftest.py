@@ -7,19 +7,51 @@ Machines come in three cost flavours:
 * ``cm2_machine`` — CM-2-flavoured ratios (the benchmark configuration);
 * parametrised ``any_machine`` — a small sweep of cube sizes for tests
   that must hold at every machine size, including the degenerate p=1.
+
+Randomness is centrally seeded: the ``rng`` fixture derives from
+``REPRO_TEST_SEED`` (default ``0xC0FFEE``) and the seed is printed in the
+pytest header, so any seed-dependent failure is reproducible with
+``REPRO_TEST_SEED=<seed> pytest ...``.  Hypothesis runs under the
+``fast`` profile by default and the heavier ``ci`` profile when
+``REPRO_TEST_PROFILE=ci`` (or ``CI`` is set).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from hypothesis import HealthCheck, settings
+
 from repro.machine import CostModel, Hypercube
+
+TEST_SEED = int(os.environ.get("REPRO_TEST_SEED", str(0xC0FFEE)), 0)
+
+settings.register_profile("fast", max_examples=25, deadline=None)
+settings.register_profile(
+    "ci",
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+_profile = os.environ.get(
+    "REPRO_TEST_PROFILE", "ci" if os.environ.get("CI") else "fast"
+)
+settings.load_profile(_profile)
+
+
+def pytest_report_header(config):
+    return (
+        f"repro: REPRO_TEST_SEED={TEST_SEED:#x} "
+        f"hypothesis profile={_profile}"
+    )
 
 
 @pytest.fixture
 def rng():
-    return np.random.default_rng(0xC0FFEE)
+    return np.random.default_rng(TEST_SEED)
 
 
 @pytest.fixture

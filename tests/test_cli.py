@@ -188,3 +188,49 @@ class TestFaultInjectionFlags:
         assert main(["solve", "-n", "4", "--size", "12", "--json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert "faults" not in data
+
+
+class TestCheck:
+    def test_quick_check_passes_and_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        assert main(["check", "-n", "3", "--quick",
+                     "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "overall            : PASS" in text
+        report = json.loads(out.read_text())
+        assert report["passed"]
+        assert report["sanitizer_selftest"]["passed"]
+        assert report["differential"]["passed"]
+        assert report["golden"]["passed"]
+
+    def test_json_flag_emits_report(self, capsys):
+        assert main(["check", "-n", "3", "--quick",
+                     "--skip-golden", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["passed"]
+        assert "golden" not in report
+
+    def test_selftest_only_is_fast(self, capsys):
+        assert main(["check", "--skip-differential",
+                     "--skip-golden"]) == 0
+        assert "sanitizer selftest : PASS" in capsys.readouterr().out
+
+    def test_missing_golden_file_fails(self, capsys, tmp_path, monkeypatch):
+        from repro.check import golden
+
+        monkeypatch.setattr(
+            golden, "GOLDEN_PATH", tmp_path / "nope.json"
+        )
+        assert main(["check", "--skip-differential"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_update_golden_roundtrip(self, capsys, tmp_path, monkeypatch):
+        from repro.check import golden
+
+        monkeypatch.setattr(
+            golden, "GOLDEN_PATH", tmp_path / "golden.json"
+        )
+        assert main(["check", "--update-golden"]) == 0
+        assert (tmp_path / "golden.json").exists()
+        capsys.readouterr()
+        assert main(["check", "--skip-differential"]) == 0

@@ -1,0 +1,81 @@
+"""The error taxonomy: typed exceptions everywhere, no bare ValueError.
+
+Two layers of pinning:
+
+* a source scan — no ``raise ValueError`` may reappear anywhere in
+  ``src/`` (the taxonomy classes double-inherit ``ValueError``, so
+  pre-taxonomy ``except ValueError`` callers keep working);
+* behavioural checks — representative public entry points raise the
+  *taxonomy* class, and the old ``except ValueError`` idiom still
+  catches them.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro import errors
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_no_bare_value_error_raised_in_src():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            if re.search(r"\braise ValueError\b", line):
+                offenders.append(f"{path.relative_to(SRC)}:{i}")
+    assert offenders == [], (
+        "bare ValueError raised (use the repro.errors taxonomy): "
+        + ", ".join(offenders)
+    )
+
+
+def test_taxonomy_hierarchy():
+    for cls in (errors.ShapeError, errors.EmbeddingError, errors.ConfigError):
+        assert issubclass(cls, ValueError)
+        assert issubclass(cls, errors.ReproError)
+    assert issubclass(errors.SanitizerError, RuntimeError)
+    assert issubclass(errors.FaultError, errors.ReproError)
+    assert not issubclass(errors.ShapeError, RuntimeError)
+
+
+def test_public_api_raises_taxonomy_classes():
+    from repro.algorithms import gaussian, simplex, sort
+
+    session = Session(3)
+
+    with pytest.raises(errors.ShapeError):
+        gaussian.solve(session.matrix(np.ones((3, 4))), np.ones(3))
+    with pytest.raises(errors.ConfigError):
+        simplex.solve(
+            session.machine, np.eye(2), np.ones(2), np.ones(2),
+            rule="steepest",
+        )
+    with pytest.raises(errors.ConfigError):
+        Session(3, cost_model="warp-drive")
+    with pytest.raises(errors.ConfigError):
+        session.machine.exchange(
+            session.vector(np.arange(8.0)).pvar, dim=99
+        )
+    with pytest.raises(errors.EmbeddingError):
+        # row-aligned (replicated) vectors are not in vector order
+        A = session.matrix(np.ones((4, 4)))
+        sort.bitonic_sort(session.row_vector(np.ones(4), A))
+
+
+def test_legacy_except_value_error_still_catches():
+    from repro.algorithms import gaussian
+
+    session = Session(3)
+    try:
+        gaussian.solve(session.matrix(np.ones((3, 4))), np.ones(3))
+    except ValueError as exc:
+        assert isinstance(exc, errors.ShapeError)
+    else:
+        pytest.fail("expected a ShapeError")

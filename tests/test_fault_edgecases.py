@@ -1,0 +1,126 @@
+"""Fault-machinery edge cases: subcube search corners and double degrades.
+
+Covers the corners the mainline recovery tests never hit: a machine with
+every node dead, exactly one survivor, or no faults at all; restoring a
+checkpoint after degrading twice; and charging a route on a machine with
+dead links (a regression — the faulty charge path used to read an
+unbound local).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.errors import FaultError
+from repro.faults import CheckpointStore
+from repro.faults.recovery import largest_healthy_subcube, subcube_members
+from repro.machine import Hypercube
+from repro.machine.router import Router
+
+
+class TestLargestHealthySubcube:
+    def test_already_healthy_machine_keeps_the_full_cube(self):
+        machine = Hypercube(4)
+        free_dims, base = largest_healthy_subcube(machine)
+        assert free_dims == (0, 1, 2, 3)
+        assert base == 0
+
+    def test_all_nodes_dead_raises_fault_error(self):
+        machine = Hypercube(3)
+        for pid in range(machine.p):
+            machine.kill_node(pid)
+        with pytest.raises(FaultError, match="no healthy subcube"):
+            largest_healthy_subcube(machine)
+
+    def test_single_survivor_is_a_zero_dimensional_subcube(self):
+        machine = Hypercube(3)
+        survivor = 5
+        for pid in range(machine.p):
+            if pid != survivor:
+                machine.kill_node(pid)
+        free_dims, base = largest_healthy_subcube(machine)
+        assert free_dims == ()
+        assert base == survivor
+        assert subcube_members(free_dims, base).tolist() == [survivor]
+
+    def test_one_dead_node_halves_the_cube(self):
+        machine = Hypercube(3)
+        machine.kill_node(0)
+        free_dims, base = largest_healthy_subcube(machine)
+        assert len(free_dims) == 2
+        members = subcube_members(free_dims, base)
+        assert 0 not in members
+        assert machine.node_ok[members].all()
+
+    def test_dead_internal_link_excludes_the_subcube(self):
+        machine = Hypercube(3)
+        # kill the dim-0 link at pid 0: any subcube containing {0, 1} with
+        # dim 0 free is now unusable
+        machine.kill_link(0, 0)
+        free_dims, base = largest_healthy_subcube(machine)
+        members = subcube_members(free_dims, base)
+        assert len(free_dims) == 2
+        assert not (0 in members and 1 in members and 0 in free_dims)
+
+
+class TestDoubleDegrade:
+    def test_restore_after_two_degrades(self):
+        session = Session(4)
+        store = CheckpointStore(session)
+        payload = np.arange(24, dtype=np.float64).reshape(4, 6)
+        store.save("tableau", {"T": session.matrix(payload)}, step=7)
+
+        session.machine.kill_node(3)
+        session.degrade()
+        assert session.machine.p == 8
+
+        session.machine.kill_node(2)
+        session.degrade()
+        assert session.machine.p == 4
+
+        ck = store.restore(required=True)
+        assert ck.step == 7
+        assert np.array_equal(ck.array("T"), payload)
+        # the restore charged its re-scatter on the 4-processor survivor
+        assert store.restores == 1
+
+    def test_restore_charges_on_the_current_machine(self):
+        session = Session(3)
+        store = CheckpointStore(session)
+        store.save("x", {"x": session.vector(np.arange(8.0))})
+        session.machine.kill_node(1)
+        session.degrade()
+        before = session.time
+        store.restore(required=True)
+        assert session.time > before
+
+    def test_counters_survive_the_swap(self):
+        session = Session(3)
+        t0 = session.time
+        session.matrix(np.arange(24.0).reshape(4, 6)).reduce(
+            axis=1, op="sum"
+        )
+        t1 = session.time
+        assert t1 > t0
+        session.machine.kill_node(0)
+        session.degrade()
+        # the survivor shares the parent's counters: the clock keeps running
+        assert session.time == t1
+        session.matrix(np.arange(24.0).reshape(4, 6)).reduce(
+            axis=1, op="sum"
+        )
+        assert session.time > t1
+
+
+def test_router_charges_route_on_faulty_machine():
+    # Regression: the faulty-path charge used to reference a variable only
+    # assigned on the healthy path (UnboundLocalError).
+    machine = Hypercube(3)
+    machine.kill_link(0, 0)
+    stats = Router(machine).simulate(
+        np.array([0]), np.array([7]), np.array([4.0])
+    )
+    assert stats.element_hops >= 3 * 4.0  # detours only add hops
+    assert machine.counters.time > 0

@@ -1,0 +1,67 @@
+"""Golden cost snapshots: the pinned tier-1 counters must replay exactly.
+
+The snapshot file is the seed-counter pin: it was captured sanitizer-off,
+and any accounting change must show up as an explicit diff of
+``golden_costs.json``, never as silent drift.  The subprocess test
+replays a workload in a clean interpreter (no fixtures, no sanitizer, no
+test-session state) and demands bit-identical counters — the strongest
+form of "the sanitizer and the test harness perturb nothing".
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.check import golden
+
+
+def test_snapshot_file_is_pinned_in_repo():
+    assert golden.GOLDEN_PATH.exists()
+    data = golden.load_golden()
+    assert set(data["workloads"]) == set(golden.WORKLOADS)
+    assert data["n_dims"] == golden.N_DIMS
+    for fields in data["workloads"].values():
+        assert set(fields) == set(golden.FIELDS)
+        assert fields["time"] > 0
+
+
+def test_golden_replays_exactly():
+    passed, mismatches = golden.compare_golden()
+    assert passed, mismatches
+
+
+def test_collect_matches_pin_with_sanitizer_on():
+    got = golden.collect_golden(sanitize=True)
+    want = golden.load_golden()
+    assert got["workloads"] == want["workloads"]
+
+
+def test_seed_counters_bit_identical_in_clean_interpreter():
+    """Replay one golden workload in a fresh subprocess, sanitizer off."""
+    script = (
+        "import json\n"
+        "from repro.check import golden\n"
+        "print(json.dumps(golden._run_one('gaussian', sanitize=False)))\n"
+    )
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        check=True,
+    )
+    got = json.loads(out.stdout)
+    want = golden.load_golden()["workloads"]["gaussian"]
+    assert got == want  # exact float equality, field by field
+
+
+def test_update_golden_roundtrips(tmp_path):
+    path = tmp_path / "golden.json"
+    written = golden.update_golden(path)
+    assert golden.load_golden(path) == json.loads(json.dumps(written))
+    passed, mismatches = golden.compare_golden(path)
+    assert passed, mismatches

@@ -1,0 +1,149 @@
+"""The machine sanitizer: null by default, catches cooked books, free when off.
+
+The acceptance contract for :mod:`repro.check.sanitizer`:
+
+* an unsanitized session carries ``sanitizer = None`` and pays nothing;
+* a machine double that mis-charges a communication round is caught;
+* attaching the sanitizer perturbs **no** counter — tier-1 workload costs
+  are bit-identical with it on and off;
+* it follows a session through degraded-mode recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.check import MachineSanitizer, env_enabled
+from repro.check.runner import sanitizer_selftest
+from repro.errors import SanitizerError
+from repro.machine import CostModel, Hypercube
+from repro import workloads
+
+
+def test_sanitizer_is_null_by_default():
+    session = Session(4)
+    assert session.sanitizer is None
+    assert session.machine.sanitizer is None
+
+
+def test_session_sanitize_flag_attaches():
+    session = Session(4, sanitize=True)
+    assert isinstance(session.sanitizer, MachineSanitizer)
+    assert session.machine.sanitizer is session.sanitizer
+
+
+def test_env_flag_enables(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert env_enabled()
+    session = Session(3)
+    assert session.sanitizer is not None
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not env_enabled()
+    assert Session(3).sanitizer is None
+
+
+def test_prebuilt_sanitizer_shared():
+    sanitizer = MachineSanitizer()
+    session = Session(3, sanitize=sanitizer)
+    assert session.sanitizer is sanitizer
+
+
+def test_mischarged_round_time_is_caught():
+    class DropsStartup(Hypercube):
+        def _charge_comm_round_plain(self, volume, rounds=1, dim=None):
+            self.counters.charge_transfer(volume * self.p * rounds, rounds, 0.0)
+
+    machine = DropsStartup(3)
+    machine.attach_sanitizer(MachineSanitizer())
+    with pytest.raises(SanitizerError, match=r"round-time"):
+        machine.charge_comm_round(4.0, dim=1)
+
+
+def test_lost_elements_are_caught():
+    class LosesElements(Hypercube):
+        def _charge_comm_round_plain(self, volume, rounds=1, dim=None):
+            time = self.cost_model.comm_round(volume)
+            self.counters.charge_transfer(
+                volume * self.p * rounds - 1.0, rounds, rounds * time
+            )
+
+    machine = LosesElements(3)
+    machine.attach_sanitizer(MachineSanitizer())
+    with pytest.raises(SanitizerError, match=r"round-conservation"):
+        machine.charge_comm_round(4.0, dim=1)
+
+
+def test_honest_machine_passes_selftest():
+    report = sanitizer_selftest()
+    assert report["passed"]
+    assert report["outcomes"]["undercharged_time"]["caught"]
+    assert report["outcomes"]["lost_elements"]["caught"]
+    assert not report["outcomes"]["honest_machine"]["caught"]
+
+
+def _gaussian_counters(sanitize: bool) -> dict:
+    from repro.algorithms import gaussian
+
+    session = Session(5, cost_model="cm2", sanitize=sanitize)
+    A, b, _ = workloads.diagonally_dominant_system(18, 7)
+    gaussian.solve(session.matrix(A), b)
+    c = session.machine.counters
+    return {
+        "time": c.time,
+        "flops": c.flops,
+        "elements_transferred": c.elements_transferred,
+        "comm_rounds": c.comm_rounds,
+        "local_moves": c.local_moves,
+    }
+
+
+def test_sanitizer_does_not_perturb_costs():
+    off = _gaussian_counters(sanitize=False)
+    on = _gaussian_counters(sanitize=True)
+    assert off == on  # exact float equality, field by field
+
+
+def test_sanitizer_runs_checks_and_reports():
+    from repro.algorithms import matvec
+
+    session = Session(4, sanitize=True)
+    rng = np.random.default_rng(2)
+    A = session.matrix(rng.standard_normal((12, 9)))
+    matvec.matvec(A, session.row_vector(rng.standard_normal(9), A))
+    assert session.sanitizer.stats.total > 0
+    assert "sanitizer" in session.report()
+    assert session.report_data()["sanitizer"]["total"] > 0
+
+
+def test_cannot_rebind_to_second_machine():
+    sanitizer = MachineSanitizer()
+    Hypercube(3).attach_sanitizer(sanitizer)
+    with pytest.raises(SanitizerError):
+        Hypercube(3).attach_sanitizer(sanitizer)
+
+
+def test_sanitizer_survives_degrade():
+    from repro.faults import (
+        CheckpointStore,
+        FaultPlan,
+        NodeKill,
+        gaussian_workload,
+        run_resilient,
+    )
+
+    A, b, _ = workloads.diagonally_dominant_system(12, 3)
+    clean = Session(4, cost_model="cm2")
+    baseline = gaussian_workload(A, b)(clean, CheckpointStore(clean))
+
+    plan = FaultPlan([NodeKill(time=0.4 * clean.time, pid=1)])
+    session = Session(4, cost_model="cm2", faults=plan, sanitize=True)
+    sanitizer = session.sanitizer
+    report = run_resilient(session, gaussian_workload(A, b))
+    assert report.recovered
+    assert np.array_equal(np.asarray(report.result), np.asarray(baseline))
+    # same sanitizer object, now bound to the survivor subcube
+    assert session.sanitizer is sanitizer
+    assert session.machine.p < 16
+    assert sanitizer.stats.total > 0
