@@ -169,6 +169,75 @@ def bench_sanitizer_overhead(
     }
 
 
+def bench_abft_overhead(
+    n_dims: int, order: int, reps: int
+) -> Dict[str, object]:
+    """Wall-clock and simulated cost of the ABFT checksum layer.
+
+    Unlike the cache/sanitizer knobs, ABFT *does* change the simulated
+    cost — maintaining and verifying checksum panels is charged on the
+    machine clock — so this pair reports both the host-seconds ratio and
+    the simulated-tick ratio instead of asserting bit-identical
+    counters.  With no faults injected, the numeric results must still
+    match exactly (integer-valued data keeps every reduction exact).
+    """
+    rng = np.random.default_rng(order)
+    A = rng.integers(-5, 6, size=(order, order)).astype(np.float64)
+    A += np.eye(order) * order * 8
+    b = rng.integers(-5, 6, size=order).astype(np.float64)
+    M = rng.integers(-3, 4, size=(order, order)).astype(np.float64)
+    x = rng.integers(-3, 4, size=order).astype(np.float64)
+
+    def run_gauss(s: Session):
+        return gaussian.solve(s.matrix(A), b)
+
+    def run_matvec(s: Session):
+        dA = s.matrix(M)
+        y = x
+        for _ in range(3):
+            y = dA.matvec(s.row_vector(y, dA)).to_numpy()
+        return y
+
+    out: Dict[str, object] = {
+        "experiment": "abft-overhead",
+        "params": {"n_dims": n_dims, "order": order},
+        "reps": reps,
+    }
+    for name, run, result_of in (
+        ("gaussian", run_gauss, lambda r: r.x),
+        ("matvec", run_matvec, lambda r: r),
+    ):
+        s_on = Session(n_dims, abft=True)
+        s_off = Session(n_dims)
+        run(s_on)  # warm-up
+        run(s_off)
+        best_on = best_off = float("inf")
+        for _ in range(reps):
+            s_on.reset_counters()
+            s_on.abft.reset()
+            t0 = time.perf_counter()
+            res_on = run(s_on)
+            best_on = min(best_on, time.perf_counter() - t0)
+
+            s_off.reset_counters()
+            t0 = time.perf_counter()
+            res_off = run(s_off)
+            best_off = min(best_off, time.perf_counter() - t0)
+        assert np.array_equal(result_of(res_on), result_of(res_off)), \
+            "fault-free ABFT changed the result!"
+        out[name] = {
+            "abft_on_s": best_on,
+            "abft_off_s": best_off,
+            "wall_overhead": best_on / best_off,
+            "simulated_on": s_on.time,
+            "simulated_off": s_off.time,
+            "simulated_overhead": s_on.time / s_off.time,
+            "blocks_protected": s_on.abft.stats.protected,
+            "verifies": s_on.abft.stats.verifies,
+        }
+    return out
+
+
 def main(argv: List[str] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -191,6 +260,7 @@ def main(argv: List[str] = None) -> int:
         ]
         scaling = []
         sanitizer = bench_sanitizer_overhead(6, 31, reps)
+        abft = bench_abft_overhead(6, 31, reps)
     else:
         # Primary configurations: the R-T3/R-T4 solver loops at n=10 with a
         # moderate m/p, where per-iteration plan construction is a large
@@ -207,6 +277,7 @@ def main(argv: List[str] = None) -> int:
             bench_simplex(10, 96, 64, reps),
         ]
         sanitizer = bench_sanitizer_overhead(10, 127, reps)
+        abft = bench_abft_overhead(10, 127, reps)
 
     for r in results + scaling:
         label = f"{r['workload']} {r['params']}"
@@ -220,6 +291,12 @@ def main(argv: List[str] = None) -> int:
           f"{sanitizer['overhead']:.2f}x "
           f"({sanitizer['checks']} checks)  bit-identical")
 
+    for name in ("gaussian", "matvec"):
+        a = abft[name]
+        print(f"abft overhead ({name}): wall {a['wall_overhead']:.2f}x  "
+              f"simulated {a['simulated_overhead']:.2f}x  "
+              f"({a['blocks_protected']} blocks, {a['verifies']} verifies)")
+
     gauss = max(r["speedup"] for r in results if r["workload"] == "gaussian")
     splex = max(r["speedup"] for r in results if r["workload"] == "simplex")
     report = {
@@ -230,6 +307,7 @@ def main(argv: List[str] = None) -> int:
         "results": results,
         "scaling": scaling,
         "sanitizer_overhead": sanitizer,
+        "abft_overhead": abft,
         "gaussian_speedup": gauss,
         "simplex_speedup": splex,
         "target": None if args.smoke else 3.0,

@@ -22,6 +22,7 @@ Quickstart::
 from .core import DistributedMatrix, DistributedVector, Session
 from .errors import (
     CheckpointError,
+    CorruptionError,
     EmbeddingError,
     FaultError,
     NodeKilledError,
@@ -48,5 +49,6 @@ __all__ = [
     "NodeKilledError",
     "UnroutableError",
     "CheckpointError",
+    "CorruptionError",
     "__version__",
 ]

@@ -13,14 +13,20 @@ Subcommands:
   transient drops), recover onto a healthy subcube, and report
   kills/retries/remaps/recovery ticks; exits non-zero unless recovery
   succeeded *and* the recovered result matches the fault-free baseline;
+* ``abft`` — run a workload under seeded *silent data corruption* (bit
+  flips at rest and in flight) with the ABFT checksum layer attached;
+  exits non-zero unless every corruption was corrected or replayed away
+  and the result matches the fault-free baseline bit-for-bit;
 * ``check`` — run the conformance suite (sanitizer self-test,
   differential oracle sweep, golden cost snapshots) and emit a JSON
   report; exits non-zero on any violation.  ``--update-golden``
   re-captures the snapshots after an intentional accounting change.
 
 ``demo``/``solve``/``trace`` additionally accept ``--fault-seed`` /
-``--fault-rate`` to inject non-fatal faults (link kills + transient
-drops) under the regular workloads.
+``--fault-rate`` / ``--sdc-rate`` to inject non-fatal faults (link kills
++ transient drops + silent bit flips) under the regular workloads,
+``--abft`` to attach the checksum layer, and ``--fault-plan FILE`` to
+replay a recorded plan.  ``faults``/``abft`` accept ``--fault-plan`` too.
 
 Every subcommand accepts ``--json`` to emit a machine-readable summary on
 stdout instead of the human-readable report.
@@ -35,6 +41,7 @@ import sys
 import numpy as np
 
 from . import Session, __version__
+from .errors import CorruptionError
 
 
 def _emit(args: argparse.Namespace, data: dict, text: str) -> None:
@@ -69,10 +76,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _build_fault_plan(args: argparse.Namespace, horizon: float):
-    """A non-fatal seeded plan (link kills + drops) for demo/solve/trace."""
+    """A non-fatal seeded plan (link kills + drops + SDC) for demo/solve/trace."""
     from .faults import FaultPlan
 
     rate = max(0.0, args.fault_rate)
+    sdc = max(0.0, getattr(args, "sdc_rate", 0.0))
     return FaultPlan.random(
         args.n,
         seed=args.fault_seed,
@@ -80,6 +88,8 @@ def _build_fault_plan(args: argparse.Namespace, horizon: float):
         link_kills=max(0, int(round(rate))),
         node_kills=0,
         drops=max(1, int(round(2 * rate))),
+        bit_flips=int(round(2 * sdc)),
+        link_corruptions=int(round(sdc)),
     )
 
 
@@ -88,17 +98,31 @@ def _fault_session(args: argparse.Namespace, run_fault_free, trace=False):
 
     Fault times are fractions of the workload's fault-free runtime, so we
     first run it once on a throwaway session to measure the horizon, then
-    schedule a non-fatal plan (link kills + transient drops) over ~75% of
-    it.  Kills are non-fatal: exchanges survive via 3-hop detours, so the
-    regular subcommands need no recovery logic (see the ``faults``
-    subcommand for node kills and degraded-mode recovery).
+    schedule a non-fatal plan (link kills + transient drops, plus silent
+    bit flips under ``--sdc-rate``) over ~75% of it.  Kills are non-fatal:
+    exchanges survive via 3-hop detours, so the regular subcommands need no
+    recovery logic (see the ``faults`` subcommand for node kills and
+    degraded-mode recovery).  ``--fault-plan FILE`` replays a recorded
+    plan verbatim instead (times are absolute, so no dry run is needed);
+    ``--abft`` attaches the checksum layer either way.
     """
+    abft = bool(getattr(args, "abft", False))
+    plan_file = getattr(args, "fault_plan", None)
+    if plan_file is not None:
+        from .faults import FaultPlan
+
+        plan = FaultPlan.from_json(plan_file)
+        return Session(
+            args.n, args.cost_model, trace=trace, faults=plan, abft=abft
+        )
     if getattr(args, "fault_seed", None) is None:
-        return Session(args.n, args.cost_model, trace=trace)
+        return Session(args.n, args.cost_model, trace=trace, abft=abft)
     dry = Session(args.n, args.cost_model)
     run_fault_free(dry)
     plan = _build_fault_plan(args, 0.75 * max(dry.time, 1.0))
-    return Session(args.n, args.cost_model, trace=trace, faults=plan)
+    return Session(
+        args.n, args.cost_model, trace=trace, faults=plan, abft=abft
+    )
 
 
 def _run_demo(session: Session, rng, rows: int, cols: int):
@@ -224,48 +248,53 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_faults(args: argparse.Namespace) -> int:
-    from . import workloads as W
-    from .faults import (
-        CheckpointStore,
-        FaultPlan,
-        gaussian_workload,
-        matvec_workload,
-        run_resilient,
-        simplex_workload,
-    )
+def _fault_workload(args: argparse.Namespace):
+    """Build the seeded resilient-workload factory for faults/abft.
 
-    # Integer data keeps sum-reductions exact, so the recovered result can
-    # be compared bit-for-bit against the fault-free baseline even after a
-    # remap onto a smaller subcube.
+    Integer data keeps sum-reductions exact, so the recovered result can
+    be compared bit-for-bit against the fault-free baseline even after a
+    remap onto a smaller subcube (or an ABFT checkpoint replay).
+    """
+    from . import workloads as W
+    from .faults import gaussian_workload, matvec_workload, simplex_workload
+
     rng = np.random.default_rng(args.seed)
     size = args.size
     if args.workload == "gaussian":
         A = rng.integers(-4, 5, size=(size, size)).astype(np.float64)
         A += size * np.eye(size)
         b = rng.integers(-4, 5, size=size).astype(np.float64)
-        make = lambda: gaussian_workload(A, b)
-    elif args.workload == "simplex":
+        return lambda: gaussian_workload(A, b)
+    if args.workload == "simplex":
         lp = W.feasible_lp(size, size, seed=args.seed)
-        make = lambda: simplex_workload(lp.A, lp.b, lp.c)
-    else:  # matvec
-        A = rng.integers(-3, 4, size=(size, size)).astype(np.float64)
-        x = rng.integers(-3, 4, size=size).astype(np.float64)
-        make = lambda: matvec_workload(A, x)
+        return lambda: simplex_workload(lp.A, lp.b, lp.c)
+    # matvec
+    A = rng.integers(-3, 4, size=(size, size)).astype(np.float64)
+    x = rng.integers(-3, 4, size=size).astype(np.float64)
+    return lambda: matvec_workload(A, x)
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import CheckpointStore, FaultPlan, run_resilient
+
+    make = _fault_workload(args)
 
     # Fault-free dry run: the baseline result and the fault horizon.
     dry = Session(args.n, args.cost_model)
     baseline = make()(dry, CheckpointStore(dry))
     horizon = args.at * max(dry.time, 1.0)
 
-    plan = FaultPlan.random(
-        args.n,
-        seed=args.fault_seed,
-        horizon=horizon,
-        link_kills=args.link_kills,
-        node_kills=args.node_kills,
-        drops=args.drops,
-    )
+    if args.fault_plan:
+        plan = FaultPlan.from_json(args.fault_plan)
+    else:
+        plan = FaultPlan.random(
+            args.n,
+            seed=args.fault_seed,
+            horizon=horizon,
+            link_kills=args.link_kills,
+            node_kills=args.node_kills,
+            drops=args.drops,
+        )
     session = Session(
         args.n, args.cost_model, faults=plan, trace=bool(args.trace_out)
     )
@@ -285,7 +314,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     st = report.stats
     data = {
         "workload": args.workload,
-        "size": size,
+        "size": args.size,
         "p": 2 ** args.n,
         "final_p": report.final_p,
         "plan": plan.as_dict(),
@@ -301,8 +330,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if args.trace_out:
         data["trace_out"] = args.trace_out
     lines = [
-        f"workload '{args.workload}' ({size}x{size}) on p={2 ** args.n} "
-        f"under {plan!r}",
+        f"workload '{args.workload}' ({args.size}x{args.size}) "
+        f"on p={2 ** args.n} under {plan!r}",
         f"recovered        : {report.recovered} "
         f"({report.recoveries} recoveries, final p={report.final_p})",
         f"matches baseline : {matches}",
@@ -313,6 +342,101 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         f"recovery ticks   : {st.recovery_ticks:,.0f}",
         f"simulated time   : {session.time:,.0f} ticks "
         f"(fault-free {dry.time:,.0f})",
+    ]
+    if report.error is not None:
+        lines.append(f"last fault error : {report.error}")
+    _emit(args, data, "\n".join(lines))
+    return 0 if (report.recovered and matches) else 1
+
+
+def _cmd_abft(args: argparse.Namespace) -> int:
+    from .abft import ABFTManager
+    from .faults import CheckpointStore, FaultPlan, run_resilient
+
+    make = _fault_workload(args)
+
+    # Fault-free dry run with ABFT *off*: the bit-exact baseline and the
+    # corruption horizon.  Recovery must reproduce this result exactly.
+    dry = Session(args.n, args.cost_model)
+    baseline = make()(dry, CheckpointStore(dry))
+    horizon = args.at * max(dry.time, 1.0)
+
+    if args.fault_plan:
+        plan = FaultPlan.from_json(args.fault_plan)
+    else:
+        plan = FaultPlan.random(
+            args.n,
+            seed=args.fault_seed,
+            horizon=horizon,
+            link_kills=0,
+            node_kills=0,
+            drops=0,
+            bit_flips=args.bit_flips,
+            link_corruptions=args.link_corruptions,
+        )
+    manager = ABFTManager(scrub_interval=args.scrub_interval)
+    session = Session(
+        args.n,
+        args.cost_model,
+        faults=plan,
+        abft=manager,
+        trace=bool(args.trace_out),
+    )
+    report = run_resilient(
+        session, make(), max_recoveries=args.max_recoveries
+    )
+    matches = bool(
+        report.recovered
+        and report.result is not None
+        and np.array_equal(np.asarray(report.result), np.asarray(baseline))
+    )
+    if args.trace_out:
+        from .obs import to_chrome_trace
+
+        to_chrome_trace(session.tracer, args.trace_out)
+
+    st = report.stats
+    ab = manager.stats
+    c = session.machine.counters
+    overhead = session.time / dry.time if dry.time else float("nan")
+    data = {
+        "workload": args.workload,
+        "size": args.size,
+        "p": 2 ** args.n,
+        "plan": plan.as_dict(),
+        "recovered": report.recovered,
+        "recoveries": report.recoveries,
+        "matches_baseline": matches,
+        "stats": st.as_dict(),
+        "abft": dict(
+            ab.as_dict(),
+            detected=c.abft_detected,
+            corrected=c.abft_corrected,
+            recomputed=c.abft_recomputed,
+        ),
+        "time": session.time,
+        "fault_free_time": dry.time,
+        "overhead": overhead,
+    }
+    if report.error is not None:
+        data["error"] = report.error
+    if args.trace_out:
+        data["trace_out"] = args.trace_out
+    lines = [
+        f"workload '{args.workload}' ({args.size}x{args.size}) "
+        f"on p={2 ** args.n} under {plan!r}",
+        f"recovered        : {report.recovered} "
+        f"({report.recoveries} checkpoint replays)",
+        f"matches baseline : {matches}",
+        f"bit flips fired  : {st.bit_flips} stored / "
+        f"{st.link_corruptions} in flight ({st.sdc_skipped} skipped)",
+        f"abft             : {c.abft_detected} detected, "
+        f"{c.abft_corrected} corrected, {ab.uncorrectable} escalated, "
+        f"{ab.wire_retransmits} wire retransmits",
+        f"protection       : {ab.protected} blocks protected, "
+        f"{ab.verifies} verified, {ab.scrubs} scrubs",
+        f"simulated time   : {session.time:,.0f} ticks "
+        f"(fault-free {dry.time:,.0f}, overhead {overhead:.2f}x)",
     ]
     if report.error is not None:
         lines.append(f"last fault error : {report.error}")
@@ -408,6 +532,18 @@ def main(argv=None) -> int:
         p.add_argument(
             "--fault-rate", type=float, default=1.0,
             help="scale the number of injected faults (default 1.0)")
+        p.add_argument(
+            "--sdc-rate", type=float, default=0.0,
+            help="also inject silent data corruption (bit flips at rest "
+                 "+ in flight) scaled by this rate (default 0.0)")
+        p.add_argument(
+            "--fault-plan", default=None, metavar="FILE",
+            help="replay a recorded JSON fault plan instead of a "
+                 "seeded random one")
+        p.add_argument(
+            "--abft", action="store_true",
+            help="attach the ABFT checksum layer (detects and corrects "
+                 "silent data corruption)")
 
     p_info = sub.add_parser("info", help="machine summary")
     add_machine_args(p_info)
@@ -465,7 +601,38 @@ def main(argv=None) -> int:
                                "fault-free runtime (default 0.6)")
     p_faults.add_argument("--trace-out", default=None,
                           help="also write a Chrome trace-event file here")
+    p_faults.add_argument("--fault-plan", default=None, metavar="FILE",
+                          help="replay a recorded JSON fault plan instead "
+                               "of a seeded random one")
     p_faults.set_defaults(fn=_cmd_faults)
+
+    p_abft = sub.add_parser(
+        "abft",
+        help="inject silent data corruption and verify checksum recovery",
+    )
+    add_machine_args(p_abft)
+    p_abft.add_argument("--workload", default="gaussian",
+                        choices=["gaussian", "simplex", "matvec"])
+    p_abft.add_argument("--size", type=int, default=16)
+    p_abft.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the random corruption plan")
+    p_abft.add_argument("--bit-flips", type=int, default=2,
+                        help="stored-element bit flips to inject (default 2)")
+    p_abft.add_argument("--link-corruptions", type=int, default=1,
+                        help="in-flight bit flips to inject (default 1)")
+    p_abft.add_argument("--scrub-interval", type=int, default=16,
+                        help="scrub the registry every N protections "
+                             "(0 disables; default 16)")
+    p_abft.add_argument("--max-recoveries", type=int, default=2)
+    p_abft.add_argument("--at", type=float, default=0.6,
+                        help="corruption horizon as a fraction of the "
+                             "fault-free runtime (default 0.6)")
+    p_abft.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="replay a recorded JSON fault plan instead "
+                             "of a seeded random one")
+    p_abft.add_argument("--trace-out", default=None,
+                        help="also write a Chrome trace-event file here")
+    p_abft.set_defaults(fn=_cmd_abft)
 
     p_check = sub.add_parser(
         "check",
@@ -488,7 +655,16 @@ def main(argv=None) -> int:
     p_check.set_defaults(fn=_cmd_check)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CorruptionError as exc:
+        # Multi-element corruption with no checkpoint to replay from:
+        # surface it as a clean failure rather than a traceback.
+        print(f"uncorrectable silent data corruption: {exc}",
+              file=sys.stderr)
+        print("(this subcommand has no checkpoint recovery — see "
+              "'repro abft' for resilient SDC runs)", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,45 @@
+"""Algorithm-based fault tolerance: checksum embeddings for silent-data-
+corruption detection, correction and scrubbing.
+
+Huang & Abraham's checksum technique, adapted to the simulated Boolean
+cube: every checksum-embedded array block carries a column panel (one
+word per processor) and a row panel (one word per local slot), summed
+over the block's *byte image* in ``Z/2**64`` so re-verification is
+bit-exact for any dtype.  A single corrupted element shows up as one
+divergent entry in each panel with matching deltas — the intersection
+names the element and the delta restores it exactly.  Two or more
+corruptions in one block raise :class:`~repro.errors.CorruptionError`,
+which :func:`repro.faults.run_resilient` answers by replaying from the
+last checkpoint.
+
+All checksum work — maintenance at construction, verification before
+reads, correction, scrubbing, and the extra checksum word each full
+exchange carries on the wire — is charged honestly on the simulated
+clock.  A session without ABFT never imports this package and its cost
+totals are bit-identical to a build that does not have it.
+
+Quickstart::
+
+    from repro import Session
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.random(n=4, seed=7, horizon=5e5, bit_flips=1)
+    s = Session(4, faults=plan, abft=True)
+    A = s.matrix(rng.integers(-4, 5, (24, 24)))
+    ...  # corrupted element is detected and corrected in place
+"""
+
+from .arrays import ABFTMatrix, ABFTVector
+from .manager import ABFTManager, ABFTStats
+from .panels import byte_view, checksum_panels, correct_single, locate
+
+__all__ = [
+    "ABFTManager",
+    "ABFTStats",
+    "ABFTMatrix",
+    "ABFTVector",
+    "byte_view",
+    "checksum_panels",
+    "correct_single",
+    "locate",
+]

@@ -1,0 +1,130 @@
+"""Checksum-embedded distributed arrays.
+
+:class:`ABFTVector` and :class:`ABFTMatrix` are drop-in subclasses of the
+core distributed arrays whose blocks carry row+column checksum panels:
+
+* **Protection on construction** — every result block is registered with
+  the machine's :class:`~repro.abft.manager.ABFTManager` the moment it is
+  built, paying the maintenance charge.  Because the core API is purely
+  functional (operations build new blocks, nothing mutates ``pvar.data``
+  in place), construction is the single point where panels can go stale —
+  so there is none.
+* **Guard on read** — every method that *reads* block data first verifies
+  the operand blocks (its own and any array arguments) against their
+  panels, correcting a single corrupted element in place or escalating
+  multi-element corruption to :class:`~repro.errors.CorruptionError`.
+  Since ``type(self)`` construction propagates the subclass, whole
+  algorithms (Gaussian elimination, simplex, the benchmarks) stay in the
+  checksummed family end to end.
+
+Composed operations (``matvec``, ``dot``, ``norm``, ``matmul``, ...) are
+not wrapped: every primitive they call is, so their operands are guarded
+exactly once per read without double charging at the composition level.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, List
+
+from ..core.arrays import DistributedMatrix, DistributedVector
+
+
+def _operand_pvars(self: Any, args: tuple, kwargs: dict) -> List[Any]:
+    """The PVars an operation is about to read: self's plus any array
+    argument's (vectors, matrices — anything carrying a ``pvar``)."""
+    pvars = [self.pvar]
+    for arg in args:
+        pv = getattr(arg, "pvar", None)
+        if pv is not None:
+            pvars.append(pv)
+    for arg in kwargs.values():
+        pv = getattr(arg, "pvar", None)
+        if pv is not None:
+            pvars.append(pv)
+    return pvars
+
+
+def _guarded(base: type, name: str):
+    """Wrap ``base.<name>`` to verify operand checksums before the read."""
+    orig = getattr(base, name)
+
+    @functools.wraps(orig)
+    def method(self, *args, **kwargs):
+        manager = self.machine.abft
+        if manager is not None:
+            manager.guard_many(_operand_pvars(self, args, kwargs))
+        return orig(self, *args, **kwargs)
+
+    return method
+
+
+class ABFTVector(DistributedVector):
+    """A distributed vector whose block carries checksum panels."""
+
+    def __init__(self, pvar, embedding) -> None:
+        super().__init__(pvar, embedding)
+        manager = self.machine.abft
+        if manager is not None:
+            manager.protect(pvar)
+
+
+class ABFTMatrix(DistributedMatrix):
+    """A distributed matrix whose block carries checksum panels."""
+
+    _vector_cls = ABFTVector
+
+    def __init__(self, pvar, embedding) -> None:
+        super().__init__(pvar, embedding)
+        manager = self.machine.abft
+        if manager is not None:
+            manager.protect(pvar)
+
+
+# Reader methods: everything that touches block data directly.  Derived
+# compositions (matvec/vecmat/dot/norm/trace/matmul/sum/min/max/abs/T)
+# bottom out in these, so they are intentionally absent.
+_VECTOR_GUARDED = (
+    "_binary",
+    "__neg__",
+    "__abs__",
+    "__invert__",
+    "where",
+    "as_embedding",
+    "reduce",
+    "argreduce",
+    "scan",
+    "segmented_scan",
+    "distribute",
+    "get_global",
+    "to_numpy",
+)
+
+_MATRIX_GUARDED = (
+    "_binary",
+    "__neg__",
+    "__abs__",
+    "__invert__",
+    "where",
+    "as_embedding",
+    "extract",
+    "insert",
+    "reduce",
+    "argreduce",
+    "transpose",
+    "sub_outer",
+    "diagonal",
+    "scan",
+    "permute",
+    "get_global",
+    "to_numpy",
+)
+
+for _name in _VECTOR_GUARDED:
+    setattr(ABFTVector, _name, _guarded(DistributedVector, _name))
+for _name in _MATRIX_GUARDED:
+    setattr(ABFTMatrix, _name, _guarded(DistributedMatrix, _name))
+del _name
+
+
+__all__ = ["ABFTVector", "ABFTMatrix"]

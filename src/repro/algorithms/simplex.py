@@ -251,7 +251,7 @@ def solve(
     rule: str = "dantzig",
     tol: float = 1e-9,
     max_iters: Optional[int] = None,
-    matrix_cls: Type[DistributedMatrix] = DistributedMatrix,
+    matrix_cls: Optional[Type[DistributedMatrix]] = None,
 ) -> SimplexResult:
     """Solve ``max c·x s.t. A x <= b, x >= 0`` on the simulated machine.
 
@@ -259,10 +259,18 @@ def solve(
     reduced cost; fast in practice) or ``'bland'`` (smallest index;
     cycle-free).  ``matrix_cls`` selects the primitive implementation —
     pass the naive baseline class to run the identical algorithm on naive
-    collectives.
+    collectives.  The default follows the machine: the checksummed matrix
+    when an ABFT manager is attached, the standard one otherwise.
     """
     if rule not in ("dantzig", "bland"):
         raise ConfigError(f"rule must be 'dantzig' or 'bland', got {rule!r}")
+    if matrix_cls is None:
+        if machine.abft is not None:
+            from ..abft.arrays import ABFTMatrix
+
+            matrix_cls = ABFTMatrix
+        else:
+            matrix_cls = DistributedMatrix
     tab = _build_tableau(machine, A, b, c, matrix_cls)
     if max_iters is None:
         max_iters = 50 * (tab.m + tab.n)

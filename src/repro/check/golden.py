@@ -1,9 +1,10 @@
 """Golden cost snapshots: tier-1 workload counters pinned in-repo.
 
 The simulator's whole claim to faithfulness is its cost accounting, so the
-exact counters of three fixed tier-1 workloads — Gaussian elimination,
-simplex, and repeated matvec, each on a fixed seed and machine — are
-pinned in ``golden_costs.json`` next to this module.  Any change to tick /
+exact counters of fixed tier-1 workloads — Gaussian elimination, simplex,
+and repeated matvec, each on a fixed seed and machine, plus ABFT-on
+variants of gaussian and matvec pinning the checksum layer's overhead —
+are pinned in ``golden_costs.json`` next to this module.  Any change to tick /
 flop / transfer accounting shows up as an explicit diff of that file,
 reviewed like any other behavioural change, instead of drifting silently.
 
@@ -74,12 +75,26 @@ WORKLOADS: Dict[str, Callable[[Session], None]] = {
     "gaussian": _gaussian,
     "simplex": _simplex,
     "matvec": _matvec,
+    "gaussian_abft": _gaussian,
+    "matvec_abft": _matvec,
+}
+
+#: Extra Session keyword arguments per workload.  The ``*_abft`` entries
+#: pin the checksum layer's overhead: protect/guard charges land on the
+#: same simulated clock, so ABFT cost drift diffs this file too.
+SESSION_OPTS: Dict[str, Dict[str, object]] = {
+    "gaussian_abft": {"abft": True},
+    "matvec_abft": {"abft": True},
 }
 
 
 def _run_one(name: str, sanitize: bool) -> Dict[str, float]:
     session = Session(
-        N_DIMS, cost_model=COST_MODEL, plan_cache=True, sanitize=sanitize
+        N_DIMS,
+        cost_model=COST_MODEL,
+        plan_cache=True,
+        sanitize=sanitize,
+        **SESSION_OPTS.get(name, {}),
     )
     WORKLOADS[name](session)
     counters = session.machine.counters
@@ -140,6 +155,7 @@ def compare_golden(path: Optional[Path] = None) -> Tuple[bool, list]:
 __all__ = [
     "GOLDEN_PATH",
     "FIELDS",
+    "SESSION_OPTS",
     "WORKLOADS",
     "collect_golden",
     "compare_golden",

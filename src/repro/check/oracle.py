@@ -6,8 +6,9 @@ seed, solves it with the distributed algorithm on a given
 ``repro.algorithms.serial`` / NumPy reference, and reports the divergence.
 :func:`run_differential` sweeps every case across a matrix of machine
 configurations (cost models × plan cache on/off × tracing on/off), always
-with the :class:`~repro.check.MachineSanitizer` attached, plus a
-fault-recovery axis for the tier-1 workloads — so a regression that only
+with the :class:`~repro.check.MachineSanitizer` attached, plus
+fault-recovery and silent-data-corruption (ABFT) axes for the tier-1
+workloads — so a regression that only
 bites with, say, the plan cache off and tracing on is reported with the
 offending configuration attached.
 
@@ -357,6 +358,100 @@ def run_recovery_case(
     return CaseResult(f"recovery:{name}", config, True)
 
 
+def run_sdc_case(
+    name: str,
+    make_workload,
+    reference: Optional[np.ndarray],
+    seed: int,
+    n_dims: int = 4,
+    flips: int = 1,
+) -> CaseResult:
+    """Inject silent data corruption mid-run; ABFT must restore the result.
+
+    Self-calibrating like :func:`run_recovery_case`: the fault-free run
+    (no ABFT) measures total simulated time, then ``flips`` bit flips are
+    scheduled at the same instant (40% of it) and the workload re-run with
+    the checksum layer attached.  One flip must be corrected in place with
+    zero replays; two or more land in one checksum block, escalate to
+    :class:`~repro.errors.CorruptionError` and replay from checkpoint.
+    Either way the recovered result must equal the fault-free baseline
+    bit-for-bit (the workloads use integer-valued data, so every
+    reduction is exact).
+    """
+    from ..faults.checkpoint import CheckpointStore
+    from ..faults.plan import BitFlip, FaultPlan
+    from ..faults.recovery import run_resilient
+
+    config = {
+        "cost_model": "cm2",
+        "axis": "sdc-recovered",
+        "n_dims": n_dims,
+        "seed": seed,
+        "flips": flips,
+    }
+    label = f"sdc:{name}" if flips == 1 else f"sdc-multi:{name}"
+    clean = Session(n_dims, cost_model="cm2", sanitize=True)
+    baseline = make_workload()(clean, CheckpointStore(clean))
+    if reference is not None:
+        if not bool(np.allclose(baseline, reference, rtol=1e-7, atol=1e-7)):
+            return CaseResult(
+                label, config, False, float("inf"),
+                "fault-free run diverges from reference",
+            )
+    flip_at = 0.4 * clean.time
+    # All flips hit distinct bytes of the most recently protected array at
+    # the same instant: one is a correctable single-byte error, two or
+    # more defeat the single-error checksum and force a replay.
+    events = [
+        BitFlip(time=flip_at, pid=1, slot=3 + 8 * k, bit=2, target=0)
+        for k in range(flips)
+    ]
+    plan = FaultPlan(events)
+    # Periodic scrubbing bounds detection latency: even a flip landing in
+    # a block the workload never reads again is swept within one interval.
+    from ..abft import ABFTManager
+
+    faulted = Session(
+        n_dims,
+        cost_model="cm2",
+        faults=plan,
+        sanitize=True,
+        abft=ABFTManager(scrub_interval=16),
+    )
+    report = run_resilient(faulted, make_workload())
+    counters = faulted.machine.counters
+    config["flip_at"] = flip_at
+    config["fired"] = faulted.faults.stats.bit_flips
+    config["detected"] = counters.abft_detected
+    config["corrected"] = counters.abft_corrected
+    config["recomputed"] = counters.abft_recomputed
+    if report.error is not None:
+        return CaseResult(
+            label, config, False, float("inf"),
+            f"unrecovered: {report.error}",
+        )
+    if faulted.faults.stats.bit_flips != flips:
+        return CaseResult(
+            label, config, False, float("inf"),
+            f"only {faulted.faults.stats.bit_flips} of {flips} flips landed "
+            f"(sdc_skipped={faulted.faults.stats.sdc_skipped})",
+        )
+    if counters.abft_detected == 0:
+        return CaseResult(
+            label, config, False, float("inf"),
+            "corruption landed but the checksum layer never detected it",
+        )
+    if not np.array_equal(np.asarray(report.result), np.asarray(baseline)):
+        err = float(np.max(np.abs(np.asarray(report.result) - baseline)))
+        return CaseResult(
+            label, config, False, err,
+            "SDC-recovered result is not bit-identical to the fault-free run",
+        )
+    config["recovered"] = report.recovered
+    config["recoveries"] = report.recoveries
+    return CaseResult(label, config, True)
+
+
 # -- the sweep -------------------------------------------------------------------
 
 
@@ -375,10 +470,20 @@ def run_differential(
     for case in CASES:
         for cm, cache, trace in matrix:
             results.append(run_case(case, cm, cache, trace, seed, n_dims))
-    for name, make_workload, reference in _recovery_workloads(seed):
+    recovery = _recovery_workloads(seed)
+    for name, make_workload, reference in recovery:
         results.append(
             run_recovery_case(name, make_workload, reference, seed, n_dims)
         )
+    for name, make_workload, reference in recovery:
+        results.append(
+            run_sdc_case(name, make_workload, reference, seed, n_dims)
+        )
+    # One multi-error cell: defeats the single-error code, must replay.
+    g_name, g_factory, g_reference = recovery[0]
+    results.append(
+        run_sdc_case(g_name, g_factory, g_reference, seed, n_dims, flips=2)
+    )
     failures = [r for r in results if not r.passed]
     return {
         "passed": not failures,
@@ -400,4 +505,5 @@ __all__ = [
     "run_case",
     "run_differential",
     "run_recovery_case",
+    "run_sdc_case",
 ]

@@ -45,6 +45,8 @@ hook                 invariant
                      every element placed exactly once (≥ once when
                      replicated) and per-processor load within the paper's
                      ``⌈m/p⌉`` bound
+``audit_abft_panels`` stored checksum panels match a from-scratch
+                     recomputation of the protected block's byte image
 ``on_epoch_bump``    topology epochs strictly increase
 ===================  ========================================================
 """
@@ -552,6 +554,39 @@ class MachineSanitizer:
                 "embedding-conservation",
                 f"{emb!r}: {total} elements placed, expected "
                 f"{emb.R * emb.C}",
+            )
+
+    # -- checksums ---------------------------------------------------------------
+
+    def audit_abft_panels(
+        self, machine: "Hypercube", pvar: Any, panels: Tuple
+    ) -> None:
+        """Freshly computed checksum panels actually describe the block.
+
+        Called by the ABFT manager at protection time: the stored reference
+        panels must match a from-scratch recomputation over the block's
+        byte image, and their shapes must match the machine and block.  A
+        broken panel builder would otherwise make every later verification
+        of this block vacuous (or a false alarm).
+        """
+        self.stats.count("abft-panels")
+        from ..abft.panels import checksum_panels
+
+        col, row = panels
+        expect_col, expect_row = checksum_panels(pvar.data)
+        if col.shape != (machine.p,) or row.shape != expect_row.shape:
+            self._fail(
+                "abft-panel-shape",
+                f"panels shaped {col.shape}/{row.shape}, expected "
+                f"({machine.p},)/{expect_row.shape}",
+            )
+        if not np.array_equal(col, expect_col) or not np.array_equal(
+            row, expect_row
+        ):
+            self._fail(
+                "abft-panel-identity",
+                "stored checksum panels do not match a recomputation over "
+                "the protected block's byte image",
             )
 
     # -- topology ---------------------------------------------------------------

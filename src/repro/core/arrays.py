@@ -840,4 +840,10 @@ def iota(embedding: VectorEmbedding) -> DistributedVector:
     data = embedding.global_indices().astype(np.int64)
     data = np.where(embedding.valid_mask(), data, -1)
     machine.charge_local(int(np.prod(embedding.local_shape, dtype=np.int64)))
-    return DistributedVector(PVar(machine, data), embedding)
+    cls = DistributedVector
+    if machine.abft is not None:
+        # Masks built from iota feed straight into checksummed algorithms;
+        # keep them in the protected family so their reads are guarded too.
+        from ..abft.arrays import ABFTVector
+        cls = ABFTVector
+    return cls(PVar(machine, data), embedding)

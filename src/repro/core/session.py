@@ -47,6 +47,7 @@ class Session:
         trace: Optional[Union[bool, Tracer]] = None,
         faults: Optional[object] = None,
         sanitize: Optional[Union[bool, object]] = None,
+        abft: Optional[Union[bool, object]] = None,
     ) -> None:
         if isinstance(cost_model, str):
             try:
@@ -88,6 +89,15 @@ class Session:
 
                 sanitize = MachineSanitizer()
             self.machine.attach_sanitizer(sanitize)
+        # abft=True builds a fresh ABFTManager; a pre-built manager may be
+        # passed to tune the registry/scrub policy.  None/False (default)
+        # keeps the machine checksum-free and never imports repro.abft.
+        if abft:
+            if isinstance(abft, bool):
+                from ..abft.manager import ABFTManager
+
+                abft = ABFTManager()
+            self.machine.attach_abft(abft)
 
     @property
     def tracer(self) -> Optional[Tracer]:
@@ -103,6 +113,11 @@ class Session:
     def sanitizer(self):
         """The attached :class:`~repro.check.MachineSanitizer`, or ``None``."""
         return self.machine.sanitizer
+
+    @property
+    def abft(self):
+        """The attached :class:`~repro.abft.ABFTManager`, or ``None``."""
+        return self.machine.abft
 
     # -- degraded-mode recovery ----------------------------------------------
 
@@ -151,10 +166,31 @@ class Session:
             # monotonicity audit deliberately spans the swap.
             sanitizer.rebind(new)
             new.sanitizer = sanitizer
+        abft = old.abft
+        if abft is not None:
+            # bind() onto a different machine drops the registry: the old
+            # panels describe blocks shaped for the dead machine.
+            new.attach_abft(abft)
         self.machine = new
         return new
 
     # -- array factories ----------------------------------------------------
+
+    def _matrix_cls(self) -> type:
+        """Matrix class for new arrays: checksummed when ABFT is attached."""
+        if self.machine.abft is not None:
+            from ..abft.arrays import ABFTMatrix
+
+            return ABFTMatrix
+        return DistributedMatrix
+
+    def _vector_cls(self) -> type:
+        """Vector class for new arrays: checksummed when ABFT is attached."""
+        if self.machine.abft is not None:
+            from ..abft.arrays import ABFTVector
+
+            return ABFTVector
+        return DistributedVector
 
     def matrix(
         self,
@@ -163,27 +199,27 @@ class Session:
         embedding: Optional[MatrixEmbedding] = None,
     ) -> DistributedMatrix:
         """Embed a host matrix (aspect-matched grid, balanced layout)."""
-        return DistributedMatrix.from_numpy(
+        return self._matrix_cls().from_numpy(
             self.machine, data, embedding=embedding, layout=layout
         )
 
     def vector(self, data: np.ndarray, layout: str = "block") -> DistributedVector:
         """Embed a host vector in vector order (spread over all processors)."""
-        return DistributedVector.from_numpy(self.machine, data, layout=layout)
+        return self._vector_cls().from_numpy(self.machine, data, layout=layout)
 
     def row_vector(
         self, data: np.ndarray, like: DistributedMatrix
     ) -> DistributedVector:
         """Embed a host vector row-aligned (replicated) with ``like``."""
         emb = RowAlignedEmbedding(like.embedding, None)
-        return DistributedVector(emb.scatter(np.asarray(data)), emb)
+        return self._vector_cls()(emb.scatter(np.asarray(data)), emb)
 
     def col_vector(
         self, data: np.ndarray, like: DistributedMatrix
     ) -> DistributedVector:
         """Embed a host vector column-aligned (replicated) with ``like``."""
         emb = ColAlignedEmbedding(like.embedding, None)
-        return DistributedVector(emb.scatter(np.asarray(data)), emb)
+        return self._vector_cls()(emb.scatter(np.asarray(data)), emb)
 
     # -- embedding helpers -----------------------------------------------------
 
@@ -250,6 +286,15 @@ class Session:
             lines.append(
                 f"sanitizer         : {sanitizer.stats.total} checks passed"
             )
+        abft = self.machine.abft
+        if abft is not None:
+            st = abft.stats
+            lines.append(
+                f"abft              : {st.protected} protected / "
+                f"{st.verifies} verified, {c.abft_detected} detected, "
+                f"{c.abft_corrected} corrected, {c.abft_recomputed} replays, "
+                f"{st.scrubs} scrubs, {st.wire_retransmits} wire retransmits"
+            )
         breakdown = c.phase_breakdown()
         if breakdown:
             lines.append("phase breakdown:")
@@ -310,6 +355,14 @@ class Session:
         sanitizer = self.machine.sanitizer
         if sanitizer is not None:
             data["sanitizer"] = sanitizer.stats.as_dict()
+        abft = self.machine.abft
+        if abft is not None:
+            data["abft"] = dict(
+                abft.stats.as_dict(),
+                detected=c.abft_detected,
+                corrected=c.abft_corrected,
+                recomputed=c.abft_recomputed,
+            )
         tracer = self.machine.tracer
         if tracer is not None:
             data["primitive_breakdown"] = tracer.primitive_summary()

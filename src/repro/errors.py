@@ -17,7 +17,9 @@ Hierarchy::
     │                                 pid/dim, negative charge, ...)
     ├── FaultError(RuntimeError)    — the simulated machine is degraded
     │   ├── NodeKilledError         — a processor died; collectives impossible
-    │   └── UnroutableError         — no healthy path exists for a message
+    │   ├── UnroutableError         — no healthy path exists for a message
+    │   └── CorruptionError         — silent data corruption detected but
+    │                                 not correctable from the checksums
     ├── CheckpointError(RuntimeError) — checkpoint contents unusable
     └── SanitizerError(RuntimeError)  — a machine invariant was violated
                                         (see repro.check.MachineSanitizer)
@@ -71,6 +73,17 @@ class UnroutableError(FaultError):
     """No healthy path exists for a routed message (links/nodes too dead)."""
 
 
+class CorruptionError(FaultError):
+    """Silent data corruption was detected but cannot be corrected.
+
+    Raised by the ABFT layer (:mod:`repro.abft`) when a checksum block
+    holds more than one corrupted element, so the row × column intersection
+    no longer identifies a unique repair.  The resilient runner
+    (:func:`repro.faults.run_resilient`) catches this and replays the
+    workload from its last checkpoint on the same (healthy) topology.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint is missing required entries or does not fit the machine."""
 
@@ -92,6 +105,7 @@ __all__ = [
     "FaultError",
     "NodeKilledError",
     "UnroutableError",
+    "CorruptionError",
     "CheckpointError",
     "SanitizerError",
 ]

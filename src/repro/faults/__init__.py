@@ -16,7 +16,15 @@ Quickstart::
     assert report.recovered
 """
 
-from .plan import FaultEvent, FaultPlan, LinkDrop, LinkKill, NodeKill
+from .plan import (
+    BitFlip,
+    FaultEvent,
+    FaultPlan,
+    LinkCorrupt,
+    LinkDrop,
+    LinkKill,
+    NodeKill,
+)
 from .injector import FaultInjector, FaultStats, RetryPolicy
 from .checkpoint import Checkpoint, CheckpointStore
 from .recovery import (
@@ -35,6 +43,8 @@ __all__ = [
     "LinkDrop",
     "LinkKill",
     "NodeKill",
+    "BitFlip",
+    "LinkCorrupt",
     "FaultInjector",
     "FaultStats",
     "RetryPolicy",

@@ -9,7 +9,17 @@ applied in order:
   health masks and bump the topology epoch (invalidating cached plans);
 * :class:`~.plan.LinkDrop` *arms* transient drops on a dimension — the
   next round along that dimension retries, each retry charged as one extra
-  round of the same volume plus capped exponential backoff waiting time.
+  round of the same volume plus capped exponential backoff waiting time;
+* :class:`~.plan.BitFlip` flips one stored bit of a registered array
+  (copy-on-corrupt: the array's storage is replaced by a corrupted copy,
+  so values already read by in-flight operations stay clean — corruption
+  affects *future* reads, which is what a memory upset does);
+* :class:`~.plan.LinkCorrupt` *arms* in-flight corruption on a dimension —
+  with ABFT wire checksums on, the next charged round (whatever its
+  dimension: every round carries a checksum word) detects the bad block
+  and charges a retransmission along the corrupted link; without them the
+  next full-block exchange along that dimension silently delivers the
+  corrupted block.
 
 All fault accounting lives in :class:`FaultStats` (on the injector, not on
 :class:`~repro.machine.counters.Counters` — the counters stay a pure cost
@@ -18,14 +28,18 @@ record).
 
 from __future__ import annotations
 
+import collections
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
+import numpy as np
+
 from ..errors import NodeKilledError
-from .plan import FaultPlan, LinkDrop, LinkKill, NodeKill
+from .plan import BitFlip, FaultPlan, LinkCorrupt, LinkDrop, LinkKill, NodeKill
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..machine.hypercube import Hypercube
+    from ..machine.pvar import PVar
 
 
 @dataclass(frozen=True)
@@ -63,6 +77,9 @@ class FaultStats:
     recoveries: int = 0
     remapped_arrays: int = 0
     recovery_ticks: float = 0.0
+    bit_flips: int = 0
+    link_corruptions: int = 0
+    sdc_skipped: int = 0  # flips aimed at dead nodes / empty registries
 
     def as_dict(self) -> dict:
         return {
@@ -75,6 +92,9 @@ class FaultStats:
             "recoveries": self.recoveries,
             "remapped_arrays": self.remapped_arrays,
             "recovery_ticks": self.recovery_ticks,
+            "bit_flips": self.bit_flips,
+            "link_corruptions": self.link_corruptions,
+            "sdc_skipped": self.sdc_skipped,
         }
 
 
@@ -100,6 +120,13 @@ class FaultInjector:
         self._pending: List = list(plan.events)
         self._next = 0
         self._armed_drops: Dict[int, int] = {}  # dim -> drops awaiting a round
+        # dim -> LinkCorrupt events awaiting the next exchange on that dim
+        self._armed_corruptions: Dict[int, List[LinkCorrupt]] = {}
+        # Recently registered machine arrays: the BitFlip target registry
+        # when no ABFT manager is attached.  Bounded so the injector never
+        # pins unbounded history; PVar uses __slots__ without __weakref__,
+        # hence strong references in a small deque.
+        self._memory: "collections.deque" = collections.deque(maxlen=16)
 
     def bind(self, machine: "Hypercube") -> None:
         """Bind to a machine (called by ``Hypercube.attach_faults``)."""
@@ -158,24 +185,138 @@ class FaultInjector:
                 tracer.instant(
                     f"link_drop:dim{ev.dim}", "fault", dim=ev.dim, count=ev.count
                 )
+        elif isinstance(ev, BitFlip):
+            self._apply_bit_flip(ev, entry)
+        elif isinstance(ev, LinkCorrupt):
+            self._armed_corruptions.setdefault(ev.dim % max(machine.n, 1), []).append(ev)
         else:  # pragma: no cover - future event kinds
             raise TypeError(f"unknown fault event {ev!r}")
         self.log.append(entry)
 
+    # -- silent data corruption ------------------------------------------------
+
+    def register_memory(self, pvar: "PVar") -> "PVar":
+        """Register an array as a candidate :class:`BitFlip` target.
+
+        With an ABFT manager attached the manager's protected registry is
+        the target set instead, so flips always hit checksum-guarded
+        storage; this explicit registry serves no-ABFT runs (where the
+        corruption propagates silently — the failure mode ABFT removes).
+        """
+        self._memory.append(pvar)
+        return pvar
+
+    def _sdc_targets(self) -> List["PVar"]:
+        machine = self.machine
+        abft = getattr(machine, "abft", None) if machine is not None else None
+        if abft is not None:
+            return abft.protected_pvars()
+        return list(self._memory)
+
+    def _apply_bit_flip(self, ev: BitFlip, entry: dict) -> None:
+        """Corrupt one stored bit of a registered array (copy-on-corrupt)."""
+        machine = self.machine
+        targets = self._sdc_targets()
+        pid = ev.pid % machine.p
+        if not targets or not machine.node_alive(pid):
+            self.stats.sdc_skipped += 1
+            entry["skipped"] = True
+            return
+        pv = targets[-1 - (ev.target % len(targets))]
+        if pv.data.shape[0] != machine.p:
+            # Registered on a machine this injector has since left behind
+            # (degraded-mode remap); the old storage is dead.
+            self.stats.sdc_skipped += 1
+            entry["skipped"] = True
+            return
+        data = np.array(pv.data)  # copy-on-corrupt: old readers stay clean
+        u8 = data.reshape(machine.p, -1).view(np.uint8)
+        if u8.shape[1] == 0:  # pragma: no cover - degenerate empty block
+            self.stats.sdc_skipped += 1
+            entry["skipped"] = True
+            return
+        slot = ev.slot % u8.shape[1]
+        u8[pid, slot] ^= np.uint8(1 << (ev.bit % 8))
+        pv.data = data
+        self.stats.bit_flips += 1
+        entry["pid"] = pid
+        entry["byte"] = slot
+        tracer = machine.tracer
+        if tracer is not None:
+            tracer.instant(
+                "sdc:bitflip", "fault", pid=pid, byte=slot, bit=ev.bit % 8
+            )
+
+    def deliver(self, out: "PVar", dim: int) -> "PVar":
+        """Apply armed in-flight corruption to an exchanged block.
+
+        Called by :meth:`Hypercube.exchange` on the received block.  This
+        is the no-wire-checksum path: the corrupted block is delivered
+        silently, and the bad value propagates into everything computed
+        from it — exactly the failure mode the ABFT layer exists to
+        remove.  (With ABFT attached, :meth:`on_round` already drained the
+        armed corruption during the round's charge and paid the
+        retransmission, so this finds nothing.)
+        """
+        pending = self._armed_corruptions.pop(dim, None)
+        if not pending:
+            return out
+        machine = self.machine
+        from ..machine.pvar import PVar
+
+        tracer = machine.tracer
+        for ev in pending:
+            self.stats.link_corruptions += 1
+            data = np.array(out.data)
+            u8 = data.reshape(machine.p, -1).view(np.uint8)
+            if u8.shape[1] == 0:  # pragma: no cover - degenerate empty block
+                continue
+            pid = ev.pid % machine.p
+            slot = ev.slot % u8.shape[1]
+            u8[pid, slot] ^= np.uint8(1 << (ev.bit % 8))
+            out = PVar(machine, data)
+            if tracer is not None:
+                tracer.instant(
+                    "sdc:link", "fault", dim=dim, pid=pid, byte=slot,
+                    bit=ev.bit % 8,
+                )
+        return out
+
     # -- per-round hooks (called from Hypercube.charge_comm_round) -------------
 
-    def on_round(self, dim: int, volume: float, rounds: int) -> None:
+    def on_round(self, dim: Optional[int], volume: float, rounds: int) -> None:
         """Consume armed transient drops on ``dim``: charge the retries.
 
         Each retry re-sends the full round (one extra charged round of the
         same volume) after a backoff wait; the wait is charged as pure time
         (zero elements, zero rounds) so element/round counters only ever
         reflect traffic that actually moved.
+
+        With ABFT wire checksums attached, *every* armed in-flight
+        corruption is consumed here regardless of dimension: every charged
+        round carries a checksum word, so the receiver detects the bad
+        block wherever it crossed — a structured exchange, a plan-replayed
+        collective, or an unlabelled round — and one retransmission of the
+        same volume is charged along the corrupted link's dimension.
+        Without ABFT the corruption stays armed for the next *real*
+        exchange along its dimension (see :meth:`deliver`), where there is
+        an actual block to corrupt.
         """
+        machine = self.machine
+        abft = getattr(machine, "abft", None)
+        if abft is not None and self._armed_corruptions:
+            armed = self._armed_corruptions
+            self._armed_corruptions = {}
+            for d in sorted(armed):
+                for _ in armed[d]:
+                    self.stats.link_corruptions += 1
+                    machine._charge_comm_round_plain(volume, 1, d)
+                    abft.on_wire_retransmit(d)
+        if dim is None:
+            return
         pending = self._armed_drops.pop(dim, 0)
         if not pending:
             return
-        machine = self.machine
         retries = min(pending, self.retry.max_retries)
         tau = machine.cost_model.tau
         backoff = 0.0
@@ -235,11 +376,42 @@ class FaultInjector:
                     remaining.append(
                         LinkDrop(ev.time, dim=dim_map[ev.dim], count=ev.count)
                     )
+            elif isinstance(ev, BitFlip):
+                pid = ev.pid % self.machine.p if self.machine else ev.pid
+                if in_subcube(pid):
+                    remaining.append(
+                        BitFlip(
+                            ev.time,
+                            pid=compress(pid),
+                            slot=ev.slot,
+                            bit=ev.bit,
+                            target=ev.target,
+                        )
+                    )
+            elif isinstance(ev, LinkCorrupt):
+                pid = ev.pid % self.machine.p if self.machine else ev.pid
+                if ev.dim in dim_map and in_subcube(pid):
+                    remaining.append(
+                        LinkCorrupt(
+                            ev.time,
+                            dim=dim_map[ev.dim],
+                            pid=compress(pid),
+                            slot=ev.slot,
+                            bit=ev.bit,
+                        )
+                    )
         self._pending = remaining
         self._next = 0
         self._armed_drops = {
             dim_map[d]: c for d, c in self._armed_drops.items() if d in dim_map
         }
+        self._armed_corruptions = {
+            dim_map[d]: evs
+            for d, evs in self._armed_corruptions.items()
+            if d in dim_map
+        }
+        # Old-machine arrays are dead after a remap; drop them as targets.
+        self._memory.clear()
 
 
 __all__ = ["RetryPolicy", "FaultStats", "FaultInjector"]

@@ -23,10 +23,28 @@ Event kinds
     Transient: the next communication round along ``dim`` is dropped
     ``count`` times before succeeding; each retry is charged one extra
     round plus capped exponential backoff.
+:class:`BitFlip`
+    Silent data corruption at rest: one bit of one stored element on one
+    node flips.  No exception is raised by the hardware — detection is the
+    ABFT layer's job (:mod:`repro.abft`); without it the corrupted value
+    silently propagates.
+:class:`LinkCorrupt`
+    Silent data corruption in flight: one bit of one element crossing the
+    link along ``dim`` flips on the wire.  With ABFT wire checksums on,
+    the next charged round — whatever its dimension; every round carries
+    a checksum word — detects the bad block and charges one
+    retransmission along the corrupted link; without them the next
+    full-block exchange along ``dim`` delivers the corrupted block as-is.
+
+Plans serialise to/from JSON (:meth:`FaultPlan.as_dict` /
+:meth:`FaultPlan.from_dict`, :meth:`to_json` / :meth:`from_json`) so a
+recorded fault schedule — including SDC events — can be replayed exactly,
+e.g. via the ``--fault-plan FILE`` CLI option.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Tuple
 
@@ -71,6 +89,42 @@ class LinkDrop(FaultEvent):
     count: int = 1
 
 
+@dataclass(frozen=True)
+class BitFlip(FaultEvent):
+    """One stored bit flips silently at ``time``.
+
+    ``target`` selects which machine-resident array is hit (an index into
+    the injector's registry of protected/registered arrays, most recent
+    first); ``pid``, ``slot`` and ``bit`` pick the processor, the local
+    byte slot and the bit within it (each taken modulo the respective
+    extent, so any values form a valid flip).  Flips aimed at a dead node
+    or an empty registry are counted no-ops.
+    """
+
+    pid: int = 0
+    slot: int = 0
+    bit: int = 0
+    target: int = 0
+
+
+@dataclass(frozen=True)
+class LinkCorrupt(FaultEvent):
+    """One in-flight bit of the next transfer along ``dim`` flips.
+
+    Armed when fired.  With ABFT wire checksums the next charged round
+    (of any dimension) detects it and pays a retransmission along the
+    corrupted link; without them the next full-block exchange along
+    ``dim`` silently delivers the corrupted block.  ``pid``, ``slot`` and
+    ``bit`` address the corrupted element of the received block (modulo
+    the extents, as for :class:`BitFlip`).
+    """
+
+    dim: int = 0
+    pid: int = 0
+    slot: int = 0
+    bit: int = 0
+
+
 class FaultPlan:
     """An immutable, time-sorted schedule of fault events.
 
@@ -107,6 +161,36 @@ class FaultPlan:
         return {"events": [ev.as_dict() for ev in self.events]}
 
     @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`as_dict` output (exact round-trip)."""
+        events = []
+        for entry in data.get("events", ()):
+            entry = dict(entry)
+            kind = entry.pop("kind", None)
+            event_cls = _EVENT_KINDS.get(kind)
+            if event_cls is None:
+                raise ConfigError(f"unknown fault event kind {kind!r}")
+            try:
+                events.append(event_cls(**entry))
+            except TypeError as exc:
+                raise ConfigError(
+                    f"bad fields for fault event {kind!r}: {exc}"
+                ) from None
+        return cls(events)
+
+    def to_json(self, path: str) -> None:
+        """Write the plan as a JSON document."""
+        with open(path, "w") as fh:
+            json.dump(self.as_dict(), fh, indent=2)
+            fh.write("\n")
+
+    @classmethod
+    def from_json(cls, path: str) -> "FaultPlan":
+        """Load a plan written by :meth:`to_json`."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    @classmethod
     def random(
         cls,
         n: int,
@@ -117,6 +201,8 @@ class FaultPlan:
         drops: int = 2,
         max_drop_count: int = 2,
         window: Tuple[float, float] = (0.1, 0.9),
+        bit_flips: int = 0,
+        link_corruptions: int = 0,
     ) -> "FaultPlan":
         """A seeded pseudo-random plan for an ``n``-dimensional machine.
 
@@ -166,7 +252,44 @@ class FaultPlan:
                     count=int(rng.integers(1, max_drop_count + 1)),
                 )
             )
+        for _ in range(bit_flips):
+            events.append(
+                BitFlip(
+                    when(),
+                    pid=int(rng.integers(p)),
+                    slot=int(rng.integers(1 << 16)),
+                    bit=int(rng.integers(64)),
+                    target=int(rng.integers(4)),
+                )
+            )
+        for _ in range(link_corruptions):
+            if n < 1:
+                raise ConfigError("link corruptions need a machine with n >= 1")
+            events.append(
+                LinkCorrupt(
+                    when(),
+                    dim=int(rng.integers(n)),
+                    pid=int(rng.integers(p)),
+                    slot=int(rng.integers(1 << 16)),
+                    bit=int(rng.integers(64)),
+                )
+            )
         return cls(events)
 
 
-__all__ = ["FaultEvent", "NodeKill", "LinkKill", "LinkDrop", "FaultPlan"]
+#: kind-name → event class, for :meth:`FaultPlan.from_dict`.
+_EVENT_KINDS = {
+    cls.__name__: cls
+    for cls in (NodeKill, LinkKill, LinkDrop, BitFlip, LinkCorrupt)
+}
+
+
+__all__ = [
+    "FaultEvent",
+    "NodeKill",
+    "LinkKill",
+    "LinkDrop",
+    "BitFlip",
+    "LinkCorrupt",
+    "FaultPlan",
+]

@@ -32,7 +32,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import FaultError, NodeKilledError, UnroutableError
+from ..errors import CorruptionError, FaultError, NodeKilledError, UnroutableError
 from .checkpoint import CheckpointStore
 from .injector import FaultStats
 
@@ -119,8 +119,12 @@ def run_resilient(
     Catches :class:`NodeKilledError` (and :class:`UnroutableError`), remaps
     the session onto the largest healthy subcube and re-runs the workload —
     which resumes from its last checkpoint — at most ``max_recoveries``
-    times.  Never raises for fault-related failures; inspect
-    ``report.recovered`` / ``report.error``.
+    times.  :class:`CorruptionError` (uncorrectable silent data corruption,
+    raised by the ABFT layer) also triggers a replay, but on the *same*
+    machine: the topology is healthy, only data was lost, so the workload
+    re-runs from its last checkpoint with a cleared checksum registry.
+    Never raises for fault-related failures; inspect ``report.recovered`` /
+    ``report.error``.
     """
     if store is None:
         store = CheckpointStore(session)
@@ -138,6 +142,20 @@ def run_resilient(
                 stats=stats,
                 final_p=session.machine.p,
             )
+        except CorruptionError as exc:
+            # Uncorrectable corruption: the machine is healthy, so no
+            # degrade — clear the stale checksum registry and replay the
+            # workload from its last checkpoint.
+            error = str(exc)
+            if recoveries >= max_recoveries:
+                break
+            recoveries += 1
+            machine = session.machine
+            if machine.faults is not None:
+                machine.faults.stats.recoveries += 1
+            machine.counters.abft_recomputed += 1
+            if machine.abft is not None:
+                machine.abft.reset()
         except (NodeKilledError, UnroutableError) as exc:
             error = str(exc)
             if recoveries >= max_recoveries:

@@ -55,6 +55,12 @@ class Counters:
     must never change the cost model, so snapshots stay bit-identical
     whether the cache is on or off while the plan statistics report what
     the cache did.
+
+    The ``abft_*`` fields follow the same observability-only contract for
+    the checksum layer (:mod:`repro.abft`): corruption detections, exact
+    single-element corrections, and escalations to checkpoint replay.
+    The checksum layer's *costs* (maintain/verify/scrub passes) land in
+    the ordinary time/flop/transfer fields like any other charged work.
     """
 
     time: float = 0.0
@@ -65,6 +71,9 @@ class Counters:
     plan_hits: int = 0
     plan_misses: int = 0
     plan_evictions: int = 0
+    abft_detected: int = 0
+    abft_corrected: int = 0
+    abft_recomputed: int = 0
     phase_times: Dict[str, float] = field(default_factory=dict)
     _phase_stack: List[str] = field(default_factory=list)
 

@@ -74,6 +74,10 @@ class Hypercube:
         # sanitizer, same contract as the tracer — one ``is None`` branch
         # per instrumented site, zero charges, bit-identical costs on/off.
         self.sanitizer = None
+        # Data integrity: ``None`` (the default) means no checksum layer —
+        # the ABFT manager (repro.abft) is attached explicitly and pays its
+        # charges openly; a machine without it never imports the module.
+        self.abft = None
         # Fault state.  ``epoch`` counts topology changes: every permanent
         # fault bumps it, and the plan cache folds it into every key, so a
         # plan derived on one topology can never replay on another.  The
@@ -126,6 +130,20 @@ class Hypercube:
             sanitizer.bind(self)
         self.sanitizer = sanitizer
         return sanitizer
+
+    def attach_abft(self, manager: Any) -> Any:
+        """Attach a :class:`repro.abft.ABFTManager` (returns it).
+
+        The manager maintains row+column checksum panels for every
+        checksum-embedded array, charging maintenance and verification
+        honestly on the simulated clock.  With it attached, every full
+        exchange also carries one checksum word per block (wire
+        protection).  Pass ``None`` to detach.
+        """
+        if manager is not None:
+            manager.bind(self)
+        self.abft = manager
+        return manager
 
     # -- fault state -----------------------------------------------------------
 
@@ -402,9 +420,7 @@ class Hypercube:
                 f"{self.p} processors are dead (epoch {self.epoch})"
             )
         self._charge_comm_round_plain(elements_per_processor, rounds, dim)
-        if dim is None:
-            return
-        if dim in self._dead_links_by_dim:
+        if dim is not None and dim in self._dead_links_by_dim:
             # Every dead link in ``dim`` detours through an adjacent
             # dimension: 3 hops instead of 1, so each original round costs
             # two extra rounds of the same volume (detours run concurrently).
@@ -414,6 +430,8 @@ class Hypercube:
             if faults is not None:
                 faults.stats.detour_rounds += extra
         if faults is not None:
+            # Called for unlabelled rounds too: ABFT wire checksums detect
+            # armed in-flight corruption on *any* charged round.
             faults.on_round(dim, elements_per_processor, rounds)
 
     @contextlib.contextmanager
@@ -480,11 +498,24 @@ class Hypercube:
         """
         self._check_dim(dim)
         self._check_owned(pvar)
-        self.charge_comm_round(pvar.local_size, dim=dim)
-        out = PVar(self, pvar.data[self._neighbor[dim]])
+        # Capture the block before charging: the charge may poll the fault
+        # injector, and a bit flip landing mid-round must corrupt *future*
+        # reads (copy-on-corrupt), not the data already on the wire.
+        src = pvar.data
+        # With ABFT wire protection each block carries one checksum word.
+        volume = pvar.local_size + 1 if self.abft is not None else pvar.local_size
+        self.charge_comm_round(volume, dim=dim)
+        out = PVar(self, src[self._neighbor[dim]])
         sanitizer = self.sanitizer
         if sanitizer is not None:
-            sanitizer.audit_exchange(self, pvar, out, dim)
+            # Audit against the captured block: a flip landing during the
+            # charge replaces pvar.data, but what crossed the wire is src.
+            sanitizer.audit_exchange(self, PVar(self, src), out, dim)
+        faults = self.faults
+        if faults is not None:
+            # In-flight corruption is applied after the audit: the audit
+            # checks the exchange wiring, not the wire's bit-exactness.
+            out = faults.deliver(out, dim)
         return out
 
     def exchange_free(self, pvar: PVar, dim: int) -> PVar:

@@ -57,6 +57,11 @@ class PVar:
             )
         self.machine = machine
         self.data = data
+        faults = machine.faults
+        if faults is not None:
+            # Candidate target for silent stored-bit flips (no-ABFT runs;
+            # the checksum registry takes over when a manager is attached).
+            faults.register_memory(self)
 
     # -- construction helpers ------------------------------------------------
 

@@ -1,0 +1,126 @@
+"""End-to-end SDC recovery: corrupted runs must reproduce fault-free bits.
+
+The acceptance contract of the ABFT layer: for seeded single bit flips the
+checksum panels correct in place and the final result is
+``np.array_equal`` to the fault-free baseline; simultaneous multi-flips in
+one block defeat single-error correction, escalate to
+:class:`~repro.errors.CorruptionError` and recover via checkpoint replay
+(:func:`repro.faults.run_resilient`) — again bit-identical.  Workloads use
+integer-valued data so every reduction is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.check.oracle import _recovery_workloads, run_sdc_case
+from repro.faults import CheckpointStore, FaultPlan, run_resilient
+from repro.faults.plan import BitFlip, LinkCorrupt
+
+
+SEEDS = (0, 1, 2, 3, 4)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("which", [0, 1, 2], ids=["gaussian", "simplex",
+                                                  "matvec"])
+def test_single_flip_corrected_bit_exactly(which, seed):
+    name, make_workload, reference = _recovery_workloads(seed)[which]
+    result = run_sdc_case(name, make_workload, reference, seed)
+    assert result.passed, f"{result.case}: {result.detail} ({result.config})"
+    assert result.config["detected"] >= 1
+    assert result.config["corrected"] >= 1
+    assert result.config["recomputed"] == 0, "a single flip must not replay"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_multi_flip_escalates_to_checkpoint_replay(seed):
+    name, make_workload, reference = _recovery_workloads(seed)[0]
+    result = run_sdc_case(name, make_workload, reference, seed, flips=2)
+    assert result.passed, f"{result.case}: {result.detail} ({result.config})"
+    assert result.config["recovered"] is True
+    assert result.config["recoveries"] >= 1
+    assert result.config["recomputed"] >= 1
+
+
+def test_multi_flip_report_shape():
+    """The raw run_resilient report for an escalated corruption."""
+    A, b = np.eye(10) * 10 + 1, np.arange(10, dtype=np.float64)
+    from repro.faults.recovery import gaussian_workload
+
+    clean = Session(4, "cm2")
+    baseline = gaussian_workload(A, b)(clean, CheckpointStore(clean))
+    t = 0.4 * clean.time
+    plan = FaultPlan([
+        BitFlip(t, pid=1, slot=3, bit=2, target=0),
+        BitFlip(t, pid=1, slot=11, bit=2, target=0),
+    ])
+    s = Session(4, "cm2", faults=plan, abft=True)
+    report = run_resilient(s, gaussian_workload(A, b))
+    assert report.error is None
+    assert report.recovered and report.recoveries == 1
+    assert report.final_p == s.machine.p, "SDC replay keeps the full cube"
+    assert s.machine.counters.abft_recomputed == 1
+    assert report.stats.recoveries == 1
+    np.testing.assert_array_equal(np.asarray(report.result), baseline)
+
+
+def test_uncorrectable_without_checkpoint_budget_reports_the_error():
+    """max_recoveries=0 turns escalation into a clean failure report."""
+    A, b = np.eye(8) * 8 + 1, np.arange(8, dtype=np.float64)
+    from repro.faults.recovery import gaussian_workload
+
+    clean = Session(3, "cm2")
+    gaussian_workload(A, b)(clean, CheckpointStore(clean))
+    t = 0.4 * clean.time
+    plan = FaultPlan([
+        BitFlip(t, pid=1, slot=3, bit=2, target=0),
+        BitFlip(t, pid=1, slot=11, bit=2, target=0),
+    ])
+    s = Session(3, "cm2", faults=plan, abft=True)
+    report = run_resilient(s, gaussian_workload(A, b), max_recoveries=0)
+    assert not report.recovered
+    assert report.error is not None
+    assert "corrupted" in report.error
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_wire_corruption_retransmits_and_matches(seed):
+    """In-flight flips under ABFT cost a retransmission, never the result."""
+    from repro.faults.recovery import matvec_workload
+
+    rng = np.random.default_rng(seed)
+    M = rng.integers(-3, 4, size=(12, 12)).astype(np.float64)
+    x = rng.integers(-3, 4, size=12).astype(np.float64)
+    clean = Session(4, "cm2")
+    baseline = matvec_workload(M, x, reps=3)(clean, CheckpointStore(clean))
+    plan = FaultPlan([
+        LinkCorrupt(0.3 * clean.time, dim=seed % 4, pid=1, slot=2, bit=4),
+        LinkCorrupt(0.6 * clean.time, dim=(seed + 1) % 4, pid=3, slot=0,
+                    bit=1),
+    ])
+    s = Session(4, "cm2", faults=plan, abft=True)
+    report = run_resilient(s, matvec_workload(M, x, reps=3))
+    assert report.error is None
+    assert s.faults.stats.link_corruptions == 2
+    assert s.abft.stats.wire_retransmits == 2
+    np.testing.assert_array_equal(np.asarray(report.result), baseline)
+
+
+def test_mixed_flip_and_wire_corruption_recovers(seed=7):
+    """Stored and in-flight corruption in one run, both survived."""
+    name, make_workload, reference = _recovery_workloads(seed)[0]
+    clean = Session(4, "cm2")
+    baseline = make_workload()(clean, CheckpointStore(clean))
+    plan = FaultPlan([
+        BitFlip(0.3 * clean.time, pid=2, slot=5, bit=3, target=0),
+        LinkCorrupt(0.5 * clean.time, dim=1, pid=0, slot=1, bit=2),
+    ])
+    s = Session(4, "cm2", faults=plan, abft=True)
+    report = run_resilient(s, make_workload())
+    assert report.error is None
+    assert s.faults.stats.bit_flips == 1
+    assert s.faults.stats.link_corruptions == 1
+    np.testing.assert_array_equal(np.asarray(report.result), baseline)

@@ -42,8 +42,9 @@ def test_quick_differential_passes():
     report = run_differential(seed=0, n_dims=3, quick=True)
     assert report["passed"], report["failures"]
     assert report["failures"] == []
-    # every case ran in every quick cell, plus the recovery axis
-    assert len(report["cells"]) == len(CASES) * len(QUICK_MATRIX) + 3
+    # every case ran in every quick cell, plus the recovery axis (3 node
+    # kills) and the SDC axis (3 single flips + 1 multi-flip escalation)
+    assert len(report["cells"]) == len(CASES) * len(QUICK_MATRIX) + 7
 
 
 def test_divergent_case_is_reported_with_config():

@@ -234,3 +234,86 @@ class TestCheck:
         assert (tmp_path / "golden.json").exists()
         capsys.readouterr()
         assert main(["check", "--skip-differential"]) == 0
+
+
+class TestAbftSubcommand:
+    def test_gaussian_corrects_and_matches(self, capsys):
+        assert main(["abft", "-n", "4", "--size", "12",
+                     "--fault-seed", "0", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["recovered"] is True
+        assert data["matches_baseline"] is True
+        assert data["stats"]["bit_flips"] + data["stats"]["link_corruptions"] > 0
+        assert data["abft"]["detected"] >= 1
+        assert data["overhead"] > 1.0
+
+    def test_text_report(self, capsys):
+        assert main(["abft", "-n", "4", "--size", "12",
+                     "--fault-seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "matches baseline : True" in out
+        assert "abft" in out
+        assert "overhead" in out
+
+    def test_matvec_workload_with_trace(self, capsys, tmp_path):
+        trace = str(tmp_path / "abft.json")
+        assert main(["abft", "-n", "4", "--workload", "matvec",
+                     "--size", "16", "--fault-seed", "0",
+                     "--trace-out", trace, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["recovered"] and data["matches_baseline"]
+        assert data["trace_out"] == trace
+        counts = validate_chrome_trace_file(trace)
+        assert counts["instants"] > 0  # abft:detect / abft:correct markers
+
+    def test_multi_flip_escalates_but_recovers(self, capsys):
+        assert main(["abft", "-n", "4", "--size", "12",
+                     "--fault-seed", "0", "--bit-flips", "4",
+                     "--link-corruptions", "0", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["recovered"] and data["matches_baseline"]
+
+
+class TestFaultPlanFile:
+    def test_abft_replays_recorded_plan(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+        from repro.faults.plan import BitFlip
+
+        path = str(tmp_path / "plan.json")
+        FaultPlan([BitFlip(2000.0, pid=1, slot=3, bit=2)]).to_json(path)
+        assert main(["abft", "-n", "4", "--size", "12",
+                     "--fault-plan", path, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["stats"]["bit_flips"] == 1
+        assert data["matches_baseline"] is True
+        assert data["plan"]["events"][0]["kind"] == "BitFlip"
+
+    def test_faults_subcommand_accepts_plan_file(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+        from repro.faults.plan import LinkDrop
+
+        path = str(tmp_path / "plan.json")
+        FaultPlan([LinkDrop(1500.0, dim=1, count=1)]).to_json(path)
+        assert main(["faults", "-n", "4", "--size", "12",
+                     "--fault-plan", path, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["stats"]["drops"] == 1
+        assert data["matches_baseline"] is True
+
+    def test_plan_runs_are_reproducible(self, capsys, tmp_path):
+        from repro.faults import FaultPlan
+        from repro.faults.plan import BitFlip, LinkCorrupt
+
+        path = str(tmp_path / "plan.json")
+        FaultPlan([
+            BitFlip(1800.0, pid=2, slot=5, bit=1),
+            LinkCorrupt(2600.0, dim=1, pid=0, slot=2, bit=3),
+        ]).to_json(path)
+
+        def run():
+            assert main(["abft", "-n", "4", "--size", "12",
+                         "--fault-plan", path, "--json"]) == 0
+            return json.loads(capsys.readouterr().out)
+
+        a, b = run(), run()
+        assert a == b
