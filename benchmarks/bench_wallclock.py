@@ -43,6 +43,55 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUT_PATH = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
 
 
+def _experiment_key(entry: object) -> object:
+    """Identity of one result entry: experiment + workload + params."""
+    if not isinstance(entry, dict):
+        return json.dumps(entry, sort_keys=True)
+    return (
+        entry.get("experiment"),
+        entry.get("workload"),
+        json.dumps(entry.get("params"), sort_keys=True),
+    )
+
+
+def _merge_entries(old: List[object], new: List[object]) -> List[object]:
+    """Replace old entries re-measured by ``new`` (same experiment key),
+    keep the rest, append genuinely new experiments — never plain append."""
+    fresh = {_experiment_key(e): e for e in new}
+    merged = [fresh.pop(_experiment_key(e), e) for e in old]
+    merged.extend(e for e in new if _experiment_key(e) in fresh)
+    return merged
+
+
+def merge_report(path: str, updates: Dict[str, object]) -> Dict[str, object]:
+    """Merge ``updates`` into the JSON report at ``path``, atomically.
+
+    Top-level sections written by other benchmarks (e.g. the batch
+    speedup curve from ``bench_batch.py``) survive; list-valued sections
+    present on both sides merge entry-wise by experiment key.  The file
+    is written via a temp file + ``os.replace`` so a crashed or
+    concurrent run can never leave a torn JSON behind.
+    """
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+        if not isinstance(report, dict):
+            report = {}
+    except (FileNotFoundError, ValueError):
+        report = {}
+    for key, value in updates.items():
+        if isinstance(value, list) and isinstance(report.get(key), list):
+            report[key] = _merge_entries(report[key], value)
+        else:
+            report[key] = value
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return report
+
+
 def _time_pair(
     n_dims: int, reps: int, run: Callable[[Session], object]
 ) -> Tuple[float, float, Dict[str, float], Dict[str, float], object, object]:
@@ -314,9 +363,7 @@ def main(argv: List[str] = None) -> int:
         "target_met": None if args.smoke else bool(gauss >= 3.0 and splex >= 3.0),
         "all_bit_identical": all(r["bit_identical"] for r in results + scaling),
     }
-    with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2)
-        fh.write("\n")
+    merge_report(args.out, report)
     print(f"wrote {args.out}  (gaussian {gauss:.2f}x, simplex {splex:.2f}x)")
     return 0
 

@@ -452,6 +452,104 @@ def run_sdc_case(
     return CaseResult(label, config, True)
 
 
+# -- batched-execution axis ------------------------------------------------------
+
+
+def run_batched_case(
+    workload: str,
+    seed: int,
+    n_dims: int = 4,
+    n_lanes: int = 4,
+) -> CaseResult:
+    """Stack ``n_lanes`` seeded instances; every lane must be bit-identical
+    to its own scalar run (results *and* simulated ticks) and close to the
+    serial reference.
+
+    The batched hypervisor (:mod:`repro.batch`) is imported only here, so
+    batch-off oracle axes never load it.
+    """
+    from ..batch import sweep as batch_sweep
+
+    config = {
+        "cost_model": "cm2",
+        "axis": "batched",
+        "n_dims": n_dims,
+        "seed": seed,
+        "n_lanes": n_lanes,
+    }
+    label = f"batched:{workload}"
+    grid = [
+        {"n_dims": n_dims, "n": 10, "seed": seed + lane, "cost_model": "cm2"}
+        for lane in range(n_lanes)
+    ]
+    try:
+        batched = batch_sweep(workload, grid)
+        scalar = [
+            _scalar_rerun(workload, entry) for entry in grid
+        ]
+    except Exception as exc:
+        return CaseResult(
+            label, config, False, float("inf"), f"{type(exc).__name__}: {exc}"
+        )
+    if not all(r["batched"] for r in batched):
+        return CaseResult(
+            label, config, False, float("inf"),
+            "compatible lanes were not stacked",
+        )
+    key = "y" if workload == "matvec" else "x"
+    for lane, (got, want) in enumerate(zip(batched, scalar)):
+        if not np.array_equal(got[key], want[key]):
+            err = float(np.max(np.abs(got[key] - want[key])))
+            return CaseResult(
+                label, config, False, err,
+                f"lane {lane} result differs from its scalar run",
+            )
+        if got["time"] != want["time"]:
+            return CaseResult(
+                label, config, False, float("inf"),
+                f"lane {lane} simulated time {got['time']} != scalar "
+                f"{want['time']}",
+            )
+        if not np.allclose(got[key], want["reference"], rtol=1e-7, atol=1e-7):
+            err = float(np.max(np.abs(got[key] - want["reference"])))
+            return CaseResult(
+                label, config, False, err,
+                f"lane {lane} diverges from the serial reference",
+            )
+    return CaseResult(label, config, True)
+
+
+def _scalar_rerun(workload: str, params: dict) -> dict:
+    """One grid entry on a scalar Session (sanitized) plus its reference."""
+    from ..algorithms import gaussian, matvec as mv, simplex
+    from ..batch.sweep import make_problem
+
+    data = make_problem(workload, params)
+    session = Session(
+        params["n_dims"], cost_model=params.get("cost_model"), sanitize=True
+    )
+    if workload == "gaussian":
+        res = gaussian.solve(session.matrix(data["A"]), data["b"])
+        return {
+            "x": res.x,
+            "time": res.cost.time,
+            "reference": np.linalg.solve(data["A"], data["b"]),
+        }
+    if workload == "simplex":
+        from ..algorithms import serial
+
+        res = simplex.solve(session.machine, data["A"], data["b"], data["c"])
+        _, _, x_ref, _, _ = serial.simplex_solve(data["A"], data["b"], data["c"])
+        return {"x": res.x, "time": res.cost.time, "reference": x_ref}
+    M = session.matrix(data["A"])
+    res = mv.matvec(M, session.row_vector(data["x"], like=M))
+    return {
+        "y": res.y.to_numpy(),
+        "time": res.cost.time,
+        "reference": data["A"] @ data["x"],
+    }
+
+
 # -- the sweep -------------------------------------------------------------------
 
 
@@ -484,6 +582,12 @@ def run_differential(
     results.append(
         run_sdc_case(g_name, g_factory, g_reference, seed, n_dims, flips=2)
     )
+    # Batched-execution axis: lanes vs their own scalar runs, bit-for-bit.
+    batched_workloads = ("gaussian", "matvec") if quick else (
+        "gaussian", "simplex", "matvec"
+    )
+    for workload in batched_workloads:
+        results.append(run_batched_case(workload, seed, n_dims))
     failures = [r for r in results if not r.passed]
     return {
         "passed": not failures,
@@ -502,6 +606,7 @@ __all__ = [
     "FULL_MATRIX",
     "OracleCase",
     "QUICK_MATRIX",
+    "run_batched_case",
     "run_case",
     "run_differential",
     "run_recovery_case",

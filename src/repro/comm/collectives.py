@@ -383,8 +383,14 @@ def allgather(
         dims=list(dims), volume=pvar.local_size,
     ):
         data = pvar.data
-        if data.ndim == 1:
-            data = data[:, None]
+        n_runs = machine.n_runs
+        if n_runs is None:
+            if data.ndim == 1:
+                data = data[:, None]
+        elif data.ndim == 2:
+            # Batched scalar blocks are (p, n_runs); the length-1 block
+            # axis goes between the processor and run axes.
+            data = data[:, None, :]
         pids = machine.pids()
         blocks = data[:, None, ...]  # (p, nblocks=1, *local)
         for d in dims:
@@ -398,7 +404,10 @@ def allgather(
                 low.reshape((-1,) + (1,) * (blocks.ndim - 1)), recv, blocks
             )
             blocks = np.concatenate([first, second], axis=1)
-            machine.charge_local(first[0].size + second[0].size)
+            grown = first[0].size + second[0].size
+            if n_runs is not None:
+                grown //= n_runs  # charge volumes are per lane
+            machine.charge_local(grown)
         return PVar(machine, blocks)
 
 

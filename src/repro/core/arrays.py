@@ -204,11 +204,22 @@ class DistributedVector:
         mask = self.embedding.valid_mask()
         data = self.pvar.data
         if not mask.all():
+            if data.ndim > mask.ndim:
+                mask = mask[..., None]  # broadcast over the run axis
             data = np.where(mask, data, op.identity(self.dtype))
             machine.charge_local(self.pvar.local_size)
-        local = op.ufunc.reduce(data, axis=1) if data.ndim > 1 else data
-        if data.ndim > 1:
+        if self.pvar.local_shape:
+            if machine.n_runs is not None:
+                # Reduce a contiguous copy with the run axis moved inward:
+                # per lane this reproduces the scalar path's (pairwise)
+                # accumulation order bit-for-bit.
+                moved = np.ascontiguousarray(np.moveaxis(data, 1, -1))
+                local = op.ufunc.reduce(moved, axis=-1)
+            else:
+                local = op.ufunc.reduce(data, axis=1)
             machine.charge_flops(max(self.pvar.local_size - 1, 0))
+        else:
+            local = data
         total = comm.reduce_all(
             machine, PVar(machine, local), op, dims=self._reduce_dims()
         )
@@ -235,6 +246,8 @@ class DistributedVector:
         machine = self.machine
         op = get_op("max" if mode == "max" else "min")
         mask = self.embedding.valid_mask()
+        if self.pvar.data.ndim > mask.ndim:
+            mask = mask[..., None]  # broadcast over the run axis
         if valid is not None:
             if not self.embedding.compatible(valid.embedding):
                 raise EmbeddingError(
@@ -247,9 +260,10 @@ class DistributedVector:
         ident = op.identity(self.dtype)
         data = np.where(mask, self.pvar.data, ident)
         machine.charge_local(self.pvar.local_size)
-        gidx = np.where(
-            mask, self.embedding.global_indices(), INT64_MAX
-        )
+        gi = self.embedding.global_indices()
+        if data.ndim > gi.ndim:
+            gi = gi[..., None]
+        gidx = np.where(mask, gi, INT64_MAX)
         # Local arg-reduce over the (p, capacity) block: one serial scan,
         # ties to the smallest global index.
         if mode == "max":
@@ -257,7 +271,7 @@ class DistributedVector:
         else:
             best_val = data.min(axis=1)
         machine.charge_flops(self.pvar.local_size)
-        extreme = data == best_val[:, None]
+        extreme = data == np.expand_dims(best_val, 1)
         best_idx = np.where(extreme, gidx, INT64_MAX).min(axis=1)
         machine.charge_flops(self.pvar.local_size)
         best_idx = np.where(best_val == ident, INT64_MAX, best_idx)
@@ -271,7 +285,11 @@ class DistributedVector:
         # One subcube member reports to the host.
         pid = self.embedding.owner_slot_scalar(0)[0]
         value = machine.read_scalar(val_pv, pid=pid)
-        index = int(machine.read_scalar(idx_pv, pid=pid))
+        index = machine.read_scalar(idx_pv, pid=pid)
+        if machine.n_runs is not None:
+            # Batched: per-lane (value, index) vectors on the host.
+            return value, np.where(index == INT64_MAX, -1, index)
+        index = int(index)
         if index == INT64_MAX:
             index = -1
         return value, index
@@ -709,6 +727,8 @@ class DistributedMatrix:
         emb = self.embedding
         mask = emb.global_rows()[:, :, None] == emb.global_cols()[:, None, :]
         machine.charge_flops(self.pvar.local_size)
+        if self.pvar.data.ndim > mask.ndim:
+            mask = mask[..., None]  # broadcast over the run axis
         masked = type(self)(
             PVar(machine, np.where(mask, self.pvar.data, 0.0)), emb
         )
@@ -799,9 +819,7 @@ class DistributedMatrix:
             col_layout_kind=emb._col_layout_kind,
             coding=emb.coding,
         )
-        acc = type(self)(
-            PVar(machine, np.zeros((machine.p, *out_emb.local_shape))), out_emb
-        )
+        acc = type(self)(machine.zeros(out_emb.local_shape), out_emb)
         with machine.phase("matmul"):
             for k in range(K):
                 col = self.extract(axis=1, index=k)   # length R, col-aligned
@@ -839,6 +857,12 @@ def iota(embedding: VectorEmbedding) -> DistributedVector:
     machine = embedding.machine
     data = embedding.global_indices().astype(np.int64)
     data = np.where(embedding.valid_mask(), data, -1)
+    if machine.n_runs is not None:
+        # Every PVar on a batched machine carries the trailing run axis;
+        # the address map is lane-invariant, so broadcast it at creation.
+        data = np.broadcast_to(
+            data[..., None], data.shape + (machine.n_runs,)
+        ).copy()
     machine.charge_local(int(np.prod(embedding.local_shape, dtype=np.int64)))
     cls = DistributedVector
     if machine.abft is not None:

@@ -164,7 +164,8 @@ def extract(
             )
 
         in_band = (grid_r if axis == 0 else grid_c) == grid_coord
-        out = np.where(in_band[:, None], local, np.zeros((), dtype=local.dtype))
+        band = in_band.reshape((machine.p,) + (1,) * (local.ndim - 1))
+        out = np.where(band, local, np.zeros((), dtype=local.dtype))
         machine.charge_local(local.shape[1])
         vec = PVar(machine, out)
 
@@ -286,13 +287,14 @@ def distribute(
                 vec = remap_vector(vec, vec_emb, target_emb)
 
         lr, lc = emb.local_shape
+        extra = vec.data.shape[2:]  # trailing run axis on a batched machine
         if axis == 0:
             out = np.broadcast_to(
-                vec.data[:, None, :], (machine.p, lr, lc)
+                np.expand_dims(vec.data, 1), (machine.p, lr, lc) + extra
             ).copy()
         else:
             out = np.broadcast_to(
-                vec.data[:, :, None], (machine.p, lr, lc)
+                np.expand_dims(vec.data, 2), (machine.p, lr, lc) + extra
             ).copy()
         machine.charge_local(lr * lc)
         return PVar(machine, out)
@@ -311,6 +313,8 @@ def _masked_for_reduce(
         return pvar.data
     ident = op.identity(pvar.dtype)
     emb.machine.charge_local(pvar.local_size)
+    if pvar.data.ndim > mask.ndim:
+        mask = mask[..., None]  # broadcast over the trailing run axis
     return np.where(mask, pvar.data, ident)
 
 
@@ -336,7 +340,16 @@ def local_reduce(
 
     if axis == 1:
         # combine across columns -> length-R vector aligned with rows
-        reduced = PVar(machine, op.ufunc.reduce(data, axis=2))
+        if machine.n_runs is not None:
+            # The scalar path reduces its contiguous last axis, where NumPy
+            # applies pairwise summation; reduce a contiguous copy with the
+            # run axis moved inward so every lane reproduces that
+            # accumulation order bit-for-bit.
+            moved = np.ascontiguousarray(np.moveaxis(data, 2, -1))
+            red = op.ufunc.reduce(moved, axis=-1)
+        else:
+            red = op.ufunc.reduce(data, axis=2)
+        reduced = PVar(machine, red)
         machine.charge_flops(max(pvar.local_size - pvar.data.shape[1], 0))
         return reduced, emb.col_dims, _aligned_embedding(emb, 1, None)
     reduced = PVar(machine, op.ufunc.reduce(data, axis=1))
@@ -387,6 +400,8 @@ def local_reduce_loc(
     machine = emb.machine
 
     mask = emb.valid_mask()
+    if pvar.data.ndim > mask.ndim:
+        mask = mask[..., None]  # broadcast over the trailing run axis
     if valid is not None:
         if valid.local_shape != pvar.local_shape:
             raise ShapeError("valid mask must match the matrix local shape")
@@ -399,15 +414,13 @@ def local_reduce_loc(
     # Global index of every local slot along the reduced axis (wired-in
     # address arithmetic: free to form, charged when moved).
     if axis == 1:
-        gidx = np.broadcast_to(
-            emb.global_cols()[:, None, :], data.shape
-        )
+        base = emb.global_cols()[:, None, :]
         local_axis = 2
     else:
-        gidx = np.broadcast_to(
-            emb.global_rows()[:, :, None], data.shape
-        )
+        base = emb.global_rows()[:, :, None]
         local_axis = 1
+    base = base.reshape(base.shape + (1,) * (data.ndim - base.ndim))
+    gidx = np.broadcast_to(base, data.shape)
     gidx = np.where(mask, gidx, INT64_MAX)
 
     # Local arg-reduce: a serial scan over the local block.

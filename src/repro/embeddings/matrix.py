@@ -312,21 +312,33 @@ class MatrixEmbedding:
     # -- host transfer ----------------------------------------------------------------
 
     def scatter(self, matrix: np.ndarray) -> PVar:
-        """Load a host matrix into the machine (front-end I/O; not timed)."""
+        """Load a host matrix into the machine (front-end I/O; not timed).
+
+        On a batched machine the host image carries the run axis last:
+        shape ``(R, C, n_runs)``.
+        """
         matrix = np.asarray(matrix)
-        if matrix.shape != (self.R, self.C):
+        n_runs = self.machine.n_runs
+        expected = (
+            (self.R, self.C) if n_runs is None else (self.R, self.C, n_runs)
+        )
+        if matrix.shape != expected:
             raise ShapeError(
-                f"expected host matrix of shape ({self.R}, {self.C}), "
+                f"expected host matrix of shape {expected}, "
                 f"got {matrix.shape} for {self.signature()}"
             )
         if self.local_size == 0:
-            return PVar(self.machine, np.zeros((self.machine.p, 0, 0), matrix.dtype))
+            empty = (self.machine.p, 0, 0) + matrix.shape[2:]
+            return PVar(self.machine, np.zeros(empty, matrix.dtype))
         r_idx = self.global_rows()  # (p, lr)
         c_idx = self.global_cols()  # (p, lc)
         data = matrix[r_idx[:, :, None], c_idx[:, None, :]]
         # Padding slots currently replicate edge elements; zero them so
         # stray values can never leak through arithmetic.
-        data = np.where(self.valid_mask(), data, np.zeros((), dtype=matrix.dtype))
+        mask = self.valid_mask()
+        if data.ndim > mask.ndim:
+            mask = mask[..., None]  # broadcast over the run axis
+        data = np.where(mask, data, np.zeros((), dtype=matrix.dtype))
         sanitizer = self.machine.sanitizer
         if sanitizer is not None:
             sanitizer.audit_matrix_embedding(self)
@@ -345,7 +357,8 @@ class MatrixEmbedding:
                 f"embedding local shape {self.local_shape} of "
                 f"{self.signature()}"
             )
-        out = np.zeros((self.R, self.C), dtype=pvar.dtype)
+        extra = pvar.data.shape[3:]  # trailing run axis on a batched machine
+        out = np.zeros((self.R, self.C) + extra, dtype=pvar.dtype)
         mask = self.valid_mask()
         r_idx = np.broadcast_to(self.global_rows()[:, :, None], mask.shape)
         c_idx = np.broadcast_to(self.global_cols()[:, None, :], mask.shape)

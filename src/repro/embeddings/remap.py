@@ -258,7 +258,9 @@ def transpose(
         dst = src.transposed()
 
     host = src.gather(pvar)
-    hostT = np.ascontiguousarray(host.T)
+    # Swap only the matrix axes: a batched host image keeps its trailing
+    # run axis in place.
+    hostT = np.ascontiguousarray(np.swapaxes(host, 0, 1))
 
     with maybe_span(
         machine, "transpose", "remap", R=src.R, C=src.C, same_grid=same_grid,

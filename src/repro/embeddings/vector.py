@@ -141,16 +141,25 @@ class VectorEmbedding(abc.ABC):
     # -- host transfer ------------------------------------------------------------
 
     def scatter(self, vector: np.ndarray) -> PVar:
-        """Load a host vector (front-end I/O; not timed)."""
+        """Load a host vector (front-end I/O; not timed).
+
+        On a batched machine the host image carries the run axis last:
+        shape ``(L, n_runs)``.
+        """
         vector = np.asarray(vector)
-        if vector.shape != (self.L,):
+        n_runs = self.machine.n_runs
+        expected = (self.L,) if n_runs is None else (self.L, n_runs)
+        if vector.shape != expected:
             raise ShapeError(
-                f"expected host vector of shape ({self.L},), got "
+                f"expected host vector of shape {expected}, got "
                 f"{vector.shape} for {self.signature()}"
             )
         idx = self.global_indices()
         data = vector[idx]
-        data = np.where(self.valid_mask(), data, np.zeros((), dtype=vector.dtype))
+        mask = self.valid_mask()
+        if data.ndim > mask.ndim:
+            mask = mask[..., None]  # broadcast over the run axis
+        data = np.where(mask, data, np.zeros((), dtype=vector.dtype))
         sanitizer = self.machine.sanitizer
         if sanitizer is not None:
             sanitizer.audit_vector_embedding(self)
@@ -168,7 +177,8 @@ class VectorEmbedding(abc.ABC):
                 f"PVar local shape {pvar.local_shape} != embedding local "
                 f"shape {self.local_shape} of {self.signature()}"
             )
-        out = np.zeros(self.L, dtype=pvar.dtype)
+        extra = pvar.data.shape[1 + len(self.local_shape):]
+        out = np.zeros((self.L,) + extra, dtype=pvar.dtype)
         mask = self.valid_mask()
         idx = self.global_indices()
         out[idx[mask]] = pvar.data[mask]

@@ -51,6 +51,12 @@ class Hypercube:
         clock; a fresh machine gets fresh counters.
     """
 
+    #: Number of batched simulation lanes, or ``None`` for the ordinary
+    #: scalar machine.  When set (see :mod:`repro.batch`), every PVar
+    #: carries a trailing run axis of this extent and charge volumes are
+    #: per-lane; the scalar machine pays one attribute read per site.
+    n_runs: Optional[int] = None
+
     def __init__(
         self,
         n: int,

@@ -34,6 +34,39 @@ def _local_size(shape: Tuple[int, ...]) -> int:
     return max(size, 1)
 
 
+def _machine_local_size(machine: "Hypercube", shape: Tuple[int, ...]) -> int:
+    """Local element count of ``shape``, excluding any trailing run axis.
+
+    On a batched machine (``machine.n_runs`` set) every PVar carries a
+    trailing run axis; per-lane costs are the per-processor local workload
+    of ONE lane, so the run extent never enters a charge volume.
+    """
+    if machine.n_runs is not None:
+        shape = shape[:-1]
+    return _local_size(shape)
+
+
+class LaneValues:
+    """Per-lane host immediates for a batched machine.
+
+    Wraps an ``(n_runs,)`` array so that each simulation lane of a
+    :class:`~repro.batch.machine.BatchHypercube` sees its own scalar
+    immediate.  Arithmetic with a PVar broadcasts the wrapped vector
+    against the trailing run axis, exactly as a plain Python scalar
+    broadcasts on the scalar path — host immediates are free on both.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, values: Any) -> None:
+        self.data = np.asarray(values)
+        if self.data.ndim != 1:
+            raise ShapeError(
+                f"LaneValues expects a 1-D per-lane vector, got shape "
+                f"{self.data.shape}"
+            )
+
+
 class PVar:
     """A per-processor variable of uniform local shape.
 
@@ -55,6 +88,12 @@ class PVar:
             raise ShapeError(
                 f"PVar data must have shape (p={machine.p}, ...), got {data.shape}"
             )
+        n_runs = machine.n_runs
+        if n_runs is not None and (data.ndim < 2 or data.shape[-1] != n_runs):
+            raise ShapeError(
+                f"PVar data on a batched machine must have shape "
+                f"(p={machine.p}, ..., n_runs={n_runs}), got {data.shape}"
+            )
         self.machine = machine
         self.data = data
         faults = machine.faults
@@ -67,11 +106,13 @@ class PVar:
 
     @property
     def local_shape(self) -> Tuple[int, ...]:
+        if self.machine.n_runs is not None:
+            return self.data.shape[1:-1]
         return self.data.shape[1:]
 
     @property
     def local_size(self) -> int:
-        return _local_size(self.data.shape)
+        return _machine_local_size(self.machine, self.data.shape)
 
     @property
     def dtype(self) -> np.dtype:
@@ -108,8 +149,15 @@ class PVar:
                         f"context mask shape {mask.shape} incompatible with "
                         f"target shape {self.data.shape}"
                     )
-            while m.ndim < self.data.ndim:
-                m = m[..., None]
+            if self.machine.n_runs is None:
+                while m.ndim < self.data.ndim:
+                    m = m[..., None]
+            else:
+                # Batched machines: every mask carries the trailing run
+                # axis, so missing *local* axes are inserted in the middle
+                # (right after the processor axis) to keep runs aligned.
+                while m.ndim < self.data.ndim:
+                    m = np.expand_dims(m, 1)
             try:
                 m = np.broadcast_to(m, self.data.shape)
             except ValueError:
@@ -126,6 +174,11 @@ class PVar:
 
     def reshape_local(self, *shape: int) -> "PVar":
         """Reinterpret the local block shape; free (no data motion)."""
+        n_runs = self.machine.n_runs
+        if n_runs is not None:
+            return PVar(
+                self.machine, self.data.reshape(self.machine.p, *shape, n_runs)
+            )
         return PVar(self.machine, self.data.reshape(self.machine.p, *shape))
 
     # -- elementwise engine ----------------------------------------------------
@@ -135,6 +188,14 @@ class PVar:
             if other.machine is not self.machine:
                 raise ConfigError("cannot combine PVars from different machines")
             return other.data
+        if isinstance(other, LaneValues):
+            n_runs = self.machine.n_runs
+            if n_runs is None or other.data.shape != (n_runs,):
+                raise ShapeError(
+                    f"LaneValues of shape {other.data.shape} requires a "
+                    f"batched machine with n_runs={other.data.shape[0]}"
+                )
+            return other.data  # broadcasts against the trailing run axis
         if isinstance(other, np.ndarray):
             raise TypeError(
                 "raw ndarrays cannot mix with PVars; wrap with machine.pvar()"
@@ -150,7 +211,9 @@ class PVar:
         with np.errstate(divide="ignore", invalid="ignore"):
             out = fn(self.data, rhs)
         result = PVar(self.machine, out)
-        self.machine.charge_flops(max(self.local_size, _local_size(out.shape)))
+        self.machine.charge_flops(
+            max(self.local_size, _machine_local_size(self.machine, out.shape))
+        )
         return result
 
     def _rbinary(self, other: "PVarOrScalar", fn: Callable[..., np.ndarray]) -> "PVar":
@@ -158,7 +221,9 @@ class PVar:
         with np.errstate(divide="ignore", invalid="ignore"):
             out = fn(rhs, self.data)
         result = PVar(self.machine, out)
-        self.machine.charge_flops(max(self.local_size, _local_size(out.shape)))
+        self.machine.charge_flops(
+            max(self.local_size, _machine_local_size(self.machine, out.shape))
+        )
         return result
 
     def _unary(self, fn: Callable[..., np.ndarray]) -> "PVar":
@@ -260,7 +325,7 @@ class PVar:
         lhs = self._coerce(if_true)
         rhs = self._coerce(if_false)
         out = np.where(self.data, lhs, rhs)
-        self.machine.charge_flops(_local_size(out.shape))
+        self.machine.charge_flops(_machine_local_size(self.machine, out.shape))
         return PVar(self.machine, out)
 
     # -- local (intra-processor) reductions -----------------------------------
@@ -271,7 +336,17 @@ class PVar:
         # A tree reduction over k local elements costs k-1 combining steps
         # executed serially by each (physical) processor.
         self.machine.charge_flops(max(self.local_size - self.local_size // self.local_shape[axis], 0))
-        return PVar(self.machine, fn(self.data, axis=axis + 1))
+        n_runs = self.machine.n_runs
+        red = axis + 1
+        if n_runs is not None and red == self.data.ndim - 2:
+            # The reduced axis is the one the scalar path reduces as its
+            # (contiguous) last axis.  NumPy's pairwise summation only
+            # engages on contiguous inner reductions, so reduce a
+            # contiguous copy with the run axis moved inward — per lane
+            # this is the scalar path's accumulation order bit-for-bit.
+            moved = np.ascontiguousarray(np.moveaxis(self.data, red, -1))
+            return PVar(self.machine, fn(moved, axis=-1))
+        return PVar(self.machine, fn(self.data, axis=red))
 
     def local_sum(self, axis: int = 0) -> "PVar":
         return self._local_reduce(np.sum, axis)

@@ -43,8 +43,9 @@ def test_quick_differential_passes():
     assert report["passed"], report["failures"]
     assert report["failures"] == []
     # every case ran in every quick cell, plus the recovery axis (3 node
-    # kills) and the SDC axis (3 single flips + 1 multi-flip escalation)
-    assert len(report["cells"]) == len(CASES) * len(QUICK_MATRIX) + 7
+    # kills), the SDC axis (3 single flips + 1 multi-flip escalation) and
+    # the batched-execution axis (gaussian + matvec in quick mode)
+    assert len(report["cells"]) == len(CASES) * len(QUICK_MATRIX) + 7 + 2
 
 
 def test_divergent_case_is_reported_with_config():
