@@ -26,7 +26,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from typing import Dict, List
 
 import numpy as np
@@ -37,6 +36,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from bench_wallclock import OUT_PATH, merge_report  # noqa: E402
 from repro.batch import sweep as batch_sweep  # noqa: E402
 from repro.batch.sweep import _run_scalar, make_problem  # noqa: E402
+from repro.metrics.timing import best_of  # noqa: E402
 
 WORKLOAD_SIZES = {  # problem order per workload at full scale
     "gaussian": {"n": 24},
@@ -79,12 +79,8 @@ def bench_point(
     """One curve point: batch N lanes, compare against scalar runs."""
     grid = _grid(workload, n_dims, n_runs, sizes)
 
-    best_batch = float("inf")
-    outs = None
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        outs = batch_sweep(workload, grid)
-        best_batch = min(best_batch, time.perf_counter() - t0)
+    timed_batch = best_of(lambda: batch_sweep(workload, grid), reps)
+    best_batch, outs = timed_batch.best, timed_batch.result
     assert all(o["batched"] for o in outs), "compatible lanes were not stacked"
 
     # Scalar baseline: the same entries through the scalar fallback path
@@ -94,12 +90,9 @@ def bench_point(
     best_scalar = []
     for lane in sample:
         entry = {"params": grid[lane], "data": make_problem(workload, grid[lane])}
-        best = float("inf")
-        for _ in range(reps):
-            t0 = time.perf_counter()
-            _run_scalar(workload, entry)
-            best = min(best, time.perf_counter() - t0)
-        best_scalar.append(best)
+        best_scalar.append(
+            best_of(lambda: _run_scalar(workload, entry), reps).best
+        )
         assert _lane_identical(workload, outs[lane], entry["out"]), (
             f"{workload} lane {lane} (N={n_runs}) diverged from its scalar run"
         )

@@ -29,7 +29,6 @@ import argparse
 import json
 import os
 import sys
-import time
 from typing import Callable, Dict, List, Tuple
 
 import numpy as np
@@ -38,6 +37,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src
 
 from repro import Session, workloads as W  # noqa: E402
 from repro.algorithms import gaussian, simplex  # noqa: E402
+from repro.metrics.timing import interleaved  # noqa: E402
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 OUT_PATH = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
@@ -97,28 +97,27 @@ def _time_pair(
 ) -> Tuple[float, float, Dict[str, float], Dict[str, float], object, object]:
     """Best-of-``reps`` seconds for cache-on and cache-off, interleaved.
 
-    The on/off timings alternate rep by rep so host load drift hits both
-    configurations equally instead of biasing whichever ran second.
+    Shared methodology from :func:`harness.interleaved`: one untimed
+    warm-up per configuration (first-touch plan construction is not what
+    we measure), then the on/off timings alternate rep by rep so host
+    load drift hits both configurations equally instead of biasing
+    whichever ran second.
     """
     s_on = Session(n_dims, plan_cache=True)
     s_off = Session(n_dims, plan_cache=False)
-    run(s_on)  # warm-up: first-touch plan construction is not what we measure
-    run(s_off)
-    best_on = best_off = float("inf")
-    res_on = res_off = snap_on = snap_off = None
-    for _ in range(reps):
-        s_on.reset_counters()
-        t0 = time.perf_counter()
-        res_on = run(s_on)
-        best_on = min(best_on, time.perf_counter() - t0)
-        snap_on = s_on.snapshot().as_dict()
-
-        s_off.reset_counters()
-        t0 = time.perf_counter()
-        res_off = run(s_off)
-        best_off = min(best_off, time.perf_counter() - t0)
-        snap_off = s_off.snapshot().as_dict()
-    return best_on, best_off, snap_on, snap_off, res_on, res_off
+    timed_on, timed_off = interleaved(
+        [lambda: run(s_on), lambda: run(s_off)],
+        reps,
+        setups=[s_on.reset_counters, s_off.reset_counters],
+    )
+    return (
+        timed_on.best,
+        timed_off.best,
+        s_on.snapshot().as_dict(),
+        s_off.snapshot().as_dict(),
+        timed_on.result,
+        timed_off.result,
+    )
 
 
 def bench_gaussian(n_dims: int, order: int, reps: int) -> Dict[str, object]:
@@ -185,22 +184,15 @@ def bench_sanitizer_overhead(
 
     s_on = Session(n_dims, sanitize=True)
     s_off = Session(n_dims, sanitize=False)
-    run(s_on)  # warm-up
-    run(s_off)
-    best_on = best_off = float("inf")
-    snap_on = snap_off = None
-    for _ in range(reps):
-        s_on.reset_counters()
-        t0 = time.perf_counter()
-        res_on = run(s_on)
-        best_on = min(best_on, time.perf_counter() - t0)
-        snap_on = s_on.snapshot().as_dict()
-
-        s_off.reset_counters()
-        t0 = time.perf_counter()
-        res_off = run(s_off)
-        best_off = min(best_off, time.perf_counter() - t0)
-        snap_off = s_off.snapshot().as_dict()
+    timed_on, timed_off = interleaved(
+        [lambda: run(s_on), lambda: run(s_off)],
+        reps,
+        setups=[s_on.reset_counters, s_off.reset_counters],
+    )
+    best_on, best_off = timed_on.best, timed_off.best
+    res_on, res_off = timed_on.result, timed_off.result
+    snap_on = s_on.snapshot().as_dict()
+    snap_off = s_off.snapshot().as_dict()
     assert snap_on == snap_off, "sanitizer changed the simulated cost!"
     assert np.array_equal(res_on.x, res_off.x), "sanitizer changed the result!"
     assert np.allclose(res_on.x, x_true, atol=1e-6)
@@ -258,20 +250,18 @@ def bench_abft_overhead(
     ):
         s_on = Session(n_dims, abft=True)
         s_off = Session(n_dims)
-        run(s_on)  # warm-up
-        run(s_off)
-        best_on = best_off = float("inf")
-        for _ in range(reps):
-            s_on.reset_counters()
-            s_on.abft.reset()
-            t0 = time.perf_counter()
-            res_on = run(s_on)
-            best_on = min(best_on, time.perf_counter() - t0)
 
-            s_off.reset_counters()
-            t0 = time.perf_counter()
-            res_off = run(s_off)
-            best_off = min(best_off, time.perf_counter() - t0)
+        def reset_on(s=s_on):
+            s.reset_counters()
+            s.abft.reset()
+
+        timed_on, timed_off = interleaved(
+            [lambda s=s_on: run(s), lambda s=s_off: run(s)],
+            reps,
+            setups=[reset_on, s_off.reset_counters],
+        )
+        best_on, best_off = timed_on.best, timed_off.best
+        res_on, res_off = timed_on.result, timed_off.result
         assert np.array_equal(result_of(res_on), result_of(res_off)), \
             "fault-free ABFT changed the result!"
         out[name] = {

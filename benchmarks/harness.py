@@ -36,6 +36,13 @@ from repro.embeddings import (
 )
 from repro.machine import CostModel, CostSnapshot, Hypercube
 
+# Shared wall-clock measurement loops.  Every bench script that times host
+# seconds (bench_wallclock, bench_batch) goes through these — one warm-up,
+# best-of-reps, configurations interleaved rep by rep — so the methodology
+# can't drift between scripts.  They live in the library so the experiment
+# warehouse (``python -m repro bench``) uses the identical estimator.
+from repro.metrics.timing import TimedRun, best_of, interleaved  # noqa: F401
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 #: benchmark scale: "small" keeps the pytest run fast; "paper" is the full

@@ -20,13 +20,23 @@ Subcommands:
 * ``check`` — run the conformance suite (sanitizer self-test,
   differential oracle sweep, golden cost snapshots) and emit a JSON
   report; exits non-zero on any violation.  ``--update-golden``
-  re-captures the snapshots after an intentional accounting change.
+  re-captures the snapshots after an intentional accounting change;
+* ``bench`` — the experiment warehouse (``repro.metrics.warehouse``):
+  ``bench run`` executes a declarative run table and appends one JSONL
+  record per run to ``benchmarks/warehouse/``; ``bench report`` gates
+  the latest records against pinned baselines (nonzero exit on any
+  simulated-tick regression); ``bench pin`` freezes new baselines;
+  ``bench import`` migrates the legacy ``BENCH_wallclock.json``.
 
 ``demo``/``solve``/``trace`` additionally accept ``--fault-seed`` /
 ``--fault-rate`` / ``--sdc-rate`` to inject non-fatal faults (link kills
 + transient drops + silent bit flips) under the regular workloads,
 ``--abft`` to attach the checksum layer, and ``--fault-plan FILE`` to
 replay a recorded plan.  ``faults``/``abft`` accept ``--fault-plan`` too.
+They also accept ``--sanitize`` (with ``--sample-every K``) to audit
+accounting invariants and ``--profile`` to print the host wall-clock
+attribution table; ``trace --metrics-jsonl FILE`` attaches the metrics
+registry and adds counter tracks to the Chrome trace.
 
 Every subcommand accepts ``--json`` to emit a machine-readable summary on
 stdout instead of the human-readable report.
@@ -36,12 +46,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
 
 from . import Session, __version__
-from .errors import CorruptionError
+from .errors import ConfigError, CorruptionError
 
 
 def _emit(args: argparse.Namespace, data: dict, text: str) -> None:
@@ -93,6 +104,31 @@ def _build_fault_plan(args: argparse.Namespace, horizon: float):
     )
 
 
+def _obs_kwargs(args: argparse.Namespace) -> dict:
+    """Session kwargs for the opt-in observability flags.
+
+    Only explicit flags appear in the result, so the ``REPRO_SANITIZE`` /
+    ``REPRO_METRICS`` / ``REPRO_PROFILE`` environment defaults still apply
+    when a flag is absent.
+    """
+    kwargs: dict = {}
+    if getattr(args, "sanitize", False):
+        from .check.sanitizer import MachineSanitizer
+
+        kwargs["sanitize"] = MachineSanitizer(
+            sample_every=getattr(args, "sample_every", 1) or 1
+        )
+    if getattr(args, "profile", False):
+        from .metrics import PhaseProfiler
+
+        kwargs["profile"] = PhaseProfiler()
+    if getattr(args, "metrics_jsonl", None):
+        from .metrics import MetricsRegistry
+
+        kwargs["metrics"] = MetricsRegistry()
+    return kwargs
+
+
 def _fault_session(args: argparse.Namespace, run_fault_free, trace=False):
     """Build the session, attaching seeded faults when --fault-seed is set.
 
@@ -113,16 +149,30 @@ def _fault_session(args: argparse.Namespace, run_fault_free, trace=False):
 
         plan = FaultPlan.from_json(plan_file)
         return Session(
-            args.n, args.cost_model, trace=trace, faults=plan, abft=abft
+            args.n, args.cost_model, trace=trace, faults=plan, abft=abft,
+            **_obs_kwargs(args),
         )
     if getattr(args, "fault_seed", None) is None:
-        return Session(args.n, args.cost_model, trace=trace, abft=abft)
+        return Session(
+            args.n, args.cost_model, trace=trace, abft=abft,
+            **_obs_kwargs(args),
+        )
     dry = Session(args.n, args.cost_model)
     run_fault_free(dry)
     plan = _build_fault_plan(args, 0.75 * max(dry.time, 1.0))
     return Session(
-        args.n, args.cost_model, trace=trace, faults=plan, abft=abft
+        args.n, args.cost_model, trace=trace, faults=plan, abft=abft,
+        **_obs_kwargs(args),
     )
+
+
+def _profiled_run(session: Session, fn):
+    """Run ``fn()`` inside the session's profiler window, if attached."""
+    profiler = session.profiler
+    if profiler is None:
+        return fn()
+    with profiler.profiled():
+        return fn()
 
 
 def _run_demo(session: Session, rng, rows: int, cols: int):
@@ -147,9 +197,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         ),
     )
     rng = np.random.default_rng(args.seed)
-    A = _run_demo(session, rng, args.rows, args.cols)
+    A = _profiled_run(
+        session, lambda: _run_demo(session, rng, args.rows, args.cols)
+    )
     data = dict(session.report_data(), embedding=repr(A.embedding))
     text = f"embedded: {A.embedding!r}\n\n{session.report()}"
+    if session.profiler is not None:
+        text += "\n\n" + session.profiler.format_table()
     _emit(args, data, text)
     return 0
 
@@ -171,7 +225,9 @@ def _run_solve(session: Session, args: argparse.Namespace):
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     session = _fault_session(args, lambda s: _run_solve(s, args))
-    result, err, ratio = _run_solve(session, args)
+    result, err, ratio = _profiled_run(
+        session, lambda: _run_solve(session, args)
+    )
     phases = [
         (name, t)
         for name, t in session.machine.counters.phase_breakdown()
@@ -203,6 +259,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"{st.detour_rounds} detour rounds"
         )
     lines += [f"  {name:<20s} {t:>14,.0f}" for name, t in phases]
+    if session.profiler is not None:
+        lines += ["", session.profiler.format_table()]
     _emit(args, data, "\n".join(lines))
     return 0
 
@@ -218,13 +276,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             _run_solve(session, args)
 
     session = _fault_session(args, run, trace=True)
-    run(session)
+    _profiled_run(session, lambda: run(session))
 
     tracer = session.tracer
-    to_chrome_trace(tracer, args.out)
+    # Attached metrics and profiler ride along as Chrome counter tracks
+    # next to the span tree.
+    extra_events = []
+    registry = session.metrics
+    if registry is not None:
+        extra_events += registry.counter_track_events()
+    if session.profiler is not None:
+        extra_events += session.profiler.counter_track_events()
+    to_chrome_trace(tracer, args.out, extra_events=extra_events or None)
     counts = validate_chrome_trace_file(args.out)
     events, spans = counts["events"], counts["spans"]
     jsonl_lines = to_jsonl(tracer, args.jsonl) if args.jsonl else None
+    metrics_lines = (
+        registry.to_jsonl(args.metrics_jsonl)
+        if registry is not None and args.metrics_jsonl
+        else None
+    )
 
     data = {
         "workload": args.workload,
@@ -233,6 +304,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "spans": spans,
         "jsonl": args.jsonl,
         "jsonl_lines": jsonl_lines,
+        "metrics_jsonl": args.metrics_jsonl,
+        "metrics_jsonl_lines": metrics_lines,
         "report": session.report_data(),
     }
     lines = [
@@ -243,7 +316,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.jsonl:
         lines.append(f"jsonl event log  : {args.jsonl} "
                      f"({jsonl_lines} lines)")
+    if metrics_lines is not None:
+        lines.append(f"metrics jsonl    : {args.metrics_jsonl} "
+                     f"({metrics_lines} lines)")
     lines += ["", session.report()]
+    if session.profiler is not None:
+        lines += ["", session.profiler.format_table()]
     _emit(args, data, "\n".join(lines))
     return 0
 
@@ -507,6 +585,107 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if passed else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .metrics import warehouse as wh
+
+    out_dir = args.out or wh.default_warehouse_dir()
+    runs_path = os.path.join(out_dir, wh.RUNS_FILE)
+    baselines_path = args.baselines or os.path.join(
+        out_dir, wh.BASELINES_FILE
+    )
+    try:
+        if args.action == "run":
+            table = wh.load_table(args.table)
+            progress = None if args.json else print
+            records = wh.run_table(
+                table, validate=args.validate, reps=args.reps,
+                progress=progress,
+            )
+            wh.append_records(records, runs_path)
+            failed = [r for r in records if r["validated"] is False]
+            data = {
+                "table": args.table,
+                "runs": len(records),
+                "out": runs_path,
+                "validated": args.validate,
+                "failures": [
+                    {"workload": r["workload"], "params": r["params"],
+                     "detail": r["validate_detail"]}
+                    for r in failed
+                ],
+                "records": records,
+            }
+            text = (
+                f"{len(records)} runs appended to {runs_path}"
+                + (f"; {len(failed)} VALIDATION FAILURES" if failed else "")
+            )
+            _emit(args, data, text)
+            return 1 if failed else 0
+
+        if args.action == "report":
+            records = wh.load_records(runs_path)
+            baselines = wh.load_baselines(baselines_path)
+            report = wh.compare(
+                records, baselines, wall_tolerance=args.wall_tolerance
+            )
+            lines = [
+                f"warehouse  : {runs_path} ({len(records)} records)",
+                f"baselines  : {baselines_path} "
+                f"({len(baselines.get('entries', {}))} pins, "
+                f"rev {baselines.get('git_rev', '?')})",
+                f"compared   : {report['compared']}  "
+                f"new: {len(report['new'])}  "
+                f"missing: {len(report['missing'])}",
+            ]
+            for reg in report["regressions"]:
+                lines.append(
+                    f"REGRESSION [{reg['kind']}] {reg['label']}: "
+                    f"{reg['observed']:,.6g} vs pinned "
+                    f"{reg['pinned']:,.6g} ({reg['ratio']:.3f}x)"
+                )
+            for imp in report["improvements"]:
+                lines.append(
+                    f"improved [{imp['kind']}] {imp['label']}: "
+                    f"{imp['observed']:,.6g} vs pinned {imp['pinned']:,.6g}"
+                )
+            lines.append("PASS" if report["passed"] else "FAIL")
+            _emit(args, report, "\n".join(lines))
+            return 0 if report["passed"] else 1
+
+        if args.action == "pin":
+            records = wh.load_records(runs_path)
+            doc = wh.pin_baselines(records, baselines_path)
+            data = {
+                "baselines": baselines_path,
+                "entries": len(doc["entries"]),
+                "git_rev": doc["git_rev"],
+            }
+            _emit(
+                args, data,
+                f"pinned {len(doc['entries'])} baselines -> {baselines_path}",
+            )
+            return 0
+
+        # action == "import": migrate the legacy BENCH_wallclock.json.
+        legacy_path = args.legacy
+        if legacy_path is None:
+            repo_root = os.path.dirname(os.path.dirname(out_dir))
+            legacy_path = os.path.join(repo_root, "BENCH_wallclock.json")
+        records = wh.import_legacy(legacy_path)
+        wh.append_records(records, runs_path)
+        data = {"source": legacy_path, "records": len(records),
+                "out": runs_path}
+        _emit(
+            args, data,
+            f"imported {len(records)} legacy records from {legacy_path} "
+            f"-> {runs_path}",
+        )
+        return 0
+    except (ConfigError, FileNotFoundError) as exc:
+        print(f"bench {args.action}: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -524,6 +703,20 @@ def main(argv=None) -> int:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--json", action="store_true",
                        help="emit a machine-readable JSON summary")
+
+    def add_obs_args(p):
+        p.add_argument(
+            "--sanitize", action="store_true",
+            help="attach the machine sanitizer (audits accounting "
+                 "invariants at every charged operation)")
+        p.add_argument(
+            "--sample-every", type=int, default=1, metavar="K",
+            help="with --sanitize, audit every K-th charged round "
+                 "(default 1 = every round)")
+        p.add_argument(
+            "--profile", action="store_true",
+            help="attach the phase profiler and print the host "
+                 "wall-clock attribution table")
 
     def add_fault_args(p):
         p.add_argument(
@@ -552,6 +745,7 @@ def main(argv=None) -> int:
     p_demo = sub.add_parser("demo", help="run the four primitives")
     add_machine_args(p_demo)
     add_fault_args(p_demo)
+    add_obs_args(p_demo)
     p_demo.add_argument("--rows", type=int, default=96)
     p_demo.add_argument("--cols", type=int, default=64)
     p_demo.set_defaults(fn=_cmd_demo)
@@ -559,6 +753,7 @@ def main(argv=None) -> int:
     p_solve = sub.add_parser("solve", help="solve a random dense system")
     add_machine_args(p_solve)
     add_fault_args(p_solve)
+    add_obs_args(p_solve)
     p_solve.add_argument("--size", type=int, default=64)
     p_solve.add_argument("--pivoting", default="partial",
                          choices=["partial", "implicit", "none"])
@@ -569,6 +764,7 @@ def main(argv=None) -> int:
     )
     add_machine_args(p_trace)
     add_fault_args(p_trace)
+    add_obs_args(p_trace)
     p_trace.add_argument("--workload", default="demo",
                          choices=["demo", "solve"])
     p_trace.add_argument("--rows", type=int, default=96)
@@ -580,6 +776,10 @@ def main(argv=None) -> int:
                          help="Chrome trace-event output path")
     p_trace.add_argument("--jsonl", default=None,
                          help="also write a JSONL structured event log here")
+    p_trace.add_argument("--metrics-jsonl", default=None, metavar="FILE",
+                         help="attach the metrics registry and write its "
+                              "snapshot history (JSONL) here; the Chrome "
+                              "trace gains per-subsystem counter tracks")
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_faults = sub.add_parser(
@@ -653,6 +853,44 @@ def main(argv=None) -> int:
     p_check.add_argument("--update-golden", action="store_true",
                          help="re-capture the golden cost snapshots and exit")
     p_check.set_defaults(fn=_cmd_check)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="experiment warehouse: declarative run tables, JSONL "
+             "history, baseline pinning and the regression gate",
+    )
+    p_bench.add_argument(
+        "action", nargs="?", default="run",
+        choices=["run", "report", "pin", "import"],
+        help="run a table (default), compare vs pinned baselines, "
+             "pin the latest records, or import BENCH_wallclock.json")
+    p_bench.add_argument(
+        "--table", default="smoke",
+        help="built-in run table (smoke, full) or a JSON run-table file")
+    p_bench.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="warehouse directory (default benchmarks/warehouse)")
+    p_bench.add_argument(
+        "--reps", type=int, default=None,
+        help="override every spec's timed repetitions")
+    p_bench.add_argument(
+        "--validate", action="store_true",
+        help="check every run's result against its NumPy reference")
+    p_bench.add_argument(
+        "--baselines", default=None, metavar="FILE",
+        help="baselines file for report/pin "
+             "(default <warehouse>/baselines.json)")
+    p_bench.add_argument(
+        "--wall-tolerance", type=float, default=None, metavar="FRAC",
+        help="also gate wall seconds at +FRAC relative slack (default: "
+             "report-only; simulated ticks always gate)")
+    p_bench.add_argument(
+        "--legacy", default=None, metavar="FILE",
+        help="legacy BENCH_wallclock.json for import "
+             "(default: repo root)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON summary")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     args = parser.parse_args(argv)
     try:

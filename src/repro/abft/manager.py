@@ -132,6 +132,18 @@ class ABFTManager:
         """Registered blocks, oldest first (fault-injector targeting)."""
         return [entry[0] for entry in self._registry.values()]
 
+    def publish_metrics(self, registry: Any) -> None:
+        """Publish checksum-layer totals into a metrics registry."""
+        stats = self.stats
+        registry.publish("abft.protected", stats.protected)
+        registry.publish("abft.verifies", stats.verifies)
+        registry.publish("abft.scrub_rounds", stats.scrubs)
+        registry.publish("abft.wire_retransmits", stats.wire_retransmits)
+        registry.publish("abft.uncorrectable", stats.uncorrectable)
+        registry.publish("abft.evictions", stats.evictions)
+        registry.publish("abft.registry_blocks", len(self._registry),
+                         kind="gauge")
+
     # -- protection ----------------------------------------------------------
 
     def protect(self, pvar: Any) -> None:

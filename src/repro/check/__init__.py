@@ -17,11 +17,20 @@ Three layers, all opt-in (an unchecked run never pays for them):
 report (nonzero exit on any violation); see ``docs/testing.md``.
 """
 
-from .sanitizer import ENV_FLAG, MachineSanitizer, SanitizerStats, env_enabled
+from .sanitizer import (
+    ENV_FLAG,
+    ENV_SAMPLE,
+    MachineSanitizer,
+    SanitizerStats,
+    env_enabled,
+    env_sample_every,
+)
 
 __all__ = [
     "ENV_FLAG",
+    "ENV_SAMPLE",
     "MachineSanitizer",
     "SanitizerStats",
     "env_enabled",
+    "env_sample_every",
 ]

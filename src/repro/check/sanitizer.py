@@ -60,7 +60,7 @@ from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import SanitizerError
+from ..errors import ConfigError, SanitizerError
 from ..machine.counters import CostSnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -68,6 +68,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 #: Environment variable that turns the sanitizer on for new ``Session``s.
 ENV_FLAG = "REPRO_SANITIZE"
+
+#: Environment variable selecting the per-round sampling stride ``K``
+#: (``Session(sanitize=True)`` audits every ``K``-th charged round).
+ENV_SAMPLE = "REPRO_SANITIZE_SAMPLE"
 
 #: Counter fields audited for monotonicity (all charges accumulate).
 _MONOTONIC_FIELDS = (
@@ -83,6 +87,22 @@ def env_enabled() -> bool:
     """The process-wide default from ``REPRO_SANITIZE`` (default: off)."""
     raw = os.environ.get(ENV_FLAG, "").strip().lower()
     return raw in ("1", "on", "true", "yes")
+
+
+def env_sample_every() -> int:
+    """The sampling stride from ``REPRO_SANITIZE_SAMPLE`` (default: 1)."""
+    raw = os.environ.get(ENV_SAMPLE, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{ENV_SAMPLE} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigError(f"{ENV_SAMPLE} must be >= 1, got {value}")
+    return value
 
 
 def _array_equal(a: np.ndarray, b: np.ndarray) -> bool:
@@ -152,13 +172,42 @@ class MachineSanitizer:
     the workload.  The sanitizer survives degraded-mode recovery: the
     session rebinds it to the survivor subcube, and because the subcube
     charges into the same counters the monotonicity audit spans the swap.
+
+    Parameters
+    ----------
+    sample_every:
+        Audit every ``K``-th charged communication round instead of every
+        one (``--sample-every K`` on the CLI, ``REPRO_SANITIZE_SAMPLE``
+        for sessions).  The per-round hooks — counter monotonicity, round
+        accounting, exchange conservation — are the wall-clock hot path
+        (see the phase profiler's ``sanitizer-checks`` row); sampling
+        trades detection latency for speed.  Structural hooks (routes,
+        plans, collectives, embeddings, checksum panels) always run.
+        ``K=1`` (the default) is bit-identical to the unsampled sanitizer,
+        pinned by ``tests/test_sanitizer.py``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ConfigError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
         self.machine: Optional["Hypercube"] = None
         self.stats = SanitizerStats()
+        self.sample_every = int(sample_every)
+        self._site_index = 0
         self._last: Optional[CostSnapshot] = None
         self._plan_prints: Dict[Any, Tuple] = {}
+
+    def _sampled(self) -> bool:
+        """Advance the sampling clock; True on every ``K``-th call."""
+        if self.sample_every == 1:
+            return True
+        self._site_index += 1
+        if self._site_index >= self.sample_every:
+            self._site_index = 0
+            return True
+        return False
 
     # -- binding --------------------------------------------------------------
 
@@ -206,20 +255,30 @@ class MachineSanitizer:
 
     # -- counters -------------------------------------------------------------
 
-    def observe(self, machine: "Hypercube") -> CostSnapshot:
-        """Audit counter monotonicity/non-negativity; returns the snapshot."""
+    def observe(
+        self, machine: "Hypercube", sampled: bool = True
+    ) -> CostSnapshot:
+        """Audit counter monotonicity/non-negativity; returns the snapshot.
+
+        The snapshot is always taken and ``_last`` always advances (so a
+        later sampled check still audits against the freshest baseline);
+        ``sampled=False`` skips the checks themselves (per-round sampling).
+        """
         snap = machine.counters.snapshot()
-        self.stats.count("counters")
-        last = self._last
-        for name in _MONOTONIC_FIELDS:
-            value = getattr(snap, name)
-            if value < 0:
-                self._fail("counters-nonneg", f"{name} is negative: {value}")
-            if last is not None and value < getattr(last, name):
-                self._fail(
-                    "counters-monotonic",
-                    f"{name} decreased: {getattr(last, name)} -> {value}",
-                )
+        if sampled:
+            self.stats.count("counters")
+            last = self._last
+            for name in _MONOTONIC_FIELDS:
+                value = getattr(snap, name)
+                if value < 0:
+                    self._fail(
+                        "counters-nonneg", f"{name} is negative: {value}"
+                    )
+                if last is not None and value < getattr(last, name):
+                    self._fail(
+                        "counters-monotonic",
+                        f"{name} decreased: {getattr(last, name)} -> {value}",
+                    )
         self._last = snap
         return snap
 
@@ -239,7 +298,10 @@ class MachineSanitizer:
         base charge is a floor (detours and retries surcharge extra rounds
         of the same honest accounting on top).
         """
-        after = self.observe(machine)
+        sampled = self._sampled()
+        after = self.observe(machine, sampled=sampled)
+        if not sampled:
+            return
         self.stats.count("comm-round")
         d_elem = after.elements_transferred - before.elements_transferred
         d_rounds = after.comm_rounds - before.comm_rounds
@@ -297,6 +359,8 @@ class MachineSanitizer:
         dim: int,
     ) -> None:
         """A structured exchange delivered exactly the neighbours' blocks."""
+        if not self._sampled():
+            return
         self.stats.count("exchange")
         expected = sent.data[machine._neighbor[dim]]
         if not _array_equal(np.asarray(received.data), np.asarray(expected)):
@@ -589,6 +653,19 @@ class MachineSanitizer:
                 "the protected block's byte image",
             )
 
+    # -- metrics publication -----------------------------------------------------
+
+    def publish_metrics(self, registry: Any) -> None:
+        """Publish check counts into a metrics registry (read-only)."""
+        registry.publish("sanitizer.checks", self.stats.total,
+                         help="total sanitizer checks run")
+        registry.publish("sanitizer.sample_every", self.sample_every,
+                         kind="gauge")
+        for kind, count in sorted(self.stats.checks.items()):
+            registry.publish(
+                f"sanitizer.checks.{kind.replace('-', '_')}", count
+            )
+
     # -- topology ---------------------------------------------------------------
 
     def on_epoch_bump(self, machine: "Hypercube", old_epoch: int) -> None:
@@ -602,4 +679,11 @@ class MachineSanitizer:
             )
 
 
-__all__ = ["MachineSanitizer", "SanitizerStats", "env_enabled", "ENV_FLAG"]
+__all__ = [
+    "MachineSanitizer",
+    "SanitizerStats",
+    "env_enabled",
+    "env_sample_every",
+    "ENV_FLAG",
+    "ENV_SAMPLE",
+]

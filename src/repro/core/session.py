@@ -48,6 +48,8 @@ class Session:
         faults: Optional[object] = None,
         sanitize: Optional[Union[bool, object]] = None,
         abft: Optional[Union[bool, object]] = None,
+        metrics: Optional[Union[bool, object]] = None,
+        profile: Optional[Union[bool, object]] = None,
     ) -> None:
         if isinstance(cost_model, str):
             try:
@@ -85,9 +87,9 @@ class Session:
             )
         if sanitize:
             if isinstance(sanitize, bool):
-                from ..check.sanitizer import MachineSanitizer
+                from ..check.sanitizer import MachineSanitizer, env_sample_every
 
-                sanitize = MachineSanitizer()
+                sanitize = MachineSanitizer(sample_every=env_sample_every())
             self.machine.attach_sanitizer(sanitize)
         # abft=True builds a fresh ABFTManager; a pre-built manager may be
         # passed to tune the registry/scrub policy.  None/False (default)
@@ -98,6 +100,30 @@ class Session:
 
                 abft = ABFTManager()
             self.machine.attach_abft(abft)
+        # metrics=None / profile=None defer to REPRO_METRICS / REPRO_PROFILE
+        # (read inline so a run without them never imports repro.metrics).
+        # The profiler attaches *last* so its proxy wraps an attached
+        # sanitizer (see PhaseProfiler.bind).
+        if metrics is None:
+            metrics = os.environ.get("REPRO_METRICS", "").strip().lower() in (
+                "1", "on", "true", "yes"
+            )
+        if metrics:
+            if isinstance(metrics, bool):
+                from ..metrics.registry import MetricsRegistry
+
+                metrics = MetricsRegistry()
+            self.machine.attach_metrics(metrics)
+        if profile is None:
+            profile = os.environ.get("REPRO_PROFILE", "").strip().lower() in (
+                "1", "on", "true", "yes"
+            )
+        if profile:
+            if isinstance(profile, bool):
+                from ..metrics.profiler import PhaseProfiler
+
+                profile = PhaseProfiler()
+            self.machine.attach_profiler(profile)
 
     @property
     def tracer(self) -> Optional[Tracer]:
@@ -118,6 +144,16 @@ class Session:
     def abft(self):
         """The attached :class:`~repro.abft.ABFTManager`, or ``None``."""
         return self.machine.abft
+
+    @property
+    def metrics(self):
+        """The attached :class:`~repro.metrics.MetricsRegistry`, or ``None``."""
+        return self.machine.metrics
+
+    @property
+    def profiler(self):
+        """The attached :class:`~repro.metrics.PhaseProfiler`, or ``None``."""
+        return self.machine.profiler
 
     # -- degraded-mode recovery ----------------------------------------------
 
@@ -171,6 +207,18 @@ class Session:
             # bind() onto a different machine drops the registry: the old
             # panels describe blocks shaped for the dead machine.
             new.attach_abft(abft)
+        metrics = old.metrics
+        if metrics is not None:
+            # The snapshot history carries across the swap (same counters,
+            # same simulated clock).
+            metrics.rebind(new)
+            new.metrics = metrics
+        profiler = old.profiler
+        if profiler is not None:
+            # Rebinding also rewraps the survivor's sanitizer (which is the
+            # same proxy object, carried over above).
+            profiler.rebind(new)
+            new.profiler = profiler
         self.machine = new
         return new
 
@@ -367,6 +415,12 @@ class Session:
         if tracer is not None:
             data["primitive_breakdown"] = tracer.primitive_summary()
             data["congestion"] = tracer.congestion.summary()
+        registry = self.machine.metrics
+        if registry is not None:
+            data["metrics"] = registry.collect()
+        profiler = self.machine.profiler
+        if profiler is not None:
+            data["profile"] = profiler.as_dict()
         return data
 
     def __repr__(self) -> str:

@@ -97,6 +97,18 @@ class FaultStats:
             "sdc_skipped": self.sdc_skipped,
         }
 
+    def publish_metrics(self, registry) -> None:
+        """Publish fault totals into a metrics registry (read-only).
+
+        Detour rounds publish as ``router.detours``: they are the router's
+        surcharge for dead links, reported beside the other router work.
+        """
+        for name, value in self.as_dict().items():
+            if name == "detour_rounds":
+                continue
+            registry.publish(f"faults.{name}", value)
+        registry.publish("router.detours", self.detour_rounds, unit="rounds")
+
 
 class FaultInjector:
     """Drives a :class:`FaultPlan` against one machine's simulated clock.
@@ -131,6 +143,10 @@ class FaultInjector:
     def bind(self, machine: "Hypercube") -> None:
         """Bind to a machine (called by ``Hypercube.attach_faults``)."""
         self.machine = machine
+
+    def publish_metrics(self, registry) -> None:
+        """Delegate to the stats record (the registry walks attachments)."""
+        self.stats.publish_metrics(registry)
 
     def now(self) -> float:
         return self.machine.counters.time

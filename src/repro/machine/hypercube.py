@@ -84,6 +84,11 @@ class Hypercube:
         # the ABFT manager (repro.abft) is attached explicitly and pays its
         # charges openly; a machine without it never imports the module.
         self.abft = None
+        # Metrics + profiling (repro.metrics): same null contract — a
+        # machine without them pays one ``is None`` branch per phase
+        # boundary and never imports the module.
+        self.metrics = None
+        self.profiler = None
         # Fault state.  ``epoch`` counts topology changes: every permanent
         # fault bumps it, and the plan cache folds it into every key, so a
         # plan derived on one topology can never replay on another.  The
@@ -150,6 +155,29 @@ class Hypercube:
             manager.bind(self)
         self.abft = manager
         return manager
+
+    def attach_metrics(self, registry: Any) -> Any:
+        """Attach a :class:`repro.metrics.MetricsRegistry` (returns it).
+
+        The registry snapshots subsystem counters on phase exits and never
+        charges the machine.  Pass ``None`` to detach.
+        """
+        if registry is not None:
+            registry.bind(self)
+        self.metrics = registry
+        return registry
+
+    def attach_profiler(self, profiler: Any) -> Any:
+        """Attach a :class:`repro.metrics.PhaseProfiler` (returns it).
+
+        The profiler attributes host wall-clock time over phase
+        boundaries; attach it *after* the sanitizer so audit calls are
+        wrapped (see :meth:`PhaseProfiler.bind`).  Pass ``None`` to detach.
+        """
+        if profiler is not None:
+            profiler.bind(self)
+        self.profiler = profiler
+        return profiler
 
     # -- fault state -----------------------------------------------------------
 
@@ -443,15 +471,25 @@ class Hypercube:
     @contextlib.contextmanager
     def phase(self, name: str) -> Iterator[None]:
         tracer = self.tracer
-        # Mirror the counters' re-entry rule: a nested phase of the same
-        # name neither double-counts time nor opens a second span, so span
-        # durations per phase sum exactly to ``phase_times``.
-        if tracer is not None and name not in self.counters._phase_stack:
-            with self.counters.phase(name), tracer.span(name, "phase"):
-                yield
-        else:
-            with self.counters.phase(name):
-                yield
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.push(name)
+        try:
+            # Mirror the counters' re-entry rule: a nested phase of the same
+            # name neither double-counts time nor opens a second span, so span
+            # durations per phase sum exactly to ``phase_times``.
+            if tracer is not None and name not in self.counters._phase_stack:
+                with self.counters.phase(name), tracer.span(name, "phase"):
+                    yield
+            else:
+                with self.counters.phase(name):
+                    yield
+        finally:
+            if profiler is not None:
+                profiler.pop()
+            metrics = self.metrics
+            if metrics is not None:
+                metrics.on_phase_exit(name)
 
     # -- SIMD activity context (the CM's context flags) -----------------------
 

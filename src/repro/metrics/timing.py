@@ -1,0 +1,109 @@
+"""Shared wall-clock timing helpers for the benchmark suite.
+
+Every ``benchmarks/bench_*.py`` script used to carry its own copy of the
+same two measurement loops; they live here once, importable both from the
+library (the experiment warehouse) and from the scripts (re-exported via
+``benchmarks/harness.py``).
+
+* :func:`best_of` — warm-up + ``reps`` timed calls, keep the minimum.
+  The min is the standard noise-resistant estimator: host-load spikes
+  only ever make a rep slower.
+* :func:`interleaved` — the same, over several configurations *alternated
+  rep by rep*, so host load drift hits every configuration equally
+  instead of biasing whichever ran second.
+
+Both take an injectable ``clock`` so tests can pin the arithmetic with a
+deterministic counter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..errors import ConfigError
+
+
+@dataclass
+class TimedRun:
+    """One configuration's measurement: best/mean seconds + last result."""
+
+    best: float
+    mean: float
+    result: Any
+
+
+def best_of(
+    run: Callable[[], Any],
+    reps: int,
+    setup: Optional[Callable[[], Any]] = None,
+    warmup: bool = False,
+    clock: Callable[[], float] = time.perf_counter,
+) -> TimedRun:
+    """Time ``run()`` ``reps`` times; keep the minimum (and the mean).
+
+    ``setup`` runs before each timed rep (untimed — e.g. a counter
+    reset); ``warmup`` runs ``run()`` once untimed first, so first-touch
+    work (plan construction, allocator warm-up) is not measured.
+    """
+    if reps < 1:
+        raise ConfigError(f"reps must be >= 1, got {reps}")
+    if warmup:
+        run()
+    best = float("inf")
+    total = 0.0
+    result = None
+    for _ in range(reps):
+        if setup is not None:
+            setup()
+        t0 = clock()
+        result = run()
+        dt = clock() - t0
+        best = min(best, dt)
+        total += dt
+    return TimedRun(best=best, mean=total / reps, result=result)
+
+
+def interleaved(
+    runs: Sequence[Callable[[], Any]],
+    reps: int,
+    setups: Optional[Sequence[Optional[Callable[[], Any]]]] = None,
+    warmup: bool = True,
+    clock: Callable[[], float] = time.perf_counter,
+) -> List[TimedRun]:
+    """Best-of-``reps`` for several configurations, alternated rep by rep.
+
+    ``runs[i]`` is timed once per rep in order ``0..k-1, 0..k-1, ...``;
+    ``setups[i]`` (when given) runs untimed before each of its timed
+    calls.  With ``warmup`` (the default) every configuration first runs
+    once untimed, before any setup.
+    """
+    if reps < 1:
+        raise ConfigError(f"reps must be >= 1, got {reps}")
+    if setups is not None and len(setups) != len(runs):
+        raise ConfigError(
+            f"{len(setups)} setups for {len(runs)} runs; counts must match"
+        )
+    if warmup:
+        for run in runs:
+            run()
+    best = [float("inf")] * len(runs)
+    totals = [0.0] * len(runs)
+    results: List[Any] = [None] * len(runs)
+    for _ in range(reps):
+        for i, run in enumerate(runs):
+            if setups is not None and setups[i] is not None:
+                setups[i]()
+            t0 = clock()
+            results[i] = run()
+            dt = clock() - t0
+            best[i] = min(best[i], dt)
+            totals[i] += dt
+    return [
+        TimedRun(best=best[i], mean=totals[i] / reps, result=results[i])
+        for i in range(len(runs))
+    ]
+
+
+__all__ = ["TimedRun", "best_of", "interleaved"]

@@ -167,10 +167,23 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
     return events
 
 
-def to_chrome_trace(tracer: Tracer, dest: PathOrFile) -> Dict[str, Any]:
-    """Write (and return) the Chrome trace-event JSON document."""
+def to_chrome_trace(
+    tracer: Tracer,
+    dest: PathOrFile,
+    extra_events: Any = None,
+) -> Dict[str, Any]:
+    """Write (and return) the Chrome trace-event JSON document.
+
+    ``extra_events`` appends additional trace events — e.g. the counter
+    (``"C"``) tracks from :meth:`repro.metrics.MetricsRegistry.
+    counter_track_events` or :meth:`repro.metrics.PhaseProfiler.
+    counter_track_events` — after the span tree.
+    """
+    events = chrome_trace_events(tracer)
+    if extra_events:
+        events = events + list(extra_events)
     document = {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"clock": "simulated ticks", "schema": "repro-trace-v1"},
     }
@@ -192,9 +205,9 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
 
     Validated per ``(pid, tid)`` thread: timestamps monotonically
     non-decreasing, every ``B`` closed by an ``E`` with the same name (LIFO
-    nesting), no stray ``E``.  Instant (``i``) events only need a name and
-    a monotonic timestamp.  Returns ``{"events": ..., "spans": ...,
-    "instants": ...}``.
+    nesting), no stray ``E``.  Instant (``i``) and counter (``C``) events
+    only need a name and a monotonic timestamp.  Returns ``{"events": ...,
+    "spans": ..., "instants": ..., "counters": ...}``.
     """
     if isinstance(document, dict):
         events = document.get("traceEvents")
@@ -209,13 +222,14 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
     stacks: Dict[Any, List[str]] = {}
     spans = 0
     instants = 0
+    counters = 0
     for i, event in enumerate(events):
         if not isinstance(event, dict) or "ph" not in event:
             raise ConfigError(f"event {i} is not a trace event: {event!r}")
         ph = event["ph"]
         if ph == "M":
             continue
-        if ph not in ("B", "E", "i"):
+        if ph not in ("B", "E", "i", "C"):
             raise ConfigError(f"event {i}: unexpected phase {ph!r}")
         if "name" not in event or "ts" not in event:
             raise ConfigError(f"event {i}: missing 'name' or 'ts'")
@@ -230,6 +244,9 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
         last_ts[thread] = ts
         if ph == "i":
             instants += 1
+            continue
+        if ph == "C":
+            counters += 1
             continue
         stack = stacks.setdefault(thread, [])
         if ph == "B":
@@ -249,7 +266,12 @@ def validate_chrome_trace(document: Any) -> Dict[str, int]:
             raise ConfigError(
                 f"thread {thread}: unclosed spans at end of trace: {stack}"
             )
-    return {"events": len(events), "spans": spans, "instants": instants}
+    return {
+        "events": len(events),
+        "spans": spans,
+        "instants": instants,
+        "counters": counters,
+    }
 
 
 def validate_chrome_trace_file(path: str) -> Dict[str, int]:

@@ -395,3 +395,95 @@ class TestExport:
         events = [{"ph": "E", "pid": 0, "tid": 0, "name": "a", "ts": 0.0}]
         with pytest.raises(ValueError, match="no open"):
             validate_chrome_trace(events)
+
+    def test_empty_trace_exports(self, tmp_path):
+        """A tracer that saw no spans still produces valid documents."""
+        s = Session(3, trace=True)
+        jsonl_path = tmp_path / "empty.jsonl"
+        assert to_jsonl(s.tracer, str(jsonl_path)) == 1  # meta line only
+        meta = json.loads(jsonl_path.read_text())
+        assert meta["type"] == "meta"
+        doc = to_chrome_trace(s.tracer, str(tmp_path / "empty.json"))
+        counts = validate_chrome_trace(doc)
+        assert counts["spans"] == counts["instants"] == 0
+        assert counts["events"] == 2  # the two metadata records
+
+    def test_instant_only_trace(self, tmp_path):
+        """Instant events export on their own thread with no span tree."""
+        s = Session(3, trace=True)
+        s.tracer.instant("marker-a", "test", detail=1)
+        s.tracer.instant("marker-b", "test")
+        doc = to_chrome_trace(s.tracer, str(tmp_path / "instants.json"))
+        counts = validate_chrome_trace(doc)
+        assert counts["instants"] == 2
+        assert counts["spans"] == 0
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert tids == {1}
+
+    def test_validator_accepts_counter_events(self):
+        events = [
+            {"ph": "C", "pid": 0, "tid": 2, "name": "machine", "ts": 0.0,
+             "args": {"ticks": 1.0}},
+            {"ph": "C", "pid": 0, "tid": 2, "name": "machine", "ts": 5.0,
+             "args": {"ticks": 2.0}},
+        ]
+        assert validate_chrome_trace(events)["counters"] == 2
+
+    def test_validator_rejects_counter_without_ts(self):
+        events = [{"ph": "C", "pid": 0, "tid": 2, "name": "machine"}]
+        with pytest.raises(ValueError, match="missing"):
+            validate_chrome_trace(events)
+
+    def test_validator_rejects_backwards_counter_track(self):
+        events = [
+            {"ph": "C", "pid": 0, "tid": 2, "name": "machine", "ts": 5.0},
+            {"ph": "C", "pid": 0, "tid": 2, "name": "machine", "ts": 4.0},
+        ]
+        with pytest.raises(ValueError, match="backwards"):
+            validate_chrome_trace(events)
+
+    def test_extra_events_ride_along(self, tmp_path):
+        s = Session(3, trace=True)
+        run_primitives(s, rows=8, cols=8)
+        extra = [
+            {"ph": "C", "pid": 0, "tid": 2, "name": "machine", "ts": 0.0,
+             "args": {"ticks": 0.0}},
+        ]
+        doc = to_chrome_trace(
+            s.tracer, str(tmp_path / "extra.json"), extra_events=extra
+        )
+        counts = validate_chrome_trace(doc)
+        assert counts["counters"] == 1
+        assert doc["traceEvents"][-1]["ph"] == "C"
+
+
+class TestRouteStatsReplay:
+    def test_dim_congestion_identical_through_plan_cache(self):
+        """A cached route plan replays the exact per-round ``(dim,
+        congestion)`` profile the live routing loop recorded."""
+
+        from repro.machine import Router
+
+        def stats_pair(session):
+            m = session.machine
+            router = Router(m)
+            rng = np.random.default_rng(7)
+            src = np.arange(m.p, dtype=np.int64)
+            dst = rng.permutation(m.p).astype(np.int64)
+            sizes = rng.integers(1, 5, size=m.p).astype(np.float64)
+            first = router.simulate(src, dst, sizes)
+            second = router.simulate(src, dst, sizes)
+            return first, second
+
+        live_first, live_second = stats_pair(Session(4, plan_cache=False))
+        cached_session = Session(4, plan_cache=True)
+        cached_first, cached_second = stats_pair(cached_session)
+
+        assert cached_session.machine.counters.plan_hits >= 1
+        assert live_first.dim_congestion == live_second.dim_congestion
+        assert cached_second.dim_congestion == live_first.dim_congestion
+        assert len(cached_second.dim_congestion) == cached_second.rounds
+        assert cached_second.max_congestion == max(
+            c for _, c in cached_second.dim_congestion
+        )
+        assert cached_second.time == live_second.time

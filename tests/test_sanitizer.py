@@ -147,3 +147,73 @@ def test_sanitizer_survives_degrade():
     assert session.sanitizer is sanitizer
     assert session.machine.p < 16
     assert sanitizer.stats.total > 0
+
+
+class TestSampledChecking:
+    """``--sample-every K``: check 1-in-K audit sites, observe everything.
+
+    The contract: sampling changes *how often* invariants are audited,
+    never what the machine does — results and every cost counter are
+    bit-identical across K, and K=1 is exactly the always-on sanitizer.
+    """
+
+    @staticmethod
+    def _run(sample_every):
+        A, b, _ = workloads.diagonally_dominant_system(14, 5)
+        s = Session(4, sanitize=MachineSanitizer(sample_every=sample_every))
+        from repro.algorithms import gaussian
+
+        res = gaussian.solve(s.matrix(A), b)
+        return s, np.asarray(res.x)
+
+    def test_k1_is_the_default_full_check(self):
+        assert MachineSanitizer().sample_every == 1
+        s, _ = self._run(1)
+        assert s.sanitizer.stats.total > 0
+
+    def test_sampling_reduces_checks_not_costs(self):
+        s1, x1 = self._run(1)
+        s4, x4 = self._run(4)
+        assert s4.sanitizer.stats.total < s1.sanitizer.stats.total
+        # results and the entire cost vector are bit-identical
+        assert np.array_equal(x1, x4)
+        snap1 = s1.machine.counters.snapshot().as_dict()
+        snap4 = s4.machine.counters.snapshot().as_dict()
+        assert snap1 == snap4
+
+    def test_k1_matches_repeated_run_exactly(self):
+        a_stats = self._run(1)[0].sanitizer.stats
+        b_stats = self._run(1)[0].sanitizer.stats
+        assert a_stats.total == b_stats.total
+        assert a_stats.checks == b_stats.checks
+
+    def test_sampled_sanitizer_still_catches_violations(self):
+        """Structural hooks (plan replay, epoch) stay unsampled."""
+        sanitizer = MachineSanitizer(sample_every=1000)
+        m = Hypercube(3)
+        m.attach_sanitizer(sanitizer)
+        with pytest.raises(SanitizerError):
+            sanitizer.on_epoch_bump(m, m.epoch + 5)
+
+    def test_invalid_sample_every_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            MachineSanitizer(sample_every=0)
+        with pytest.raises(ConfigError):
+            MachineSanitizer(sample_every=-3)
+
+    def test_env_var_controls_session_default(self, monkeypatch):
+        from repro.check import env_sample_every
+
+        monkeypatch.setenv("REPRO_SANITIZE_SAMPLE", "6")
+        assert env_sample_every() == 6
+        s = Session(3, sanitize=True)
+        assert s.sanitizer.sample_every == 6
+        monkeypatch.setenv("REPRO_SANITIZE_SAMPLE", "zero")
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            env_sample_every()
+        monkeypatch.delenv("REPRO_SANITIZE_SAMPLE")
+        assert env_sample_every() == 1
