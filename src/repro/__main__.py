@@ -26,7 +26,13 @@ Subcommands:
   record per run to ``benchmarks/warehouse/``; ``bench report`` gates
   the latest records against pinned baselines (nonzero exit on any
   simulated-tick regression); ``bench pin`` freezes new baselines;
-  ``bench import`` migrates the legacy ``BENCH_wallclock.json``.
+  ``bench import`` migrates the legacy ``BENCH_wallclock.json``;
+* ``chaos`` — randomized seeded fault campaigns: every schedule draws a
+  workload, a feature-flag combination and a fault plan mixing
+  fail-stop, silent-data-corruption and gray-failure events, and must
+  finish with a result equal to the fault-free baseline; any failure is
+  delta-debugged down to a minimal replayable JSON plan and the campaign
+  summary lands in the bench warehouse.  Exits non-zero on any failure.
 
 ``demo``/``solve``/``trace`` additionally accept ``--fault-seed`` /
 ``--fault-rate`` / ``--sdc-rate`` to inject non-fatal faults (link kills
@@ -686,6 +692,97 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import time as _walltime
+
+    from .faults import chaos
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    except ValueError:
+        raise ConfigError(
+            f"--sizes must be comma-separated integers, got {args.sizes!r}"
+        ) from None
+    if not sizes:
+        raise ConfigError("--sizes must name at least one matrix size")
+    progress = None if args.json else print
+
+    t0 = _walltime.perf_counter()
+    report = chaos.run_campaign(
+        args.schedules,
+        master_seed=args.seed,
+        n_dims=args.n,
+        sizes=sizes,
+        shrink=not args.no_shrink,
+        artifact_dir=args.artifact_dir,
+        progress=progress,
+    )
+    campaign_wall = _walltime.perf_counter() - t0
+
+    t0 = _walltime.perf_counter()
+    straggler = chaos.straggler_experiment(n_dims=args.n)
+    straggler_wall = _walltime.perf_counter() - t0
+
+    report["wall_s"] = campaign_wall
+    report["straggler"] = straggler
+
+    if args.out:
+        out_dir = os.path.dirname(os.path.abspath(args.out))
+        os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    if not args.no_warehouse:
+        from .metrics import warehouse as wh
+
+        warehouse_dir = args.warehouse or wh.default_warehouse_dir()
+        runs_path = os.path.join(warehouse_dir, wh.RUNS_FILE)
+        wh.append_records(
+            [
+                chaos.campaign_record(report, campaign_wall),
+                chaos.straggler_record(straggler, straggler_wall),
+            ],
+            runs_path,
+        )
+        report["warehouse"] = runs_path
+
+    gray = report["gray"]
+    lines = [
+        f"chaos campaign   : {report['schedules']} schedules on "
+        f"p={2 ** args.n} (seed {args.seed}, sizes {sizes})",
+        f"result           : {report['ok']} ok / {report['failed']} failed "
+        f"({report['recoveries']} recoveries, "
+        f"{report['total_fault_events']} fault events)",
+        f"gray faults      : {gray['link_slows']} slow links, "
+        f"{gray['node_slows']} slow nodes, {gray['flaky_links']} flaky "
+        f"links / {gray['flaky_drops']} drops, "
+        f"{gray['hedged_retransmits']} hedged, "
+        f"{gray['straggler_detours']} detours, "
+        f"{gray['gray_recoveries']} recoveries",
+        f"straggler expt   : {straggler['tick_reduction']:.1%} tick "
+        f"reduction with avoidance on "
+        f"({straggler['ticks_avoidance_off']:,.0f} -> "
+        f"{straggler['ticks_avoidance_on']:,.0f} ticks, "
+        f"{straggler['straggler_detours']} detours)",
+        f"wall time        : {campaign_wall:.1f}s",
+    ]
+    for failure in report["failures"]:
+        sched = failure["schedule"]
+        line = (
+            f"FAIL #{sched['index']}     : {sched['workload']}/"
+            f"{sched['size']} seed={sched['seed']}: "
+            f"{failure['outcome']['error']}"
+        )
+        if "minimized_path" in failure:
+            line += f" (minimized: {failure['minimized_path']})"
+        lines.append(line)
+    if "warehouse" in report:
+        lines.append(f"warehouse        : {report['warehouse']}")
+    _emit(args, report, "\n".join(lines))
+    return 0 if report["failed"] == 0 else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -892,9 +989,50 @@ def main(argv=None) -> int:
                          help="emit a machine-readable JSON summary")
     p_bench.set_defaults(fn=_cmd_bench)
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault campaigns: seeded schedules across "
+             "workloads, flags and all fault types, checked against "
+             "fault-free baselines; failures shrink to minimal "
+             "replayable plans",
+    )
+    p_chaos.add_argument("-n", type=int, default=4,
+                         help="cube dimensions (p = 2^n; default 4)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="campaign master seed (default 0)")
+    p_chaos.add_argument(
+        "--schedules", type=int, default=200,
+        help="number of independent seeded schedules (default 200)")
+    p_chaos.add_argument(
+        "--sizes", default="8,12,16", metavar="N,N,...",
+        help="comma-separated matrix sizes to draw from (default 8,12,16)")
+    p_chaos.add_argument(
+        "--artifact-dir", default="chaos-artifacts", metavar="DIR",
+        help="directory for minimized failing plans (created up front; "
+             "default chaos-artifacts)")
+    p_chaos.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the full campaign report as JSON to FILE")
+    p_chaos.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip delta-debugging minimization of failing plans")
+    p_chaos.add_argument(
+        "--no-warehouse", action="store_true",
+        help="do not append campaign records to the bench warehouse")
+    p_chaos.add_argument(
+        "--warehouse", default=None, metavar="DIR",
+        help="warehouse directory for campaign records "
+             "(default benchmarks/warehouse)")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit a machine-readable JSON summary")
+    p_chaos.set_defaults(fn=_cmd_chaos)
+
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
+    except ConfigError as exc:
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return 2
     except CorruptionError as exc:
         # Multi-element corruption with no checkpoint to replay from:
         # surface it as a clean failure rather than a traceback.

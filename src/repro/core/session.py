@@ -50,6 +50,7 @@ class Session:
         abft: Optional[Union[bool, object]] = None,
         metrics: Optional[Union[bool, object]] = None,
         profile: Optional[Union[bool, object]] = None,
+        retry: Optional[object] = None,
     ) -> None:
         if isinstance(cost_model, str):
             try:
@@ -70,14 +71,22 @@ class Session:
             self.machine.attach_tracer(Tracer())
         # faults may be a FaultPlan (wrapped in a fresh injector) or a
         # pre-built FaultInjector; None (default) leaves the machine on the
-        # zero-overhead healthy path.
+        # zero-overhead healthy path.  ``retry`` customises the wrapping
+        # injector's RetryPolicy (jitter/hedging for flaky links).
         if faults is not None:
             from ..faults.injector import FaultInjector
             from ..faults.plan import FaultPlan
 
             if isinstance(faults, FaultPlan):
-                faults = FaultInjector(faults)
+                faults = FaultInjector(faults, retry=retry)
+            elif retry is not None:
+                raise ConfigError(
+                    "retry= only applies when faults= is a FaultPlan; a "
+                    "pre-built injector already carries its RetryPolicy"
+                )
             self.machine.attach_faults(faults)
+        elif retry is not None:
+            raise ConfigError("retry= requires faults= to be set")
         # sanitize=None defers to REPRO_SANITIZE (read inline so an
         # unsanitized run never imports the check subsystem); a pre-built
         # MachineSanitizer may also be passed to share across sessions.
@@ -329,6 +338,22 @@ class Session:
                 f"{st.retries} retries, {st.detour_rounds} detour rounds, "
                 f"{st.recoveries} recoveries"
             )
+            if (
+                st.link_slows
+                or st.node_slows
+                or st.flaky_links
+                or st.straggler_detours
+            ):
+                lines.append(
+                    f"gray faults       : {st.link_slows} slow links, "
+                    f"{st.node_slows} slow nodes, {st.flaky_links} flaky "
+                    f"links / {st.flaky_drops} drops, "
+                    f"{st.hedged_retransmits} hedged, "
+                    f"{st.slow_rounds} stretched rounds "
+                    f"(+{st.slow_time:.1f} ticks), "
+                    f"{st.straggler_detours} straggler detours, "
+                    f"{st.gray_recoveries} recoveries"
+                )
         sanitizer = self.machine.sanitizer
         if sanitizer is not None:
             lines.append(

@@ -22,10 +22,13 @@ from .plan import (
     FaultPlan,
     LinkCorrupt,
     LinkDrop,
+    LinkFlaky,
     LinkKill,
+    LinkSlow,
     NodeKill,
+    NodeSlow,
 )
-from .injector import FaultInjector, FaultStats, RetryPolicy
+from .injector import FaultInjector, FaultStats, HealthTracker, RetryPolicy
 from .checkpoint import Checkpoint, CheckpointStore
 from .recovery import (
     RecoveryReport,
@@ -45,8 +48,12 @@ __all__ = [
     "NodeKill",
     "BitFlip",
     "LinkCorrupt",
+    "LinkSlow",
+    "NodeSlow",
+    "LinkFlaky",
     "FaultInjector",
     "FaultStats",
+    "HealthTracker",
     "RetryPolicy",
     "Checkpoint",
     "CheckpointStore",

@@ -19,7 +19,17 @@ applied in order:
   dimension: every round carries a checksum word) detects the bad block
   and charges a retransmission along the corrupted link; without them the
   next full-block exchange along that dimension silently delivers the
-  corrupted block.
+  corrupted block;
+* :class:`~.plan.LinkSlow` / :class:`~.plan.NodeSlow` degrade (not kill) a
+  component: charged rounds that cross it stretch on the simulated clock
+  (pure latency — traffic counters unchanged), optionally recovering after
+  a duration.  The injector's :class:`HealthTracker` learns per-component
+  suspicion scores from the observed stretches, which the router's
+  straggler-avoidance sweep consults;
+* :class:`~.plan.LinkFlaky` arms a seeded probabilistic drop window on a
+  dimension — each charged round along it may drop and retry (with
+  deterministic jittered backoff, or hedged double-sends: see
+  :class:`RetryPolicy`).
 
 All fault accounting lives in :class:`FaultStats` (on the injector, not on
 :class:`~repro.machine.counters.Counters` — the counters stay a pure cost
@@ -28,14 +38,25 @@ record).
 
 from __future__ import annotations
 
+import bisect
 import collections
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import NodeKilledError
-from .plan import BitFlip, FaultPlan, LinkCorrupt, LinkDrop, LinkKill, NodeKill
+from ..errors import ConfigError, NodeKilledError
+from .plan import (
+    BitFlip,
+    FaultPlan,
+    LinkCorrupt,
+    LinkDrop,
+    LinkFlaky,
+    LinkKill,
+    LinkSlow,
+    NodeKill,
+    NodeSlow,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from ..machine.hypercube import Hypercube
@@ -58,10 +79,42 @@ class RetryPolicy:
     base: float = 1.0
     factor: float = 2.0
     cap: float = 8.0
+    #: Deterministic seeded jitter: retry ``k`` waits ``backoff(k)`` times
+    #: a uniform factor in ``[1 - jitter, 1 + jitter]`` drawn from a
+    #: counter-based stream keyed by ``(seed, nonce)``.  ``jitter == 0``
+    #: (the default) reproduces the unjittered waits bit-exactly.
+    jitter: float = 0.0
+    seed: int = 0
+    #: Hedged retransmission for flaky links: instead of waiting out the
+    #: backoff, each retry sends the block along the flaky link *and* a
+    #: duplicate along a sibling route simultaneously — double the round
+    #: volume, zero backoff time.  Trades bandwidth for tail latency.
+    hedge: bool = False
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.jitter < 1.0):
+            raise ConfigError(
+                f"retry jitter must be in [0, 1), got {self.jitter}"
+            )
 
     def backoff(self, attempt: int) -> float:
         """Backoff multiplier (in units of ``tau``) for retry ``attempt``."""
         return min(self.base * self.factor ** attempt, self.cap)
+
+    def backoff_jittered(self, attempt: int, nonce: int) -> float:
+        """Backoff with deterministic seeded jitter.
+
+        The draw is counter-based — ``default_rng((seed, nonce))`` — so a
+        given ``(policy, nonce)`` pair always yields the same wait, and
+        two injectors built with the same seed replay identical schedules.
+        With ``jitter == 0`` this returns :meth:`backoff` exactly (no RNG
+        is constructed), preserving bit-identity with older plans.
+        """
+        wait = self.backoff(attempt)
+        if self.jitter <= 0.0:
+            return wait
+        u = float(np.random.default_rng((self.seed, nonce)).random())
+        return wait * (1.0 + self.jitter * (2.0 * u - 1.0))
 
 
 @dataclass
@@ -80,6 +133,29 @@ class FaultStats:
     bit_flips: int = 0
     link_corruptions: int = 0
     sdc_skipped: int = 0  # flips aimed at dead nodes / empty registries
+    # Gray-failure accounting (published under ``faults.gray.*``).
+    link_slows: int = 0
+    node_slows: int = 0
+    gray_recoveries: int = 0
+    slow_rounds: int = 0
+    slow_time: float = 0.0
+    flaky_links: int = 0
+    flaky_drops: int = 0
+    hedged_retransmits: int = 0
+    straggler_detours: int = 0
+
+    #: stat names that publish under the ``faults.gray.`` prefix.
+    _GRAY = (
+        "link_slows",
+        "node_slows",
+        "gray_recoveries",
+        "slow_rounds",
+        "slow_time",
+        "flaky_links",
+        "flaky_drops",
+        "hedged_retransmits",
+        "straggler_detours",
+    )
 
     def as_dict(self) -> dict:
         return {
@@ -95,6 +171,15 @@ class FaultStats:
             "bit_flips": self.bit_flips,
             "link_corruptions": self.link_corruptions,
             "sdc_skipped": self.sdc_skipped,
+            "link_slows": self.link_slows,
+            "node_slows": self.node_slows,
+            "gray_recoveries": self.gray_recoveries,
+            "slow_rounds": self.slow_rounds,
+            "slow_time": self.slow_time,
+            "flaky_links": self.flaky_links,
+            "flaky_drops": self.flaky_drops,
+            "hedged_retransmits": self.hedged_retransmits,
+            "straggler_detours": self.straggler_detours,
         }
 
     def publish_metrics(self, registry) -> None:
@@ -102,12 +187,128 @@ class FaultStats:
 
         Detour rounds publish as ``router.detours``: they are the router's
         surcharge for dead links, reported beside the other router work.
+        Gray-failure totals publish under ``faults.gray.*``.
         """
         for name, value in self.as_dict().items():
             if name == "detour_rounds":
                 continue
-            registry.publish(f"faults.{name}", value)
+            if name in self._GRAY:
+                registry.publish(f"faults.gray.{name}", value)
+            else:
+                registry.publish(f"faults.{name}", value)
         registry.publish("router.detours", self.detour_rounds, unit="rounds")
+
+
+class HealthTracker:
+    """Per-link / per-node health scores learned from observed round times.
+
+    The detection side of the gray-failure story: nothing tells the
+    router which links are slow — it has to *notice*.  Every charged
+    round that crosses a degraded component stretches on the simulated
+    clock; each endpoint observes its own exchange timing, so the
+    slowdown is attributable to the specific link (or node) involved.
+    The tracker keeps an exponentially-weighted estimate of each
+    component's latency multiplier (1.0 = healthy) and forgets scores
+    when a component is observed healthy again.
+
+    Scores for links the router is actively *avoiding* persist: a
+    detoured link produces no fresh timing telemetry, so there is no
+    evidence it recovered — exactly the sticky-avoidance behaviour a
+    real health-checking mesh exhibits until it probes again.
+    """
+
+    #: EWMA weight of a fresh observation.
+    alpha = 0.5
+    #: per-observation decay toward healthy for components seen fast.
+    forget = 0.5
+
+    def __init__(self) -> None:
+        self._link: Dict[Tuple[int, int], float] = {}  # (dim, lo) -> est
+        self._node: Dict[int, float] = {}  # pid -> est
+
+    @property
+    def tracked(self) -> int:
+        """Number of components currently under suspicion."""
+        return len(self._link) + len(self._node)
+
+    def link_factor(self, dim: int, lo: int) -> float:
+        """Estimated latency multiplier of link ``(dim, lo)`` (1.0 = healthy)."""
+        return self._link.get((dim, lo), 1.0)
+
+    def node_factor(self, pid: int) -> float:
+        """Estimated straggler multiplier of node ``pid`` (1.0 = healthy)."""
+        return self._node.get(pid, 1.0)
+
+    def observe_round(
+        self,
+        dim: Optional[int],
+        slow_links: Dict[int, float],
+        slow_nodes: Dict[int, float],
+        participating: Optional[set] = None,
+    ) -> None:
+        """Fold one charged round's timing evidence into the scores.
+
+        ``slow_links`` maps low-pid -> true factor for the degraded links
+        of ``dim`` this round actually crossed; ``slow_nodes`` the
+        machine's straggler map.  ``participating`` (router rounds) is
+        the set of low pids whose links carried traffic — links that did
+        not participate yield no telemetry, so their scores are left
+        untouched; ``None`` (structured rounds) means every link of
+        ``dim`` participated.
+        """
+        if dim is not None:
+            for lo, factor in slow_links.items():
+                key = (dim, lo)
+                est = self._link.get(key, 1.0)
+                self._link[key] = est + self.alpha * (factor - est)
+            for key in [k for k in self._link if k[0] == dim]:
+                lo = key[1]
+                if lo in slow_links:
+                    continue
+                if participating is not None and lo not in participating:
+                    continue  # no traffic crossed it: no evidence either way
+                est = 1.0 + (self._link[key] - 1.0) * (1.0 - self.forget)
+                if est <= 1.0 + 1e-9:
+                    del self._link[key]
+                else:
+                    self._link[key] = est
+        for pid, factor in slow_nodes.items():
+            est = self._node.get(pid, 1.0)
+            self._node[pid] = est + self.alpha * (factor - est)
+        for pid in [p for p in self._node if p not in slow_nodes]:
+            est = 1.0 + (self._node[pid] - 1.0) * (1.0 - self.forget)
+            if est <= 1.0 + 1e-9:
+                del self._node[pid]
+            else:
+                self._node[pid] = est
+
+    def scores(self) -> dict:
+        """A JSON-able snapshot of the current suspicion table."""
+        return {
+            "links": {
+                f"{dim}@{lo}": round(est, 4)
+                for (dim, lo), est in sorted(self._link.items())
+            },
+            "nodes": {
+                str(pid): round(est, 4)
+                for pid, est in sorted(self._node.items())
+            },
+        }
+
+    def clear(self) -> None:
+        self._link.clear()
+        self._node.clear()
+
+
+class _FlakyLink:
+    """One armed :class:`~.plan.LinkFlaky` window with its own draw stream."""
+
+    __slots__ = ("drop_p", "until", "rng")
+
+    def __init__(self, drop_p: float, until: float, seed: int) -> None:
+        self.drop_p = drop_p
+        self.until = until  # simulated time the window closes (inf = open)
+        self.rng = np.random.default_rng(seed)
 
 
 class FaultInjector:
@@ -122,7 +323,10 @@ class FaultInjector:
     """
 
     def __init__(
-        self, plan: FaultPlan, retry: Optional[RetryPolicy] = None
+        self,
+        plan: FaultPlan,
+        retry: Optional[RetryPolicy] = None,
+        avoid_stragglers: bool = True,
     ) -> None:
         self.plan = plan
         self.retry = retry if retry is not None else RetryPolicy()
@@ -134,6 +338,17 @@ class FaultInjector:
         self._armed_drops: Dict[int, int] = {}  # dim -> drops awaiting a round
         # dim -> LinkCorrupt events awaiting the next exchange on that dim
         self._armed_corruptions: Dict[int, List[LinkCorrupt]] = {}
+        # Gray-failure machinery.  The health tracker feeds the router's
+        # straggler-avoidance sweep; ``avoid_stragglers`` gates whether
+        # the router may act on it.
+        self.health = HealthTracker()
+        self.avoid_stragglers = avoid_stragglers
+        self._flaky: Dict[int, List[_FlakyLink]] = {}  # dim -> armed windows
+        # Scheduled gray recoveries, kept sorted by expiry time:
+        # (time, kind, dim_or_None, pid_or_lo, factor).  The factor lets a
+        # recovery no-op when a later event re-degraded the component.
+        self._gray_expiries: List[tuple] = []
+        self._jitter_nonce = 0  # counter for RetryPolicy.backoff_jittered
         # Recently registered machine arrays: the BitFlip target registry
         # when no ABFT manager is attached.  Bounded so the injector never
         # pins unbounded history; PVar uses __slots__ without __weakref__,
@@ -169,6 +384,10 @@ class FaultInjector:
         """
         machine = self.machine
         now = machine.counters.time
+        # Gray recoveries fire before new events: an expiry scheduled
+        # earlier than a due event must land first on the simulated clock.
+        while self._gray_expiries and self._gray_expiries[0][0] <= now:
+            self._expire_gray(self._gray_expiries.pop(0))
         while self._next < len(self._pending):
             ev = self._pending[self._next]
             if ev.time > now:
@@ -205,9 +424,80 @@ class FaultInjector:
             self._apply_bit_flip(ev, entry)
         elif isinstance(ev, LinkCorrupt):
             self._armed_corruptions.setdefault(ev.dim % max(machine.n, 1), []).append(ev)
+        elif isinstance(ev, LinkSlow):
+            if machine.n < 1:
+                entry["skipped"] = True
+            else:
+                dim = ev.dim % machine.n
+                pid = ev.pid % machine.p
+                if machine.slow_link(dim, pid, ev.factor):
+                    self.stats.link_slows += 1
+                    if ev.duration > 0:
+                        # The recovery window opens when the degradation
+                        # actually lands (poll time), not at the scheduled
+                        # time -- a late-firing event still degrades for
+                        # its full duration.
+                        lo = min(pid, pid ^ (1 << dim))
+                        bisect.insort(
+                            self._gray_expiries,
+                            (machine.counters.time + ev.duration,
+                             "link", dim, lo, ev.factor),
+                        )
+                else:
+                    entry["skipped"] = True  # link already dead
+        elif isinstance(ev, NodeSlow):
+            pid = ev.pid % machine.p
+            if machine.slow_node(pid, ev.factor):
+                self.stats.node_slows += 1
+                if ev.duration > 0:
+                    bisect.insort(
+                        self._gray_expiries,
+                        (machine.counters.time + ev.duration,
+                         "node", None, pid, ev.factor),
+                    )
+            else:
+                entry["skipped"] = True  # node already dead
+        elif isinstance(ev, LinkFlaky):
+            if machine.n < 1:
+                entry["skipped"] = True
+            else:
+                dim = ev.dim % machine.n
+                until = (
+                    machine.counters.time + ev.duration
+                    if ev.duration > 0
+                    else float("inf")
+                )
+                self._flaky.setdefault(dim, []).append(
+                    _FlakyLink(ev.drop_p, until, ev.seed)
+                )
+                self.stats.flaky_links += 1
+                tracer = machine.tracer
+                if tracer is not None:
+                    tracer.instant(
+                        f"link_flaky:dim{dim}", "fault",
+                        dim=dim, drop_p=ev.drop_p,
+                    )
         else:  # pragma: no cover - future event kinds
             raise TypeError(f"unknown fault event {ev!r}")
         self.log.append(entry)
+
+    def _expire_gray(self, expiry: tuple) -> None:
+        """Recover a slow component whose degradation window has closed.
+
+        The recorded factor guards against a later event re-degrading the
+        same component: recovery only fires while the machine still holds
+        the factor this expiry was scheduled for.
+        """
+        machine = self.machine
+        _, kind, dim, target, factor = expiry
+        if kind == "link":
+            if machine.link_slow_factor(dim, target) == factor:
+                if machine.restore_link_speed(dim, target):
+                    self.stats.gray_recoveries += 1
+        else:
+            if machine.node_slow_factor(target) == factor:
+                if machine.restore_node_speed(target):
+                    self.stats.gray_recoveries += 1
 
     # -- silent data corruption ------------------------------------------------
 
@@ -328,30 +618,85 @@ class FaultInjector:
                     self.stats.link_corruptions += 1
                     machine._charge_comm_round_plain(volume, 1, d)
                     abft.on_wire_retransmit(d)
+        # Health telemetry: every structured round's observed timing feeds
+        # the suspicion table (all links of ``dim`` participated).  Guarded
+        # so fail-stop-only runs never touch the tracker.
+        if machine.gray_active or self.health.tracked:
+            self.health.observe_round(
+                dim,
+                machine._slow_links_by_dim.get(dim, {})
+                if dim is not None
+                else {},
+                machine._slow_nodes,
+            )
         if dim is None:
             return
         pending = self._armed_drops.pop(dim, 0)
-        if not pending:
-            return
-        retries = min(pending, self.retry.max_retries)
-        tau = machine.cost_model.tau
-        backoff = 0.0
-        for attempt in range(retries):
-            backoff += tau * self.retry.backoff(attempt)
-            machine._charge_comm_round_plain(volume, 1, dim)
-        machine.counters.charge_transfer(0.0, 0, backoff)
+        if pending:
+            retries = min(pending, self.retry.max_retries)
+            self._charge_retries(dim, volume, retries)
+            tracer = machine.tracer
+            if tracer is not None:
+                tracer.instant(
+                    f"retry:dim{dim}",
+                    "fault",
+                    dim=dim,
+                    dropped=pending,
+                    retries=retries,
+                )
+        flaky = self._flaky.get(dim)
+        if flaky:
+            now = machine.counters.time
+            live = [f for f in flaky if f.until > now]
+            expired = len(flaky) - len(live)
+            if expired:
+                self.stats.gray_recoveries += expired
+                if live:
+                    self._flaky[dim] = live
+                else:
+                    del self._flaky[dim]
+            drops = sum(1 for f in live if f.rng.random() < f.drop_p)
+            if drops:
+                self.stats.flaky_drops += drops
+                retries = min(drops, self.retry.max_retries)
+                self._charge_retries(dim, volume, retries)
+                tracer = machine.tracer
+                if tracer is not None:
+                    tracer.instant(
+                        f"flaky:dim{dim}", "fault", dim=dim, dropped=drops
+                    )
+
+    def _charge_retries(self, dim: int, volume: float, retries: int) -> None:
+        """Charge ``retries`` re-sends of a dropped round along ``dim``.
+
+        The plain path re-sends after a (jittered) backoff wait charged as
+        pure time; the hedged path instead sends the block twice at once —
+        double the volume per retry, no backoff — trading bandwidth for
+        tail latency on flaky links.
+        """
+        machine = self.machine
+        retry = self.retry
+        if retry.hedge:
+            for _ in range(retries):
+                machine._charge_comm_round_plain(2.0 * volume, 1, dim)
+            self.stats.hedged_retransmits += retries
+        else:
+            tau = machine.cost_model.tau
+            backoff = 0.0
+            for attempt in range(retries):
+                backoff += tau * retry.backoff_jittered(
+                    attempt, self._jitter_nonce
+                )
+                self._jitter_nonce += 1
+                machine._charge_comm_round_plain(volume, 1, dim)
+            machine.counters.charge_transfer(0.0, 0, backoff)
+            self.stats.backoff_time += backoff
         self.stats.retries += retries
-        self.stats.backoff_time += backoff
-        tracer = machine.tracer
-        if tracer is not None:
-            tracer.instant(
-                f"retry:dim{dim}",
-                "fault",
-                dim=dim,
-                dropped=pending,
-                retries=retries,
-                backoff=backoff,
-            )
+
+    def on_gray_round(self, dim: Optional[int], rounds: int, extra: float) -> None:
+        """Record a lockstep stretch charged by the machine (pure time)."""
+        self.stats.slow_rounds += rounds
+        self.stats.slow_time += extra
 
     # -- degraded-mode translation ---------------------------------------------
 
@@ -416,6 +761,40 @@ class FaultInjector:
                             bit=ev.bit,
                         )
                     )
+            elif isinstance(ev, LinkSlow):
+                pid = ev.pid % self.machine.p if self.machine else ev.pid
+                if ev.dim in dim_map and in_subcube(pid):
+                    remaining.append(
+                        LinkSlow(
+                            ev.time,
+                            dim=dim_map[ev.dim],
+                            pid=compress(pid),
+                            factor=ev.factor,
+                            duration=ev.duration,
+                        )
+                    )
+            elif isinstance(ev, NodeSlow):
+                pid = ev.pid % self.machine.p if self.machine else ev.pid
+                if in_subcube(pid):
+                    remaining.append(
+                        NodeSlow(
+                            ev.time,
+                            pid=compress(pid),
+                            factor=ev.factor,
+                            duration=ev.duration,
+                        )
+                    )
+            elif isinstance(ev, LinkFlaky):
+                if ev.dim in dim_map:
+                    remaining.append(
+                        LinkFlaky(
+                            ev.time,
+                            dim=dim_map[ev.dim],
+                            drop_p=ev.drop_p,
+                            duration=ev.duration,
+                            seed=ev.seed,
+                        )
+                    )
         self._pending = remaining
         self._next = 0
         self._armed_drops = {
@@ -426,8 +805,18 @@ class FaultInjector:
             for d, evs in self._armed_corruptions.items()
             if d in dim_map
         }
+        # Armed flaky windows follow their dimension into the subcube
+        # (draw-stream state intact); windows on collapsed dims vanish
+        # with the hardware.  Gray expiries are dropped — the new machine
+        # starts with clean gray state (degrade() builds a fresh cube), so
+        # there is nothing left to recover.
+        self._flaky = {
+            dim_map[d]: fs for d, fs in self._flaky.items() if d in dim_map
+        }
+        self._gray_expiries = []
+        self.health.clear()
         # Old-machine arrays are dead after a remap; drop them as targets.
         self._memory.clear()
 
 
-__all__ = ["RetryPolicy", "FaultStats", "FaultInjector"]
+__all__ = ["RetryPolicy", "FaultStats", "HealthTracker", "FaultInjector"]

@@ -35,6 +35,22 @@ Event kinds
     a checksum word — detects the bad block and charges one
     retransmission along the corrupted link; without them the next
     full-block exchange along ``dim`` delivers the corrupted block as-is.
+:class:`LinkSlow`
+    Gray failure: the link across ``dim`` at ``pid`` keeps working but
+    every charged round crossing it takes ``factor`` times as long on the
+    simulated clock.  ``duration > 0`` recovers the link at
+    ``time + duration``; ``duration == 0`` degrades it permanently.
+:class:`NodeSlow`
+    Gray failure: processor ``pid`` straggles — every structured round it
+    participates in is stretched by ``factor`` (SIMD lockstep: the whole
+    round waits for the slowest participant).  Optional ``duration`` as
+    for :class:`LinkSlow`.
+:class:`LinkFlaky`
+    Gray failure: from ``time`` on, each charged round along ``dim``
+    independently drops with probability ``drop_p`` (seeded, so replays
+    are exact); each drop is retried like a :class:`LinkDrop` — or hedged,
+    see :class:`~repro.faults.injector.RetryPolicy`.  ``duration > 0``
+    bounds the flaky window.
 
 Plans serialise to/from JSON (:meth:`FaultPlan.as_dict` /
 :meth:`FaultPlan.from_dict`, :meth:`to_json` / :meth:`from_json`) so a
@@ -45,7 +61,7 @@ e.g. via the ``--fault-plan FILE`` CLI option.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Iterable, Iterator, List, Tuple
 
 import numpy as np
@@ -125,6 +141,82 @@ class LinkCorrupt(FaultEvent):
     bit: int = 0
 
 
+@dataclass(frozen=True)
+class LinkSlow(FaultEvent):
+    """The link across ``dim`` at ``pid`` slows by ``factor`` at ``time``.
+
+    Rounds along ``dim`` that cross the slow link pay ``factor`` times the
+    healthy round time (the surcharge is pure latency: element and round
+    counters are untouched).  ``duration > 0`` schedules recovery at
+    ``time + duration``; ``0`` means permanent.
+    """
+
+    dim: int = 0
+    pid: int = 0
+    factor: float = 4.0
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigError(
+                f"LinkSlow factor must be >= 1, got {self.factor}"
+            )
+        if self.duration < 0.0:
+            raise ConfigError(
+                f"LinkSlow duration must be >= 0, got {self.duration}"
+            )
+
+
+@dataclass(frozen=True)
+class NodeSlow(FaultEvent):
+    """Processor ``pid`` straggles by ``factor`` at ``time``.
+
+    Every structured SIMD round is stretched (lockstep waits for the
+    slowest node); router rounds stretch only when ``pid`` sends or
+    receives.  ``duration`` as for :class:`LinkSlow`.
+    """
+
+    pid: int = 0
+    factor: float = 2.0
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ConfigError(
+                f"NodeSlow factor must be >= 1, got {self.factor}"
+            )
+        if self.duration < 0.0:
+            raise ConfigError(
+                f"NodeSlow duration must be >= 0, got {self.duration}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkFlaky(FaultEvent):
+    """Rounds along ``dim`` drop with probability ``drop_p`` from ``time``.
+
+    Each drop charges a retried round (plus backoff, or a hedged double
+    transmission — see :class:`~repro.faults.injector.RetryPolicy`).  The
+    draw stream is seeded by ``seed`` so identical plans replay
+    identically.  ``duration > 0`` bounds the flaky window.
+    """
+
+    dim: int = 0
+    drop_p: float = 0.25
+    duration: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.drop_p <= 1.0):
+            raise ConfigError(
+                f"LinkFlaky drop_p must be in [0, 1], got {self.drop_p}"
+            )
+        if self.duration < 0.0:
+            raise ConfigError(
+                f"LinkFlaky duration must be >= 0, got {self.duration}"
+            )
+
+
 class FaultPlan:
     """An immutable, time-sorted schedule of fault events.
 
@@ -162,19 +254,69 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
-        """Rebuild a plan from :meth:`as_dict` output (exact round-trip)."""
+        """Rebuild a plan from :meth:`as_dict` output (exact round-trip).
+
+        Malformed input — an entry that is not an object, an unknown
+        ``kind``, missing or extra fields, a non-numeric field value —
+        raises :class:`~repro.errors.ConfigError` naming the offending
+        entry (``events[i]``) rather than leaking a raw ``KeyError`` or
+        ``TypeError`` from the dataclass machinery.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        raw_events = data.get("events", [])
+        if not isinstance(raw_events, (list, tuple)):
+            raise ConfigError(
+                f"fault plan 'events' must be a list, "
+                f"got {type(raw_events).__name__}"
+            )
         events = []
-        for entry in data.get("events", ()):
+        for index, entry in enumerate(raw_events):
+            where = f"events[{index}]"
+            if not isinstance(entry, dict):
+                raise ConfigError(
+                    f"{where}: expected an object, "
+                    f"got {type(entry).__name__}"
+                )
             entry = dict(entry)
             kind = entry.pop("kind", None)
+            if kind is None:
+                raise ConfigError(f"{where}: missing 'kind' field")
             event_cls = _EVENT_KINDS.get(kind)
             if event_cls is None:
-                raise ConfigError(f"unknown fault event kind {kind!r}")
+                known = ", ".join(sorted(_EVENT_KINDS))
+                raise ConfigError(
+                    f"{where}: unknown fault event kind {kind!r} "
+                    f"(known kinds: {known})"
+                )
+            field_names = {f.name for f in fields(event_cls)}
+            unknown = sorted(set(entry) - field_names)
+            if unknown:
+                raise ConfigError(
+                    f"{where}: unknown field(s) {unknown} "
+                    f"for fault event {kind!r}"
+                )
+            if "time" not in entry:
+                raise ConfigError(
+                    f"{where}: fault event {kind!r} missing 'time' field"
+                )
+            for name, value in entry.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    raise ConfigError(
+                        f"{where}: field {name!r} of fault event "
+                        f"{kind!r} must be a number, got {value!r}"
+                    )
             try:
                 events.append(event_cls(**entry))
+            except ConfigError as exc:
+                raise ConfigError(f"{where}: {exc}") from None
             except TypeError as exc:
                 raise ConfigError(
-                    f"bad fields for fault event {kind!r}: {exc}"
+                    f"{where}: bad fields for fault event {kind!r}: {exc}"
                 ) from None
         return cls(events)
 
@@ -186,9 +328,22 @@ class FaultPlan:
 
     @classmethod
     def from_json(cls, path: str) -> "FaultPlan":
-        """Load a plan written by :meth:`to_json`."""
+        """Load a plan written by :meth:`to_json`.
+
+        Malformed JSON and schema violations surface as
+        :class:`~repro.errors.ConfigError` prefixed with the file path.
+        """
         with open(path) as fh:
-            return cls.from_dict(json.load(fh))
+            try:
+                data = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"{path}: malformed fault-plan JSON: {exc}"
+                ) from None
+        try:
+            return cls.from_dict(data)
+        except ConfigError as exc:
+            raise ConfigError(f"{path}: {exc}") from None
 
     @classmethod
     def random(
@@ -203,6 +358,12 @@ class FaultPlan:
         window: Tuple[float, float] = (0.1, 0.9),
         bit_flips: int = 0,
         link_corruptions: int = 0,
+        link_slows: int = 0,
+        node_slows: int = 0,
+        flaky_links: int = 0,
+        slow_factor: Tuple[float, float] = (2.0, 6.0),
+        slow_duration: Tuple[float, float] = (0.2, 0.5),
+        flaky_drop_p: Tuple[float, float] = (0.1, 0.4),
     ) -> "FaultPlan":
         """A seeded pseudo-random plan for an ``n``-dimensional machine.
 
@@ -211,6 +372,13 @@ class FaultPlan:
         so events land mid-flight).  Link kills target distinct links; node
         kills target distinct processors.  The same ``(n, seed, horizon,
         ...)`` arguments always produce the identical plan.
+
+        Gray events draw after all fail-stop/SDC events, so plans built
+        with the pre-gray parameter set are byte-identical to what older
+        versions produced.  ``slow_factor`` bounds the latency multiplier,
+        ``slow_duration`` the recovery window as a fraction of ``horizon``
+        (a quarter of gray events draw as permanent), ``flaky_drop_p``
+        the per-round drop probability.
         """
         if n < 1 and (link_kills or drops):
             raise ConfigError("link faults need a machine with n >= 1")
@@ -274,13 +442,62 @@ class FaultPlan:
                     bit=int(rng.integers(64)),
                 )
             )
+
+        def gray_duration() -> float:
+            # A quarter of gray events are permanent degradations.
+            if rng.random() < 0.25:
+                return 0.0
+            return float(rng.uniform(*slow_duration)) * horizon
+
+        if (link_slows or flaky_links) and n < 1:
+            raise ConfigError("link faults need a machine with n >= 1")
+        for _ in range(link_slows):
+            dim = int(rng.integers(n))
+            pid = int(rng.integers(p))
+            events.append(
+                LinkSlow(
+                    when(),
+                    dim=dim,
+                    pid=min(pid, pid ^ (1 << dim)),
+                    factor=float(rng.uniform(*slow_factor)),
+                    duration=gray_duration(),
+                )
+            )
+        for _ in range(node_slows):
+            events.append(
+                NodeSlow(
+                    when(),
+                    pid=int(rng.integers(p)),
+                    factor=float(rng.uniform(*slow_factor)),
+                    duration=gray_duration(),
+                )
+            )
+        for _ in range(flaky_links):
+            events.append(
+                LinkFlaky(
+                    when(),
+                    dim=int(rng.integers(n)),
+                    drop_p=float(rng.uniform(*flaky_drop_p)),
+                    duration=gray_duration(),
+                    seed=int(rng.integers(1 << 31)),
+                )
+            )
         return cls(events)
 
 
 #: kind-name → event class, for :meth:`FaultPlan.from_dict`.
 _EVENT_KINDS = {
     cls.__name__: cls
-    for cls in (NodeKill, LinkKill, LinkDrop, BitFlip, LinkCorrupt)
+    for cls in (
+        NodeKill,
+        LinkKill,
+        LinkDrop,
+        BitFlip,
+        LinkCorrupt,
+        LinkSlow,
+        NodeSlow,
+        LinkFlaky,
+    )
 }
 
 
@@ -291,5 +508,8 @@ __all__ = [
     "LinkDrop",
     "BitFlip",
     "LinkCorrupt",
+    "LinkSlow",
+    "NodeSlow",
+    "LinkFlaky",
     "FaultPlan",
 ]

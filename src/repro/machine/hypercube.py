@@ -100,6 +100,13 @@ class Hypercube:
         self.link_ok: Optional[np.ndarray] = None  # (n, p) bool; None = all up
         self._n_dead_nodes = 0
         self._dead_links_by_dim: dict = {}  # dim -> sorted list of low pids
+        # Gray-failure state: degraded-but-alive components.  A slow link
+        # or node stretches charged round time without changing element or
+        # round counts; both dicts stay empty on healthy machines so the
+        # hot paths pay nothing.
+        self._slow_links_by_dim: dict = {}  # dim -> {low pid: factor}
+        self._slow_nodes: dict = {}  # pid -> factor
+        self._node_slow_max = 1.0  # max(self._slow_nodes.values(), 1.0)
         # Per-machine plan cache: a fresh machine (or cost model) gets a
         # fresh empty cache, so plans can never leak across machines.
         self.plans = PlanCache(self, enabled=plan_cache)
@@ -186,6 +193,11 @@ class Hypercube:
         """True once any permanent fault (dead node or link) has landed."""
         return self._n_dead_nodes > 0 or bool(self._dead_links_by_dim)
 
+    @property
+    def gray_active(self) -> bool:
+        """True while any gray degradation (slow link/node) is in force."""
+        return bool(self._slow_links_by_dim) or bool(self._slow_nodes)
+
     def attach_faults(self, injector: Any) -> Any:
         """Attach a :class:`repro.faults.FaultInjector` (returns it).
 
@@ -242,6 +254,12 @@ class Hypercube:
             return False
         self.node_ok[pid] = False
         self._n_dead_nodes += 1
+        # A dead node supersedes any gray straggler state it carried.
+        if pid in self._slow_nodes:
+            del self._slow_nodes[pid]
+            self._node_slow_max = (
+                max(self._slow_nodes.values()) if self._slow_nodes else 1.0
+            )
         self.bump_epoch()
         tracer = self.tracer
         if tracer is not None:
@@ -270,6 +288,12 @@ class Hypercube:
         links = self._dead_links_by_dim.setdefault(dim, [])
         links.append(lo)
         links.sort()
+        # A dead link supersedes any gray slowdown on the same link.
+        slow = self._slow_links_by_dim.get(dim)
+        if slow is not None:
+            slow.pop(lo, None)
+            if not slow:
+                del self._slow_links_by_dim[dim]
         self.bump_epoch()
         tracer = self.tracer
         if tracer is not None:
@@ -277,6 +301,121 @@ class Hypercube:
                 f"kill_link:{dim}@{lo}", "fault", dim=dim, pid=lo, epoch=self.epoch
             )
         return True
+
+    # -- gray (degraded-but-alive) state ---------------------------------------
+
+    def slow_link(self, dim: int, pid: int, factor: float) -> bool:
+        """Degrade the link across ``dim`` at ``pid`` by ``factor``.
+
+        Rounds crossing the slow link pay ``factor`` times the healthy
+        round latency (elements/rounds counters unchanged).  A repeat call
+        overwrites the factor.  Returns False (no-op) when the link is
+        already dead.  Bumps the epoch: cached plans may embed routing
+        choices the new latency surface invalidates.
+        """
+        self._check_dim(dim)
+        if not (0 <= pid < self.p):
+            raise ConfigError(f"pid {pid} out of range for p={self.p}")
+        if factor < 1.0:
+            raise ConfigError(f"slow factor must be >= 1, got {factor}")
+        lo = min(pid, pid ^ (1 << dim))
+        if not self.link_alive(dim, lo):
+            return False
+        self._slow_links_by_dim.setdefault(dim, {})[lo] = float(factor)
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"slow_link:{dim}@{lo}", "fault",
+                dim=dim, pid=lo, factor=factor, epoch=self.epoch,
+            )
+        return True
+
+    def restore_link_speed(self, dim: int, pid: int) -> bool:
+        """Recover a slow link to full speed; False if it was not slow."""
+        self._check_dim(dim)
+        lo = min(pid, pid ^ (1 << dim))
+        slow = self._slow_links_by_dim.get(dim)
+        if slow is None or lo not in slow:
+            return False
+        del slow[lo]
+        if not slow:
+            del self._slow_links_by_dim[dim]
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"restore_link:{dim}@{lo}", "fault",
+                dim=dim, pid=lo, epoch=self.epoch,
+            )
+        return True
+
+    def slow_node(self, pid: int, factor: float) -> bool:
+        """Degrade processor ``pid`` into a straggler by ``factor``.
+
+        Lockstep SIMD rounds wait for the slowest participant, so every
+        structured round stretches by the worst straggler factor; router
+        rounds stretch only where ``pid`` sends or receives.  Returns
+        False (no-op) when the node is already dead.
+        """
+        if not (0 <= pid < self.p):
+            raise ConfigError(f"pid {pid} out of range for p={self.p}")
+        if factor < 1.0:
+            raise ConfigError(f"slow factor must be >= 1, got {factor}")
+        if not self.node_alive(pid):
+            return False
+        self._slow_nodes[pid] = float(factor)
+        self._node_slow_max = max(self._slow_nodes.values())
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"slow_node:{pid}", "fault",
+                pid=pid, factor=factor, epoch=self.epoch,
+            )
+        return True
+
+    def restore_node_speed(self, pid: int) -> bool:
+        """Recover a straggler node to full speed; False if it was not slow."""
+        if pid not in self._slow_nodes:
+            return False
+        del self._slow_nodes[pid]
+        self._node_slow_max = (
+            max(self._slow_nodes.values()) if self._slow_nodes else 1.0
+        )
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"restore_node:{pid}", "fault", pid=pid, epoch=self.epoch
+            )
+        return True
+
+    def link_slow_factor(self, dim: int, pid: int) -> float:
+        """The latency multiplier on ``pid``'s link across ``dim`` (1.0 = healthy)."""
+        slow = self._slow_links_by_dim.get(dim)
+        if slow is None:
+            return 1.0
+        return slow.get(min(pid, pid ^ (1 << dim)), 1.0)
+
+    def node_slow_factor(self, pid: int) -> float:
+        """The straggler multiplier of processor ``pid`` (1.0 = healthy)."""
+        return self._slow_nodes.get(pid, 1.0)
+
+    def round_stretch(self, dim: Optional[int]) -> float:
+        """Lockstep stretch of one structured round (worst participant).
+
+        Every processor participates in a structured SIMD round, so the
+        round waits for the slowest node and — when ``dim`` is known — the
+        slowest link along that dimension.  Dimensionless rounds stretch
+        by node stragglers only (the traversed links are unknown).
+        """
+        stretch = self._node_slow_max
+        if dim is not None:
+            slow = self._slow_links_by_dim.get(dim)
+            if slow:
+                stretch = max(stretch, max(slow.values()))
+        return stretch
 
     def _exchange_detour_dim(self, dim: int) -> int:
         """Detour dimension for structured exchanges across faulted ``dim``.
@@ -371,7 +510,7 @@ class Hypercube:
         self.counters.charge_flops(local_elements * self.p, time)
         sanitizer = self.sanitizer
         if sanitizer is not None:
-            sanitizer.observe(self)
+            sanitizer.observe_charge(self)
 
     def charge_local(self, local_elements: float) -> None:
         """One SIMD local move/pack pass."""
@@ -383,7 +522,7 @@ class Hypercube:
         self.counters.charge_local(local_elements * self.p, time)
         sanitizer = self.sanitizer
         if sanitizer is not None:
-            sanitizer.observe(self)
+            sanitizer.observe_charge(self)
 
     def charge_comm_round(
         self,
@@ -412,6 +551,8 @@ class Hypercube:
             self.faults is None
             and self.node_ok is None
             and self.link_ok is None
+            and not self._slow_links_by_dim
+            and not self._slow_nodes
         ):
             self._charge_comm_round_plain(elements_per_processor, rounds, dim)
         else:
@@ -454,6 +595,20 @@ class Hypercube:
                 f"{self.p} processors are dead (epoch {self.epoch})"
             )
         self._charge_comm_round_plain(elements_per_processor, rounds, dim)
+        if self.gray_active:
+            # Lockstep: each structured round waits for its slowest
+            # participant.  The surcharge is pure simulated latency —
+            # element and round counters describe the same traffic.
+            stretch = self.round_stretch(dim)
+            if stretch > 1.0:
+                extra = (
+                    (stretch - 1.0)
+                    * self._round_cost[elements_per_processor]
+                    * rounds
+                )
+                self.counters.charge_transfer(0.0, 0, extra)
+                if faults is not None:
+                    faults.on_gray_round(dim, rounds, extra)
         if dim is not None and dim in self._dead_links_by_dim:
             # Every dead link in ``dim`` detours through an adjacent
             # dimension: 3 hops instead of 1, so each original round costs

@@ -116,6 +116,15 @@ class Router:
             )
         else:
             span_ctx = None
+        # Gray state (slow links/nodes, or lingering health suspicion that
+        # may trigger straggler avoidance) is continuous: it stretches
+        # round time and steers routing without a topology epoch to key
+        # on, so gray routes bypass the plan cache entirely and resimulate.
+        gray = machine.gray_active or (
+            faults is not None
+            and faults.avoid_stragglers
+            and faults.health.tracked > 0
+        )
         with span_ctx if span_ctx is not None else _NULL:
             # Identical h-relations recur every iteration of the solver
             # loops; memoize their stats under a digest of the exact message
@@ -123,7 +132,7 @@ class Router:
             # call, so the counters cannot tell the difference.
             plans = machine.plans
             cache_key = None
-            if plans.enabled:
+            if plans.enabled and not gray:
                 cache_key = (
                     "route", src.tobytes(), dst.tobytes(), sizes.tobytes()
                 )
@@ -148,8 +157,10 @@ class Router:
                             )
                     return cached
 
-            if machine.faulty:
-                stats = self._simulate_faulty(src, dst, sizes, tracer)
+            if machine.faulty or gray:
+                stats = self._simulate_faulty(
+                    src, dst, sizes, tracer, observe=charge
+                )
             else:
                 cur = src.copy()
                 total_time = 0.0
@@ -228,14 +239,55 @@ class Router:
                 return e
         return None
 
+    def _fast_detour_dim(self, node: int, d: int, health) -> Optional[int]:
+        """Straggler-avoidance: a detour dim worth taking around a slow link.
+
+        Consults the fault injector's learned health scores (not the true
+        gray state — the router only knows what the telemetry showed).  A
+        direct hop across a link suspected at factor ``f`` costs ``~f``
+        rounds-worth of time; the 3-hop sidestep costs the sum of its three
+        links' suspected factors (≥3 when healthy), so the detour is taken
+        only when the model predicts a win: ``f > 3`` and some healthy
+        sidestep beats it.  Returns ``None`` when staying direct is best.
+        """
+        machine = self.machine
+        bit = 1 << d
+        f_direct = health.link_factor(d, min(node, node ^ bit))
+        if f_direct <= 3.0:
+            return None
+        best = None
+        best_cost = f_direct
+        for e in range(machine.n):
+            if e == d:
+                continue
+            ebit = 1 << e
+            if not (
+                machine.node_alive(node ^ ebit)
+                and machine.node_alive(node ^ ebit ^ bit)
+                and machine.link_alive(e, node)
+                and machine.link_alive(d, node ^ ebit)
+                and machine.link_alive(e, node ^ bit)
+            ):
+                continue
+            cost = (
+                health.link_factor(e, min(node, node ^ ebit))
+                + health.link_factor(d, min(node ^ ebit, node ^ ebit ^ bit))
+                + health.link_factor(e, min(node ^ bit, node ^ bit ^ ebit))
+            )
+            if cost < best_cost:
+                best = e
+                best_cost = cost
+        return best
+
     def _simulate_faulty(
         self,
         src: np.ndarray,
         dst: np.ndarray,
         sizes: np.ndarray,
         tracer: Optional[object],
+        observe: bool = True,
     ) -> "RouteStats":
-        """E-cube routing on a machine with dead links and/or nodes.
+        """E-cube routing on a machine with dead, slow and/or flaky parts.
 
         The healthy router corrects dimensions in a single lowest-first
         sweep.  Here each message may additionally:
@@ -245,12 +297,21 @@ class Router:
           charged round; detours through the same dimension share rounds);
         * **defer** — correcting this dimension now would land it on a dead
           node (or no detour exists), so it corrects a later dimension
-          first and retries on the next sweep from its new address.
+          first and retries on the next sweep from its new address;
+        * **avoid** — the injector's health model suspects the direct link
+          of straggling badly enough that the 3-hop sidestep is predicted
+          cheaper (see :meth:`_fast_detour_dim`); charged honestly as the
+          three detour hops.
 
-        Sweeps repeat until every message arrives; a sweep that moves
-        nothing while messages remain raises :class:`UnroutableError`.
-        Messages whose source or destination processor is dead raise
-        :class:`NodeKilledError` up front.
+        Each round's duration additionally stretches by the worst true
+        slowdown among its participants (gray failures are real whether or
+        not the health model has noticed).  With ``observe`` (charged
+        simulations), every round's timing feeds the injector's health
+        tracker — that is where detection comes from.  Sweeps repeat until
+        every message arrives; a sweep that moves nothing while messages
+        remain raises :class:`UnroutableError`.  Messages whose source or
+        destination processor is dead raise :class:`NodeKilledError` up
+        front.
         """
         machine = self.machine
         if machine.node_ok is not None:
@@ -270,6 +331,15 @@ class Router:
         rounds = 0
         worst = 0.0
         round_detail = []
+        faults = machine.faults
+        gray = machine.gray_active
+        slow_nodes = machine._slow_nodes
+        health = faults.health if faults is not None else None
+        avoid = (
+            faults is not None
+            and faults.avoid_stragglers
+            and (gray or faults.health.tracked > 0)
+        )
 
         def charge_round(dim: int, positions: list, volumes: list) -> None:
             nonlocal total_time, total_hops, rounds, worst
@@ -279,13 +349,46 @@ class Router:
                 minlength=machine.p,
             )
             congestion = float(loads.max())
-            total_time += cm.tau + cm.t_c * congestion
+            stretch = 1.0
+            involved: dict = {}
+            if gray:
+                # The round waits for its slowest participant: the worst
+                # slow link actually crossed and the worst straggler
+                # endpoint.  The stretch is real simulated latency whether
+                # or not the health model has caught on yet.
+                slow = machine._slow_links_by_dim.get(dim, {})
+                bit = 1 << dim
+                for pos in positions:
+                    lo = min(pos, pos ^ bit)
+                    factor = slow.get(lo)
+                    if factor is not None:
+                        involved[lo] = factor
+                        if factor > stretch:
+                            stretch = factor
+                    if slow_nodes:
+                        nf = max(
+                            slow_nodes.get(pos, 1.0),
+                            slow_nodes.get(pos ^ bit, 1.0),
+                        )
+                        if nf > stretch:
+                            stretch = nf
+            total_time += (cm.tau + cm.t_c * congestion) * stretch
             total_hops += float(sum(volumes))
             worst = max(worst, congestion)
             rounds += 1
             round_detail.append((dim, congestion))
             if tracer is not None:
                 tracer.on_route_round(dim, loads, congestion)
+            if observe and health is not None and (gray or health.tracked):
+                # Timing telemetry: each endpoint sees how long its own
+                # exchange took, so the stretch is attributable to the
+                # links that carried traffic this round.  Links the sweep
+                # routed *around* give no evidence and keep their scores.
+                bit = 1 << dim
+                los = {min(pos, pos ^ bit) for pos in positions}
+                health.observe_round(
+                    dim, involved, slow_nodes, participating=los
+                )
 
         while np.any(cur != dst):
             progressed = False
@@ -311,6 +414,13 @@ class Router:
                             f"{machine.epoch})"
                         )
                     if machine.link_alive(d, node):
+                        if avoid:
+                            e = self._fast_detour_dim(node, d, health)
+                            if e is not None:
+                                detoured.setdefault(e, []).append(i)
+                                if observe:
+                                    faults.stats.straggler_detours += 1
+                                continue
                         direct.append(i)
                         continue
                     e = self._detour_dim(node, d)

@@ -443,7 +443,7 @@ def validate_record(record: Any) -> None:
 
     if record.get("schema") != SCHEMA:
         fail(f"schema {record.get('schema')!r} != {SCHEMA!r}")
-    if record.get("kind") not in ("run", "legacy-import"):
+    if record.get("kind") not in ("run", "legacy-import", "chaos"):
         fail(f"unknown kind {record.get('kind')!r}")
     for key, kinds in (
         ("workload", str),
@@ -468,8 +468,9 @@ def validate_record(record: Any) -> None:
         ):
             if not isinstance(record["sim"].get(field_name), (int, float)):
                 fail(f"sim.{field_name} missing on a 'run' record")
+    if record["kind"] in ("run", "chaos"):
         if not isinstance(record.get("metrics"), dict):
-            fail("metrics snapshot missing on a 'run' record")
+            fail(f"metrics snapshot missing on a {record['kind']!r} record")
 
 
 def append_records(records: List[Dict[str, Any]], path: str) -> int:

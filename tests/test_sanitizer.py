@@ -181,6 +181,44 @@ class TestSampledChecking:
         snap4 = s4.machine.counters.snapshot().as_dict()
         assert snap1 == snap4
 
+    def test_sampling_skips_snapshots_entirely(self, monkeypatch):
+        """Non-sampled observes are lazy: no CostSnapshot is even built.
+
+        ``sample_every=K`` must skip the snapshot itself (the per-round
+        hot path), not just the comparisons — so the snapshot count
+        shrinks roughly by K while results stay bit-identical.
+        """
+        from repro.machine.counters import Counters
+
+        real = Counters.snapshot
+        taken = {}
+
+        def run_counting(k):
+            taken[k] = 0
+
+            def counting(counters):
+                taken[k] += 1
+                return real(counters)
+
+            monkeypatch.setattr(Counters, "snapshot", counting)
+            try:
+                return self._run(k)
+            finally:
+                monkeypatch.setattr(Counters, "snapshot", real)
+
+        _, x1 = run_counting(1)
+        _, x8 = run_counting(8)
+        assert np.array_equal(x1, x8)
+        assert taken[8] < taken[1] / 2
+
+    def test_unsampled_observe_is_a_noop(self):
+        sanitizer = MachineSanitizer()
+        m = Hypercube(3)
+        m.attach_sanitizer(sanitizer)
+        before = sanitizer._last
+        assert sanitizer.observe(m, sampled=False) is None
+        assert sanitizer._last is before
+
     def test_k1_matches_repeated_run_exactly(self):
         a_stats = self._run(1)[0].sanitizer.stats
         b_stats = self._run(1)[0].sanitizer.stats

@@ -62,7 +62,7 @@ class TestPlanRoundTrip:
             FaultPlan.from_dict({"events": [{"kind": "Meteor", "time": 1.0}]})
 
     def test_bad_fields_are_a_config_error(self):
-        with pytest.raises(ConfigError, match="bad fields"):
+        with pytest.raises(ConfigError, match=r"events\[0\].*unknown field"):
             FaultPlan.from_dict(
                 {"events": [{"kind": "BitFlip", "time": 1.0, "bogus": 7}]}
             )
