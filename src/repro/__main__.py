@@ -33,6 +33,11 @@ Subcommands:
   finish with a result equal to the fault-free baseline; any failure is
   delta-debugged down to a minimal replayable JSON plan and the campaign
   summary lands in the bench warehouse.  Exits non-zero on any failure.
+  ``--workloads`` narrows the draw pool (e.g. ``--workloads bfs``);
+* ``graph`` — run a sparse graph algorithm (BFS / SSSP / connected
+  components, via the semiring SpMV primitives) on a seeded random
+  graph, self-verify against the serial reference, and report the
+  simulated cost; exits non-zero on any divergence.
 
 ``demo``/``solve``/``trace`` additionally accept ``--fault-seed`` /
 ``--fault-rate`` / ``--sdc-rate`` to inject non-fatal faults (link kills
@@ -528,6 +533,64 @@ def _cmd_abft(args: argparse.Namespace) -> int:
     return 0 if (report.recovered and matches) else 1
 
 
+def _cmd_graph(args: argparse.Namespace) -> int:
+    # Imports repro.sparse (via the graph module) only here: every other
+    # subcommand stays sparse-free.
+    from . import workloads as W
+    from .algorithms import graph as G
+
+    graph = W.random_graph(args.nodes, args.degree, seed=args.seed)
+    session = Session(args.n, args.cost_model, **_obs_kwargs(args))
+
+    def run():
+        if args.algorithm == "bfs":
+            return (
+                G.bfs(session, graph, args.source),
+                G.bfs_reference(graph, args.source),
+            )
+        if args.algorithm == "sssp":
+            return (
+                G.sssp(session, graph, args.source),
+                G.sssp_reference(graph, args.source),
+            )
+        return (
+            G.connected_components(session, graph),
+            G.cc_reference(graph),
+        )
+
+    result, want = _profiled_run(session, run)
+    matches = bool(np.array_equal(result.values, want))
+    reached = int((result.values >= 0).sum()) if args.algorithm != "cc" else (
+        args.nodes
+    )
+    data = {
+        "algorithm": args.algorithm,
+        "nodes": args.nodes,
+        "edges": graph.n_edges,
+        "source": args.source,
+        "p": session.machine.p,
+        "iterations": result.iterations,
+        "reached": reached,
+        "matches_reference": matches,
+        "time": result.cost.time,
+        "cost": result.cost.as_dict(),
+    }
+    lines = [
+        f"{args.algorithm} on {args.nodes} vertices / {graph.n_edges} edges "
+        f"(seed {args.seed}, p={session.machine.p})",
+        f"iterations       : {result.iterations}",
+        f"reached          : {reached}/{args.nodes} vertices"
+        if args.algorithm != "cc"
+        else f"components       : {len(np.unique(result.values))}",
+        f"matches reference: {matches}",
+        f"simulated time   : {result.cost.time:,.0f} ticks",
+    ]
+    if session.profiler is not None:
+        lines += ["", session.profiler.format_table()]
+    _emit(args, data, "\n".join(lines))
+    return 0 if matches else 1
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .check import golden, runner
 
@@ -705,6 +768,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ) from None
     if not sizes:
         raise ConfigError("--sizes must name at least one matrix size")
+    workload_pool = tuple(
+        w.strip() for w in args.workloads.split(",") if w.strip()
+    )
+    if not workload_pool:
+        raise ConfigError("--workloads must name at least one workload")
     progress = None if args.json else print
 
     t0 = _walltime.perf_counter()
@@ -713,6 +781,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         master_seed=args.seed,
         n_dims=args.n,
         sizes=sizes,
+        workloads=workload_pool,
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
         progress=progress,
@@ -931,6 +1000,24 @@ def main(argv=None) -> int:
                         help="also write a Chrome trace-event file here")
     p_abft.set_defaults(fn=_cmd_abft)
 
+    p_graph = sub.add_parser(
+        "graph",
+        help="run a sparse graph algorithm (semiring SpMV) and verify "
+             "against the serial reference",
+    )
+    add_machine_args(p_graph)
+    add_obs_args(p_graph)
+    p_graph.add_argument("--algorithm", default="bfs",
+                         choices=["bfs", "sssp", "cc"])
+    p_graph.add_argument("--nodes", type=int, default=64,
+                         help="vertex count of the seeded random graph "
+                              "(default 64)")
+    p_graph.add_argument("--degree", type=float, default=3.0,
+                         help="target average degree (default 3.0)")
+    p_graph.add_argument("--source", type=int, default=0,
+                         help="source vertex for bfs/sssp (default 0)")
+    p_graph.set_defaults(fn=_cmd_graph)
+
     p_check = sub.add_parser(
         "check",
         help="run the conformance suite (sanitizer / oracle / golden)",
@@ -1006,6 +1093,11 @@ def main(argv=None) -> int:
     p_chaos.add_argument(
         "--sizes", default="8,12,16", metavar="N,N,...",
         help="comma-separated matrix sizes to draw from (default 8,12,16)")
+    p_chaos.add_argument(
+        "--workloads", default="gaussian,simplex,matvec,bfs",
+        metavar="W,W,...",
+        help="comma-separated workload pool to draw from "
+             "(default gaussian,simplex,matvec,bfs)")
     p_chaos.add_argument(
         "--artifact-dir", default="chaos-artifacts", metavar="DIR",
         help="directory for minimized failing plans (created up front; "

@@ -23,7 +23,10 @@ Extensions from the same TMC report family, on the same machinery:
 * :mod:`~repro.algorithms.sort` — combined sequential/bitonic cube sort;
 * :mod:`~repro.algorithms.histogram` — dense vs sparse all-to-all histograms;
 * :mod:`~repro.algorithms.tridiagonal` — substructuring + parallel cyclic
-  reduction (the Johnsson-Ho ADI substrate).
+  reduction (the Johnsson-Ho ADI substrate);
+* :mod:`~repro.algorithms.graph` — BFS / SSSP / connected components on
+  the semiring sparse primitives (loaded lazily: it pulls in
+  :mod:`repro.sparse`, which dense runs must never import).
 """
 
 from . import (
@@ -48,7 +51,19 @@ from .qr import QRFactorization
 from .simplex import SimplexResult
 from .triangular import LUFactorization
 
+
+def __getattr__(name: str):
+    # ``graph`` loads the sparse subsystem, so it is resolved on first
+    # access instead of at package import (dense runs stay sparse-free).
+    if name == "graph":
+        import importlib
+
+        return importlib.import_module(".graph", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "graph",
     "fft",
     "gaussian",
     "histogram",

@@ -71,12 +71,22 @@ def _matvec(session: Session) -> None:
         matvec.matvec(dA, session.row_vector(x, dA))
 
 
+def _bfs(session: Session) -> None:
+    # Pins the sparse subsystem's accounting: nnz-balanced embedding,
+    # routed frontier exchanges, and the charged convergence reduction.
+    from ..algorithms import graph
+
+    g = workloads.random_graph(48, 3.0, seed=7)
+    graph.bfs(session, g, 0)
+
+
 WORKLOADS: Dict[str, Callable[[Session], None]] = {
     "gaussian": _gaussian,
     "simplex": _simplex,
     "matvec": _matvec,
     "gaussian_abft": _gaussian,
     "matvec_abft": _matvec,
+    "bfs": _bfs,
 }
 
 #: Extra Session keyword arguments per workload.  The ``*_abft`` entries

@@ -188,6 +188,169 @@ def _cg_case(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
     return res.x, np.linalg.solve(A, b)
 
 
+# -- sparse / graph cases (optional scipy + NetworkX references) -----------------
+
+_INT_INF = np.iinfo(np.int64).max
+
+
+def _require_reference(module: str, case: str):
+    """Import an optional reference package or fail with an install hint.
+
+    The sparse compute paths themselves are NumPy-only; scipy and NetworkX
+    are used *exclusively* as oracle references, via the ``repro[sparse]``
+    extra.  A missing package turns the cell into a
+    :class:`~repro.errors.ConfigError` naming the cell and the fix.
+    """
+    import importlib
+
+    from ..errors import ConfigError
+
+    try:
+        return importlib.import_module(module)
+    except ImportError as exc:
+        raise ConfigError(
+            f"oracle case {case!r} needs the optional reference package "
+            f"{module.split('.')[0]!r}; install the extras with "
+            f"pip install 'repro[sparse]'"
+        ) from exc
+
+
+def _sparse_operands(seed: int, shape=(13, 9), density: float = 0.35):
+    """Seeded integer operands: a sparse matrix, a vector, an absence mask.
+
+    Small positive integers keep every semiring's arithmetic exact, so
+    all sparse cells compare bit-for-bit.
+    """
+    rng = np.random.default_rng(seed)
+    D = ((rng.random(shape) < density) * rng.integers(1, 9, shape)).astype(
+        np.int64
+    )
+    x = rng.integers(1, 9, size=shape[1]).astype(np.int64)
+    absent = rng.random(shape[1]) < 0.3
+    return D, x, absent
+
+
+def _spmv_case(semiring: str):
+    def run(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+        sps = _require_reference("scipy.sparse", f"spmv:{semiring}")
+        from ..sparse import SparseMatrix, SparseVector, spmv
+
+        D, x, absent = _sparse_operands(seed)
+        machine = session.machine
+        if semiring == "plus_times":
+            S = sps.csr_matrix(D)
+            A = SparseMatrix.from_dense(machine, D)
+            xv = SparseVector.from_numpy(machine, np.where(absent, 0, x))
+            return spmv(A, xv, semiring).to_numpy(), S @ np.where(absent, 0, x)
+        if semiring == "or_and":
+            pattern = D != 0
+            S = sps.csr_matrix(pattern.astype(np.int64))
+            A = SparseMatrix.from_dense(machine, pattern)
+            xv = SparseVector.from_numpy(machine, ~absent, fill=False)
+            return (
+                spmv(A, xv, semiring).to_numpy(),
+                (S @ (~absent).astype(np.int64)) > 0,
+            )
+        # min_plus: the scipy CSR supplies structure + values; the dense
+        # reference masks absent entries exactly like the annihilator rule.
+        dense = sps.csr_matrix(D).toarray()
+        A = SparseMatrix.from_dense(machine, D)
+        xv = SparseVector.from_numpy(
+            machine, np.where(absent, _INT_INF, x), fill=_INT_INF
+        )
+        valid = (dense != 0) & ~absent[None, :]
+        terms = np.where(valid, dense + x[None, :], _INT_INF)
+        want = terms.min(axis=1, initial=_INT_INF)
+        return spmv(A, xv, semiring).to_numpy(), want
+
+    return run
+
+
+def _spgemm_case(semiring: str):
+    def run(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+        sps = _require_reference("scipy.sparse", f"spgemm:{semiring}")
+        from ..sparse import SparseMatrix, spgemm
+
+        rng = np.random.default_rng(seed)
+        D = ((rng.random((11, 8)) < 0.35) * rng.integers(1, 9, (11, 8))).astype(
+            np.int64
+        )
+        E = ((rng.random((8, 9)) < 0.35) * rng.integers(1, 9, (8, 9))).astype(
+            np.int64
+        )
+        machine = session.machine
+        if semiring == "plus_times":
+            want = (sps.csr_matrix(D) @ sps.csr_matrix(E)).toarray()
+            A = SparseMatrix.from_dense(machine, D)
+            B = SparseMatrix.from_dense(machine, E)
+            return spgemm(A, B, semiring).to_dense(), want
+        if semiring == "or_and":
+            SA = sps.csr_matrix((D != 0).astype(np.int64))
+            SB = sps.csr_matrix((E != 0).astype(np.int64))
+            want = (SA @ SB).toarray() > 0
+            A = SparseMatrix.from_dense(machine, D != 0)
+            B = SparseMatrix.from_dense(machine, E != 0)
+            return spgemm(A, B, semiring).to_dense(), want
+        # min_plus: data is >= 1 so every path cost is >= 2 and the dense
+        # zero background cannot collide with a computed entry.
+        valid = (D != 0)[:, :, None] & (E != 0)[None, :, :]
+        terms = np.where(
+            valid, D[:, :, None] + E[None, :, :], _INT_INF
+        )
+        want = terms.min(axis=1, initial=_INT_INF)
+        want = np.where(want == _INT_INF, 0, want)
+        A = SparseMatrix.from_dense(machine, D)
+        B = SparseMatrix.from_dense(machine, E)
+        return spgemm(A, B, semiring).to_dense(), want
+
+    return run
+
+
+#: Seeded random-graph instances per graph cell (ISSUE floor: >= 5).
+GRAPH_SEEDS = 5
+
+
+def _graph_case(kind: str):
+    def run(session: Session, seed: int) -> Tuple[np.ndarray, np.ndarray]:
+        nx = _require_reference("networkx", f"graph:{kind}")
+        from ..algorithms import graph as galg
+
+        gots, wants = [], []
+        for offset in range(GRAPH_SEEDS):
+            g = workloads.random_graph(16, 3.0, seed=seed + offset)
+            nxg = nx.Graph()
+            nxg.add_nodes_from(range(g.n))
+            nxg.add_weighted_edges_from(
+                zip(g.rows.tolist(), g.cols.tolist(), g.weights.tolist())
+            )
+            if kind == "bfs":
+                got = galg.bfs(session, g, 0).values
+                want = np.full(g.n, -1, dtype=np.int64)
+                for node, d in nx.single_source_shortest_path_length(
+                    nxg, 0
+                ).items():
+                    want[node] = d
+            elif kind == "sssp":
+                got = galg.sssp(session, g, 0).values
+                want = np.full(g.n, -1, dtype=np.int64)
+                for node, d in nx.single_source_dijkstra_path_length(
+                    nxg, 0, weight="weight"
+                ).items():
+                    want[node] = int(d)
+            else:
+                got = galg.connected_components(session, g).values
+                want = np.empty(g.n, dtype=np.int64)
+                for comp in nx.connected_components(nxg):
+                    label = min(comp)
+                    for node in comp:
+                        want[node] = label
+            gots.append(got)
+            wants.append(want)
+        return np.concatenate(gots), np.concatenate(wants)
+
+    return run
+
+
 #: The registry, ordered roughly by how much machinery each case exercises.
 CASES: Tuple[OracleCase, ...] = (
     OracleCase("matvec", _matvec_case),
@@ -201,6 +364,18 @@ CASES: Tuple[OracleCase, ...] = (
     OracleCase("tridiagonal", _tridiagonal_case, tol=1e-7),
     OracleCase("lu_solve", _lu_case, tol=1e-7),
     OracleCase("conjugate_gradient", _cg_case, tol=1e-6),
+    # Sparse primitives vs scipy.sparse, one cell per registered semiring;
+    # graph algorithms vs NetworkX over GRAPH_SEEDS seeded random graphs.
+    # All integer data: every sparse cell is exact.
+    OracleCase("spmv:plus_times", _spmv_case("plus_times"), exact=True),
+    OracleCase("spmv:min_plus", _spmv_case("min_plus"), exact=True),
+    OracleCase("spmv:or_and", _spmv_case("or_and"), exact=True),
+    OracleCase("spgemm:plus_times", _spgemm_case("plus_times"), exact=True),
+    OracleCase("spgemm:min_plus", _spgemm_case("min_plus"), exact=True),
+    OracleCase("spgemm:or_and", _spgemm_case("or_and"), exact=True),
+    OracleCase("graph:bfs", _graph_case("bfs"), exact=True),
+    OracleCase("graph:sssp", _graph_case("sssp"), exact=True),
+    OracleCase("graph:cc", _graph_case("cc"), exact=True),
 )
 
 

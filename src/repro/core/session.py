@@ -278,6 +278,39 @@ class Session:
         emb = ColAlignedEmbedding(like.embedding, None)
         return self._vector_cls()(emb.scatter(np.asarray(data)), emb)
 
+    def sparse_matrix(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        data: np.ndarray,
+        shape,
+        layout: str = "nnz",
+    ):
+        """Embed COO triplets as a row-partitioned sparse matrix.
+
+        ``layout="nnz"`` (default) balances nonzeros per rank; ``"block"``
+        balances row counts.  Imported lazily: a session that never builds
+        sparse arrays never loads :mod:`repro.sparse`.
+        """
+        from ..sparse import SparseMatrix
+
+        return SparseMatrix.from_coo(
+            self.machine, rows, cols, data, shape, layout=layout
+        )
+
+    def sparse_vector(self, data: np.ndarray, fill=0, like=None):
+        """Embed a host vector with an explicit absent-value ``fill``.
+
+        Pass ``like`` (a sparse matrix or vector) to align partitions so
+        elementwise combines need no data motion.
+        """
+        from ..sparse import SparseVector
+
+        embedding = like.embedding if like is not None else None
+        return SparseVector.from_numpy(
+            self.machine, data, fill=fill, embedding=embedding
+        )
+
     # -- embedding helpers -----------------------------------------------------
 
     def vector_order(self, length: int, layout: str = "block") -> VectorOrderEmbedding:

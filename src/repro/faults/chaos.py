@@ -42,7 +42,7 @@ from .recovery import (
     simplex_workload,
 )
 
-WORKLOADS = ("gaussian", "simplex", "matvec")
+WORKLOADS = ("gaussian", "simplex", "matvec", "bfs")
 
 #: flag name -> probability the schedule generator turns it on.
 FLAG_PROBS = {
@@ -83,6 +83,14 @@ def build_workload(
         A = rng.integers(-3, 4, size=(size, size)).astype(np.float64)
         x = rng.integers(-3, 4, size=size).astype(np.float64)
         return lambda: matvec_workload(A, x)
+    if workload == "bfs":
+        # size doubles as the vertex count; integer levels make the
+        # recovered traversal bit-identical to the fault-free baseline.
+        from .. import workloads as W
+        from ..algorithms.graph import bfs_workload
+
+        g = W.random_graph(size, 3.0, seed=prob_seed)
+        return lambda: bfs_workload(g, 0)
     raise ConfigError(
         f"unknown chaos workload {workload!r}; choose from {WORKLOADS}"
     )

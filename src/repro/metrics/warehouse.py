@@ -94,7 +94,7 @@ DEFAULT_FLAGS: Dict[str, Any] = {
     "abft": False,
 }
 
-WORKLOADS = ("gaussian", "simplex", "matvec", "batch_gaussian")
+WORKLOADS = ("gaussian", "simplex", "matvec", "batch_gaussian", "graph_bfs")
 
 
 @dataclass
@@ -147,6 +147,7 @@ BUILTIN_TABLES: Dict[str, List[RunSpec]] = {
         RunSpec("simplex", {"n_dims": 5, "m": 12, "n": 9}),
         RunSpec("matvec", {"n_dims": 5, "n": 32, "iters": 3}),
         RunSpec("batch_gaussian", {"n_dims": 5, "n": 12, "n_runs": 4}),
+        RunSpec("graph_bfs", {"n_dims": 5, "nodes": 48}),
     ],
     "full": [
         RunSpec("gaussian", {"n_dims": 10, "order": 127}, reps=3),
@@ -162,6 +163,7 @@ BUILTIN_TABLES: Dict[str, List[RunSpec]] = {
         RunSpec("matvec", {"n_dims": 10, "n": 256, "iters": 4}, reps=3),
         RunSpec("batch_gaussian", {"n_dims": 8, "n": 16, "n_runs": 16},
                 reps=3),
+        RunSpec("graph_bfs", {"n_dims": 8, "nodes": 256}, reps=3),
     ],
 }
 
@@ -265,6 +267,26 @@ def _scalar_workload(
             if np.array_equal(np.asarray(result), reference):
                 return True, ""
             return False, "matvec result differs from dense reference"
+
+        return run, validate
+
+    if workload == "graph_bfs":
+        from ..algorithms import graph as G
+
+        nodes = int(params["nodes"])
+        degree = float(params.get("degree", 3.0))
+        g = W.random_graph(nodes, degree, seed=nodes)
+        reference = G.bfs_reference(g, 0)
+
+        def run(session: Any) -> Any:
+            return G.bfs(session, g, 0)
+
+        def validate(result: Any) -> Tuple[bool, str]:
+            # Integer levels: the sparse traversal must equal the serial
+            # reference bit-for-bit.
+            if np.array_equal(result.values, reference):
+                return True, ""
+            return False, "bfs levels differ from the serial reference"
 
         return run, validate
 

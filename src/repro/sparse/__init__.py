@@ -1,0 +1,44 @@
+"""Sparse embeddings, semirings, and the SpMV/SpGEMM primitives.
+
+This package extends the paper's four dense primitives with the sparse /
+graph workload family (see ``docs/sparse.md``):
+
+* :class:`~repro.sparse.embedding.SparseEmbedding` — explicit nnz-balanced
+  contiguous row partitions, Gray-coded onto the cube;
+* :class:`~repro.sparse.semiring.Semiring` — (⊕, ⊗) algebras
+  (``plus_times``, ``min_plus``, ``or_and``) with identity and annihilator;
+* :func:`~repro.sparse.primitives.spmv` /
+  :func:`~repro.sparse.primitives.spgemm` — semiring-parameterized
+  primitives whose irregular communication is charged through the router.
+
+The package is import-gated: dense runs never load it (pinned by
+``tests/test_sparse_isolation.py``), and its compute paths are NumPy-only —
+scipy/NetworkX are used exclusively by the differential oracle's reference
+cells (the ``repro[sparse]`` extra).
+"""
+
+from .embedding import SparseEmbedding
+from .matrix import SparseMatrix, SparseVector
+from .primitives import spgemm, spmv
+from .semiring import (
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    get_semiring,
+    semiring_names,
+)
+
+__all__ = [
+    "MIN_PLUS",
+    "OR_AND",
+    "PLUS_TIMES",
+    "Semiring",
+    "SparseEmbedding",
+    "SparseMatrix",
+    "SparseVector",
+    "get_semiring",
+    "semiring_names",
+    "spgemm",
+    "spmv",
+]

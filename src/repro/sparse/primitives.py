@@ -1,0 +1,266 @@
+"""Semiring-parameterized sparse primitives: ``spmv`` and ``spgemm``.
+
+Both primitives follow the 1-D row-partitioned formulation of Buluç &
+Gilbert's parallel SpGEMM work: rank ``r`` computes the output rows it owns,
+fetching exactly the remote operand fragments its local nonzero *structure*
+references.  Communication is the sparse all-to-all of those fragments —
+an explicit message multiset charged through
+:meth:`Router.simulate <repro.machine.router.Router.simulate>`, so
+congestion, e-cube rounds, and plan-cache behaviour all come from the real
+irregular traffic rather than a dense-exchange bound.  Message sizes:
+
+* ``spmv`` ships one ``(index, value)`` packet — 2 words — per *present*
+  (``!= fill``) vector entry a remote rank needs; entries equal to the
+  semiring zero are annihilated (``zero ⊗ x = zero``) and never travel.
+* ``spgemm`` ships one packet of ``2 · nnz(row) + 1`` words per remote
+  ``B`` row referenced by the local ``A`` structure; empty rows contribute
+  nothing and are never requested.
+
+Compute is charged as lockstep SIMD passes at the **maximum** per-rank
+operation count — exactly why the nnz-balanced partition matters: a skewed
+partition makes every pass wait for the heaviest rank.
+
+The functional result is computed from the same global nonzero sets the
+charges describe, with NumPy's unbuffered/segmented reductions
+(``ufunc.at`` / ``reduceat``) applying the semiring's ⊕ deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..machine.router import Router
+from .embedding import SparseEmbedding
+from .matrix import SparseMatrix, SparseVector
+from .semiring import Semiring, get_semiring
+
+
+def _check_fill_is_zero(x: SparseVector, sr: Semiring) -> None:
+    """The annihilator shortcut is sound only when fill == semiring zero."""
+    zero = sr.zero(x.dtype)
+    if not (x.fill == zero or (x.fill != x.fill and zero != zero)):
+        raise ConfigError(
+            f"vector fill {x.fill!r} is not the {sr.name} zero "
+            f"{zero!r} for dtype {x.dtype}; absent entries would not "
+            f"annihilate"
+        )
+
+
+def _global_coo(A: SparseMatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    rows, cols, data = A.to_coo()
+    return rows, cols, data
+
+
+def _route_messages(machine, messages: list) -> None:
+    """Charge an aggregated sparse all-to-all (``messages`` of (src, dst, words))."""
+    if not messages:
+        return
+    src = np.array([m[0] for m in messages], dtype=np.int64)
+    dst = np.array([m[1] for m in messages], dtype=np.int64)
+    sizes = np.array([m[2] for m in messages], dtype=np.float64)
+    Router(machine).simulate(src, dst, sizes)
+
+
+def spmv(
+    A: SparseMatrix, x: SparseVector, semiring: "Semiring | str" = "plus_times"
+) -> SparseVector:
+    """``y = A ⊕.⊗ x`` over a semiring; result on ``A``'s row partition.
+
+    The output's fill is the semiring zero: rows with no surviving term
+    stay absent, so iterating ``spmv`` keeps frontiers genuinely sparse
+    (each iteration routes a *different* message multiset — irregular
+    traffic the plan cache only reuses when the frontier repeats exactly).
+    """
+    machine = A.machine
+    if x.machine is not machine:
+        raise ConfigError("operands live on different machines")
+    sr = get_semiring(semiring)
+    N, M = A.shape
+    if x.L != M:
+        raise ShapeError(
+            f"matrix has {M} columns but the vector has {x.L} elements"
+        )
+    _check_fill_is_zero(x, sr)
+    out_dtype = np.result_type(A.dtype, x.dtype)
+    zero = sr.zero(out_dtype)
+    p = machine.p
+    with machine.phase("spmv"):
+        xvals = x.to_numpy()
+        present = xvals != x.fill
+        x_rank = x.embedding.rank_table()
+        # Per-rank gather lists: which present x entries each rank needs,
+        # grouped by owner.  Message order is (dest, owner) ascending so
+        # the multiset (and its route plan key) is deterministic.
+        messages = []
+        send_words = np.zeros(p, dtype=np.float64)
+        recv_words = np.zeros(p, dtype=np.float64)
+        ops_per_rank = np.zeros(p, dtype=np.int64)
+        for r in range(p):
+            idx = A.indices[r]
+            if idx.size == 0:
+                continue
+            ops_per_rank[r] = int(present[idx].sum())
+            need = np.unique(idx)
+            need = need[present[need]]
+            if need.size == 0:
+                continue
+            counts = np.bincount(x_rank[need], minlength=p)
+            for o in range(p):
+                if counts[o] == 0 or o == r:
+                    continue
+                words = 2.0 * counts[o]
+                messages.append(
+                    (
+                        int(x.embedding.pid_of_rank(o)),
+                        int(x.embedding.pid_of_rank(r)),
+                        words,
+                    )
+                )
+                send_words[o] += words
+                recv_words[r] += words
+        if messages:
+            machine.charge_local(float(send_words.max()))  # pack packets
+            _route_messages(machine, messages)
+            machine.charge_local(float(recv_words.max()))  # unpack packets
+        # Output accumulator init, then mul pass and ⊕-scatter pass.
+        machine.charge_local(A.embedding.max_count)
+        max_ops = int(ops_per_rank.max()) if p else 0
+        if max_ops:
+            machine.charge_flops(max_ops)  # ⊗ of every surviving pair
+            machine.charge_flops(max_ops)  # ⊕ accumulation into rows
+        rows_g, cols_g, data_g = _global_coo(A)
+        y = np.full(N, zero, dtype=out_dtype)
+        sel = present[cols_g]
+        if sel.any():
+            terms = sr.mul(
+                data_g[sel].astype(out_dtype, copy=False),
+                xvals[cols_g[sel]].astype(out_dtype, copy=False),
+            )
+            sr.accumulate_at(y, rows_g[sel], terms)
+        blocks = [blk.copy() for blk in A.embedding.split(y)]
+    return SparseVector(machine, A.embedding, blocks, zero)
+
+
+def spgemm(
+    A: SparseMatrix, B: SparseMatrix, semiring: "Semiring | str" = "plus_times"
+) -> SparseMatrix:
+    """``C = A ⊕.⊗ B`` over a semiring (row-wise Gustavson formulation).
+
+    Rank ``r`` fetches every ``B`` row its local ``A`` structure references
+    (remote rows travel as CSR packets), expands all ``A_ik ⊗ B_k*``
+    products, and ⊕-combines duplicates.  The result keeps ``A``'s row
+    partition; call :meth:`SparseMatrix.rebalance` to re-balance for the
+    *output* pattern.  Entries that combine to the semiring zero are
+    dropped (the usual "no explicit zeros" convention).
+    """
+    machine = A.machine
+    if B.machine is not machine:
+        raise ConfigError("operands live on different machines")
+    sr = get_semiring(semiring)
+    N, K = A.shape
+    K2, M = B.shape
+    if K != K2:
+        raise ShapeError(
+            f"inner dimensions disagree: A is {A.shape}, B is {B.shape}"
+        )
+    out_dtype = np.result_type(A.dtype, B.dtype)
+    zero = sr.zero(out_dtype)
+    p = machine.p
+    with machine.phase("spgemm"):
+        b_row_nnz = B.row_nnz()
+        b_rank = B.embedding.rank_table()
+        messages = []
+        send_words = np.zeros(p, dtype=np.float64)
+        recv_words = np.zeros(p, dtype=np.float64)
+        ops_per_rank = np.zeros(p, dtype=np.int64)
+        for r in range(p):
+            idx = A.indices[r]
+            if idx.size == 0:
+                continue
+            ops_per_rank[r] = int(b_row_nnz[idx].sum())
+            need = np.unique(idx)
+            need = need[b_row_nnz[need] > 0]
+            if need.size == 0:
+                continue
+            words_per_row = 2.0 * b_row_nnz[need] + 1.0
+            owners = b_rank[need]
+            for o in range(p):
+                if o == r:
+                    continue
+                mask = owners == o
+                if not mask.any():
+                    continue
+                words = float(words_per_row[mask].sum())
+                messages.append(
+                    (
+                        int(B.embedding.pid_of_rank(o)),
+                        int(A.embedding.pid_of_rank(r)),
+                        words,
+                    )
+                )
+                send_words[o] += words
+                recv_words[r] += words
+        if messages:
+            machine.charge_local(float(send_words.max()))
+            _route_messages(machine, messages)
+            machine.charge_local(float(recv_words.max()))
+        max_ops = int(ops_per_rank.max()) if p else 0
+        if max_ops:
+            machine.charge_flops(max_ops)  # ⊗ of every expanded product
+            machine.charge_local(max_ops)  # sort/stage the expansion
+            machine.charge_flops(max_ops)  # ⊕-combine duplicate (i, j)
+        # Functional expansion: every (i, k) of A against B's row k.
+        a_rows, a_cols, a_data = _global_coo(A)
+        b_rows, b_cols, b_data = _global_coo(B)
+        b_indptr = np.concatenate([[0], np.cumsum(b_row_nnz)]).astype(np.int64)
+        reps = b_row_nnz[a_cols]
+        total = int(reps.sum())
+        if total == 0:
+            return SparseMatrix.from_coo(
+                machine,
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=out_dtype),
+                (N, M),
+                embedding=A.embedding,
+            )
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.concatenate([[0], np.cumsum(reps)[:-1]]).astype(np.int64), reps
+        )
+        pos = np.repeat(b_indptr[a_cols], reps) + offsets
+        out_rows = np.repeat(a_rows, reps)
+        out_cols = b_cols[pos]
+        terms = sr.mul(
+            np.repeat(a_data, reps).astype(out_dtype, copy=False),
+            b_data[pos].astype(out_dtype, copy=False),
+        )
+        order = np.lexsort((out_cols, out_rows))
+        out_rows, out_cols, terms = (
+            out_rows[order], out_cols[order], terms[order],
+        )
+        fresh = np.concatenate(
+            [
+                [True],
+                (out_rows[1:] != out_rows[:-1])
+                | (out_cols[1:] != out_cols[:-1]),
+            ]
+        )
+        starts = np.flatnonzero(fresh)
+        combined = sr.reduceat(terms, starts)
+        out_rows, out_cols = out_rows[starts], out_cols[starts]
+        keep = combined != zero
+        result = SparseMatrix.from_coo(
+            machine,
+            out_rows[keep],
+            out_cols[keep],
+            combined[keep],
+            (N, M),
+            embedding=A.embedding,
+        )
+    return result
+
+
+__all__ = ["spgemm", "spmv"]

@@ -1,0 +1,126 @@
+"""Semirings: the algebra parameterizing the sparse primitives.
+
+A :class:`Semiring` bundles an *additive* monoid (reused from the
+collectives' :class:`~repro.comm.ops.CombineOp`, so the same identity
+machinery drives reductions and sparse accumulation) with a *multiplicative*
+binary ufunc and its identity.  Following the GraphBLAS "Standards for Graph
+Algorithm Primitives" formulation, the registered semirings are the three
+that turn :func:`~repro.sparse.primitives.spmv` /
+:func:`~repro.sparse.primitives.spgemm` into graph workloads:
+
+==========  =============  =============  ========  =======  ============
+name        add (⊕)        mul (⊗)        zero      one      use
+==========  =============  =============  ========  =======  ============
+plus_times  ``+``          ``*``          0         1        linear algebra
+min_plus    ``min``        ``+``          +∞ / max  0        shortest paths
+or_and      ``or``         ``and``        False     True     reachability
+==========  =============  =============  ========  =======  ============
+
+The *zero* is the additive identity **and** the multiplicative annihilator
+(``zero ⊗ x = zero`` for every ``x``); the sparse primitives rely on this to
+skip absent operands entirely.  For integer dtypes ``min_plus``'s zero is
+the dtype's maximum (the usual saturating "integer infinity"); the
+primitives never multiply through it — annihilation is applied by masking,
+not arithmetic — so integer min-plus stays exact with no overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from ..comm import ops
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A (⊕, ⊗) pair with identities, driving the sparse primitives.
+
+    ``add`` is a :class:`~repro.comm.ops.CombineOp` (associative,
+    commutative, with a dtype-dependent identity); ``mul`` is a binary
+    NumPy ufunc whose identity is ``one`` and whose annihilator is the
+    additive identity ``zero``.
+    """
+
+    name: str
+    add: ops.CombineOp
+    mul: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    mul_name: str
+    _one: Callable[[np.dtype], Any]
+
+    def zero(self, dtype: Any) -> Any:
+        """The additive identity / multiplicative annihilator for ``dtype``."""
+        return self.add.identity(dtype)
+
+    def one(self, dtype: Any) -> Any:
+        """The multiplicative identity for ``dtype``."""
+        return self._one(np.dtype(dtype))
+
+    def multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self.mul(a, b)
+
+    def accumulate_at(
+        self, out: np.ndarray, index: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Scatter-accumulate ``values`` into ``out`` under ⊕ (unbuffered)."""
+        self.add.ufunc.at(out, index, values)
+
+    def reduceat(self, values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Segmented ⊕-reduction (NumPy ``reduceat`` semantics)."""
+        return self.add.ufunc.reduceat(values, starts)
+
+    def __repr__(self) -> str:
+        return f"Semiring({self.name}: {self.add.name}.{self.mul_name})"
+
+
+def _one_scalar(dtype: np.dtype) -> Any:
+    return dtype.type(1)
+
+
+def _zero_scalar(dtype: np.dtype) -> Any:
+    return dtype.type(0)
+
+
+#: Ordinary linear algebra: ⊕ = +, ⊗ = ×.
+PLUS_TIMES = Semiring("plus_times", ops.SUM, np.multiply, "times", _one_scalar)
+
+#: Tropical / shortest-path semiring: ⊕ = min, ⊗ = +.  The zero is the
+#: dtype's +∞ (floats) or maximum (ints); ⊗'s identity is 0.
+MIN_PLUS = Semiring("min_plus", ops.MIN, np.add, "plus", _zero_scalar)
+
+#: Boolean reachability semiring: ⊕ = or, ⊗ = and.
+OR_AND = Semiring("or_and", ops.ANY, np.logical_and, "and", lambda dt: True)
+
+_REGISTRY: Dict[str, Semiring] = {
+    sr.name: sr for sr in (PLUS_TIMES, MIN_PLUS, OR_AND)
+}
+
+
+def semiring_names() -> tuple:
+    """Registered semiring names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_semiring(semiring: "Semiring | str") -> Semiring:
+    """Resolve a semiring given either the object or its registry name."""
+    if isinstance(semiring, Semiring):
+        return semiring
+    try:
+        return _REGISTRY[semiring]
+    except KeyError:
+        raise ConfigError(
+            f"unknown semiring {semiring!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+__all__ = [
+    "MIN_PLUS",
+    "OR_AND",
+    "PLUS_TIMES",
+    "Semiring",
+    "get_semiring",
+    "semiring_names",
+]

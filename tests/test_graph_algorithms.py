@@ -1,0 +1,121 @@
+"""Graph algorithms on the sparse primitives vs. the serial references.
+
+BFS / SSSP / connected components are iterated ``spmv`` calls over the
+``or_and`` and ``min_plus`` semirings; every value here is an exact
+integer, so the distributed runs must match the NumPy references
+bit-for-bit — across machine sizes, graph shapes (including disconnected
+ones), and with the sanitizer shadow-checking every charged operation.
+The scipy/NetworkX cross-check lives in the differential oracle
+(``repro check``); this module is the NumPy-only tier-1 pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Session
+from repro.algorithms import graph
+from repro.errors import ConfigError
+from repro.workloads import random_graph
+
+SEEDS = [0, 1, 2]
+
+
+@pytest.fixture(params=[0, 2, 4], ids=lambda n: f"n{n}")
+def session(request):
+    return Session(request.param, sanitize=True)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bfs_matches_reference(session, seed):
+    g = random_graph(20, 2.5, seed=seed)
+    res = graph.bfs(session, g, 0)
+    assert np.array_equal(res.values, graph.bfs_reference(g, 0))
+    assert res.values.dtype == np.int64
+    assert res.iterations >= 1
+    assert res.cost.time > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sssp_matches_reference(session, seed):
+    g = random_graph(18, 3.0, seed=seed)
+    res = graph.sssp(session, g, 0)
+    assert np.array_equal(res.values, graph.sssp_reference(g, 0))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cc_matches_reference(session, seed):
+    g = random_graph(16, 1.5, seed=seed)  # sparse: several components likely
+    res = graph.connected_components(session, g)
+    want = graph.cc_reference(g)
+    assert np.array_equal(res.values, want)
+    # labels are component-minimal vertex ids: every label names itself
+    assert np.array_equal(want[want], want)
+
+
+def test_bfs_levels_are_sound(session):
+    """Structural invariants independent of the reference implementation."""
+    g = random_graph(24, 2.0, seed=5)
+    levels = graph.bfs(session, g, 0).values
+    assert levels[0] == 0
+    reached = levels >= 0
+    # every non-source reached vertex has a neighbour one level shallower
+    for v in np.flatnonzero(reached):
+        if v == 0:
+            continue
+        nbrs = g.cols[g.rows == v]
+        assert (levels[nbrs] == levels[v] - 1).any()
+    # unreachable vertices stay -1 in sssp too, on the same graph
+    dist = graph.sssp(session, g, 0).values
+    assert np.array_equal(dist >= 0, reached)
+
+
+def test_sssp_distances_dominated_by_bfs_hops():
+    """Hop-optimal paths bound weighted distances: dist <= maxw * hops."""
+    session = Session(3, sanitize=True)
+    g = random_graph(20, 3.0, seed=9, max_weight=4)
+    hops = graph.bfs(session, g, 0).values
+    dist = graph.sssp(session, g, 0).values
+    sel = hops > 0
+    assert (dist[sel] <= 4 * hops[sel]).all()
+    assert (dist[sel] >= hops[sel]).all()  # weights are >= 1
+
+
+def test_source_out_of_range():
+    session = Session(2)
+    g = random_graph(8, 2.0, seed=0)
+    with pytest.raises(ConfigError, match="out of range"):
+        graph.bfs(session, g, 8)
+    with pytest.raises(ConfigError, match="out of range"):
+        graph.sssp(session, g, -1)
+
+
+def test_results_identical_across_machine_sizes():
+    """The simulated p never leaks into the numerics, only the costs."""
+    g = random_graph(22, 2.5, seed=3)
+    runs = [
+        graph.bfs(Session(n), g, 1).values for n in (0, 1, 3, 5)
+    ]
+    for other in runs[1:]:
+        assert np.array_equal(runs[0], other)
+
+
+def test_bfs_workload_restarts_cleanly():
+    """The resilient-runner wrapper recomputes from scratch each call."""
+    g = random_graph(12, 2.0, seed=4)
+    run = graph.bfs_workload(g, 0)
+
+    class _Store:
+        restored = 0
+
+        def restore(self):
+            self.restored += 1
+
+    store = _Store()
+    session = Session(2)
+    first = run(session, store)
+    second = run(session, store)
+    assert store.restored == 2
+    assert np.array_equal(first, second)
+    assert np.array_equal(first, graph.bfs_reference(g, 0))

@@ -1,0 +1,314 @@
+"""Unit and property tests for the sparse subsystem.
+
+Three layers, all NumPy-only (no scipy — the differential oracle owns the
+external references):
+
+* semiring algebra — the registry contract plus Hypothesis checks of the
+  axioms (associativity, identity, annihilator, distributivity) on random
+  operands, per-semiring dtypes chosen so every check is *exact*;
+* embedding / container structure — partition validation, nnz balance,
+  COO canonicalization, and error taxonomy (ShapeError for bad extents,
+  EmbeddingError for partition disagreements, ConfigError for semantic
+  misuse like a fill that is not the semiring zero);
+* round-trip conservation — ``from_dense → to_dense`` bit-identity and
+  nnz conservation across ``repartition`` / ``rebalance`` under the
+  sanitizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session
+from repro.errors import ConfigError, EmbeddingError, ShapeError
+from repro.machine import CostModel, Hypercube
+from repro.sparse import (
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    SparseEmbedding,
+    SparseMatrix,
+    SparseVector,
+    get_semiring,
+    semiring_names,
+    spgemm,
+    spmv,
+)
+
+INT_INF = np.iinfo(np.int64).max
+
+
+# -- semiring registry -------------------------------------------------------
+
+
+def test_registry_resolves_names_and_objects():
+    assert semiring_names() == ("plus_times", "min_plus", "or_and")
+    assert get_semiring("min_plus") is MIN_PLUS
+    assert get_semiring(PLUS_TIMES) is PLUS_TIMES
+    with pytest.raises(ConfigError, match="unknown semiring"):
+        get_semiring("max_plus")
+
+
+def test_identities_per_dtype():
+    assert PLUS_TIMES.zero(np.int64) == 0
+    assert PLUS_TIMES.one(np.int64) == 1
+    # min_plus's zero is +inf for floats and the saturating max for ints.
+    assert MIN_PLUS.zero(np.float64) == np.inf
+    assert MIN_PLUS.zero(np.int64) == INT_INF
+    assert MIN_PLUS.one(np.float64) == 0.0
+    assert OR_AND.zero(np.bool_) == False  # noqa: E712
+    assert OR_AND.one(np.bool_) == True  # noqa: E712
+
+
+# -- semiring axioms (Hypothesis) --------------------------------------------
+#
+# Dtypes are chosen so equality is exact: small int64 for plus_times (no
+# rounding, no overflow), non-negative float64 + inf for min_plus (min is
+# exact, and a + min(b, c) rounds identically to min(a + b, a + c)), bool
+# for or_and.  min_plus uses the float +inf zero here because int64's
+# saturating INT_INF is *not* an arithmetic annihilator — the primitives
+# apply it by masking, which test_spmv_masks_absent_entries pins below.
+
+_OPERANDS = {
+    "plus_times": st.integers(min_value=-999, max_value=999).map(np.int64),
+    "min_plus": st.one_of(
+        st.just(np.float64(np.inf)),
+        st.integers(min_value=0, max_value=999).map(np.float64),
+    ),
+    "or_and": st.booleans().map(np.bool_),
+}
+
+
+@st.composite
+def semiring_triples(draw):
+    name = draw(st.sampled_from(sorted(_OPERANDS)))
+    operand = _OPERANDS[name]
+    triple = draw(st.tuples(operand, operand, operand))
+    return get_semiring(name), triple
+
+
+@settings(max_examples=200, deadline=None)
+@given(semiring_triples())
+def test_semiring_axioms(case):
+    sr, (a, b, c) = case
+    add, mul = sr.add.ufunc, sr.mul
+    zero, one = sr.zero(a.dtype), sr.one(a.dtype)
+    # additive commutative monoid
+    assert add(add(a, b), c) == add(a, add(b, c))
+    assert add(a, b) == add(b, a)
+    assert add(a, zero) == a
+    # multiplicative monoid
+    assert mul(mul(a, b), c) == mul(a, mul(b, c))
+    assert mul(a, one) == a
+    assert mul(one, a) == a
+    # the additive identity annihilates
+    assert mul(a, zero) == zero
+    assert mul(zero, a) == zero
+    # ⊗ distributes over ⊕
+    assert mul(a, add(b, c)) == add(mul(a, b), mul(a, c))
+    assert mul(add(b, c), a) == add(mul(b, a), mul(c, a))
+
+
+# -- embeddings --------------------------------------------------------------
+
+
+def test_partition_validation(unit_machine):
+    p = unit_machine.p
+    with pytest.raises(ShapeError, match="extent"):
+        SparseEmbedding.balanced(unit_machine, 0)
+    with pytest.raises(EmbeddingError, match="boundaries"):
+        SparseEmbedding(unit_machine, 10, np.zeros(p, dtype=np.int64))
+    with pytest.raises(EmbeddingError, match="span"):
+        SparseEmbedding(unit_machine, 10, [0] * p + [9])
+    with pytest.raises(EmbeddingError, match="non-decreasing"):
+        SparseEmbedding(unit_machine, 10, [0, 5, 3, 7, 8, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 10])
+
+
+def test_nnz_balance_bound(unit_machine, rng):
+    """No rank exceeds the ideal nnz share by more than one row's nonzeros."""
+    row_nnz = rng.integers(0, 12, size=100)
+    emb = SparseEmbedding.nnz_balanced(unit_machine, row_nnz)
+    per_rank = [
+        int(row_nnz[lo:hi].sum())
+        for lo, hi in (emb.rank_range(r) for r in range(unit_machine.p))
+    ]
+    ideal = row_nnz.sum() / unit_machine.p
+    assert max(per_rank) <= ideal + row_nnz.max()
+    assert sum(per_rank) == row_nnz.sum()
+
+
+def test_address_maps_are_consistent(unit_machine, rng):
+    row_nnz = rng.integers(0, 9, size=57)
+    emb = SparseEmbedding.nnz_balanced(unit_machine, row_nnz)
+    idx = np.arange(emb.N)
+    ranks = emb.rank_of(idx)
+    for g, r in zip(idx, ranks):
+        lo, hi = emb.rank_range(int(r))
+        assert lo <= g < hi or (lo == hi and g >= lo)
+    assert np.array_equal(emb.owner_table(), emb.pid_of_rank(emb.rank_table()))
+    assert np.array_equal(emb.rank_of_pid(emb.pid_of_rank(ranks)), ranks)
+
+
+# -- containers --------------------------------------------------------------
+
+
+def test_from_coo_sums_duplicates(unit_machine):
+    A = SparseMatrix.from_coo(
+        unit_machine,
+        rows=[2, 0, 2, 2],
+        cols=[1, 0, 1, 3],
+        data=[5.0, 1.0, 7.0, 2.0],
+        shape=(4, 4),
+    )
+    want = np.zeros((4, 4))
+    want[0, 0], want[2, 1], want[2, 3] = 1.0, 12.0, 2.0
+    assert A.nnz == 3  # duplicates merged
+    assert np.array_equal(A.to_dense(), want)
+
+
+def test_from_coo_rejects_out_of_range(unit_machine):
+    with pytest.raises(ShapeError, match="row index"):
+        SparseMatrix.from_coo(unit_machine, [4], [0], [1.0], shape=(4, 4))
+    with pytest.raises(ShapeError, match="column index"):
+        SparseMatrix.from_coo(unit_machine, [0], [-1], [1.0], shape=(4, 4))
+    with pytest.raises(ConfigError, match="layout"):
+        SparseMatrix.from_coo(
+            unit_machine, [0], [0], [1.0], shape=(4, 4), layout="diag"
+        )
+
+
+def test_empty_matrix_round_trips(unit_machine):
+    A = SparseMatrix.from_dense(unit_machine, np.zeros((6, 5)))
+    assert A.nnz == 0
+    assert np.array_equal(A.to_dense(), np.zeros((6, 5)))
+    x = SparseVector.from_numpy(unit_machine, np.arange(5.0))
+    y = spmv(A, x)
+    assert y.nnz == 0
+    B = SparseMatrix.from_dense(unit_machine, np.zeros((5, 6)))
+    C = spgemm(A, B)
+    assert C.nnz == 0 and C.shape == (6, 6)
+
+
+def test_spmv_masks_absent_entries(unit_machine):
+    """Integer min-plus: absences annihilate by masking, never arithmetic."""
+    D = np.array([[1, 4], [2, 0]], dtype=np.int64)
+    A = SparseMatrix.from_dense(unit_machine, D)
+    x = SparseVector.from_numpy(
+        unit_machine, np.array([3, INT_INF], dtype=np.int64), fill=INT_INF
+    )
+    y = spmv(A, x, "min_plus")
+    # column 1 is absent: row 0 sees only 1 + 3, row 1 only 2 + 3 — no
+    # INT_INF ever enters an addition (which would wrap negative).
+    assert np.array_equal(y.to_numpy(), [4, 5])
+
+
+def test_error_taxonomy(unit_machine):
+    other = Hypercube(2, CostModel.unit())
+    A = SparseMatrix.from_dense(unit_machine, np.eye(4))
+    x_short = SparseVector.from_numpy(unit_machine, np.ones(3))
+    with pytest.raises(ShapeError, match="4 columns"):
+        spmv(A, x_short)
+    x_far = SparseVector.from_numpy(other, np.ones(4))
+    with pytest.raises(ConfigError, match="different machines"):
+        spmv(A, x_far)
+    # fill must equal the semiring zero or absences would not annihilate
+    x_bad_fill = SparseVector.from_numpy(unit_machine, np.ones(4), fill=0.0)
+    with pytest.raises(ConfigError, match="not the min_plus zero"):
+        spmv(A, x_bad_fill, "min_plus")
+    B_far = SparseMatrix.from_dense(other, np.eye(4))
+    with pytest.raises(ConfigError, match="different machines"):
+        spgemm(A, B_far)
+    B_mis = SparseMatrix.from_dense(unit_machine, np.eye(3))
+    with pytest.raises(ShapeError):
+        spgemm(A, B_mis)
+    a = SparseVector.from_numpy(unit_machine, np.ones(8))
+    b = SparseVector.from_numpy(
+        unit_machine,
+        np.ones(8),
+        embedding=SparseEmbedding(
+            unit_machine, 8, [0] * unit_machine.p + [8]
+        ),
+    )
+    with pytest.raises(EmbeddingError, match="share the sparse partition"):
+        a.elementwise(b, np.add, 0.0)
+
+
+@pytest.mark.parametrize("name", ["plus_times", "min_plus", "or_and"])
+def test_spmv_matches_dense_reference(unit_machine, rng, name):
+    """In-process differential check against a brute-force dense fold."""
+    sr = get_semiring(name)
+    dtype = {"plus_times": np.int64, "min_plus": np.float64,
+             "or_and": np.bool_}[name]
+    D = (rng.random((9, 7)) < 0.4) * rng.integers(1, 6, size=(9, 7))
+    D = D.astype(dtype)
+    xv = ((rng.random(7) < 0.6) * rng.integers(1, 6, size=7)).astype(dtype)
+    zero = sr.zero(dtype)
+    xv[xv == dtype(0)] = zero  # absences carry the semiring zero
+    A = SparseMatrix.from_dense(unit_machine, np.where(D, D, 0).astype(dtype))
+    x = SparseVector.from_numpy(unit_machine, xv, fill=zero)
+    got = spmv(A, x, sr).to_numpy()
+    want = np.full(9, zero, dtype=got.dtype)
+    for i in range(9):
+        for j in range(7):
+            if D[i, j] != dtype(0) and xv[j] != zero:
+                want[i] = sr.add.ufunc(want[i], sr.mul(D[i, j], xv[j]))
+    assert np.array_equal(got, want)
+
+
+# -- round-trip conservation (Hypothesis, under the sanitizer) ---------------
+
+
+@st.composite
+def sparse_instances(draw):
+    n = draw(st.integers(min_value=0, max_value=4))
+    N = draw(st.integers(min_value=1, max_value=24))
+    M = draw(st.integers(min_value=1, max_value=24))
+    density = draw(st.floats(min_value=0.0, max_value=0.7))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    layout = draw(st.sampled_from(["nnz", "block"]))
+    return n, N, M, density, seed, layout
+
+
+@settings(max_examples=60, deadline=None)
+@given(sparse_instances())
+def test_round_trip_and_remap_conserve_nnz(case):
+    n, N, M, density, seed, layout = case
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((N, M)) < density) * rng.integers(
+        1, 100, size=(N, M)
+    )
+    dense = dense.astype(np.int64)
+    session = Session(n, sanitize=True)
+    A = SparseMatrix.from_dense(session.machine, dense, layout=layout)
+    # embed → extract is bit-identical, and nnz matches the host count
+    assert np.array_equal(A.to_dense(), dense)
+    assert A.nnz == int(np.count_nonzero(dense))
+    assert int(A.rank_nnz().sum()) == A.nnz
+    # remaps move every nonzero exactly once: nnz and values conserved
+    B = A.repartition(SparseEmbedding.balanced(session.machine, N))
+    assert B.nnz == A.nnz
+    assert np.array_equal(B.to_dense(), dense)
+    C = B.rebalance()
+    assert C.nnz == A.nnz
+    assert np.array_equal(C.to_dense(), dense)
+    r, c, d = C.to_coo()
+    assert d.size == A.nnz
+
+
+@settings(max_examples=40, deadline=None)
+@given(sparse_instances())
+def test_vector_round_trip_under_sanitizer(case):
+    n, N, _, density, seed, _ = case
+    rng = np.random.default_rng(seed)
+    values = ((rng.random(N) < density) * rng.integers(1, 50, size=N)).astype(
+        np.int64
+    )
+    session = Session(n, sanitize=True)
+    x = session.sparse_vector(values)
+    assert np.array_equal(x.to_numpy(), values)
+    assert x.nnz == int(np.count_nonzero(values))
+    y = x.copy()
+    y.blocks[0] = y.blocks[0].copy()
+    assert np.array_equal(y.to_numpy(), values)

@@ -1,0 +1,108 @@
+"""Import isolation for the sparse subsystem.
+
+The sparse package is strictly additive: a dense run must never load
+``repro.sparse`` (it is only imported from the lazy ``Session.sparse_*``
+factories and the lazily resolved ``repro.algorithms.graph``), and having
+it loaded must not perturb dense accounting by a single bit.  Both pins
+run in clean subprocesses so no test-session import state can mask a
+regression — the same pattern as the abft/batch/chaos no-import pins.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.check import golden
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+SUBPROCESS_ENV = {"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"}
+
+
+def _run_script(script: str) -> str:
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=SUBPROCESS_ENV,
+    )
+    assert out.returncode == 0, out.stderr
+    return out.stdout
+
+
+@pytest.mark.parametrize("workload", ["gaussian", "matvec", "simplex"])
+def test_dense_run_never_imports_sparse_module(workload):
+    """Dense golden workloads leave repro.sparse (and scipy) unloaded."""
+    script = (
+        "import sys\n"
+        "from repro.check import golden\n"
+        f"golden._run_one({workload!r}, sanitize=False)\n"
+        "leaked = [m for m in sys.modules\n"
+        "          if m == 'repro.sparse' or m.startswith('repro.sparse.')]\n"
+        "assert not leaked, f'sparse module leaked: {leaked}'\n"
+        "assert 'repro.algorithms.graph' not in sys.modules, 'graph leaked'\n"
+        "assert 'scipy' not in sys.modules, 'scipy leaked'\n"
+        "assert 'networkx' not in sys.modules, 'networkx leaked'\n"
+    )
+    _run_script(script)
+
+
+def test_importing_package_roots_keeps_sparse_unloaded():
+    """`import repro` / `repro.algorithms` alone must not pull in sparse."""
+    script = (
+        "import sys\n"
+        "import repro\n"
+        "import repro.algorithms\n"
+        "assert 'repro.sparse' not in sys.modules, 'sparse module leaked'\n"
+        "assert 'repro.algorithms.graph' not in sys.modules, 'graph leaked'\n"
+    )
+    _run_script(script)
+
+
+def test_lazy_graph_attribute_defers_sparse_until_an_algorithm_runs():
+    """Two gates: the graph module resolves lazily, and even then sparse
+    stays unloaded until an algorithm actually builds sparse operands."""
+    script = (
+        "import sys\n"
+        "import repro.algorithms as algorithms\n"
+        "assert 'repro.algorithms.graph' not in sys.modules\n"
+        "graph = algorithms.graph\n"
+        "assert 'repro.algorithms.graph' in sys.modules\n"
+        "assert 'repro.sparse' not in sys.modules, 'sparse loaded too early'\n"
+        "assert graph is algorithms.graph  # resolved attribute is stable\n"
+        "from repro import Session, workloads\n"
+        "g = workloads.random_graph(12, 2.0, seed=0)\n"
+        "graph.bfs(Session(2), g, 0)\n"
+        "assert 'repro.sparse' in sys.modules, 'bfs never touched sparse'\n"
+    )
+    _run_script(script)
+
+
+@pytest.mark.parametrize("workload", ["gaussian", "matvec"])
+def test_dense_golden_counters_unchanged_with_sparse_imported(workload):
+    """Pre-importing repro.sparse must not move any dense golden counter."""
+    script = (
+        "import json\n"
+        "import repro.sparse  # loaded *before* any dense machinery\n"
+        "from repro.check import golden\n"
+        f"print(json.dumps(golden._run_one({workload!r}, sanitize=False)))\n"
+    )
+    got = json.loads(_run_script(script))
+    want = golden.load_golden()["workloads"][workload]
+    assert got == want  # exact float equality, field by field
+
+
+def test_graph_golden_counters_replay_in_clean_interpreter():
+    """The bfs golden entry pins the sparse subsystem's own accounting."""
+    script = (
+        "import json\n"
+        "from repro.check import golden\n"
+        "print(json.dumps(golden._run_one('bfs', sanitize=False)))\n"
+    )
+    got = json.loads(_run_script(script))
+    want = golden.load_golden()["workloads"]["bfs"]
+    assert got == want
