@@ -349,11 +349,13 @@ def _fault_workload(args: argparse.Namespace):
 
     rng = np.random.default_rng(args.seed)
     size = args.size
+    # abft has no --checkpoint-every flag; keep its historical cadence.
+    every = int(getattr(args, "checkpoint_every", 4))
     if args.workload == "gaussian":
         A = rng.integers(-4, 5, size=(size, size)).astype(np.float64)
         A += size * np.eye(size)
         b = rng.integers(-4, 5, size=size).astype(np.float64)
-        return lambda: gaussian_workload(A, b)
+        return lambda: gaussian_workload(A, b, checkpoint_every=every)
     if args.workload == "simplex":
         lp = W.feasible_lp(size, size, seed=args.seed)
         return lambda: simplex_workload(lp.A, lp.b, lp.c)
@@ -384,11 +386,16 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             node_kills=args.node_kills,
             drops=args.drops,
         )
+    from .faults import CheckpointPolicy
+
+    policy = CheckpointPolicy(
+        strategy=args.checkpoint_strategy, every=args.checkpoint_every
+    )
     session = Session(
         args.n, args.cost_model, faults=plan, trace=bool(args.trace_out)
     )
     report = run_resilient(
-        session, make(), max_recoveries=args.max_recoveries
+        session, make(), max_recoveries=args.max_recoveries, policy=policy
     )
     matches = bool(
         report.recovered
@@ -409,8 +416,10 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         "plan": plan.as_dict(),
         "recovered": report.recovered,
         "recoveries": report.recoveries,
+        "promotions": report.promotions,
         "matches_baseline": matches,
         "stats": st.as_dict(),
+        "checkpoint": report.checkpoint,
         "time": session.time,
         "fault_free_time": dry.time,
     }
@@ -418,6 +427,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         data["error"] = report.error
     if args.trace_out:
         data["trace_out"] = args.trace_out
+    ck = report.checkpoint or {}
     lines = [
         f"workload '{args.workload}' ({args.size}x{args.size}) "
         f"on p={2 ** args.n} under {plan!r}",
@@ -428,10 +438,20 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         f"drops / retries  : {st.drops} / {st.retries}",
         f"detour rounds    : {st.detour_rounds}",
         f"remapped arrays  : {st.remapped_arrays}",
+        f"checkpointing    : {ck.get('strategy', '-')} "
+        f"(every {ck.get('every', '-')}; {ck.get('saves', 0)} saves / "
+        f"{ck.get('save_ticks', 0.0):,.0f} ticks, "
+        f"{ck.get('restores', 0)} restores / "
+        f"{ck.get('restore_ticks', 0.0):,.0f} ticks)",
         f"recovery ticks   : {st.recovery_ticks:,.0f}",
         f"simulated time   : {session.time:,.0f} ticks "
         f"(fault-free {dry.time:,.0f})",
     ]
+    if report.promotions:
+        lines.append(
+            f"re-expansion     : {report.promotions} promotions "
+            f"({st.node_heals} node / {st.link_heals} link heals)"
+        )
     if report.error is not None:
         lines.append(f"last fault error : {report.error}")
     _emit(args, data, "\n".join(lines))
@@ -773,6 +793,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     if not workload_pool:
         raise ConfigError("--workloads must name at least one workload")
+    strategy_pool = tuple(
+        s.strip() for s in args.checkpoint_strategy.split(",") if s.strip()
+    )
+    if not strategy_pool:
+        raise ConfigError(
+            "--checkpoint-strategy must name at least one strategy"
+        )
     progress = None if args.json else print
 
     t0 = _walltime.perf_counter()
@@ -785,6 +812,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         artifact_dir=args.artifact_dir,
         progress=progress,
+        strategies=strategy_pool,
+        checkpoint_schedules=args.checkpoint_schedules,
+        checkpoint_every=args.checkpoint_every,
     )
     campaign_wall = _walltime.perf_counter() - t0
 
@@ -822,7 +852,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         f"p={2 ** args.n} (seed {args.seed}, sizes {sizes})",
         f"result           : {report['ok']} ok / {report['failed']} failed "
         f"({report['recoveries']} recoveries, "
+        f"{report['promotions']} promotions, "
         f"{report['total_fault_events']} fault events)",
+        f"checkpointing    : strategies "
+        f"{dict(sorted(report['strategies'].items()))}",
         f"gray faults      : {gray['link_slows']} slow links, "
         f"{gray['node_slows']} slow nodes, {gray['flaky_links']} flaky "
         f"links / {gray['flaky_drops']} drops, "
@@ -970,6 +1003,14 @@ def main(argv=None) -> int:
     p_faults.add_argument("--fault-plan", default=None, metavar="FILE",
                           help="replay a recorded JSON fault plan instead "
                                "of a seeded random one")
+    p_faults.add_argument("--checkpoint-strategy", default="host",
+                          choices=["host", "diskless", "incremental"],
+                          help="checkpoint cost model: host gather "
+                               "(default), diskless in-cube mirror+parity, "
+                               "or incremental dirty-block deltas")
+    p_faults.add_argument("--checkpoint-every", type=int, default=4,
+                          help="checkpoint cadence in elimination steps "
+                               "(gaussian workload only; default 4)")
     p_faults.set_defaults(fn=_cmd_faults)
 
     p_abft = sub.add_parser(
@@ -1115,6 +1156,19 @@ def main(argv=None) -> int:
         "--warehouse", default=None, metavar="DIR",
         help="warehouse directory for campaign records "
              "(default benchmarks/warehouse)")
+    p_chaos.add_argument(
+        "--checkpoint-strategy", default="host,diskless,incremental",
+        metavar="S,S,...",
+        help="comma-separated checkpoint strategies the schedules draw "
+             "from (default host,diskless,incremental)")
+    p_chaos.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="fix the checkpoint cadence instead of drawing it per "
+             "schedule")
+    p_chaos.add_argument(
+        "--checkpoint-schedules", type=int, default=0,
+        help="append this many adversarial mid-save/mid-restore kill "
+             "schedules after the random ones (default 0)")
     p_chaos.add_argument("--json", action="store_true",
                          help="emit a machine-readable JSON summary")
     p_chaos.set_defaults(fn=_cmd_chaos)

@@ -51,6 +51,7 @@ class Session:
         metrics: Optional[Union[bool, object]] = None,
         profile: Optional[Union[bool, object]] = None,
         retry: Optional[object] = None,
+        checkpoint: Optional[object] = None,
     ) -> None:
         if isinstance(cost_model, str):
             try:
@@ -133,6 +134,13 @@ class Session:
 
                 profile = PhaseProfiler()
             self.machine.attach_profiler(profile)
+        # checkpoint= selects the CheckpointPolicy resilient runs use (a
+        # CheckpointPolicy, a strategy name, or None for the host-gather
+        # default).  Stored raw and coerced lazily by CheckpointStore, so
+        # a session that never checkpoints imports nothing extra.
+        self.checkpoint_policy = checkpoint
+        # Re-expansion ledger; created by the first degrade().
+        self._expansion = None
 
     @property
     def tracer(self) -> Optional[Tracer]:
@@ -179,9 +187,21 @@ class Session:
         (:class:`~repro.faults.CheckpointStore`).  Raises
         :class:`~repro.errors.FaultError` when no healthy subcube exists.
         """
+        from ..faults.expansion import ExpansionLedger
         from ..faults.recovery import largest_healthy_subcube
 
         old = self.machine
+        injector = old.faults
+        # Re-expansion bookkeeping: the abandoned machines' health history
+        # lives on in a root-coordinate ledger, and pending heal events
+        # move there before translate() would drop them with the hardware
+        # they target.
+        if self._expansion is None:
+            self._expansion = ExpansionLedger(old)
+        else:
+            self._expansion.sync_kills(old)
+        if injector is not None:
+            self._expansion.add_heal_events(injector.extract_heals())
         free_dims, base = largest_healthy_subcube(old)
         new = Hypercube(
             len(free_dims),
@@ -201,10 +221,16 @@ class Session:
             )
             tracer.rebind(new)
             new.tracer = tracer
-        injector = old.faults
         if injector is not None:
             injector.translate(free_dims, base)
             new.attach_faults(injector)
+        self._rebind_attachments(old, new)
+        self._expansion.record_degrade(free_dims, base)
+        self.machine = new
+        return new
+
+    def _rebind_attachments(self, old: Hypercube, new: Hypercube) -> None:
+        """Carry sanitizer/ABFT/metrics/profiler across a machine swap."""
         sanitizer = old.sanitizer
         if sanitizer is not None:
             # The survivor charges into the parent's counters, so the
@@ -228,6 +254,107 @@ class Session:
             # same proxy object, carried over above).
             profiler.rebind(new)
             new.profiler = profiler
+
+    def promotion_ready(self) -> bool:
+        """Whether a strictly larger healthy cube is available right now.
+
+        Applies any heal events that have come due on the simulated clock
+        to the expansion ledger, then checks three gates: the ledger is
+        enabled (the session has degraded and promotion hasn't been
+        exhausted), the injector's health tracker holds no suspects
+        (flapping protection), and the root cube contains a healthy
+        subcube strictly larger than the current machine.  Cheap no-op
+        for sessions that never degraded.
+        """
+        led = self._expansion
+        if led is None or not led.enabled:
+            return False
+        machine = self.machine
+        injector = machine.faults
+        led.sync_kills(machine)
+        applied = led.apply_due_heals(machine.counters.time)
+        if applied:
+            if injector is not None:
+                for kind, _dim, _pid in applied:
+                    if kind == "node":
+                        injector.stats.node_heals += 1
+                    else:
+                        injector.stats.link_heals += 1
+            tracer = machine.tracer
+            if tracer is not None:
+                for kind, dim, pid in applied:
+                    name = (
+                        f"heal_node:{pid}" if kind == "node"
+                        else f"heal_link:{dim}@{pid}"
+                    )
+                    tracer.instant(name, "fault", pid=pid)
+        if injector is not None and injector.health.tracked:
+            return False  # still-suspect components: don't thrash
+        if not led.heal_applied:
+            # Promotion is heal-driven: greedy degrades can leave a
+            # larger root subcube healthy, but re-expanding without a
+            # repair would change long-standing degrade-only behavior.
+            return False
+        return led.promotion_target(machine.p) is not None
+
+    def promote(self) -> Hypercube:
+        """Re-expand onto the largest healthy cube — the mirror of
+        :meth:`degrade`.
+
+        Requires a prior degrade (the expansion ledger) and a strictly
+        larger healthy target; raises :class:`~repro.errors.FaultError`
+        otherwise.  The caller (normally :func:`repro.faults.
+        run_resilient`, on :class:`~repro.faults.strategies.
+        PromotionPending`) must re-scatter state from the latest
+        checkpoint afterwards — arrays built on the smaller machine are
+        as dead after a promote as after a degrade.
+        """
+        from ..errors import FaultError
+
+        led = self._expansion
+        if led is None:
+            raise FaultError("promote() requires a degraded session")
+        target = led.promotion_target(self.machine.p)
+        if target is None:
+            raise FaultError(
+                "no healthy cube larger than the current machine is "
+                "available for promotion"
+            )
+        free_dims, base = target
+        old = self.machine
+        new = Hypercube(
+            len(free_dims),
+            old.cost_model,
+            plan_cache=old.plans.enabled,
+            counters=old.counters,
+        )
+        tracer = old.tracer
+        if tracer is not None:
+            tracer.instant(
+                "promote",
+                "fault",
+                old_p=old.p,
+                new_p=new.p,
+                base=base,
+                free_dims=list(free_dims),
+            )
+            tracer.rebind(new)
+            new.tracer = tracer
+        injector = old.faults
+        if injector is not None:
+            # Lift pending events from subcube coordinates to root
+            # coordinates, then compress into the promoted cube.  The pid
+            # modulo inside translate() must see the root's extent.
+            injector.untranslate(led.embed_dims, led.embed_base)
+            injector.machine = led.root
+            injector.translate(free_dims, base)
+            new.attach_faults(injector)
+            injector.stats.expansions += 1
+        self._rebind_attachments(old, new)
+        led.record_promote(free_dims, base)
+        # Each promotion consumes the heals that justified it; growing
+        # further requires further repairs to land.
+        led.heal_applied = False
         self.machine = new
         return new
 
@@ -386,6 +513,12 @@ class Session:
                     f"(+{st.slow_time:.1f} ticks), "
                     f"{st.straggler_detours} straggler detours, "
                     f"{st.gray_recoveries} recoveries"
+                )
+            if st.node_heals or st.link_heals or st.expansions:
+                lines.append(
+                    f"re-expansion      : {st.node_heals} node heals, "
+                    f"{st.link_heals} link heals, "
+                    f"{st.expansions} promotions"
                 )
         sanitizer = self.machine.sanitizer
         if sanitizer is not None:

@@ -23,13 +23,21 @@ from .plan import (
     LinkCorrupt,
     LinkDrop,
     LinkFlaky,
+    LinkHeal,
     LinkKill,
     LinkSlow,
+    NodeHeal,
     NodeKill,
     NodeSlow,
 )
 from .injector import FaultInjector, FaultStats, HealthTracker, RetryPolicy
+from .strategies import (
+    STRATEGIES,
+    CheckpointPolicy,
+    PromotionPending,
+)
 from .checkpoint import Checkpoint, CheckpointStore
+from .expansion import ExpansionLedger
 from .recovery import (
     RecoveryReport,
     gaussian_workload,
@@ -51,12 +59,18 @@ __all__ = [
     "LinkSlow",
     "NodeSlow",
     "LinkFlaky",
+    "NodeHeal",
+    "LinkHeal",
     "FaultInjector",
     "FaultStats",
     "HealthTracker",
     "RetryPolicy",
+    "STRATEGIES",
+    "CheckpointPolicy",
+    "PromotionPending",
     "Checkpoint",
     "CheckpointStore",
+    "ExpansionLedger",
     "RecoveryReport",
     "largest_healthy_subcube",
     "subcube_members",

@@ -34,13 +34,14 @@ from ..core.session import Session
 from ..errors import ConfigError, ReproError
 from .checkpoint import CheckpointStore
 from .injector import FaultInjector, RetryPolicy
-from .plan import FaultPlan
+from .plan import FaultPlan, NodeHeal, NodeKill
 from .recovery import (
     gaussian_workload,
     matvec_workload,
     run_resilient,
     simplex_workload,
 )
+from .strategies import STRATEGIES, CheckpointPolicy
 
 WORKLOADS = ("gaussian", "simplex", "matvec", "bfs")
 
@@ -59,7 +60,7 @@ FLAG_PROBS = {
 # ---------------------------------------------------------------------------
 
 def build_workload(
-    workload: str, size: int, prob_seed: int
+    workload: str, size: int, prob_seed: int, checkpoint_every: int = 4
 ) -> Callable[[], Callable]:
     """Seeded problem builder mirroring the ``repro faults`` recipes.
 
@@ -67,13 +68,15 @@ def build_workload(
     bit-for-bit against the fault-free baseline even after a subcube
     remap.  Duplicated here (rather than imported from ``__main__``) so
     the CLI's fault path never depends on this module.
+    ``checkpoint_every`` only affects the gaussian workload (the others
+    restart rather than resume) and never changes the numerical result.
     """
     rng = np.random.default_rng(prob_seed)
     if workload == "gaussian":
         A = rng.integers(-4, 5, size=(size, size)).astype(np.float64)
         A += size * np.eye(size)
         b = rng.integers(-4, 5, size=size).astype(np.float64)
-        return lambda: gaussian_workload(A, b)
+        return lambda: gaussian_workload(A, b, checkpoint_every=checkpoint_every)
     if workload == "simplex":
         from .. import workloads as W
 
@@ -133,6 +136,8 @@ class ChaosSchedule:
     n_dims: int
     flags: Dict[str, bool] = field(hash=False)
     plan: FaultPlan = field(hash=False)
+    strategy: str = "host"
+    checkpoint_every: int = 4
 
     def as_dict(self) -> dict:
         return {
@@ -144,6 +149,8 @@ class ChaosSchedule:
             "n_dims": self.n_dims,
             "flags": dict(self.flags),
             "plan": self.plan.as_dict(),
+            "strategy": self.strategy,
+            "checkpoint_every": self.checkpoint_every,
         }
 
 
@@ -154,13 +161,18 @@ def generate_schedules(
     sizes: Sequence[int] = (8, 12, 16),
     workloads: Sequence[str] = WORKLOADS,
     baselines: Optional[BaselineCache] = None,
+    strategies: Sequence[str] = STRATEGIES,
+    checkpoint_every: Optional[int] = None,
 ) -> List[ChaosSchedule]:
     """Seeded schedule generator: same arguments, same campaign.
 
     Each schedule gets an independent child seed, so inserting or
     removing one never perturbs the others.  Fault-event times target the
     first 90% of the fault-free runtime of the drawn problem, so events
-    land mid-flight rather than after completion.
+    land mid-flight rather than after completion.  Each schedule also
+    draws a checkpoint strategy from ``strategies`` and (sometimes) heal
+    events that re-enable killed hardware late in the run, giving
+    re-expansion a chance to fire.
     """
     if count < 1:
         raise ConfigError(f"schedule count must be >= 1, got {count}")
@@ -168,6 +180,11 @@ def generate_schedules(
         if w not in WORKLOADS:
             raise ConfigError(
                 f"unknown chaos workload {w!r}; choose from {WORKLOADS}"
+            )
+    for s in strategies:
+        if s not in STRATEGIES:
+            raise ConfigError(
+                f"unknown checkpoint strategy {s!r}; choose from {STRATEGIES}"
             )
     if baselines is None:
         baselines = BaselineCache()
@@ -198,7 +215,15 @@ def generate_schedules(
             link_slows=int(rng.integers(3)),
             node_slows=int(rng.integers(2)),
             flaky_links=int(rng.integers(2)),
+            # Heal draws come last inside FaultPlan.random, so adding
+            # them here leaves every earlier event stream byte-identical.
+            node_heals=int(rng.integers(2)),
+            link_heals=int(rng.integers(2)),
         )
+        strategy = str(rng.choice(list(strategies)))
+        # Draw even when overridden so the stream stays stable.
+        drawn_every = int(rng.choice((2, 4, 6)))
+        every = drawn_every if checkpoint_every is None else checkpoint_every
         schedules.append(
             ChaosSchedule(
                 index=index,
@@ -209,6 +234,8 @@ def generate_schedules(
                 n_dims=n_dims,
                 flags=flags,
                 plan=plan,
+                strategy=strategy,
+                checkpoint_every=every,
             )
         )
     return schedules
@@ -228,7 +255,12 @@ def run_schedule(
     base_result, _ = baselines.get(
         schedule.workload, schedule.size, schedule.prob_seed, schedule.n_dims
     )
-    make = build_workload(schedule.workload, schedule.size, schedule.prob_seed)
+    make = build_workload(
+        schedule.workload,
+        schedule.size,
+        schedule.prob_seed,
+        checkpoint_every=schedule.checkpoint_every,
+    )
     flags = schedule.flags
     retry = RetryPolicy(
         jitter=0.25, seed=schedule.seed, hedge=bool(flags.get("hedge"))
@@ -244,6 +276,7 @@ def run_schedule(
         "matches": False,
         "recovered": False,
         "recoveries": 0,
+        "promotions": 0,
         "error": None,
         "time": 0.0,
         "final_p": 0,
@@ -257,7 +290,10 @@ def run_schedule(
             sanitize=bool(flags.get("sanitize")),
             abft=bool(flags.get("abft")),
         )
-        report = run_resilient(session, make(), max_recoveries=3)
+        policy = CheckpointPolicy(
+            strategy=schedule.strategy, every=schedule.checkpoint_every
+        )
+        report = run_resilient(session, make(), max_recoveries=3, policy=policy)
     except ReproError as exc:
         # A sanitizer invariant violation (or any other escaped repro
         # error) is exactly the bug class the campaign hunts.
@@ -266,6 +302,7 @@ def run_schedule(
         return outcome
     outcome["recovered"] = bool(report.recovered)
     outcome["recoveries"] = int(report.recoveries)
+    outcome["promotions"] = int(report.promotions)
     outcome["final_p"] = int(report.final_p)
     outcome["time"] = float(session.time)
     outcome["stats"] = report.stats.as_dict()
@@ -279,6 +316,139 @@ def run_schedule(
     if not outcome["ok"] and outcome["error"] is None:
         outcome["error"] = "result differs from fault-free baseline"
     return outcome
+
+
+# ---------------------------------------------------------------------------
+# checkpoint-window schedules (mid-save / mid-restore kills)
+# ---------------------------------------------------------------------------
+
+def checkpoint_windows(
+    workload: str,
+    size: int,
+    prob_seed: int,
+    n_dims: int,
+    strategy: str = "host",
+    checkpoint_every: int = 4,
+) -> List[Tuple[float, float]]:
+    """Simulated-time windows spanning each checkpoint save's charged cost.
+
+    Runs the workload fault-free and records ``(t_before, t_after)``
+    around every ``store.save``.  Because the simulator is deterministic,
+    a faulted run with the same problem and policy follows the identical
+    clock trajectory up to its first fault — so an event placed inside a
+    window is guaranteed to fire during the save's charged collection.
+    """
+    make = build_workload(
+        workload, size, prob_seed, checkpoint_every=checkpoint_every
+    )
+    session = Session(n_dims)
+    store = CheckpointStore(session, policy=strategy)
+    windows: List[Tuple[float, float]] = []
+    original_save = store.save
+
+    def recording_save(*args: Any, **kwargs: Any) -> Any:
+        t0 = float(session.time)
+        ck = original_save(*args, **kwargs)
+        windows.append((t0, float(session.time)))
+        return ck
+
+    store.save = recording_save  # type: ignore[method-assign]
+    make()(session, store)
+    return windows
+
+
+def generate_checkpoint_schedules(
+    count: int,
+    master_seed: int = 0,
+    n_dims: int = 4,
+    sizes: Sequence[int] = (8, 12),
+    strategies: Sequence[str] = STRATEGIES,
+    checkpoint_every: Optional[int] = None,
+) -> List[ChaosSchedule]:
+    """Adversarial schedules that kill a node mid-save / mid-restore.
+
+    Every schedule targets the gaussian workload (the only one that
+    checkpoints mid-run) and places a :class:`NodeKill` at the midpoint
+    of a measured save window, so the fault fires *inside* the charged
+    checkpoint collection.  Odd-indexed schedules add a second kill a
+    hair after the first: it is still pending when the degraded session
+    replays and fires during the restore's charged scatter — a
+    mid-restore kill.  Every third schedule also heals the first victim
+    later on, exercising re-expansion on top of the mid-save kill.
+    """
+    if count < 1:
+        raise ConfigError(f"schedule count must be >= 1, got {count}")
+    for s in strategies:
+        if s not in STRATEGIES:
+            raise ConfigError(
+                f"unknown checkpoint strategy {s!r}; choose from {STRATEGIES}"
+            )
+    window_cache: Dict[Tuple, List[Tuple[float, float]]] = {}
+    schedules = []
+    for index in range(count):
+        # A distinct stream offset keeps these independent of the main
+        # generator's (master_seed, index) child seeds.
+        rng = np.random.default_rng((master_seed, 104729, index))
+        seed = int(rng.integers(1 << 31))
+        size = int(rng.choice(list(sizes)))
+        prob_seed = int(rng.integers(4))
+        strategy = str(rng.choice(list(strategies)))
+        drawn_every = int(rng.choice((2, 4)))
+        every = drawn_every if checkpoint_every is None else checkpoint_every
+        flags = {
+            name: bool(rng.random() < prob) for name, prob in FLAG_PROBS.items()
+        }
+        key = (size, prob_seed, n_dims, strategy, every)
+        windows = window_cache.get(key)
+        if windows is None:
+            windows = checkpoint_windows(
+                "gaussian",
+                size,
+                prob_seed,
+                n_dims,
+                strategy=strategy,
+                checkpoint_every=every,
+            )
+            window_cache[key] = windows
+        # Prefer a later window so a committed checkpoint exists to
+        # resume from; the first save starts at elimination step 0.
+        wi = int(rng.integers(1, len(windows))) if len(windows) > 1 else 0
+        t0, t1 = windows[wi]
+        t_kill = 0.5 * (t0 + t1)
+        p = 1 << n_dims
+        # An odd victim pins the survivor subcube to the even pids
+        # (fixed dimension 0, base 0 wins the deterministic tie-break),
+        # which makes the follow-up kills below well-defined.
+        victim = 1 + 2 * int(rng.integers(p // 2))
+        events: List[Any] = [NodeKill(t_kill, pid=victim)]
+        if index % 2 == 1:
+            # The first kill's poll lands at a round start inside the
+            # save window (clock < t1), so this one is still pending when
+            # the degraded session replays — and the restore's charged
+            # scatter spans well past t1, so it fires mid-restore.
+            events.append(NodeKill(t1 + 1e-6, pid=2))
+        if index % 3 == 2:
+            # Heal the first victim well after the degrade so the next
+            # committed checkpoint can promote back to the full cube.
+            events.append(
+                NodeHeal(t_kill + 2.0 * max(t1 - t0, 1.0), pid=victim)
+            )
+        plan = FaultPlan(tuple(sorted(events, key=lambda ev: ev.time)))
+        schedules.append(
+            ChaosSchedule(
+                index=index,
+                seed=seed,
+                workload="gaussian",
+                size=size,
+                prob_seed=prob_seed,
+                n_dims=n_dims,
+                flags=flags,
+                plan=plan,
+                strategy=strategy,
+                checkpoint_every=every,
+            )
+        )
+    return schedules
 
 
 # ---------------------------------------------------------------------------
@@ -344,6 +514,9 @@ def run_campaign(
     shrink: bool = True,
     artifact_dir: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    strategies: Sequence[str] = STRATEGIES,
+    checkpoint_schedules: int = 0,
+    checkpoint_every: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run ``count`` seeded schedules; shrink and archive any failure.
 
@@ -351,7 +524,9 @@ def run_campaign(
     directory is created up front (so CI artifact upload always finds
     it) and each failure's minimized plan lands there as
     ``minimized_<index>.json``, replayable with ``repro faults
-    --fault-plan``.
+    --fault-plan``.  ``checkpoint_schedules`` appends that many
+    adversarial mid-save / mid-restore kill schedules (see
+    :func:`generate_checkpoint_schedules`) after the random ones.
     """
     if artifact_dir:
         os.makedirs(artifact_dir, exist_ok=True)
@@ -363,7 +538,22 @@ def run_campaign(
         sizes=sizes,
         workloads=workloads,
         baselines=baselines,
+        strategies=strategies,
+        checkpoint_every=checkpoint_every,
     )
+    if checkpoint_schedules:
+        extra = generate_checkpoint_schedules(
+            checkpoint_schedules,
+            master_seed=master_seed,
+            n_dims=n_dims,
+            strategies=strategies,
+            checkpoint_every=checkpoint_every,
+        )
+        # Re-index past the random block so failure artifacts stay unique.
+        schedules += [
+            replace(s, index=count + i) for i, s in enumerate(extra)
+        ]
+    total = len(schedules)
     ok = 0
     total_time = 0.0
     total_events = 0
@@ -375,6 +565,9 @@ def run_campaign(
         "gray_recoveries": 0,
     }
     recoveries = 0
+    promotions = 0
+    expansions = 0
+    strategy_counts: Dict[str, int] = {}
     failures: List[Dict[str, Any]] = []
     for schedule in schedules:
         outcome = run_schedule(schedule, baselines)
@@ -383,17 +576,22 @@ def run_campaign(
         workload_counts[schedule.workload] = (
             workload_counts.get(schedule.workload, 0) + 1
         )
+        strategy_counts[schedule.strategy] = (
+            strategy_counts.get(schedule.strategy, 0) + 1
+        )
         for name, on in schedule.flags.items():
             if on:
                 flag_counts[name] += 1
         recoveries += outcome["recoveries"]
+        promotions += int(outcome.get("promotions", 0))
+        expansions += int(outcome["stats"].get("expansions", 0))
         for name in gray_totals:
             gray_totals[name] += int(outcome["stats"].get(name, 0))
         if outcome["ok"]:
             ok += 1
             if progress is not None and (schedule.index + 1) % 25 == 0:
                 progress(
-                    f"[{schedule.index + 1}/{count}] ok so far: {ok}"
+                    f"[{schedule.index + 1}/{total}] ok so far: {ok}"
                 )
             continue
         failure = {
@@ -404,7 +602,7 @@ def run_campaign(
         }
         if progress is not None:
             progress(
-                f"[{schedule.index + 1}/{count}] FAIL "
+                f"[{schedule.index + 1}/{total}] FAIL "
                 f"{schedule.workload}/{schedule.size} seed={schedule.seed}: "
                 f"{outcome['error']}"
             )
@@ -433,15 +631,18 @@ def run_campaign(
                 failure["minimized_path"] = path
         failures.append(failure)
     return {
-        "schedules": count,
+        "schedules": total,
         "master_seed": master_seed,
         "n_dims": n_dims,
         "ok": ok,
-        "failed": count - ok,
+        "failed": total - ok,
         "recoveries": recoveries,
+        "promotions": promotions,
+        "expansions": expansions,
         "total_fault_events": total_events,
         "total_sim_time": total_time,
         "workloads": workload_counts,
+        "strategies": strategy_counts,
         "flags_on": flag_counts,
         "gray": gray_totals,
         "failures": failures,
@@ -525,6 +726,8 @@ def campaign_record(
             "chaos.ok": report["ok"],
             "chaos.failed": report["failed"],
             "chaos.recoveries": report["recoveries"],
+            "chaos.promotions": report.get("promotions", 0),
+            "chaos.expansions": report.get("expansions", 0),
             "chaos.fault_events": report["total_fault_events"],
             **{
                 f"chaos.gray.{name}": value
@@ -572,6 +775,8 @@ __all__ = [
     "ChaosSchedule",
     "build_workload",
     "campaign_record",
+    "checkpoint_windows",
+    "generate_checkpoint_schedules",
     "generate_schedules",
     "run_campaign",
     "run_schedule",

@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import bisect
 import collections
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -52,8 +52,10 @@ from .plan import (
     LinkCorrupt,
     LinkDrop,
     LinkFlaky,
+    LinkHeal,
     LinkKill,
     LinkSlow,
+    NodeHeal,
     NodeKill,
     NodeSlow,
 )
@@ -143,6 +145,10 @@ class FaultStats:
     flaky_drops: int = 0
     hedged_retransmits: int = 0
     straggler_detours: int = 0
+    # Heal / re-expansion accounting (published under ``faults.*``).
+    node_heals: int = 0
+    link_heals: int = 0
+    expansions: int = 0
 
     #: stat names that publish under the ``faults.gray.`` prefix.
     _GRAY = (
@@ -180,6 +186,9 @@ class FaultStats:
             "flaky_drops": self.flaky_drops,
             "hedged_retransmits": self.hedged_retransmits,
             "straggler_detours": self.straggler_detours,
+            "node_heals": self.node_heals,
+            "link_heals": self.link_heals,
+            "expansions": self.expansions,
         }
 
     def publish_metrics(self, registry) -> None:
@@ -457,6 +466,18 @@ class FaultInjector:
                     )
             else:
                 entry["skipped"] = True  # node already dead
+        elif isinstance(ev, NodeHeal):
+            if machine.revive_node(ev.pid % machine.p):
+                self.stats.node_heals += 1
+            else:
+                entry["skipped"] = True  # node is alive (or kill never fired)
+        elif isinstance(ev, LinkHeal):
+            if machine.n < 1:
+                entry["skipped"] = True
+            elif machine.revive_link(ev.dim % machine.n, ev.pid % machine.p):
+                self.stats.link_heals += 1
+            else:
+                entry["skipped"] = True  # link is alive (or kill never fired)
         elif isinstance(ev, LinkFlaky):
             if machine.n < 1:
                 entry["skipped"] = True
@@ -795,6 +816,19 @@ class FaultInjector:
                             seed=ev.seed,
                         )
                     )
+            elif isinstance(ev, NodeHeal):
+                # Normally extracted into the expansion ledger before a
+                # degrade (Session.degrade) — a heal surviving to here
+                # follows its target like any other node event.
+                if in_subcube(ev.pid):
+                    remaining.append(NodeHeal(ev.time, pid=compress(ev.pid)))
+            elif isinstance(ev, LinkHeal):
+                if ev.dim in dim_map and in_subcube(ev.pid):
+                    remaining.append(
+                        LinkHeal(
+                            ev.time, dim=dim_map[ev.dim], pid=compress(ev.pid)
+                        )
+                    )
         self._pending = remaining
         self._next = 0
         self._armed_drops = {
@@ -816,6 +850,78 @@ class FaultInjector:
         self._gray_expiries = []
         self.health.clear()
         # Old-machine arrays are dead after a remap; drop them as targets.
+        self._memory.clear()
+
+    def extract_heals(self) -> List:
+        """Remove and return the unfired heal events.
+
+        Called by ``Session.degrade`` before :meth:`translate`, which
+        would otherwise drop heals with the hardware they target — but a
+        heal aimed at removed hardware is exactly the event that makes
+        re-expansion possible later, so it moves to the expansion ledger
+        instead of vanishing.
+        """
+        heals: List = []
+        rest: List = []
+        for ev in self._pending[self._next:]:
+            if isinstance(ev, (NodeHeal, LinkHeal)):
+                heals.append(ev)
+            else:
+                rest.append(ev)
+        if heals:
+            self._pending = self._pending[: self._next] + rest
+        return heals
+
+    def untranslate(self, free_dims: Sequence[int], base: int) -> None:
+        """Rename remaining events from subcube coordinates back up.
+
+        The inverse of :meth:`translate`, used by re-expansion
+        (``Session.promote``): ``free_dims``/``base`` describe how the
+        *current* machine embeds in the root cube, and every pending
+        event and armed transient is lifted into root coordinates (no
+        event is ever dropped going up — the root has strictly more
+        hardware).  The caller then points ``machine`` at the root and
+        :meth:`translate`\\ s down into the promoted cube.
+        """
+        free_dims = list(free_dims)
+        n_sub = len(free_dims)
+
+        def lift(pid: int) -> int:
+            out = base
+            for i, d in enumerate(free_dims):
+                out |= ((pid >> i) & 1) << d
+            return out
+
+        def lift_dim(dim: int) -> int:
+            return free_dims[dim % n_sub] if n_sub else dim
+
+        def lifted(ev):
+            kwargs = {}
+            if isinstance(ev, (NodeKill, NodeSlow, NodeHeal)):
+                kwargs["pid"] = lift(ev.pid % (1 << n_sub))
+            elif isinstance(ev, (LinkKill, LinkCorrupt, LinkSlow, LinkHeal)):
+                kwargs["dim"] = lift_dim(ev.dim)
+                kwargs["pid"] = lift(ev.pid % (1 << n_sub))
+            elif isinstance(ev, (LinkDrop, LinkFlaky)):
+                kwargs["dim"] = lift_dim(ev.dim)
+            elif isinstance(ev, BitFlip):
+                kwargs["pid"] = lift(ev.pid % (1 << n_sub))
+            return replace(ev, **kwargs) if kwargs else ev
+
+        self._pending = [lifted(ev) for ev in self._pending[self._next:]]
+        self._next = 0
+        self._armed_drops = {
+            lift_dim(d): c for d, c in self._armed_drops.items()
+        }
+        self._armed_corruptions = {
+            lift_dim(d): [lifted(e) for e in evs]
+            for d, evs in self._armed_corruptions.items()
+        }
+        self._flaky = {lift_dim(d): fs for d, fs in self._flaky.items()}
+        # Gray state and the memory registry are tied to the machine being
+        # left behind; the follow-up translate() clears them again anyway.
+        self._gray_expiries = []
+        self.health.clear()
         self._memory.clear()
 
 

@@ -51,6 +51,15 @@ Event kinds
     are exact); each drop is retried like a :class:`LinkDrop` — or hedged,
     see :class:`~repro.faults.injector.RetryPolicy`.  ``duration > 0``
     bounds the flaky window.
+:class:`NodeHeal`
+    Repair: processor ``pid`` comes back to service.  Fired on a machine
+    where ``pid`` is dead it revives the node in place; when the session
+    has already degraded past the kill, the pending heal moves to the
+    expansion ledger and re-opens the processor for re-expansion
+    (``Session.promote``).
+:class:`LinkHeal`
+    Repair: the link across ``dim`` at ``pid`` comes back to service
+    (in-place revival or ledger entry, as for :class:`NodeHeal`).
 
 Plans serialise to/from JSON (:meth:`FaultPlan.as_dict` /
 :meth:`FaultPlan.from_dict`, :meth:`to_json` / :meth:`from_json`) so a
@@ -217,6 +226,21 @@ class LinkFlaky(FaultEvent):
             )
 
 
+@dataclass(frozen=True)
+class NodeHeal(FaultEvent):
+    """Processor ``pid`` comes back to service at ``time``."""
+
+    pid: int = 0
+
+
+@dataclass(frozen=True)
+class LinkHeal(FaultEvent):
+    """The link across ``dim`` at ``pid`` comes back to service at ``time``."""
+
+    dim: int = 0
+    pid: int = 0
+
+
 class FaultPlan:
     """An immutable, time-sorted schedule of fault events.
 
@@ -364,6 +388,9 @@ class FaultPlan:
         slow_factor: Tuple[float, float] = (2.0, 6.0),
         slow_duration: Tuple[float, float] = (0.2, 0.5),
         flaky_drop_p: Tuple[float, float] = (0.1, 0.4),
+        node_heals: int = 0,
+        link_heals: int = 0,
+        heal_window: Tuple[float, float] = (1.0, 1.6),
     ) -> "FaultPlan":
         """A seeded pseudo-random plan for an ``n``-dimensional machine.
 
@@ -379,6 +406,13 @@ class FaultPlan:
         ``slow_duration`` the recovery window as a fraction of ``horizon``
         (a quarter of gray events draw as permanent), ``flaky_drop_p``
         the per-round drop probability.
+
+        Heal events draw after every other family (same stream-stability
+        guarantee) and target components this plan actually killed —
+        ``node_heals``/``link_heals`` are silently capped by the kills
+        drawn.  Heal times land in ``heal_window * horizon``, past the
+        nominal completion time, because recovery (restore + replay)
+        stretches the faulted run well beyond the fault-free horizon.
         """
         if n < 1 and (link_kills or drops):
             raise ConfigError("link faults need a machine with n >= 1")
@@ -482,6 +516,22 @@ class FaultPlan:
                     seed=int(rng.integers(1 << 31)),
                 )
             )
+
+        def heal_when() -> float:
+            return float(
+                rng.uniform(heal_window[0] * horizon, heal_window[1] * horizon)
+            )
+
+        if node_heals and seen_nodes:
+            victims = sorted(seen_nodes)
+            for _ in range(node_heals):
+                pid = int(victims[int(rng.integers(len(victims)))])
+                events.append(NodeHeal(heal_when(), pid=pid))
+        if link_heals and seen_links:
+            link_victims = sorted(seen_links)
+            for _ in range(link_heals):
+                dim, lo = link_victims[int(rng.integers(len(link_victims)))]
+                events.append(LinkHeal(heal_when(), dim=dim, pid=lo))
         return cls(events)
 
 
@@ -497,6 +547,8 @@ _EVENT_KINDS = {
         LinkSlow,
         NodeSlow,
         LinkFlaky,
+        NodeHeal,
+        LinkHeal,
     )
 }
 
@@ -511,5 +563,7 @@ __all__ = [
     "LinkSlow",
     "NodeSlow",
     "LinkFlaky",
+    "NodeHeal",
+    "LinkHeal",
     "FaultPlan",
 ]

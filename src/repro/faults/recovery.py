@@ -32,9 +32,16 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import CorruptionError, FaultError, NodeKilledError, UnroutableError
+from ..errors import (
+    ConfigError,
+    CorruptionError,
+    FaultError,
+    NodeKilledError,
+    UnroutableError,
+)
 from .checkpoint import CheckpointStore
 from .injector import FaultStats
+from .strategies import PromotionPending
 
 
 def largest_healthy_subcube(machine: Any) -> Tuple[Tuple[int, ...], int]:
@@ -95,6 +102,8 @@ class RecoveryReport:
     stats: FaultStats
     final_p: int
     error: Optional[str] = None
+    promotions: int = 0
+    checkpoint: Optional[dict] = None
 
     def as_dict(self) -> dict:
         data = {
@@ -102,7 +111,10 @@ class RecoveryReport:
             "recoveries": self.recoveries,
             "final_p": self.final_p,
             "stats": self.stats.as_dict(),
+            "promotions": self.promotions,
         }
+        if self.checkpoint is not None:
+            data["checkpoint"] = dict(self.checkpoint)
         if self.error is not None:
             data["error"] = self.error
         return data
@@ -113,6 +125,8 @@ def run_resilient(
     workload: Callable[[Any, CheckpointStore], Any],
     max_recoveries: int = 2,
     store: Optional[CheckpointStore] = None,
+    policy: Optional[Any] = None,
+    max_promotions: int = 2,
 ) -> RecoveryReport:
     """Run ``workload`` to completion, degrading past node kills.
 
@@ -123,12 +137,27 @@ def run_resilient(
     raised by the ABFT layer) also triggers a replay, but on the *same*
     machine: the topology is healthy, only data was lost, so the workload
     re-runs from its last checkpoint with a cleared checksum registry.
-    Never raises for fault-related failures; inspect ``report.recovered`` /
-    ``report.error``.
+
+    ``policy`` selects the checkpoint strategy (a
+    :class:`~repro.faults.strategies.CheckpointPolicy` or a strategy
+    name); it defaults to the session's ``checkpoint=`` setting.  When
+    healed hardware makes a strictly larger cube available, the store
+    raises :class:`~repro.faults.strategies.PromotionPending` right after
+    a checkpoint commits and the runner *promotes* the session
+    (``Session.promote``), re-running the workload — which re-scatters
+    from that checkpoint onto the bigger machine.  Promotions don't count
+    against ``max_recoveries``; at most ``max_promotions`` are attempted.
+    Never raises for fault-related failures; inspect ``report.recovered``
+    / ``report.error``.
     """
     if store is None:
-        store = CheckpointStore(session)
+        store = CheckpointStore(session, policy=policy)
+    elif policy is not None:
+        raise ConfigError(
+            "pass the checkpoint policy via the store when store= is given"
+        )
     recoveries = 0
+    promotions = 0
     error: Optional[str] = None
     while True:
         injector = session.machine.faults
@@ -141,7 +170,26 @@ def run_resilient(
                 recoveries=recoveries,
                 stats=stats,
                 final_p=session.machine.p,
+                promotions=promotions,
+                checkpoint=store.summary(),
             )
+        except PromotionPending:
+            # A checkpoint just landed and healed hardware offers a larger
+            # cube.  Promotion failure is non-fatal: the checkpoint is
+            # already committed, so the run simply continues on the
+            # current subcube with further promotion checks disabled.
+            if promotions >= max_promotions:
+                if session._expansion is not None:
+                    session._expansion.enabled = False
+                continue
+            try:
+                session.promote()
+            except FaultError:
+                if session._expansion is not None:
+                    session._expansion.enabled = False
+                continue
+            promotions += 1
+            continue
         except CorruptionError as exc:
             # Uncorrectable corruption: the machine is healthy, so no
             # degrade — clear the stale checksum registry and replay the
@@ -178,6 +226,8 @@ def run_resilient(
         stats=stats,
         final_p=session.machine.p,
         error=error,
+        promotions=promotions,
+        checkpoint=store.summary(),
     )
 
 

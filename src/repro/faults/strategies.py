@@ -1,0 +1,271 @@
+"""Pluggable checkpoint strategies: host-gather, diskless, incremental.
+
+A :class:`CheckpointPolicy` selects how :class:`~repro.faults.checkpoint.
+CheckpointStore` charges the data motion of a save/restore pair on the
+simulated clock.  Three strategies exist:
+
+``host`` (default)
+    The original behaviour: every save gathers full canonical copies of
+    every distributed array to the front end — one binary-tree gather of
+    ``local * (p - 1)`` elements per array — and restore charges the
+    mirror-image scatter.  Safest (the host survives anything the cube
+    does) and the most expensive.  Kept as the default so existing golden
+    pins stay bit-identical.
+
+``diskless``
+    In-cube checkpointing: each node mirrors its local block to a
+    dimension-rotated partner (one round of ``local`` elements) and folds
+    an XOR/byte-sum parity panel along a second cube dimension
+    (Huang–Abraham style, the same ``Z/2**64`` byte lattice the ABFT
+    panels use — see :mod:`repro.abft.panels`).  A save charges O(local)
+    rounds instead of a full gather; a single node kill rebuilds the lost
+    blocks from partner + parity.  The mirror/parity dimensions rotate
+    with the save index so repeated saves spread wear across the cube.
+
+``incremental``
+    Diskless shipping only dirty blocks: per-block byte-sum signatures
+    (:func:`repro.machine.dirty.block_signatures`) detect which of the
+    ``p`` blocks changed since the previous snapshot, and the mirror +
+    parity rounds are scaled by the dirty fraction.  Falls back to a full
+    diskless save when there is no previous snapshot, the array changed
+    shape, or every ``full_every``-th save (so a corrupted delta chain
+    can never outlive one full period).
+
+The charged schedules model data motion honestly but keep the *contents*
+host-side (the simulator has no per-node private memories to lose); what
+differs between strategies is purely the simulated cost and the parity
+metadata carried for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..machine.dirty import block_signatures
+
+#: recognised strategy names, in documentation order.
+STRATEGIES = ("host", "diskless", "incremental")
+
+
+class PromotionPending(Exception):
+    """A checkpoint just landed and a larger healthy cube is available.
+
+    Raised by :meth:`CheckpointStore.save` (control flow, not an error —
+    deliberately *not* a :class:`~repro.errors.ReproError` so campaign
+    harnesses that trap fault errors never swallow it) and caught by
+    :func:`~repro.faults.recovery.run_resilient`, which promotes the
+    session and resumes from the checkpoint that was just saved.
+    """
+
+    def __init__(self, checkpoint: Any) -> None:
+        super().__init__(
+            f"checkpoint {getattr(checkpoint, 'label', '?')!r} saved; "
+            "a larger healthy cube is available for re-expansion"
+        )
+        self.checkpoint = checkpoint
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """How a resilient run checkpoints: strategy, cadence, promotion.
+
+    ``every`` is the checkpoint cadence in workload steps (consumed by
+    workloads that checkpoint mid-run, e.g. ``gaussian_workload``);
+    ``full_every`` forces every k-th incremental save to be a full
+    snapshot; ``promote`` gates re-expansion (see ``Session.promote``);
+    ``verify`` checks the stored parity panels on restore.
+    """
+
+    strategy: str = "host"
+    every: int = 4
+    full_every: int = 8
+    promote: bool = True
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown checkpoint strategy {self.strategy!r}; "
+                f"choose from {STRATEGIES}"
+            )
+        if self.every < 1:
+            raise ConfigError(
+                f"checkpoint cadence must be >= 1, got {self.every}"
+            )
+        if self.full_every < 1:
+            raise ConfigError(
+                f"full-snapshot period must be >= 1, got {self.full_every}"
+            )
+
+    @classmethod
+    def coerce(cls, value: Any) -> "CheckpointPolicy":
+        """A policy from ``None`` (default), a strategy name, or a policy."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(strategy=value)
+        raise ConfigError(
+            f"checkpoint policy must be a CheckpointPolicy or a strategy "
+            f"name, got {type(value).__name__}"
+        )
+
+
+class CheckpointStrategy:
+    """Charges one array's save/restore data motion; see module docstring.
+
+    ``charge_save`` returns an info dict: ``full`` (whether the whole
+    block set shipped), ``dirty``/``blocks`` (incremental accounting,
+    zero elsewhere) and the mirror/parity dimensions used (``None`` on a
+    single-processor machine).
+    """
+
+    name = "?"
+
+    def __init__(self, policy: CheckpointPolicy) -> None:
+        self.policy = policy
+
+    def charge_save(
+        self,
+        machine: Any,
+        local_size: float,
+        index: int,
+        prev_host: Optional[np.ndarray],
+        host: np.ndarray,
+    ) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def charge_restore(
+        self, machine: Any, local_size: float, meta: Dict[str, Any]
+    ) -> None:
+        raise NotImplementedError
+
+    def signature_panel(
+        self, host: np.ndarray, blocks: int
+    ) -> Optional[np.ndarray]:
+        """Parity panel to stash with the checkpoint (``None`` = none)."""
+        return None
+
+
+class HostGatherStrategy(CheckpointStrategy):
+    """Full gather-to-host (the historical default, bit-identical)."""
+
+    name = "host"
+
+    def charge_save(self, machine, local_size, index, prev_host, host):
+        machine.charge_local(local_size)  # pack/unpack pass
+        for j in range(machine.n):
+            machine.charge_comm_round(local_size * (1 << j), dim=j)
+        return {"full": True, "dirty": 0, "blocks": 0,
+                "mirror_dim": None, "parity_dim": None}
+
+    def charge_restore(self, machine, local_size, meta):
+        # The mirror-image scatter (recursive halving) on the machine
+        # doing the restoring — a degraded machine pays its own, smaller
+        # schedule.
+        machine.charge_local(local_size)
+        for j in range(machine.n):
+            machine.charge_comm_round(local_size * (1 << j), dim=j)
+
+
+class DisklessStrategy(CheckpointStrategy):
+    """In-cube mirror + parity fold: O(local) rounds per save."""
+
+    name = "diskless"
+
+    def _dims(self, machine, index: int) -> Tuple[Optional[int], Optional[int]]:
+        n = machine.n
+        if n < 1:
+            return None, None
+        return index % n, (index + 1) % n
+
+    def charge_save(self, machine, local_size, index, prev_host, host):
+        mirror, parity = self._dims(machine, index)
+        machine.charge_local(local_size)  # pack the local block
+        if mirror is not None:
+            # One round to the dimension-rotated partner, one shift along
+            # the parity dimension feeding the XOR fold.
+            machine.charge_comm_round(local_size, dim=mirror)
+            machine.charge_comm_round(local_size, dim=parity)
+        machine.charge_local(local_size)  # byte-sum fold into the panel
+        return {"full": True, "dirty": 0, "blocks": 0,
+                "mirror_dim": mirror, "parity_dim": parity}
+
+    def charge_restore(self, machine, local_size, meta):
+        # Lost blocks rebuild from the partner copy plus the parity panel:
+        # one round each, then a local reconstruction pass.  Dimensions
+        # are taken modulo the (possibly smaller) restoring machine.
+        n = machine.n
+        if n >= 1:
+            mirror = meta.get("mirror_dim")
+            parity = meta.get("parity_dim")
+            machine.charge_comm_round(
+                local_size, dim=(mirror if mirror is not None else 0) % n
+            )
+            machine.charge_comm_round(
+                local_size, dim=(parity if parity is not None else 1) % n
+            )
+        machine.charge_local(local_size)
+
+    def signature_panel(self, host, blocks):
+        return block_signatures(host, blocks)
+
+
+class IncrementalStrategy(DisklessStrategy):
+    """Diskless deltas: mirror/parity rounds scaled by the dirty fraction."""
+
+    name = "incremental"
+
+    def charge_save(self, machine, local_size, index, prev_host, host):
+        mirror, parity = self._dims(machine, index)
+        blocks = max(machine.p, 1)
+        machine.charge_local(local_size)  # signature scan of the local block
+        full = (
+            prev_host is None
+            or prev_host.shape != host.shape
+            or prev_host.dtype != host.dtype
+            or index % self.policy.full_every == 0
+        )
+        if full:
+            dirty = blocks
+        else:
+            dirty = int(np.count_nonzero(
+                block_signatures(host, blocks)
+                != block_signatures(prev_host, blocks)
+            ))
+        volume = local_size * (dirty / blocks)
+        if volume > 0:
+            if mirror is not None:
+                machine.charge_comm_round(volume, dim=mirror)
+                machine.charge_comm_round(volume, dim=parity)
+            machine.charge_local(volume)  # fold the shipped blocks
+        return {"full": bool(full), "dirty": dirty, "blocks": blocks,
+                "mirror_dim": mirror, "parity_dim": parity}
+
+
+_STRATEGY_CLASSES = {
+    cls.name: cls
+    for cls in (HostGatherStrategy, DisklessStrategy, IncrementalStrategy)
+}
+
+
+def make_strategy(policy: CheckpointPolicy) -> CheckpointStrategy:
+    """The strategy instance a policy names."""
+    return _STRATEGY_CLASSES[policy.strategy](policy)
+
+
+__all__ = [
+    "STRATEGIES",
+    "CheckpointPolicy",
+    "CheckpointStrategy",
+    "HostGatherStrategy",
+    "DisklessStrategy",
+    "IncrementalStrategy",
+    "PromotionPending",
+    "make_strategy",
+]

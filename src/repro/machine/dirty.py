@@ -1,0 +1,43 @@
+"""Per-block dirty detection via exact byte-sum signatures.
+
+Incremental checkpoints need to know which of a distributed array's ``p``
+blocks changed since the last snapshot.  Rather than diffing values
+(dtype-dependent, float-hostile), each block gets one ``uint64`` signature:
+the sum of its byte image in ``Z/2**64`` — the same exact lattice the ABFT
+checksum panels use (:mod:`repro.abft.panels`).  Any single-bit change
+perturbs the signature; sums are exact integers, so signature equality is
+a deterministic, dtype-agnostic "unchanged" witness (collisions require a
+crafted multi-byte cancellation, which honest workload updates don't
+produce).
+
+Signatures are computed on the *canonical host image* split into ``p``
+equal byte spans — a faithful stand-in for the machine's block partition
+for accounting purposes (the fraction of spans touched tracks the
+fraction of machine-resident blocks touched).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def block_signatures(host: np.ndarray, blocks: int) -> np.ndarray:
+    """``(blocks,)`` uint64 byte-sum signatures of ``host``'s byte image.
+
+    The flat byte image is split into ``blocks`` near-equal spans
+    (``np.array_split`` semantics); each span sums to one exact uint64
+    word (wrapping mod ``2**64``).  Empty spans (more blocks than bytes)
+    sign as zero.
+    """
+    if blocks < 1:
+        raise ConfigError(f"block count must be >= 1, got {blocks}")
+    flat = np.ascontiguousarray(host).reshape(-1).view(np.uint8)
+    return np.array(
+        [span.sum(dtype=np.uint64) for span in np.array_split(flat, blocks)],
+        dtype=np.uint64,
+    )
+
+
+__all__ = ["block_signatures"]

@@ -302,6 +302,56 @@ class Hypercube:
             )
         return True
 
+    def revive_node(self, pid: int) -> bool:
+        """Bring dead processor ``pid`` back (a heal/repair event).
+
+        Returns False when the node is already alive.  Bumps the epoch —
+        cached plans may embed routing choices that avoided the dead node.
+        """
+        if not (0 <= pid < self.p):
+            raise ConfigError(f"pid {pid} out of range for p={self.p}")
+        if self.node_ok is None or self.node_ok[pid]:
+            return False
+        self.node_ok[pid] = True
+        self._n_dead_nodes -= 1
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"revive_node:{pid}", "fault", pid=pid, epoch=self.epoch
+            )
+        return True
+
+    def revive_link(self, dim: int, pid: int) -> bool:
+        """Bring the dead link across ``dim`` at ``pid`` back to service.
+
+        Returns False when that link is already alive.  Subsequent rounds
+        along ``dim`` stop paying the detour surcharge for this link.
+        """
+        self._check_dim(dim)
+        if not (0 <= pid < self.p):
+            raise ConfigError(f"pid {pid} out of range for p={self.p}")
+        bit = 1 << dim
+        lo = min(pid, pid ^ bit)
+        if self.link_ok is None or self.link_ok[dim, lo]:
+            return False
+        self.link_ok[dim, lo] = True
+        self.link_ok[dim, lo ^ bit] = True
+        links = self._dead_links_by_dim.get(dim)
+        if links is not None:
+            if lo in links:
+                links.remove(lo)
+            if not links:
+                del self._dead_links_by_dim[dim]
+        self.bump_epoch()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"revive_link:{dim}@{lo}", "fault",
+                dim=dim, pid=lo, epoch=self.epoch,
+            )
+        return True
+
     # -- gray (degraded-but-alive) state ---------------------------------------
 
     def slow_link(self, dim: int, pid: int, factor: float) -> bool:

@@ -94,7 +94,10 @@ DEFAULT_FLAGS: Dict[str, Any] = {
     "abft": False,
 }
 
-WORKLOADS = ("gaussian", "simplex", "matvec", "batch_gaussian", "graph_bfs")
+WORKLOADS = (
+    "gaussian", "simplex", "matvec", "batch_gaussian", "graph_bfs",
+    "resilience",
+)
 
 
 @dataclass
@@ -164,6 +167,30 @@ BUILTIN_TABLES: Dict[str, List[RunSpec]] = {
         RunSpec("batch_gaussian", {"n_dims": 8, "n": 16, "n_runs": 16},
                 reps=3),
         RunSpec("graph_bfs", {"n_dims": 8, "nodes": 256}, reps=3),
+    ],
+    # Checkpoint-strategy comparison under one seeded fault plan: same
+    # problem, same faults, only the checkpoint cost model varies.  The
+    # n_dims=10 gaussian rows back the CI recovery gate (diskless and
+    # incremental must save >= 3x cheaper than host gather).
+    "resilience": [
+        RunSpec("resilience",
+                {"n_dims": 10, "size": 24, "workload": "gaussian",
+                 "strategy": "host", "every": 2}),
+        RunSpec("resilience",
+                {"n_dims": 10, "size": 24, "workload": "gaussian",
+                 "strategy": "diskless", "every": 2}),
+        RunSpec("resilience",
+                {"n_dims": 10, "size": 24, "workload": "gaussian",
+                 "strategy": "incremental", "every": 2}),
+        RunSpec("resilience",
+                {"n_dims": 5, "size": 12, "workload": "gaussian",
+                 "strategy": "host", "every": 2}),
+        RunSpec("resilience",
+                {"n_dims": 5, "size": 12, "workload": "gaussian",
+                 "strategy": "diskless", "every": 2}),
+        RunSpec("resilience",
+                {"n_dims": 5, "size": 16, "workload": "matvec",
+                 "strategy": "host", "every": 2}),
     ],
 }
 
@@ -398,10 +425,104 @@ def _run_batch_spec(spec: RunSpec, validate: bool) -> Dict[str, Any]:
     }
 
 
+def _run_resilience_spec(spec: RunSpec, validate: bool) -> Dict[str, Any]:
+    """A faulted resilient run under one checkpoint strategy.
+
+    The fault plan is seeded, so every rep sees the identical fault
+    sequence; each rep gets a *fresh* session and injector because a
+    resilient run mutates both (degrades, promotions, consumed events).
+    Validation compares the recovered result bit-for-bit against the
+    fault-free baseline of the same problem.
+    """
+    from ..core.session import Session
+    from ..faults import (
+        CheckpointPolicy,
+        CheckpointStore,
+        FaultInjector,
+        FaultPlan,
+        run_resilient,
+    )
+    from ..faults.chaos import build_workload
+
+    params = dict(spec.params)
+    n_dims = int(params["n_dims"])
+    size = int(params["size"])
+    inner = str(params.get("workload", "gaussian"))
+    strategy = str(params.get("strategy", "host"))
+    every = int(params.get("every", 4))
+    fault_seed = int(params.get("fault_seed", 0))
+    prob_seed = int(params.get("prob_seed", 0))
+
+    make = build_workload(inner, size, prob_seed, checkpoint_every=every)
+
+    dry = Session(n_dims)
+    baseline = np.asarray(make()(dry, CheckpointStore(dry)))
+    horizon = 0.6 * max(dry.time, 1.0)
+    plan_template = FaultPlan.random(
+        n_dims,
+        seed=fault_seed,
+        horizon=horizon,
+        link_kills=1,
+        node_kills=1,
+        drops=2,
+    )
+
+    def one_run() -> Tuple[Any, Any]:
+        injector = FaultInjector(plan_template)
+        session = Session(n_dims, faults=injector)
+        policy = CheckpointPolicy(strategy=strategy, every=every)
+        report = run_resilient(
+            session, make(), max_recoveries=3, policy=policy
+        )
+        return session, report
+
+    timed = best_of(one_run, spec.reps, warmup=True)
+    session, report = timed.result
+    ck = report.checkpoint or {}
+
+    validated: Optional[bool] = None
+    detail = ""
+    if validate:
+        validated = bool(
+            report.recovered
+            and report.result is not None
+            and np.array_equal(np.asarray(report.result), baseline)
+        )
+        if not validated:
+            detail = (
+                report.error
+                or "recovered result differs from fault-free baseline"
+            )
+
+    metrics = {
+        "resilience.saves": float(ck.get("saves", 0)),
+        "resilience.restores": float(ck.get("restores", 0)),
+        "resilience.save_ticks": float(ck.get("save_ticks", 0.0)),
+        "resilience.restore_ticks": float(ck.get("restore_ticks", 0.0)),
+        "resilience.recovery_ticks": float(report.stats.recovery_ticks),
+        "resilience.recoveries": float(report.recoveries),
+        "resilience.promotions": float(report.promotions),
+        "resilience.expansions": float(report.stats.expansions),
+        "resilience.final_p": float(report.final_p),
+        "resilience.fault_free_ticks": float(dry.time),
+    }
+
+    return {
+        "wall_s": {"best": timed.best, "mean": timed.mean},
+        "sim": session.snapshot().as_dict(),
+        "metrics": metrics,
+        "profile": None,
+        "validated": validated,
+        "validate_detail": detail,
+    }
+
+
 def run_spec(spec: RunSpec, validate: bool = False) -> Dict[str, Any]:
     """Execute one run spec; returns a schema-versioned warehouse record."""
     if spec.workload == "batch_gaussian":
         measured = _run_batch_spec(spec, validate)
+    elif spec.workload == "resilience":
+        measured = _run_resilience_spec(spec, validate)
     else:
         measured = _run_scalar_spec(spec, validate)
     record = {

@@ -1,0 +1,164 @@
+"""Adversarial checkpoint-window schedules (mid-save / mid-restore kills).
+
+``generate_checkpoint_schedules`` measures the simulated-time windows of
+every checkpoint save on a fault-free probe and drops node kills *inside*
+them, so the campaign exercises the ugliest interleavings: a node dying
+during the checkpoint collection itself, a second node dying during the
+post-degrade restore scatter, and heals that promote the survivor back up
+— all replayable through ``repro faults --fault-plan``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import NodeHeal, NodeKill
+from repro.faults import chaos
+from repro.__main__ import main
+
+
+class TestWindows:
+    def test_windows_are_ordered_spans(self):
+        windows = chaos.checkpoint_windows(
+            "gaussian", 8, 0, 4, strategy="host", checkpoint_every=2
+        )
+        assert len(windows) >= 2
+        for t0, t1 in windows:
+            assert t1 > t0  # every save charges simulated time
+        starts = [t0 for t0, _ in windows]
+        assert starts == sorted(starts)
+
+    def test_diskless_windows_are_narrower(self):
+        """The in-cube save's window is a fraction of the host gather's —
+        the same gap the warehouse table measures, seen from the clock."""
+        span = lambda ws: sum(t1 - t0 for t0, t1 in ws)
+        host = chaos.checkpoint_windows("gaussian", 8, 0, 4, "host", 2)
+        diskless = chaos.checkpoint_windows("gaussian", 8, 0, 4, "diskless", 2)
+        assert span(diskless) < span(host) / 2.0
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = chaos.generate_checkpoint_schedules(6, master_seed=3)
+        b = chaos.generate_checkpoint_schedules(6, master_seed=3)
+        assert [s.as_dict() for s in a] == [s.as_dict() for s in b]
+
+    def test_independent_child_seeds(self):
+        short = chaos.generate_checkpoint_schedules(2, master_seed=5)
+        long = chaos.generate_checkpoint_schedules(5, master_seed=5)
+        assert [s.as_dict() for s in short] == [
+            s.as_dict() for s in long[:2]
+        ]
+
+    def test_construction_invariants(self):
+        schedules = chaos.generate_checkpoint_schedules(6, master_seed=0)
+        for s in schedules:
+            assert s.workload == "gaussian"  # the only mid-run checkpointer
+            assert s.strategy in chaos.STRATEGIES
+            kills = [e for e in s.plan.events if isinstance(e, NodeKill)]
+            heals = [e for e in s.plan.events if isinstance(e, NodeHeal)]
+            assert kills[0].pid % 2 == 1  # odd victim pins the survivor
+            assert len(kills) == (2 if s.index % 2 == 1 else 1)
+            assert len(heals) == (1 if s.index % 3 == 2 else 0)
+            times = [e.time for e in s.plan.events]
+            assert times == sorted(times)
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(ConfigError, match="strategy"):
+            chaos.generate_checkpoint_schedules(2, strategies=("tape",))
+        with pytest.raises(ConfigError, match="count"):
+            chaos.generate_checkpoint_schedules(0)
+
+
+class TestExecution:
+    def test_mid_save_kill_recovers_bit_identically(self):
+        """Index 0: one kill at a save-window midpoint — the interrupted
+        save never commits and recovery resumes from the previous one."""
+        baselines = chaos.BaselineCache()
+        schedules = chaos.generate_checkpoint_schedules(3, master_seed=0)
+        outcome = chaos.run_schedule(schedules[0], baselines)
+        assert outcome["ok"], outcome["error"]
+        assert outcome["recoveries"] >= 1
+
+    def test_mid_restore_kill_forces_second_recovery(self):
+        """Odd index: the trailing kill is still pending when the degraded
+        session replays, and fires inside the restore scatter."""
+        baselines = chaos.BaselineCache()
+        schedules = chaos.generate_checkpoint_schedules(2, master_seed=0)
+        outcome = chaos.run_schedule(schedules[1], baselines)
+        assert outcome["ok"], outcome["error"]
+        assert outcome["recoveries"] == 2
+
+    def test_heal_schedule_promotes(self):
+        """Index 2 mod 3: the healed victim re-expands the survivor."""
+        baselines = chaos.BaselineCache()
+        schedules = chaos.generate_checkpoint_schedules(3, master_seed=0)
+        outcome = chaos.run_schedule(schedules[2], baselines)
+        assert outcome["ok"], outcome["error"]
+        assert outcome["promotions"] >= 1
+
+    def test_campaign_appends_checkpoint_block(self):
+        report = chaos.run_campaign(
+            2, master_seed=0, n_dims=4, sizes=(8,),
+            checkpoint_schedules=3,
+        )
+        assert report["schedules"] == 5
+        assert report["failed"] == 0
+        assert sum(report["strategies"].values()) == 5
+        assert report["recoveries"] >= 3  # every checkpoint schedule kills
+
+
+class TestReplay:
+    def test_schedule_plan_replays_through_faults_cli(self, tmp_path, capsys):
+        """Satellite: a checkpoint-window plan round-trips through
+        ``repro faults --fault-plan`` with the matching problem knobs and
+        recovers bit-identically there too."""
+        [schedule] = chaos.generate_checkpoint_schedules(1, master_seed=0)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(schedule.plan.as_dict()))
+        code = main([
+            "faults", "-n", str(schedule.n_dims),
+            "--workload", "gaussian",
+            "--size", str(schedule.size),
+            "--seed", str(schedule.prob_seed),
+            "--fault-plan", str(path),
+            "--checkpoint-strategy", schedule.strategy,
+            "--checkpoint-every", str(schedule.checkpoint_every),
+            "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["recovered"]
+        assert data["matches_baseline"]
+        assert data["recoveries"] >= 1
+        assert data["checkpoint"]["strategy"] == schedule.strategy
+
+
+class TestChaosCLI:
+    def test_checkpoint_flags(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main([
+            "chaos", "-n", "4", "--schedules", "2", "--seed", "0",
+            "--sizes", "8", "--checkpoint-schedules", "2",
+            "--checkpoint-strategy", "diskless,host",
+            "--checkpoint-every", "2",
+            "--artifact-dir", str(tmp_path / "a"),
+            "--out", str(out), "--no-warehouse",
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["schedules"] == 4
+        assert report["failed"] == 0
+        assert set(report["strategies"]) <= {"diskless", "host"}
+        assert "checkpointing" in capsys.readouterr().out
+
+    def test_bad_strategy_is_a_clean_config_error(self, tmp_path, capsys):
+        code = main([
+            "chaos", "--schedules", "1", "--sizes", "8",
+            "--checkpoint-strategy", "tape",
+            "--artifact-dir", str(tmp_path / "a"), "--no-warehouse",
+        ])
+        assert code == 2
+        assert "strategy" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""The ``resilience`` warehouse run table (strategy x workload).
+
+Each spec replays one seeded fault plan under one checkpoint strategy and
+records the save/restore/recovery tick split; validation compares the
+recovered result bit-for-bit against the fault-free baseline.  The
+n_dims=10 rows of the built-in table back the CI recovery gate (diskless
+and incremental must save >= 3x cheaper than host gather); here a smaller
+cube pins the same ordering cheaply.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.metrics import warehouse as wh
+
+SMALL = {"n_dims": 4, "size": 8, "workload": "gaussian", "every": 2}
+
+
+def _small_spec(strategy, **extra):
+    params = dict(SMALL, strategy=strategy, **extra)
+    return wh.RunSpec("resilience", params, reps=1)
+
+
+class TestTable:
+    def test_builtin_table_loads(self):
+        specs = wh.load_table("resilience")
+        assert len(specs) >= 6
+        assert all(s.workload == "resilience" for s in specs)
+        strategies = {s.params["strategy"] for s in specs}
+        assert strategies == {"host", "diskless", "incremental"}
+        # The CI gate needs all three strategies at the recorded scale.
+        big = [s for s in specs if s.params["n_dims"] == 10]
+        assert {s.params["strategy"] for s in big} == {
+            "host", "diskless", "incremental"
+        }
+
+    def test_committed_baselines_cover_the_table(self):
+        path = os.path.join("benchmarks", "warehouse",
+                            "baselines_resilience.json")
+        with open(path) as fh:
+            doc = json.load(fh)
+        entries = doc["entries"]
+        assert len(entries) == len(wh.load_table("resilience"))
+        for key in entries:
+            assert json.loads(key)["workload"] == "resilience"
+
+
+class TestRunSpec:
+    def test_record_validates_and_round_trips(self, tmp_path):
+        record = wh.run_spec(_small_spec("diskless"), validate=True)
+        assert record["kind"] == "run"
+        assert record["validated"] is True, record["validate_detail"]
+        wh.validate_record(record)
+        for key in (
+            "resilience.saves", "resilience.restores",
+            "resilience.save_ticks", "resilience.restore_ticks",
+            "resilience.recovery_ticks", "resilience.recoveries",
+            "resilience.promotions", "resilience.expansions",
+            "resilience.final_p", "resilience.fault_free_ticks",
+        ):
+            assert key in record["metrics"], key
+        assert record["metrics"]["resilience.recoveries"] >= 1
+        path = str(tmp_path / "runs.jsonl")
+        assert wh.append_records([record], path) == 1
+        [loaded] = wh.load_records(path)
+        assert loaded["params"]["strategy"] == "diskless"
+
+    def test_strategy_cost_ordering(self):
+        """Same problem, same faults — only the checkpoint cost model
+        varies, and the in-cube strategies save much cheaper."""
+        ticks = {}
+        results = {}
+        for strategy in ("host", "diskless", "incremental"):
+            record = wh.run_spec(
+                _small_spec(strategy, n_dims=5, size=12), validate=True
+            )
+            assert record["validated"] is True, record["validate_detail"]
+            ticks[strategy] = record["metrics"]["resilience.save_ticks"]
+            results[strategy] = record["metrics"]["resilience.final_p"]
+        assert len(set(results.values())) == 1  # identical fault trajectory
+        # The gap grows with the cube; the CI gate pins >= 3x at n=10.
+        assert ticks["host"] / ticks["diskless"] >= 2.5
+        assert ticks["host"] / ticks["incremental"] >= 2.5
+
+    def test_pin_and_compare_gate(self, tmp_path):
+        record = wh.run_spec(_small_spec("host"), validate=True)
+        base_path = str(tmp_path / "baselines.json")
+        baselines = wh.pin_baselines([record], base_path)
+        assert len(baselines["entries"]) == 1
+        outcome = wh.compare([record], json.load(open(base_path)))
+        assert outcome["passed"], outcome
+        assert outcome["compared"] == 1
+        assert outcome["regressions"] == []
